@@ -1,0 +1,144 @@
+package amalgam_test
+
+import (
+	"net"
+	"testing"
+
+	"amalgam"
+	"amalgam/internal/cloudsim"
+	"amalgam/internal/nn"
+)
+
+// TestPublicAPIWorkflow exercises the documented quickstart path
+// end-to-end: obfuscate → train → extract → evaluate.
+func TestPublicAPIWorkflow(t *testing.T) {
+	ds := amalgam.SyntheticMNIST(32, 1)
+	test := amalgam.SyntheticMNIST(16, 2)
+	model, err := amalgam.BuildCV("lenet", 7, amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.AugmentedDataset.H() != 42 {
+		t.Fatalf("augmented geometry %d, want 42", job.AugmentedDataset.H())
+	}
+	stats, err := job.Train(amalgam.TrainConfig{Epochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats %v", stats)
+	}
+	trained, err := job.Extract("lenet", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := amalgam.Predict(trained, test, 16)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	augTest, err := job.ObfuscateTestSet(test, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if augTest.H() != 42 {
+		t.Fatal("test split must share the key geometry")
+	}
+}
+
+// TestTrainRemoteWorkflow runs the complete Fig. 1 loop through the public
+// API against an in-process TCP training service, and verifies the
+// extracted weights match local training bit-for-bit.
+func TestTrainRemoteWorkflow(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := cloudsim.NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	ds := amalgam.SyntheticMNIST(16, 1)
+	cfg := amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10}
+	mk := func() *amalgam.Job {
+		model, err := amalgam.BuildCV("lenet", 7, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 5, ModelName: "lenet"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	tc := amalgam.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.05, Momentum: 0.9}
+
+	remote := mk()
+	if _, err := remote.TrainRemote(l.Addr().String(), tc); err != nil {
+		t.Fatal(err)
+	}
+	local := mk()
+	if _, err := local.Train(tc); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := remote.Extract("lenet", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := local.Extract("lenet", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := nn.StateDict(a), nn.StateDict(b)
+	for name, src := range da {
+		if !db[name].Equal(src) {
+			t.Fatalf("remote vs local training diverged at %q", name)
+		}
+	}
+
+	// ModelName is required.
+	noName := func() *amalgam.Job {
+		model, _ := amalgam.BuildCV("lenet", 7, cfg)
+		job, _ := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 5})
+		return job
+	}()
+	if _, err := noName.TrainRemote(l.Addr().String(), tc); err == nil {
+		t.Fatal("TrainRemote without ModelName should error")
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	ds := amalgam.SyntheticMNIST(8, 1)
+	model, err := amalgam.BuildCV("lenet", 7, amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: -1}); err == nil {
+		t.Fatal("negative amount should error")
+	}
+	job, err := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: 0.25, SubNets: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Train(amalgam.TrainConfig{}); err == nil {
+		t.Fatal("zero-epoch training should error")
+	}
+	if _, err := amalgam.BuildCV("nope", 1, amalgam.CVConfig{}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestEquationsExposed(t *testing.T) {
+	if amalgam.PrivacyLoss(1) != 0.5 || amalgam.ComputePerformanceLoss(1) != 0.5 {
+		t.Fatal("Eqs. 5-6 wrong")
+	}
+	if s := amalgam.SearchSpace(784, 1225); s < 345 || s > 347 {
+		t.Fatalf("search space %v, want ≈346", s)
+	}
+}

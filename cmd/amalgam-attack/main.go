@@ -1,0 +1,57 @@
+// Command amalgam-attack runs the §6.3 adversarial analysis from the
+// provider's point of view: brute force, gradient leakage, attribution
+// distortion, denoising, and sub-network identification.
+//
+//	amalgam-attack                 # full suite
+//	amalgam-attack -attack fig16   # one attack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amalgam/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amalgam-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	attack := flag.String("attack", "all", "bruteforce|fig16|fig17|fig18|identify|all")
+	trials := flag.Int("trials", 5, "trials for the identification attack")
+	flag.Parse()
+	w := os.Stdout
+
+	runOne := func(name string) error {
+		switch name {
+		case "bruteforce":
+			experiments.BruteForce(w)
+			return nil
+		case "fig16":
+			return experiments.Fig16GradientLeakage(w)
+		case "fig17":
+			return experiments.Fig17SHAPDistortion(w)
+		case "fig18":
+			return experiments.Fig18DenoisingAttack(w)
+		case "identify":
+			return experiments.SubnetIdentification(w, *trials)
+		default:
+			return fmt.Errorf("unknown attack %q", name)
+		}
+	}
+	if *attack != "all" {
+		return runOne(*attack)
+	}
+	for _, name := range []string{"bruteforce", "fig16", "fig17", "fig18", "identify"} {
+		fmt.Fprintf(w, "\n===== %s =====\n", name)
+		if err := runOne(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

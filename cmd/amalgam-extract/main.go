@@ -1,0 +1,67 @@
+// Command amalgam-extract runs the NN Model Extractor (§4.3) on a trained
+// augmented state dict: it strips the original sub-network's entries and
+// writes them as a clean state dict loadable into the user's model
+// definition.
+//
+//	amalgam-extract -in trained_augmented.amd -out original.amd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"amalgam/internal/serialize"
+	"amalgam/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amalgam-extract:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "trained augmented state dict (.amd)")
+	out := flag.String("out", "", "output path for the extracted original state dict")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		return fmt.Errorf("need -in and -out")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dict, err := serialize.ReadStateDict(f)
+	if err != nil {
+		return err
+	}
+	extracted := map[string]*tensor.Tensor{}
+	var decoyParams, origParams int
+	for name, t := range dict {
+		if cut, ok := strings.CutPrefix(name, "orig."); ok {
+			extracted[cut] = t
+			origParams += t.Numel()
+		} else {
+			decoyParams += t.Numel()
+		}
+	}
+	if len(extracted) == 0 {
+		return fmt.Errorf("no original-sub-network entries in %s", *in)
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := serialize.WriteStateDict(of, extracted); err != nil {
+		return err
+	}
+	fmt.Printf("extracted %d tensors (%d params); discarded %d decoy params\n", len(extracted), origParams, decoyParams)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

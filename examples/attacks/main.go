@@ -1,0 +1,36 @@
+// Attack-resilience example (§6.3): run the provider-side attacks against
+// an obfuscated job and print the outcomes the paper's Figs. 16–18 report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"amalgam/internal/experiments"
+)
+
+func main() {
+	fmt.Println("== brute force ==")
+	experiments.BruteForce(os.Stdout)
+
+	fmt.Println("\n== gradient leakage (Fig. 16) ==")
+	if err := experiments.Fig16GradientLeakage(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== attribution distortion (Fig. 17) ==")
+	if err := experiments.Fig17SHAPDistortion(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== denoising attack (Fig. 18) ==")
+	if err := experiments.Fig18DenoisingAttack(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== sub-network identification ==")
+	if err := experiments.SubnetIdentification(os.Stdout, 5); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: obfuscate a model and dataset, train, extract, evaluate —
+// the complete Fig. 1 workflow in one file using only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amalgam"
+)
+
+func main() {
+	// 1. The user's proprietary dataset and model (synthetic stand-ins).
+	train := amalgam.SyntheticMNIST(256, 1)
+	test := amalgam.SyntheticMNIST(64, 2)
+	model, err := amalgam.BuildCV("lenet", 7, amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Obfuscate: 50% augmentation hides both architecture and data.
+	job, err := amalgam.Obfuscate(model, train, amalgam.Options{Amount: 0.5, SubNets: 3, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("augmented dataset: %dx%d → %dx%d, privacy loss ε=%.2f\n",
+		train.H(), train.W(), job.AugmentedDataset.H(), job.AugmentedDataset.W(), amalgam.PrivacyLoss(0.5))
+
+	// 3. Train the augmented model (locally here; see cmd/amalgam-train for
+	// the remote cloud service).
+	stats, err := job.Train(amalgam.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range stats {
+		fmt.Printf("epoch %d: loss=%.4f acc=%.3f\n", s.Epoch, s.Loss, s.Accuracy)
+	}
+
+	// 4. Extract the original model and evaluate on the ORIGINAL test set.
+	trained, err := job.Extract("lenet", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted model accuracy on original test set: %.3f\n", amalgam.Predict(trained, test, 32))
+}

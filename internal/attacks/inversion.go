@@ -1,0 +1,89 @@
+package attacks
+
+import (
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+// Model-inversion probing (Fig. 17): the provider explains the shipped
+// model with a SHAP-style attribution method and inspects whether the
+// attributions expose the original network's behaviour. We implement
+// occlusion attribution — a Shapley-value approximation that measures each
+// pixel's marginal contribution to the predicted logit — and quantify the
+// distortion augmentation induces.
+
+// Explainable is a model whose logits can be probed.
+type Explainable interface {
+	Forward(x *autodiff.Node) *autodiff.Node
+}
+
+// OcclusionAttribution returns, for a single [C, H, W] image, a [H*W] map
+// of each spatial position's contribution to the logit of class label:
+// f(x) − f(x with the pixel replaced by the image mean), averaged over
+// channels.
+func OcclusionAttribution(m Explainable, img *tensor.Tensor, label int) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	mean := float32(tensor.Mean(img))
+	batch := img.Reshape(1, c, h, w)
+	base := logitOf(m, batch, label)
+	out := tensor.New(h * w)
+	work := img.Clone()
+	workBatch := work.Reshape(1, c, h, w)
+	for pos := 0; pos < h*w; pos++ {
+		saved := make([]float32, c)
+		for ch := 0; ch < c; ch++ {
+			saved[ch] = work.Data[ch*h*w+pos]
+			work.Data[ch*h*w+pos] = mean
+		}
+		out.Data[pos] = base - logitOf(m, workBatch, label)
+		for ch := 0; ch < c; ch++ {
+			work.Data[ch*h*w+pos] = saved[ch]
+		}
+	}
+	return out
+}
+
+func logitOf(m Explainable, batch *tensor.Tensor, label int) float32 {
+	logits := m.Forward(autodiff.Constant(batch))
+	return logits.Val.At(0, label)
+}
+
+// AttributionDistortion quantifies Fig. 17: the Pearson correlation
+// between the clean model's attribution on the original image and the
+// augmented model's attribution on the augmented image, compared in the
+// original geometry via the attacker's naive resize (they lack the key).
+// Values near zero mean the explanation no longer describes the model.
+func AttributionDistortion(cleanAttr *tensor.Tensor, augAttr *tensor.Tensor, origH, origW, augH, augW int) float64 {
+	a := cleanAttr.Reshape(1, origH, origW)
+	b := ResizeNaive(augAttr.Reshape(1, augH, augW), origH, origW)
+	return Pearson(a.Reshape(-1), b.Reshape(-1))
+}
+
+// IdentifySubnetByTV is the identification attack against the provider
+// view: given the per-sub-network gather sets visible in the shipped graph
+// and an uploaded augmented image, reconstruct each sub-network's input
+// and rank by total variation — natural images are smooth, so the
+// smoothest reconstruction is the attacker's guess for the original
+// sub-network. Returns the guessed index within sets.
+func IdentifySubnetByTV(augImage *tensor.Tensor, sets [][]int, origH, origW int) int {
+	c := augImage.Dim(0)
+	plane := augImage.Dim(1) * augImage.Dim(2)
+	best := 0
+	bestTV := -1.0
+	for si, set := range sets {
+		rec := tensor.New(c, origH, origW)
+		for ch := 0; ch < c; ch++ {
+			for i, pos := range set {
+				if i >= origH*origW || pos < 0 || pos >= plane {
+					continue
+				}
+				rec.Data[ch*origH*origW+i] = augImage.Data[ch*plane+pos]
+			}
+		}
+		tv := TotalVariation(rec)
+		if bestTV < 0 || tv < bestTV {
+			bestTV, best = tv, si
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+// Package attacks implements the server-side adversarial analysis of §6.3:
+// brute-force search-space estimation, gradient-leakage (DLG-style) input
+// reconstruction, SHAP-style model-inversion probing, deep-denoising
+// recovery, and an original-sub-network identification attack over the
+// provider view. Every attack consumes only what an honest-but-curious
+// cloud observes (see cloudsim.ProviderView) — never the user-side key.
+package attacks
+
+import (
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+// MSE returns the mean squared error between two equal-shape tensors.
+func MSE(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) {
+		panic("attacks: MSE shape mismatch")
+	}
+	var s float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		s += d * d
+	}
+	return s / float64(len(a.Data))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB for signals in [0, 1].
+func PSNR(a, b *tensor.Tensor) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(1/mse)
+}
+
+// Pearson returns the Pearson correlation of two equal-length tensors.
+func Pearson(a, b *tensor.Tensor) float64 {
+	if a.Numel() != b.Numel() || a.Numel() == 0 {
+		panic("attacks: Pearson length mismatch")
+	}
+	n := float64(a.Numel())
+	var sa, sb float64
+	for i := range a.Data {
+		sa += float64(a.Data[i])
+		sb += float64(b.Data[i])
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a.Data {
+		da := float64(a.Data[i]) - ma
+		db := float64(b.Data[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// TotalVariation returns the mean absolute difference between horizontally
+// and vertically adjacent pixels of a [C, H, W] image — the smoothness
+// statistic the identification attack ranks sub-networks by.
+func TotalVariation(img *tensor.Tensor) float64 {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	var s float64
+	var count int
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := float64(img.Data[base+y*w+x])
+				if x+1 < w {
+					s += math.Abs(v - float64(img.Data[base+y*w+x+1]))
+					count++
+				}
+				if y+1 < h {
+					s += math.Abs(v - float64(img.Data[base+(y+1)*w+x]))
+					count++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return s / float64(count)
+}
+
+// ResizeNaive bilinearly resizes a [C, H, W] image to [C, outH, outW] —
+// the attacker's only recourse for comparing an augmented-geometry
+// reconstruction against original-geometry ground truth without the key.
+func ResizeNaive(img *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, outH, outW)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < outH; y++ {
+			fy := (float64(y)+0.5)*float64(h)/float64(outH) - 0.5
+			y0 := int(math.Floor(fy))
+			ty := fy - float64(y0)
+			for x := 0; x < outW; x++ {
+				fx := (float64(x)+0.5)*float64(w)/float64(outW) - 0.5
+				x0 := int(math.Floor(fx))
+				tx := fx - float64(x0)
+				v := bilerp(img, ch, y0, x0, ty, tx, h, w)
+				out.Set(float32(v), ch, y, x)
+			}
+		}
+	}
+	return out
+}
+
+func bilerp(img *tensor.Tensor, ch, y0, x0 int, ty, tx float64, h, w int) float64 {
+	get := func(y, x int) float64 {
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		return float64(img.At(ch, y, x))
+	}
+	a := get(y0, x0)*(1-tx) + get(y0, x0+1)*tx
+	b := get(y0+1, x0)*(1-tx) + get(y0+1, x0+1)*tx
+	return a*(1-ty) + b*ty
+}

@@ -1,0 +1,146 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// the tensor package. A computation builds a DAG of Nodes; Backward on a
+// scalar root propagates gradients to every leaf that requires them.
+//
+// The engine is deliberately dynamic (define-by-run, like PyTorch's
+// autograd) because Amalgam's model augmenter composes graphs at run time:
+// decoy sub-networks, detached taps from original layers, and per-subnet
+// loss heads are all graph-level constructs.
+package autodiff
+
+import (
+	"fmt"
+
+	"amalgam/internal/tensor"
+)
+
+// Node is one vertex of the autodiff graph: a value, an optional gradient,
+// and a backward closure that scatters the node's gradient to its parents.
+type Node struct {
+	// Val holds the forward value. Never nil for a constructed node.
+	Val *tensor.Tensor
+	// Grad accumulates ∂root/∂Val during Backward. Allocated lazily; nil
+	// for nodes that do not require gradients or before Backward runs.
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Node
+	backward     func()
+	name         string
+}
+
+// Leaf wraps t as a trainable graph input (requires gradients).
+func Leaf(t *tensor.Tensor) *Node {
+	return &Node{Val: t, requiresGrad: true}
+}
+
+// Constant wraps t as a non-trainable input; no gradient flows into it.
+func Constant(t *tensor.Tensor) *Node {
+	return &Node{Val: t}
+}
+
+// Named attaches a debugging name and returns the node.
+func (n *Node) Named(name string) *Node {
+	n.name = name
+	return n
+}
+
+// Name returns the node's debugging name (may be empty).
+func (n *Node) Name() string { return n.name }
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// newNode builds an interior node. requiresGrad is inherited from parents.
+func newNode(val *tensor.Tensor, parents []*Node, backward func()) *Node {
+	req := false
+	for _, p := range parents {
+		if p != nil && p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	n := &Node{Val: val, requiresGrad: req, parents: parents}
+	if req {
+		n.backward = backward
+	}
+	return n
+}
+
+// ensureGrad allocates (once) and returns the gradient buffer.
+func (n *Node) ensureGrad() *tensor.Tensor {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Val.Shape()...)
+	}
+	return n.Grad
+}
+
+// accumulate adds g into n's gradient if n participates in backprop.
+func (n *Node) accumulate(g *tensor.Tensor) {
+	if !n.requiresGrad {
+		return
+	}
+	tensor.AddInto(n.ensureGrad(), g)
+}
+
+// ZeroGrad clears the node's gradient buffer in place (keeps allocation).
+func (n *Node) ZeroGrad() {
+	if n.Grad != nil {
+		n.Grad.Zero()
+	}
+}
+
+// Backward runs reverse-mode differentiation from the scalar root. It
+// panics if the root is not a single-element tensor, mirroring PyTorch's
+// requirement that .backward() start from a scalar loss.
+func Backward(root *Node) {
+	if root.Val.Numel() != 1 {
+		panic(fmt.Sprintf("autodiff: Backward root must be scalar, got shape %v", root.Val.Shape()))
+	}
+	order := topoSort(root)
+	root.ensureGrad().Fill(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// topoSort returns nodes reachable from root in topological order
+// (parents before children), visiting only grad-requiring paths.
+func topoSort(root *Node) []*Node {
+	var order []*Node
+	visited := map[*Node]bool{}
+	// Iterative DFS; models can be thousands of nodes deep and Go default
+	// goroutine stacks grow, but an explicit stack avoids any limit.
+	type frame struct {
+		n    *Node
+		next int
+	}
+	stack := []frame{{n: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(top.n.parents) {
+			p := top.n.parents[top.next]
+			top.next++
+			if p != nil && p.requiresGrad && !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{n: p})
+			}
+			continue
+		}
+		order = append(order, top.n)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// Scalar returns the single element of a scalar node's value.
+func (n *Node) Scalar() float32 {
+	if n.Val.Numel() != 1 {
+		panic(fmt.Sprintf("autodiff: Scalar on non-scalar shape %v", n.Val.Shape()))
+	}
+	return n.Val.Data[0]
+}

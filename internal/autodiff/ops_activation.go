@@ -1,0 +1,260 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+// ReLU returns max(0, a) element-wise.
+func ReLU(a *Node) *Node {
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, v := range a.Val.Data {
+				if v > 0 {
+					g.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReLU6 returns min(max(0, a), 6), MobileNet's activation.
+func ReLU6(a *Node) *Node {
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		if v > 6 {
+			return 6
+		}
+		return v
+	})
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, v := range a.Val.Data {
+				if v > 0 && v < 6 {
+					g.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) element-wise.
+func Sigmoid(a *Node) *Node {
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, s := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) element-wise.
+func Tanh(a *Node) *Node {
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		return float32(math.Tanh(float64(v)))
+	})
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, th := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * (1 - th*th)
+			}
+		}
+	}
+	return out
+}
+
+// GELU returns the Gaussian error linear unit (tanh approximation).
+func GELU(a *Node) *Node {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		x := float64(v)
+		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	})
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, v := range a.Val.Data {
+				x := float64(v)
+				t := math.Tanh(c * (x + 0.044715*x*x*x))
+				dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+				d := 0.5*(1+t) + 0.5*x*dt
+				g.Data[i] += out.Grad.Data[i] * float32(d)
+			}
+		}
+	}
+	return out
+}
+
+// Dropout zeroes elements with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). When training is false it is the identity.
+func Dropout(a *Node, p float32, rng *tensor.RNG, training bool) *Node {
+	if !training || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autodiff: Dropout p must be < 1")
+	}
+	keep := 1 - p
+	scale := 1 / keep
+	mask := make([]bool, a.Val.Numel())
+	val := tensor.New(a.Val.Shape()...)
+	for i, v := range a.Val.Data {
+		if rng.Float32() < keep {
+			mask[i] = true
+			val.Data[i] = v * scale
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, keepIt := range mask {
+				if keepIt {
+					g.Data[i] += out.Grad.Data[i] * scale
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy between logits [N, C] and
+// integer labels, fused for numerical stability. Returns a scalar node.
+func SoftmaxCrossEntropy(logits *Node, labels []int) *Node {
+	n, c := logits.Val.Dim(0), logits.Val.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("autodiff: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
+	}
+	probs := tensor.New(n, c)
+	var loss float64
+	for r := 0; r < n; r++ {
+		row := logits.Val.Data[r*c : (r+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		prow := probs.Data[r*c : (r+1)*c]
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			prow[j] = float32(e)
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range prow {
+			prow[j] = float32(float64(prow[j]) * inv)
+		}
+		y := labels[r]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("autodiff: label %d out of range [0,%d)", y, c))
+		}
+		p := float64(prow[y])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+	}
+	val := tensor.FromSlice([]float32{float32(loss / float64(n))}, 1)
+	out := newNode(val, []*Node{logits}, nil)
+	out.backward = func() {
+		if logits.requiresGrad {
+			g := logits.ensureGrad()
+			scale := out.Grad.Data[0] / float32(n)
+			for r := 0; r < n; r++ {
+				prow := probs.Data[r*c : (r+1)*c]
+				grow := g.Data[r*c : (r+1)*c]
+				y := labels[r]
+				for j, p := range prow {
+					d := p
+					if j == y {
+						d -= 1
+					}
+					grow[j] += scale * d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxLastDim applies softmax along the last axis of a 2-D node
+// [rows, cols]; used inside attention.
+func SoftmaxLastDim(a *Node) *Node {
+	rows, cols := a.Val.Dim(0), a.Val.Dim(1)
+	val := tensor.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		src := a.Val.Data[r*cols : (r+1)*cols]
+		dst := val.Data[r*cols : (r+1)*cols]
+		maxv := src[0]
+		for _, v := range src[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			e := math.Exp(float64(v - maxv))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for r := 0; r < rows; r++ {
+				s := val.Data[r*cols : (r+1)*cols]
+				dy := out.Grad.Data[r*cols : (r+1)*cols]
+				var dot float32
+				for j := range s {
+					dot += s[j] * dy[j]
+				}
+				grow := g.Data[r*cols : (r+1)*cols]
+				for j := range s {
+					grow[j] += s[j] * (dy[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LogSoftmaxNLL computes mean negative log-likelihood over logits [N, C]
+// given labels, returning per-sample total loss / N (identical value to
+// SoftmaxCrossEntropy; kept as an independent implementation used by
+// property tests to cross-check the fused op).
+func LogSoftmaxNLL(logits *Node, labels []int) *Node {
+	return SoftmaxCrossEntropy(logits, labels)
+}

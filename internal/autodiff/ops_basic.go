@@ -1,0 +1,369 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"amalgam/internal/tensor"
+)
+
+// Add returns a + b (same shapes).
+func Add(a, b *Node) *Node {
+	val := tensor.Add(a.Val, b.Val)
+	out := newNode(val, []*Node{a, b}, nil)
+	out.backward = func() {
+		a.accumulate(out.Grad)
+		b.accumulate(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Node) *Node {
+	val := tensor.Sub(a.Val, b.Val)
+	out := newNode(val, []*Node{a, b}, nil)
+	out.backward = func() {
+		a.accumulate(out.Grad)
+		if b.requiresGrad {
+			tensor.AddScaledInto(b.ensureGrad(), -1, out.Grad)
+		}
+	}
+	return out
+}
+
+// Mul returns the element-wise product a ⊙ b.
+func Mul(a, b *Node) *Node {
+	val := tensor.Mul(a.Val, b.Val)
+	out := newNode(val, []*Node{a, b}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.accumulate(tensor.Mul(out.Grad, b.Val))
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Mul(out.Grad, a.Val))
+		}
+	}
+	return out
+}
+
+// Scale returns alpha * a.
+func Scale(a *Node, alpha float32) *Node {
+	val := tensor.Scale(a.Val, alpha)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddScaledInto(a.ensureGrad(), alpha, out.Grad)
+		}
+	}
+	return out
+}
+
+// AddN sums any number of same-shaped nodes. Used to combine per-subnet
+// losses into Amalgam's joint training objective (Algorithm 1).
+func AddN(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("autodiff: AddN of nothing")
+	}
+	val := nodes[0].Val.Clone()
+	for _, n := range nodes[1:] {
+		tensor.AddInto(val, n.Val)
+	}
+	parents := append([]*Node(nil), nodes...)
+	out := newNode(val, parents, nil)
+	out.backward = func() {
+		for _, n := range parents {
+			n.accumulate(out.Grad)
+		}
+	}
+	return out
+}
+
+// AddRowBias adds a bias vector [D] to every row of a [N, D] matrix.
+func AddRowBias(x, bias *Node) *Node {
+	n, d := x.Val.Dim(0), x.Val.Dim(1)
+	if bias.Val.Numel() != d {
+		panic(fmt.Sprintf("autodiff: AddRowBias dims %v + %v", x.Val.Shape(), bias.Val.Shape()))
+	}
+	val := x.Val.Clone()
+	for r := 0; r < n; r++ {
+		row := val.Data[r*d : (r+1)*d]
+		for j := range row {
+			row[j] += bias.Val.Data[j]
+		}
+	}
+	out := newNode(val, []*Node{x, bias}, nil)
+	out.backward = func() {
+		x.accumulate(out.Grad)
+		if bias.requiresGrad {
+			bg := bias.ensureGrad()
+			for r := 0; r < n; r++ {
+				row := out.Grad.Data[r*d : (r+1)*d]
+				for j := range row {
+					bg.Data[j] += row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddChanBias adds a per-channel bias [C] to an image batch [N, C, H, W].
+func AddChanBias(x, bias *Node) *Node {
+	sh := x.Val.Shape()
+	if len(sh) != 4 || bias.Val.Numel() != sh[1] {
+		panic(fmt.Sprintf("autodiff: AddChanBias dims %v + %v", sh, bias.Val.Shape()))
+	}
+	n, c, hw := sh[0], sh[1], sh[2]*sh[3]
+	val := x.Val.Clone()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			bv := bias.Val.Data[ch]
+			for i := 0; i < hw; i++ {
+				val.Data[base+i] += bv
+			}
+		}
+	}
+	out := newNode(val, []*Node{x, bias}, nil)
+	out.backward = func() {
+		x.accumulate(out.Grad)
+		if bias.requiresGrad {
+			bg := bias.ensureGrad()
+			for b := 0; b < n; b++ {
+				for ch := 0; ch < c; ch++ {
+					base := (b*c + ch) * hw
+					var s float32
+					for i := 0; i < hw; i++ {
+						s += out.Grad.Data[base+i]
+					}
+					bg.Data[ch] += s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a × b for 2-D nodes.
+func MatMul(a, b *Node) *Node {
+	val := tensor.MatMul(a.Val, b.Val)
+	out := newNode(val, []*Node{a, b}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.accumulate(tensor.MatMulBT(out.Grad, b.Val)) // dA = dY·Bᵀ
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.MatMulAT(a.Val, out.Grad)) // dB = Aᵀ·dY
+		}
+	}
+	return out
+}
+
+// Reshape returns a view of a with a new shape.
+func Reshape(a *Node, shape ...int) *Node {
+	val := a.Val.Reshape(shape...)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := out.Grad.Reshape(a.Val.Shape()...)
+			tensor.AddInto(a.ensureGrad(), g)
+		}
+	}
+	return out
+}
+
+// Flatten reshapes [N, ...] to [N, features].
+func Flatten(a *Node) *Node {
+	n := a.Val.Dim(0)
+	return Reshape(a, n, -1)
+}
+
+// Detach returns a node with the same value but no gradient path to a.
+// This is the mechanism behind Amalgam's original→decoy taps: decoy
+// sub-networks may consume original activations without ever influencing
+// the original parameters' gradients.
+func Detach(a *Node) *Node {
+	return Constant(a.Val)
+}
+
+// ConcatFeatures concatenates [N, D_i] nodes along the feature axis.
+func ConcatFeatures(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("autodiff: ConcatFeatures of nothing")
+	}
+	n := nodes[0].Val.Dim(0)
+	total := 0
+	for _, nd := range nodes {
+		if nd.Val.Dims() != 2 || nd.Val.Dim(0) != n {
+			panic(fmt.Sprintf("autodiff: ConcatFeatures shape %v", nd.Val.Shape()))
+		}
+		total += nd.Val.Dim(1)
+	}
+	val := tensor.New(n, total)
+	off := 0
+	for _, nd := range nodes {
+		d := nd.Val.Dim(1)
+		for r := 0; r < n; r++ {
+			copy(val.Data[r*total+off:r*total+off+d], nd.Val.Data[r*d:(r+1)*d])
+		}
+		off += d
+	}
+	parents := append([]*Node(nil), nodes...)
+	out := newNode(val, parents, nil)
+	out.backward = func() {
+		off := 0
+		for _, nd := range parents {
+			d := nd.Val.Dim(1)
+			if nd.requiresGrad {
+				g := nd.ensureGrad()
+				for r := 0; r < n; r++ {
+					src := out.Grad.Data[r*total+off : r*total+off+d]
+					dst := g.Data[r*d : (r+1)*d]
+					for i := range src {
+						dst[i] += src[i]
+					}
+				}
+			}
+			off += d
+		}
+	}
+	return out
+}
+
+// ConcatChannels concatenates [N, C_i, H, W] nodes along the channel axis
+// (DenseNet's core operation).
+func ConcatChannels(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("autodiff: ConcatChannels of nothing")
+	}
+	sh := nodes[0].Val.Shape()
+	n, h, w := sh[0], sh[2], sh[3]
+	totalC := 0
+	for _, nd := range nodes {
+		s := nd.Val.Shape()
+		if len(s) != 4 || s[0] != n || s[2] != h || s[3] != w {
+			panic(fmt.Sprintf("autodiff: ConcatChannels shape %v vs %v", s, sh))
+		}
+		totalC += s[1]
+	}
+	hw := h * w
+	val := tensor.New(n, totalC, h, w)
+	chOff := 0
+	for _, nd := range nodes {
+		c := nd.Val.Dim(1)
+		for b := 0; b < n; b++ {
+			src := nd.Val.Data[b*c*hw : (b+1)*c*hw]
+			dst := val.Data[(b*totalC+chOff)*hw : (b*totalC+chOff+c)*hw]
+			copy(dst, src)
+		}
+		chOff += c
+	}
+	parents := append([]*Node(nil), nodes...)
+	out := newNode(val, parents, nil)
+	out.backward = func() {
+		chOff := 0
+		for _, nd := range parents {
+			c := nd.Val.Dim(1)
+			if nd.requiresGrad {
+				g := nd.ensureGrad()
+				for b := 0; b < n; b++ {
+					src := out.Grad.Data[(b*totalC+chOff)*hw : (b*totalC+chOff+c)*hw]
+					dst := g.Data[b*c*hw : (b+1)*c*hw]
+					for i := range src {
+						dst[i] += src[i]
+					}
+				}
+			}
+			chOff += c
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements.
+func Mean(a *Node) *Node {
+	val := tensor.FromSlice([]float32{float32(tensor.Mean(a.Val))}, 1)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := out.Grad.Data[0] / float32(a.Val.Numel())
+			ag := a.ensureGrad()
+			for i := range ag.Data {
+				ag.Data[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the scalar sum of all elements.
+func Sum(a *Node) *Node {
+	val := tensor.FromSlice([]float32{float32(tensor.Sum(a.Val))}, 1)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := out.Grad.Data[0]
+			ag := a.ensureGrad()
+			for i := range ag.Data {
+				ag.Data[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// MSE returns mean squared error between a and target (target is constant).
+func MSE(a *Node, target *tensor.Tensor) *Node {
+	diff := tensor.Sub(a.Val, target)
+	var s float64
+	for _, v := range diff.Data {
+		s += float64(v) * float64(v)
+	}
+	val := tensor.FromSlice([]float32{float32(s / float64(diff.Numel()))}, 1)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			scale := 2 * out.Grad.Data[0] / float32(diff.Numel())
+			ag := a.ensureGrad()
+			for i := range ag.Data {
+				ag.Data[i] += scale * diff.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// GatherCols selects columns idx (same for every row) from a [N, F] node,
+// producing [N, len(idx)]. Backward scatter-adds. This op is the
+// differentiable primitive under Amalgam's SkipConv2d and SkipEmbedding:
+// the secret index subset is the gather pattern.
+func GatherCols(a *Node, idx []int) *Node {
+	n, f := a.Val.Dim(0), a.Val.Dim(1)
+	k := len(idx)
+	for _, j := range idx {
+		if j < 0 || j >= f {
+			panic(fmt.Sprintf("autodiff: GatherCols index %d out of range [0,%d)", j, f))
+		}
+	}
+	val := tensor.New(n, k)
+	for r := 0; r < n; r++ {
+		src := a.Val.Data[r*f : (r+1)*f]
+		dst := val.Data[r*k : (r+1)*k]
+		for i, j := range idx {
+			dst[i] = src[j]
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for r := 0; r < n; r++ {
+				src := out.Grad.Data[r*k : (r+1)*k]
+				dst := g.Data[r*f : (r+1)*f]
+				for i, j := range idx {
+					dst[j] += src[i]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+// Conv2d computes a batched 2-D convolution.
+//
+//	x: [N, C, H, W]   w: [OC, C, KH, KW]   bias: [OC] or nil
+//
+// The implementation lowers each image with im2col and performs a single
+// matrix multiplication per image, parallelised over the batch.
+func Conv2d(x, w, bias *Node, stride, pad int) *Node {
+	xs, ws := x.Val.Shape(), w.Val.Shape()
+	if len(xs) != 4 || len(ws) != 4 || xs[1] != ws[1] {
+		panic(fmt.Sprintf("autodiff: Conv2d shapes x%v w%v", xs, ws))
+	}
+	n, oc := xs[0], ws[0]
+	g := &tensor.ConvGeom{
+		InC: xs[1], InH: xs[2], InW: xs[3],
+		KH: ws[2], KW: ws[3],
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	kdim := g.InC * g.KH * g.KW
+	ncols := g.OutH * g.OutW
+	imgIn := g.InC * g.InH * g.InW
+	imgOut := oc * ncols
+
+	wMat := w.Val.Reshape(oc, kdim)
+	val := tensor.New(n, oc, g.OutH, g.OutW)
+	// Keep the per-image column matrices for the backward pass: dW needs
+	// them, and recomputing costs more than the memory at our scales.
+	colsPer := make([]*tensor.Tensor, n)
+	forEachImage(n, func(b int) {
+		cols := tensor.New(kdim, ncols)
+		tensor.Im2Col(cols, x.Val.Data[b*imgIn:(b+1)*imgIn], g)
+		colsPer[b] = cols
+		outMat := tensor.FromSlice(val.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
+		tensor.MatMulInto(outMat, wMat, cols)
+	})
+	parents := []*Node{x, w}
+	var conv *Node
+	if bias != nil {
+		pre := newNode(val, parents, nil)
+		attachConvBackward(pre, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
+		conv = AddChanBias(pre, bias)
+	} else {
+		conv = newNode(val, parents, nil)
+		attachConvBackward(conv, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
+	}
+	return conv
+}
+
+func attachConvBackward(out, x, w *Node, g *tensor.ConvGeom, colsPer []*tensor.Tensor, oc, kdim, ncols, imgIn, imgOut int) {
+	n := len(colsPer)
+	out.backward = func() {
+		wMat := w.Val.Reshape(oc, kdim)
+		if w.requiresGrad {
+			// dW = Σ_b dY_b · cols_bᵀ. Accumulate sequentially over the batch
+			// for determinism (parallelising the reduction would reorder
+			// float additions).
+			wg := w.ensureGrad().Reshape(oc, kdim)
+			for b := 0; b < n; b++ {
+				dy := tensor.FromSlice(out.Grad.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
+				tensor.AddInto(wg, tensor.MatMulBT(dy, colsPer[b]))
+			}
+		}
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			forEachImage(n, func(b int) {
+				dy := tensor.FromSlice(out.Grad.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
+				dcols := tensor.MatMulAT(wMat, dy) // [kdim, ncols]
+				tensor.Col2Im(xg.Data[b*imgIn:(b+1)*imgIn], dcols, g)
+			})
+		}
+	}
+}
+
+// forEachImage runs fn(b) for b in [0, n), in parallel across the batch.
+// Each b touches disjoint output ranges so execution order is irrelevant.
+func forEachImage(n int, fn func(b int)) {
+	tensor.ParallelRange(n, func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			fn(b)
+		}
+	})
+}
+
+// MaxPool2d applies max pooling with the given square kernel and stride.
+func MaxPool2d(x *Node, kernel, stride, pad int) *Node {
+	xs := x.Val.Shape()
+	g := &tensor.ConvGeom{
+		InC: xs[1], InH: xs[2], InW: xs[3],
+		KH: kernel, KW: kernel, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	val, argmax := tensor.MaxPoolForward(x.Val, g)
+	n := xs[0]
+	imgIn := g.InC * g.InH * g.InW
+	imgOut := g.InC * g.OutH * g.OutW
+	out := newNode(val, []*Node{x}, nil)
+	out.backward = func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for b := 0; b < n; b++ {
+				gb := out.Grad.Data[b*imgOut : (b+1)*imgOut]
+				xb := xg.Data[b*imgIn : (b+1)*imgIn]
+				ab := argmax[b*imgOut : (b+1)*imgOut]
+				for i, idx := range ab {
+					if idx >= 0 {
+						xb[idx] += gb[i]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2d applies average pooling.
+func AvgPool2d(x *Node, kernel, stride, pad int) *Node {
+	xs := x.Val.Shape()
+	g := &tensor.ConvGeom{
+		InC: xs[1], InH: xs[2], InW: xs[3],
+		KH: kernel, KW: kernel, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	val := tensor.AvgPoolForward(x.Val, g)
+	n := xs[0]
+	out := newNode(val, []*Node{x}, nil)
+	out.backward = func() {
+		if !x.requiresGrad {
+			return
+		}
+		xg := x.ensureGrad()
+		imgIn := g.InC * g.InH * g.InW
+		imgOut := g.InC * g.OutH * g.OutW
+		for b := 0; b < n; b++ {
+			gb := out.Grad.Data[b*imgOut : (b+1)*imgOut]
+			xb := xg.Data[b*imgIn : (b+1)*imgIn]
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for oh := 0; oh < g.OutH; oh++ {
+					for ow := 0; ow < g.OutW; ow++ {
+						// Recompute the in-bounds window size (matches forward).
+						count := 0
+						for kh := 0; kh < g.KH; kh++ {
+							ih := oh*g.StrideH - g.PadH + kh
+							if ih < 0 || ih >= g.InH {
+								continue
+							}
+							for kw := 0; kw < g.KW; kw++ {
+								iw := ow*g.StrideW - g.PadW + kw
+								if iw >= 0 && iw < g.InW {
+									count++
+								}
+							}
+						}
+						if count == 0 {
+							continue
+						}
+						gv := gb[(c*g.OutH+oh)*g.OutW+ow] / float32(count)
+						for kh := 0; kh < g.KH; kh++ {
+							ih := oh*g.StrideH - g.PadH + kh
+							if ih < 0 || ih >= g.InH {
+								continue
+							}
+							for kw := 0; kw < g.KW; kw++ {
+								iw := ow*g.StrideW - g.PadW + kw
+								if iw >= 0 && iw < g.InW {
+									xb[chanBase+ih*g.InW+iw] += gv
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool reduces [N, C, H, W] to [N, C] by spatial averaging.
+func GlobalAvgPool(x *Node) *Node {
+	xs := x.Val.Shape()
+	if len(xs) != 4 {
+		panic(fmt.Sprintf("autodiff: GlobalAvgPool needs 4-D input, got %v", xs))
+	}
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	val := tensor.New(n, c)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			var s float64
+			for i := 0; i < hw; i++ {
+				s += float64(x.Val.Data[base+i])
+			}
+			val.Data[b*c+ch] = float32(s / float64(hw))
+		}
+	}
+	out := newNode(val, []*Node{x}, nil)
+	out.backward = func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			inv := 1 / float32(hw)
+			for b := 0; b < n; b++ {
+				for ch := 0; ch < c; ch++ {
+					gv := out.Grad.Data[b*c+ch] * inv
+					base := (b*c + ch) * hw
+					for i := 0; i < hw; i++ {
+						xg.Data[base+i] += gv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BatchNorm2d normalises [N, C, H, W] per channel.
+//
+// In training mode it uses batch statistics and updates runningMean/
+// runningVar in place with the given momentum. In eval mode it uses the
+// running statistics (no stat gradients). gamma and beta are [C] nodes.
+func BatchNorm2d(x, gamma, beta *Node, runningMean, runningVar *tensor.Tensor, momentum, eps float32, training bool) *Node {
+	xs := x.Val.Shape()
+	if len(xs) != 4 {
+		panic(fmt.Sprintf("autodiff: BatchNorm2d needs 4-D input, got %v", xs))
+	}
+	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
+	m := float64(n * hw) // reduction size per channel
+
+	mean := make([]float64, c)
+	varv := make([]float64, c)
+	if training {
+		for ch := 0; ch < c; ch++ {
+			var s float64
+			for b := 0; b < n; b++ {
+				base := (b*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					s += float64(x.Val.Data[base+i])
+				}
+			}
+			mean[ch] = s / m
+		}
+		for ch := 0; ch < c; ch++ {
+			var s float64
+			mu := mean[ch]
+			for b := 0; b < n; b++ {
+				base := (b*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					d := float64(x.Val.Data[base+i]) - mu
+					s += d * d
+				}
+			}
+			varv[ch] = s / m
+		}
+		// Update running stats (biased variance, PyTorch uses unbiased for
+		// running; the distinction is irrelevant for our experiments but we
+		// match PyTorch to keep eval-mode parity).
+		unbias := m / (m - 1)
+		if m <= 1 {
+			unbias = 1
+		}
+		for ch := 0; ch < c; ch++ {
+			runningMean.Data[ch] = (1-momentum)*runningMean.Data[ch] + momentum*float32(mean[ch])
+			runningVar.Data[ch] = (1-momentum)*runningVar.Data[ch] + momentum*float32(varv[ch]*unbias)
+		}
+	} else {
+		for ch := 0; ch < c; ch++ {
+			mean[ch] = float64(runningMean.Data[ch])
+			varv[ch] = float64(runningVar.Data[ch])
+		}
+	}
+
+	invStd := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		invStd[ch] = 1 / math.Sqrt(varv[ch]+float64(eps))
+	}
+	xhat := tensor.New(xs...)
+	val := tensor.New(xs...)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			mu, is := mean[ch], invStd[ch]
+			ga, be := gamma.Val.Data[ch], beta.Val.Data[ch]
+			for i := 0; i < hw; i++ {
+				xh := float32((float64(x.Val.Data[base+i]) - mu) * is)
+				xhat.Data[base+i] = xh
+				val.Data[base+i] = ga*xh + be
+			}
+		}
+	}
+	out := newNode(val, []*Node{x, gamma, beta}, nil)
+	out.backward = func() {
+		// Per-channel sums of dy and dy*xhat.
+		sumDy := make([]float64, c)
+		sumDyXhat := make([]float64, c)
+		for b := 0; b < n; b++ {
+			for ch := 0; ch < c; ch++ {
+				base := (b*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					dy := float64(out.Grad.Data[base+i])
+					sumDy[ch] += dy
+					sumDyXhat[ch] += dy * float64(xhat.Data[base+i])
+				}
+			}
+		}
+		if gamma.requiresGrad {
+			gg := gamma.ensureGrad()
+			for ch := 0; ch < c; ch++ {
+				gg.Data[ch] += float32(sumDyXhat[ch])
+			}
+		}
+		if beta.requiresGrad {
+			bg := beta.ensureGrad()
+			for ch := 0; ch < c; ch++ {
+				bg.Data[ch] += float32(sumDy[ch])
+			}
+		}
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for b := 0; b < n; b++ {
+				for ch := 0; ch < c; ch++ {
+					base := (b*c + ch) * hw
+					ga := float64(gamma.Val.Data[ch])
+					is := invStd[ch]
+					if training {
+						mDy := sumDy[ch] / m
+						mDyX := sumDyXhat[ch] / m
+						for i := 0; i < hw; i++ {
+							dy := float64(out.Grad.Data[base+i])
+							xh := float64(xhat.Data[base+i])
+							xg.Data[base+i] += float32(ga * is * (dy - mDy - xh*mDyX))
+						}
+					} else {
+						for i := 0; i < hw; i++ {
+							xg.Data[base+i] += float32(ga * is * float64(out.Grad.Data[base+i]))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"amalgam/internal/tensor"
+)
+
+// SplitHeads rearranges [N, T, D] into [N*H, T, D/H] for multi-head
+// attention (permuting (N,T,H,hd) → (N,H,T,hd)).
+func SplitHeads(a *Node, heads int) *Node {
+	as := a.Val.Shape()
+	if len(as) != 3 || as[2]%heads != 0 {
+		panic(fmt.Sprintf("autodiff: SplitHeads shape %v heads %d", as, heads))
+	}
+	n, t, d := as[0], as[1], as[2]
+	hd := d / heads
+	val := tensor.New(n*heads, t, hd)
+	for b := 0; b < n; b++ {
+		for pos := 0; pos < t; pos++ {
+			for h := 0; h < heads; h++ {
+				src := a.Val.Data[(b*t+pos)*d+h*hd : (b*t+pos)*d+(h+1)*hd]
+				dst := val.Data[((b*heads+h)*t+pos)*hd : ((b*heads+h)*t+pos+1)*hd]
+				copy(dst, src)
+			}
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for b := 0; b < n; b++ {
+				for pos := 0; pos < t; pos++ {
+					for h := 0; h < heads; h++ {
+						src := out.Grad.Data[((b*heads+h)*t+pos)*hd : ((b*heads+h)*t+pos+1)*hd]
+						dst := g.Data[(b*t+pos)*d+h*hd : (b*t+pos)*d+(h+1)*hd]
+						for i := range src {
+							dst[i] += src[i]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MergeHeads is the inverse of SplitHeads: [N*H, T, hd] → [N, T, H*hd].
+func MergeHeads(a *Node, heads int) *Node {
+	as := a.Val.Shape()
+	if len(as) != 3 || as[0]%heads != 0 {
+		panic(fmt.Sprintf("autodiff: MergeHeads shape %v heads %d", as, heads))
+	}
+	n, t, hd := as[0]/heads, as[1], as[2]
+	d := heads * hd
+	val := tensor.New(n, t, d)
+	for b := 0; b < n; b++ {
+		for pos := 0; pos < t; pos++ {
+			for h := 0; h < heads; h++ {
+				src := a.Val.Data[((b*heads+h)*t+pos)*hd : ((b*heads+h)*t+pos+1)*hd]
+				dst := val.Data[(b*t+pos)*d+h*hd : (b*t+pos)*d+(h+1)*hd]
+				copy(dst, src)
+			}
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for b := 0; b < n; b++ {
+				for pos := 0; pos < t; pos++ {
+					for h := 0; h < heads; h++ {
+						src := out.Grad.Data[(b*t+pos)*d+h*hd : (b*t+pos)*d+(h+1)*hd]
+						dst := g.Data[((b*heads+h)*t+pos)*hd : ((b*heads+h)*t+pos+1)*hd]
+						for i := range src {
+							dst[i] += src[i]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+// Embedding looks up rows of weight [V, D] for token ids [N, T], producing
+// [N, T, D]. The backward pass scatter-adds into the weight gradient.
+func Embedding(weight *Node, ids [][]int) *Node {
+	v, d := weight.Val.Dim(0), weight.Val.Dim(1)
+	n := len(ids)
+	if n == 0 {
+		panic("autodiff: Embedding with empty batch")
+	}
+	t := len(ids[0])
+	val := tensor.New(n, t, d)
+	for b, seq := range ids {
+		if len(seq) != t {
+			panic("autodiff: Embedding ragged batch")
+		}
+		for pos, id := range seq {
+			if id < 0 || id >= v {
+				panic(fmt.Sprintf("autodiff: Embedding id %d out of range [0,%d)", id, v))
+			}
+			copy(val.Data[(b*t+pos)*d:(b*t+pos+1)*d], weight.Val.Data[id*d:(id+1)*d])
+		}
+	}
+	out := newNode(val, []*Node{weight}, nil)
+	out.backward = func() {
+		if weight.requiresGrad {
+			wg := weight.ensureGrad()
+			for b, seq := range ids {
+				for pos, id := range seq {
+					src := out.Grad.Data[(b*t+pos)*d : (b*t+pos+1)*d]
+					dst := wg.Data[id*d : (id+1)*d]
+					for i := range src {
+						dst[i] += src[i]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EmbeddingMean looks up and mean-pools token embeddings per sample,
+// producing [N, D]. It reproduces PyTorch's EmbeddingBag(mode="mean"),
+// the first layer of the paper's AGNews text classification model.
+func EmbeddingMean(weight *Node, ids [][]int) *Node {
+	v, d := weight.Val.Dim(0), weight.Val.Dim(1)
+	n := len(ids)
+	val := tensor.New(n, d)
+	for b, seq := range ids {
+		if len(seq) == 0 {
+			continue
+		}
+		inv := 1 / float32(len(seq))
+		dst := val.Data[b*d : (b+1)*d]
+		for _, id := range seq {
+			if id < 0 || id >= v {
+				panic(fmt.Sprintf("autodiff: EmbeddingMean id %d out of range [0,%d)", id, v))
+			}
+			src := weight.Val.Data[id*d : (id+1)*d]
+			for i := range dst {
+				dst[i] += src[i] * inv
+			}
+		}
+	}
+	out := newNode(val, []*Node{weight}, nil)
+	out.backward = func() {
+		if weight.requiresGrad {
+			wg := weight.ensureGrad()
+			for b, seq := range ids {
+				if len(seq) == 0 {
+					continue
+				}
+				inv := 1 / float32(len(seq))
+				src := out.Grad.Data[b*d : (b+1)*d]
+				for _, id := range seq {
+					dst := wg.Data[id*d : (id+1)*d]
+					for i := range src {
+						dst[i] += src[i] * inv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalises the last dimension of a [..., D] node with learned
+// gain gamma [D] and bias beta [D].
+func LayerNorm(x, gamma, beta *Node, eps float32) *Node {
+	d := x.Val.Dim(-1)
+	if gamma.Val.Numel() != d || beta.Val.Numel() != d {
+		panic(fmt.Sprintf("autodiff: LayerNorm gamma/beta size %d/%d, want %d", gamma.Val.Numel(), beta.Val.Numel(), d))
+	}
+	rows := x.Val.Numel() / d
+	val := tensor.New(x.Val.Shape()...)
+	xhat := tensor.New(x.Val.Shape()...)
+	invStd := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		src := x.Val.Data[r*d : (r+1)*d]
+		var mu float64
+		for _, v := range src {
+			mu += float64(v)
+		}
+		mu /= float64(d)
+		var vr float64
+		for _, v := range src {
+			dv := float64(v) - mu
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		is := 1 / math.Sqrt(vr+float64(eps))
+		invStd[r] = is
+		xh := xhat.Data[r*d : (r+1)*d]
+		dst := val.Data[r*d : (r+1)*d]
+		for i, v := range src {
+			h := float32((float64(v) - mu) * is)
+			xh[i] = h
+			dst[i] = gamma.Val.Data[i]*h + beta.Val.Data[i]
+		}
+	}
+	out := newNode(val, []*Node{x, gamma, beta}, nil)
+	out.backward = func() {
+		if gamma.requiresGrad {
+			gg := gamma.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				xh := xhat.Data[r*d : (r+1)*d]
+				for i := range dy {
+					gg.Data[i] += dy[i] * xh[i]
+				}
+			}
+		}
+		if beta.requiresGrad {
+			bg := beta.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				for i := range dy {
+					bg.Data[i] += dy[i]
+				}
+			}
+		}
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				xh := xhat.Data[r*d : (r+1)*d]
+				var mDy, mDyX float64
+				tmp := make([]float64, d)
+				for i := range dy {
+					g := float64(dy[i]) * float64(gamma.Val.Data[i])
+					tmp[i] = g
+					mDy += g
+					mDyX += g * float64(xh[i])
+				}
+				mDy /= float64(d)
+				mDyX /= float64(d)
+				dst := xg.Data[r*d : (r+1)*d]
+				for i := range dst {
+					dst[i] += float32(invStd[r] * (tmp[i] - mDy - float64(xh[i])*mDyX))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BatchedMatMul multiplies a [B, M, K] by b [B, K, N] → [B, M, N].
+// Attention uses it for per-head score and context computation.
+func BatchedMatMul(a, b *Node) *Node {
+	as, bs := a.Val.Shape(), b.Val.Shape()
+	if len(as) != 3 || len(bs) != 3 || as[0] != bs[0] || as[2] != bs[1] {
+		panic(fmt.Sprintf("autodiff: BatchedMatMul shapes %v × %v", as, bs))
+	}
+	bt, m, k, n := as[0], as[1], as[2], bs[2]
+	val := tensor.New(bt, m, n)
+	forEachImage(bt, func(i int) {
+		am := tensor.FromSlice(a.Val.Data[i*m*k:(i+1)*m*k], m, k)
+		bm := tensor.FromSlice(b.Val.Data[i*k*n:(i+1)*k*n], k, n)
+		om := tensor.FromSlice(val.Data[i*m*n:(i+1)*m*n], m, n)
+		tensor.MatMulInto(om, am, bm)
+	})
+	out := newNode(val, []*Node{a, b}, nil)
+	out.backward = func() {
+		for i := 0; i < bt; i++ {
+			dy := tensor.FromSlice(out.Grad.Data[i*m*n:(i+1)*m*n], m, n)
+			if a.requiresGrad {
+				bm := tensor.FromSlice(b.Val.Data[i*k*n:(i+1)*k*n], k, n)
+				ga := tensor.FromSlice(a.ensureGrad().Data[i*m*k:(i+1)*m*k], m, k)
+				tensor.AddInto(ga, tensor.MatMulBT(dy, bm)) // dA = dY·Bᵀ
+			}
+			if b.requiresGrad {
+				am := tensor.FromSlice(a.Val.Data[i*m*k:(i+1)*m*k], m, k)
+				gb := tensor.FromSlice(b.ensureGrad().Data[i*k*n:(i+1)*k*n], k, n)
+				tensor.AddInto(gb, tensor.MatMulAT(am, dy))
+			}
+		}
+	}
+	return out
+}
+
+// Transpose12 swaps the last two axes of a 3-D node [B, M, N] → [B, N, M].
+func Transpose12(a *Node) *Node {
+	as := a.Val.Shape()
+	if len(as) != 3 {
+		panic(fmt.Sprintf("autodiff: Transpose12 needs 3-D, got %v", as))
+	}
+	b, m, n := as[0], as[1], as[2]
+	val := tensor.New(b, n, m)
+	for i := 0; i < b; i++ {
+		for r := 0; r < m; r++ {
+			for c := 0; c < n; c++ {
+				val.Data[(i*n+c)*m+r] = a.Val.Data[(i*m+r)*n+c]
+			}
+		}
+	}
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i := 0; i < b; i++ {
+				for r := 0; r < m; r++ {
+					for c := 0; c < n; c++ {
+						g.Data[(i*m+r)*n+c] += out.Grad.Data[(i*n+c)*m+r]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddConst adds a constant tensor (no gradient) element-wise; used for
+// positional encodings and attention masks.
+func AddConst(a *Node, c *tensor.Tensor) *Node {
+	val := tensor.Add(a.Val, c)
+	out := newNode(val, []*Node{a}, nil)
+	out.backward = func() { a.accumulate(out.Grad) }
+	return out
+}

@@ -1,0 +1,258 @@
+// Package cloudsim simulates the cloud side of Amalgam's workflow
+// (Fig. 1): a Python-notebook-style training service that accepts a
+// serialized (augmented) model plus (augmented) dataset, trains it, and
+// returns the trained weights. It also provides the provider-view API —
+// exactly what an honest-but-curious cloud can observe — which the attack
+// analysis (§6.3) consumes, and an accelerator cost model used to report
+// GPU-relative numbers on a CPU-only testbed (Fig. 14; see DESIGN.md §4).
+package cloudsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/core"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+// ModelSpec tells the service how to instantiate the shipped model. In the
+// paper's prototype the artifact is a TorchScript module — an opaque graph
+// that happens to contain every sub-network's skip sets. Our spec plays
+// the same role: it carries the gather sets and decoy seeds needed to
+// rebuild the augmented graph, without any labelling the provider could
+// not also derive from TorchScript (see ProviderView for what attacks may
+// use).
+type ModelSpec struct {
+	Kind      string  `json:"kind"`  // "plain-cv" or "augmented-cv"
+	Model     string  `json:"model"` // registry name, e.g. "lenet"
+	InC       int     `json:"in_c"`
+	OrigH     int     `json:"orig_h"`
+	OrigW     int     `json:"orig_w"`
+	Classes   int     `json:"classes"`
+	ModelSeed uint64  `json:"model_seed"`
+	AugAmount float64 `json:"aug_amount"`
+	SubNets   int     `json:"sub_nets"`
+	AugSeed   uint64  `json:"aug_seed"`
+	KeyKeep   []int   `json:"key_keep,omitempty"` // gather set of sub-network 0
+	AugH      int     `json:"aug_h,omitempty"`
+	AugW      int     `json:"aug_w,omitempty"`
+}
+
+// Hyper holds the training hyper-parameters of a job.
+type Hyper struct {
+	Epochs      int     `json:"epochs"`
+	BatchSize   int     `json:"batch_size"`
+	LR          float64 `json:"lr"`
+	Momentum    float64 `json:"momentum"`
+	WeightDecay float64 `json:"weight_decay"`
+	Shuffle     bool    `json:"shuffle"`
+	ShuffleSeed uint64  `json:"shuffle_seed"`
+}
+
+// TrainRequest is a complete job: spec, hyper-parameters, and the
+// (augmented) dataset.
+type TrainRequest struct {
+	Spec   ModelSpec
+	Hyper  Hyper
+	Images *tensor.Tensor // [N, C, H, W]
+	Labels []int
+	// InitState, when non-nil, overrides the rebuilt model's initial
+	// parameters with the client's (preserving client-side initialisation).
+	InitState map[string]*tensor.Tensor
+}
+
+// EpochMetric records per-epoch training loss/accuracy (of the original
+// sub-network for augmented jobs — the curve the paper plots).
+type EpochMetric struct {
+	Epoch    int     `json:"epoch"`
+	Loss     float64 `json:"loss"`
+	Accuracy float64 `json:"accuracy"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// TrainResponse carries the trained weights and metrics back to the user.
+type TrainResponse struct {
+	State   map[string]*tensor.Tensor
+	Metrics []EpochMetric
+	Seconds float64
+}
+
+// trainable unifies the plain and augmented model cases for the server.
+type trainable interface {
+	Params() []nn.Param
+	SetTraining(bool)
+}
+
+// BuildModel instantiates the spec. Exposed so local runs, the TCP server,
+// and tests share one code path.
+func BuildModel(spec ModelSpec) (trainable, func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node), error) {
+	cfg := models.CVConfig{InC: spec.InC, InH: spec.OrigH, InW: spec.OrigW, Classes: spec.Classes}
+	orig, err := models.BuildCV(spec.Model, tensor.NewRNG(spec.ModelSeed), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch spec.Kind {
+	case "plain-cv":
+		loss := func(x *autodiff.Node, labels []int) (*autodiff.Node, *autodiff.Node) {
+			l := autodiff.SoftmaxCrossEntropy(orig.Forward(x), labels)
+			return l, l
+		}
+		return orig, loss, nil
+	case "augmented-cv":
+		key := &core.ImageAugKey{
+			OrigH: spec.OrigH, OrigW: spec.OrigW, AugH: spec.AugH, AugW: spec.AugW,
+			Keep: spec.KeyKeep,
+		}
+		key.Insert = complement(key.Keep, spec.AugH*spec.AugW)
+		if err := key.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("cloudsim: invalid key in spec: %w", err)
+		}
+		am, err := core.AugmentCVModel(orig, key, spec.InC, spec.Classes, core.ModelAugmentOptions{
+			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return am, am.Loss, nil
+	default:
+		return nil, nil, fmt.Errorf("cloudsim: unknown model kind %q", spec.Kind)
+	}
+}
+
+func complement(keep []int, n int) []int {
+	in := make([]bool, n)
+	for _, p := range keep {
+		if p >= 0 && p < n {
+			in[p] = true
+		}
+	}
+	out := make([]int, 0, n-len(keep))
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunLocal executes a job in-process — the "deployed locally on user
+// devices" mode the paper mentions, and the engine behind the TCP server.
+func RunLocal(req *TrainRequest) (*TrainResponse, error) {
+	model, lossFn, err := BuildModel(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if req.InitState != nil {
+		if err := nn.LoadStateDict(model, req.InitState); err != nil {
+			return nil, fmt.Errorf("cloudsim: loading client init: %w", err)
+		}
+	}
+	if req.Hyper.Epochs <= 0 || req.Hyper.BatchSize <= 0 {
+		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
+	}
+	n := len(req.Labels)
+	if n == 0 || req.Images.Dim(0) != n {
+		return nil, fmt.Errorf("cloudsim: dataset has %d images for %d labels", req.Images.Dim(0), n)
+	}
+	model.SetTraining(true)
+	opt := optim.NewSGD(model.Params(), req.Hyper.LR, req.Hyper.Momentum, req.Hyper.WeightDecay)
+	var shuffleRNG *tensor.RNG
+	if req.Hyper.Shuffle {
+		shuffleRNG = tensor.NewRNG(req.Hyper.ShuffleSeed)
+	}
+	ds := &data.ImageDataset{Images: req.Images, Labels: req.Labels, Classes: req.Spec.Classes}
+	start := time.Now()
+	var metrics []EpochMetric
+	for e := 0; e < req.Hyper.Epochs; e++ {
+		epochStart := time.Now()
+		var lossSum float64
+		correct, seen := 0, 0
+		for _, idx := range data.BatchIter(n, req.Hyper.BatchSize, shuffleRNG) {
+			x, labels := ds.Batch(idx)
+			nn.ZeroGrads(model)
+			total, orig := lossFn(autodiff.Constant(x), labels)
+			autodiff.Backward(total)
+			opt.Step()
+			lossSum += float64(orig.Scalar()) * float64(len(labels))
+			// Original-path logits for accuracy: recompute cheaply from the
+			// already-built graph is not possible; reuse orig loss only and
+			// compute accuracy from a forward pass per epoch end instead.
+			seen += len(labels)
+			_ = correct
+		}
+		acc := evalAccuracy(model, ds, req.Hyper.BatchSize)
+		metrics = append(metrics, EpochMetric{
+			Epoch:    e + 1,
+			Loss:     lossSum / float64(seen),
+			Accuracy: acc,
+			Seconds:  time.Since(epochStart).Seconds(),
+		})
+	}
+	return &TrainResponse{
+		State:   nn.StateDict(model),
+		Metrics: metrics,
+		Seconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// forwarder is implemented by both plain CV models and AugmentedCVModel.
+type forwarder interface {
+	Forward(x *autodiff.Node) *autodiff.Node
+}
+
+func evalAccuracy(model trainable, ds *data.ImageDataset, batch int) float64 {
+	fw, ok := model.(forwarder)
+	if !ok {
+		return 0
+	}
+	model.SetTraining(false)
+	defer model.SetTraining(true)
+	correct := 0
+	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
+		x, labels := ds.Batch(idx)
+		pred := tensor.ArgmaxRows(fw.Forward(autodiff.Constant(x)).Val)
+		for i, p := range pred {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.N())
+}
+
+// Accelerator is the cost model standing in for the paper's RTX 3090s: it
+// converts measured CPU wall-clock into simulated accelerator time via a
+// fixed throughput ratio. The paper's own measurements put its GPU baseline
+// 8× above CPU-only training on the same LeNet/MNIST job; we default to
+// that ratio and report both raw and simulated numbers (DESIGN.md §4).
+type Accelerator struct {
+	// SpeedupVsCPU is how many times faster the accelerator runs the same
+	// training step than this machine's CPU.
+	SpeedupVsCPU float64
+}
+
+// PaperCalibratedAccelerator returns the Fig. 14-calibrated model.
+func PaperCalibratedAccelerator() Accelerator { return Accelerator{SpeedupVsCPU: 8} }
+
+// Simulate maps measured CPU seconds to simulated accelerator seconds.
+func (a Accelerator) Simulate(cpuSeconds float64) float64 {
+	if a.SpeedupVsCPU <= 0 {
+		return cpuSeconds
+	}
+	return cpuSeconds / a.SpeedupVsCPU
+}
+
+// specJSON round-trips the spec for the wire protocol.
+func specJSON(s ModelSpec) ([]byte, error) { return json.Marshal(s) }
+
+func specFromJSON(b []byte) (ModelSpec, error) {
+	var s ModelSpec
+	err := json.Unmarshal(b, &s)
+	return s, err
+}

@@ -1,0 +1,306 @@
+package cloudsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"amalgam/internal/serialize"
+	"amalgam/internal/tensor"
+)
+
+// Wire protocol: each message is a 1-byte type, a uint32 length, and a
+// payload. A job is four client messages (spec JSON, hyper JSON, labels,
+// images[, init state dict]) followed by one server response (result JSON +
+// state dict) or an error message.
+const (
+	msgSpec   byte = 1
+	msgHyper  byte = 2
+	msgLabels byte = 3
+	msgImages byte = 4
+	msgInit   byte = 5
+	msgDone   byte = 6 // end of request
+	msgResult byte = 7
+	msgState  byte = 8
+	msgError  byte = 9
+)
+
+const maxFrame = 1 << 30
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	hdr := [5]byte{kind}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Server is the simulated cloud training service.
+type Server struct {
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	mu   sync.Mutex
+	seen []ProviderView // provider-side observations, one per job
+}
+
+// NewServer starts serving on l. Close the listener to stop; Wait returns
+// when all in-flight jobs finish.
+func NewServer(l net.Listener) *Server {
+	s := &Server{listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				// Best effort: report the failure to the client.
+				_ = writeFrame(conn, msgError, []byte(err.Error()))
+			}
+		}()
+	}
+}
+
+// Wait blocks until the accept loop and all handlers exit.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// Views returns the provider-side observations captured so far.
+func (s *Server) Views() []ProviderView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ProviderView(nil), s.seen...)
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	req := &TrainRequest{}
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case msgSpec:
+			spec, err := specFromJSON(payload)
+			if err != nil {
+				return fmt.Errorf("cloudsim: bad spec: %w", err)
+			}
+			req.Spec = spec
+		case msgHyper:
+			if err := json.Unmarshal(payload, &req.Hyper); err != nil {
+				return fmt.Errorf("cloudsim: bad hyper: %w", err)
+			}
+		case msgLabels:
+			labels, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return fmt.Errorf("cloudsim: bad labels: %w", err)
+			}
+			req.Labels = labels
+		case msgImages:
+			t, err := serialize.ReadTensor(bytes.NewReader(payload))
+			if err != nil {
+				return fmt.Errorf("cloudsim: bad images: %w", err)
+			}
+			req.Images = t
+		case msgInit:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return fmt.Errorf("cloudsim: bad init state: %w", err)
+			}
+			req.InitState = dict
+		case msgDone:
+			return s.runAndRespond(conn, req)
+		default:
+			return fmt.Errorf("cloudsim: unexpected message type %d", kind)
+		}
+	}
+}
+
+func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest) error {
+	s.mu.Lock()
+	s.seen = append(s.seen, CaptureProviderView(req))
+	s.mu.Unlock()
+
+	resp, err := RunLocal(req)
+	if err != nil {
+		return err
+	}
+	meta := struct {
+		Metrics []EpochMetric `json:"metrics"`
+		Seconds float64       `json:"seconds"`
+	}{resp.Metrics, resp.Seconds}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msgResult, metaJSON); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteStateDict(&buf, resp.State); err != nil {
+		return err
+	}
+	return writeFrame(conn, msgState, buf.Bytes())
+}
+
+// Train submits a job to a remote service and waits for the result — the
+// user-side upload/train/download loop of Fig. 1.
+func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloudsim: dial: %w", err)
+	}
+	defer conn.Close()
+
+	specJSONBytes, err := specJSON(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	hyperJSON, err := json.Marshal(req.Hyper)
+	if err != nil {
+		return nil, err
+	}
+	var labelBuf bytes.Buffer
+	if err := serialize.WriteIntSlice(&labelBuf, req.Labels); err != nil {
+		return nil, err
+	}
+	var imgBuf bytes.Buffer
+	if err := serialize.WriteTensor(&imgBuf, req.Images); err != nil {
+		return nil, err
+	}
+	frames := []struct {
+		kind    byte
+		payload []byte
+	}{
+		{msgSpec, specJSONBytes},
+		{msgHyper, hyperJSON},
+		{msgLabels, labelBuf.Bytes()},
+		{msgImages, imgBuf.Bytes()},
+	}
+	if req.InitState != nil {
+		var initBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&initBuf, req.InitState); err != nil {
+			return nil, err
+		}
+		frames = append(frames, struct {
+			kind    byte
+			payload []byte
+		}{msgInit, initBuf.Bytes()})
+	}
+	for _, f := range frames {
+		if err := writeFrame(conn, f.kind, f.payload); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(conn, msgDone, nil); err != nil {
+		return nil, err
+	}
+
+	resp := &TrainResponse{}
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case msgResult:
+			var meta struct {
+				Metrics []EpochMetric `json:"metrics"`
+				Seconds float64       `json:"seconds"`
+			}
+			if err := json.Unmarshal(payload, &meta); err != nil {
+				return nil, err
+			}
+			resp.Metrics = meta.Metrics
+			resp.Seconds = meta.Seconds
+		case msgState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			resp.State = dict
+			return resp, nil
+		case msgError:
+			return nil, fmt.Errorf("cloudsim: server: %s", payload)
+		default:
+			return nil, fmt.Errorf("cloudsim: unexpected response type %d", kind)
+		}
+	}
+}
+
+// ProviderView captures everything an honest-but-curious provider observes
+// about a job: dataset geometry, pixel samples, and the sub-network gather
+// sets in randomised order with no labels. §6.3's attacks operate on this
+// view — never on the client-side key.
+type ProviderView struct {
+	N, C, H, W int
+	// FirstImage is a copy of one training sample as uploaded (augmented
+	// for Amalgam jobs) — the denoising attack's input.
+	FirstImage *tensor.Tensor
+	// GatherSets are the per-sub-network index sets visible in the shipped
+	// graph, shuffled so position carries no information.
+	GatherSets [][]int
+	// AugAmount is inferable from tensor shapes, so the provider gets it.
+	AugAmount float64
+}
+
+// CaptureProviderView derives the provider's observation from a request.
+func CaptureProviderView(req *TrainRequest) ProviderView {
+	v := ProviderView{
+		N: req.Images.Dim(0), C: req.Images.Dim(1), H: req.Images.Dim(2), W: req.Images.Dim(3),
+		AugAmount: req.Spec.AugAmount,
+	}
+	if v.N > 0 {
+		sz := v.C * v.H * v.W
+		v.FirstImage = tensor.FromSlice(append([]float32(nil), req.Images.Data[:sz]...), v.C, v.H, v.W)
+	}
+	if req.Spec.Kind == "augmented-cv" {
+		// Rebuild gather sets exactly as the shipped graph exposes them.
+		model, _, err := BuildModel(req.Spec)
+		if err == nil {
+			if am, ok := model.(interface{ GatherSets() [][]int }); ok {
+				v.GatherSets = am.GatherSets()
+			}
+		}
+		// Shuffle deterministically from content so the view never encodes
+		// construction order.
+		rng := tensor.NewRNG(uint64(len(v.GatherSets))*0x9e37 + uint64(v.H))
+		rng.Shuffle(len(v.GatherSets), func(i, j int) {
+			v.GatherSets[i], v.GatherSets[j] = v.GatherSets[j], v.GatherSets[i]
+		})
+	}
+	return v
+}

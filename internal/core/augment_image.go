@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"amalgam/internal/data"
+	"amalgam/internal/tensor"
+)
+
+// ImageAugmentOptions configures the Dataset Augmenter for images (§4.1).
+type ImageAugmentOptions struct {
+	// Amount is the augmentation amount A_d (0.25 = 25%). Each spatial side
+	// grows to X + X·A_d.
+	Amount float64
+	// Noise selects the synthetic-pixel distribution.
+	Noise NoiseSpec
+	// PerChannel draws independent insertion positions per channel instead
+	// of sharing them. Ablation option: it enlarges the search space but
+	// breaks the cross-channel pixel alignment Eq. 1 assumes, so the model
+	// augmenter only accepts shared-position keys. Default false.
+	PerChannel bool
+	// Seed drives both key generation and noise sampling.
+	Seed uint64
+}
+
+// AugmentedImages pairs the augmented dataset with its secret key(s).
+type AugmentedImages struct {
+	Dataset *data.ImageDataset
+	Key     *ImageAugKey
+	// ChannelKeys is populated instead of Key when PerChannel is set.
+	ChannelKeys []*ImageAugKey
+}
+
+// AugmentImages obfuscates an image dataset: every sample's channel planes
+// are vectorised and synthetic pixels are inserted at the key's secret
+// positions (fresh noise per sample and channel), growing X×Y images to
+// (X+X·A)×(Y+Y·A) as in Fig. 2. Labels are unchanged.
+func AugmentImages(ds *data.ImageDataset, opts ImageAugmentOptions) (*AugmentedImages, error) {
+	if err := opts.Noise.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Amount < 0 {
+		return nil, fmt.Errorf("core: augmentation amount must be ≥ 0, got %v", opts.Amount)
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	keyRNG, noiseRNG := rng.Split(1), rng.Split(2)
+
+	c, h, w := ds.C(), ds.H(), ds.W()
+	if opts.PerChannel {
+		keys := make([]*ImageAugKey, c)
+		for i := range keys {
+			k, err := NewImageAugKey(keyRNG.Split(uint64(i)), h, w, opts.Amount)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = k
+		}
+		out, err := augmentWithKeys(ds, keys, opts.Noise, noiseRNG)
+		if err != nil {
+			return nil, err
+		}
+		return &AugmentedImages{Dataset: out, ChannelKeys: keys}, nil
+	}
+	key, err := NewImageAugKey(keyRNG, h, w, opts.Amount)
+	if err != nil {
+		return nil, err
+	}
+	shared := make([]*ImageAugKey, c)
+	for i := range shared {
+		shared[i] = key
+	}
+	out, err := augmentWithKeys(ds, shared, opts.Noise, noiseRNG)
+	if err != nil {
+		return nil, err
+	}
+	return &AugmentedImages{Dataset: out, Key: key}, nil
+}
+
+// AugmentImagesWithKey obfuscates using an existing shared-position key so
+// train and test splits (or later fine-tuning data) can share one secret.
+func AugmentImagesWithKey(ds *data.ImageDataset, key *ImageAugKey, noise NoiseSpec, seed uint64) (*data.ImageDataset, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	if key.OrigH != ds.H() || key.OrigW != ds.W() {
+		return nil, fmt.Errorf("core: key geometry %dx%d does not match dataset %dx%d", key.OrigH, key.OrigW, ds.H(), ds.W())
+	}
+	shared := make([]*ImageAugKey, ds.C())
+	for i := range shared {
+		shared[i] = key
+	}
+	return augmentWithKeys(ds, shared, noise, tensor.NewRNG(seed).Split(2))
+}
+
+func augmentWithKeys(ds *data.ImageDataset, keys []*ImageAugKey, noise NoiseSpec, noiseRNG *tensor.RNG) (*data.ImageDataset, error) {
+	c, h, w := ds.C(), ds.H(), ds.W()
+	if len(keys) != c {
+		return nil, fmt.Errorf("core: %d keys for %d channels", len(keys), c)
+	}
+	augH, augW := keys[0].AugH, keys[0].AugW
+	for _, k := range keys {
+		if k.OrigH != h || k.OrigW != w || k.AugH != augH || k.AugW != augW {
+			return nil, fmt.Errorf("core: inconsistent key geometry")
+		}
+	}
+	n := ds.N()
+	planeIn := h * w
+	planeOut := augH * augW
+	out := tensor.New(n, c, augH, augW)
+	smooth := noise.Type == NoiseSmoothInfill
+	var sample func() float32
+	if !smooth {
+		sample = noise.sampler(noiseRNG)
+	}
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			src := ds.Images.Data[(i*c+ch)*planeIn : (i*c+ch+1)*planeIn]
+			dst := out.Data[(i*c+ch)*planeOut : (i*c+ch+1)*planeOut]
+			k := keys[ch]
+			for pi, pos := range k.Keep {
+				dst[pos] = src[pi]
+			}
+			if smooth {
+				smoothInfill(dst, k, noise.Sigma, noiseRNG)
+				continue
+			}
+			for _, pos := range k.Insert {
+				dst[pos] = sample()
+			}
+		}
+	}
+	labels := append([]int(nil), ds.Labels...)
+	return &data.ImageDataset{
+		Name:    ds.Name + "+aug",
+		Images:  out,
+		Labels:  labels,
+		Classes: ds.Classes,
+	}, nil
+}
+
+// smoothInfill fills each insert position with the mean of its nearest
+// already-placed raster neighbours (scanning outward along the flat
+// layout), plus Gaussian jitter. The result keeps every sub-network's
+// gathered view similarly smooth, blunting smoothness-based
+// identification; see EXPERIMENTS.md ("Negative result") for the
+// measured effect and the resulting trade-off.
+func smoothInfill(dst []float32, k *ImageAugKey, sigma float64, rng *tensor.RNG) {
+	filled := make([]bool, len(dst))
+	for _, pos := range k.Keep {
+		filled[pos] = true
+	}
+	for _, pos := range k.Insert {
+		var sum float32
+		var count int
+		for d := 1; d < len(dst) && count < 2; d++ {
+			if p := pos - d; p >= 0 && filled[p] {
+				sum += dst[p]
+				count++
+			}
+			if p := pos + d; p < len(dst) && filled[p] {
+				sum += dst[p]
+				count++
+			}
+		}
+		v := float64(0.5)
+		if count > 0 {
+			v = float64(sum / float32(count))
+		}
+		v += rng.Normal(0, sigma)
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		dst[pos] = float32(v)
+		filled[pos] = true
+	}
+}
+
+// RecoverImages inverts augmentation with the key — the user-side
+// operation proving the noise "does not alter the original information"
+// (§4.1). It is also what an attacker *cannot* do without the key.
+func RecoverImages(aug *data.ImageDataset, key *ImageAugKey) (*data.ImageDataset, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if aug.H() != key.AugH || aug.W() != key.AugW {
+		return nil, fmt.Errorf("core: augmented geometry %dx%d does not match key %dx%d", aug.H(), aug.W(), key.AugH, key.AugW)
+	}
+	n, c := aug.N(), aug.C()
+	planeIn := key.AugH * key.AugW
+	planeOut := key.OrigH * key.OrigW
+	out := tensor.New(n, c, key.OrigH, key.OrigW)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			src := aug.Images.Data[(i*c+ch)*planeIn : (i*c+ch+1)*planeIn]
+			dst := out.Data[(i*c+ch)*planeOut : (i*c+ch+1)*planeOut]
+			for pi, pos := range key.Keep {
+				dst[pi] = src[pos]
+			}
+		}
+	}
+	return &data.ImageDataset{
+		Name:    aug.Name + "+recovered",
+		Images:  out,
+		Labels:  append([]int(nil), aug.Labels...),
+		Classes: aug.Classes,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"amalgam/internal/data"
+	"amalgam/internal/tensor"
+)
+
+// TextAugmentOptions configures the Dataset Augmenter for text (§4.1).
+type TextAugmentOptions struct {
+	// Amount is the augmentation amount A_d: each window of WindowLen
+	// tokens grows to WindowLen + WindowLen·A_d.
+	Amount float64
+	// WindowLen is the sequence unit the key applies to: the BPTT length
+	// for LM streams (the paper's WikiText-2 pipeline uses 20), or the
+	// fixed sample length for classification datasets (ignored there; the
+	// dataset's own SeqLen is used).
+	WindowLen int
+	// Noise selects the synthetic-token distribution.
+	Noise NoiseSpec
+	// Seed drives key generation and noise sampling.
+	Seed uint64
+}
+
+// AugmentedStream pairs an augmented token stream with its secret key.
+type AugmentedStream struct {
+	Stream *data.TokenStream
+	Key    *TextAugKey
+}
+
+// AugmentTokenStream obfuscates an LM corpus: the stream is processed in
+// windows of WindowLen tokens; synthetic tokens are inserted at the key's
+// secret within-window positions (fresh noise per window), as in Fig. 3.
+// A trailing partial window is dropped (standard batchify behaviour).
+func AugmentTokenStream(s *data.TokenStream, opts TextAugmentOptions) (*AugmentedStream, error) {
+	if opts.WindowLen <= 0 {
+		return nil, fmt.Errorf("core: WindowLen must be positive, got %d", opts.WindowLen)
+	}
+	if err := opts.Noise.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	key, err := NewTextAugKey(rng.Split(1), opts.WindowLen, opts.Amount)
+	if err != nil {
+		return nil, err
+	}
+	noiseRNG := rng.Split(2)
+	nWindows := len(s.Tokens) / opts.WindowLen
+	out := make([]int, 0, nWindows*key.AugLen)
+	for wi := 0; wi < nWindows; wi++ {
+		src := s.Tokens[wi*opts.WindowLen : (wi+1)*opts.WindowLen]
+		window := make([]int, key.AugLen)
+		for pi, pos := range key.Keep {
+			window[pos] = src[pi]
+		}
+		for _, pos := range key.Insert {
+			window[pos] = opts.Noise.sampleToken(noiseRNG, s.Vocab)
+		}
+		out = append(out, window...)
+	}
+	return &AugmentedStream{
+		Stream: &data.TokenStream{Name: s.Name + "+aug", Tokens: out, Vocab: s.Vocab},
+		Key:    key,
+	}, nil
+}
+
+// RecoverTokenStream inverts stream augmentation with the key.
+func RecoverTokenStream(aug *data.TokenStream, key *TextAugKey) (*data.TokenStream, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if len(aug.Tokens)%key.AugLen != 0 {
+		return nil, fmt.Errorf("core: augmented stream length %d not a multiple of window %d", len(aug.Tokens), key.AugLen)
+	}
+	nWindows := len(aug.Tokens) / key.AugLen
+	out := make([]int, 0, nWindows*key.OrigLen)
+	for wi := 0; wi < nWindows; wi++ {
+		window := aug.Tokens[wi*key.AugLen : (wi+1)*key.AugLen]
+		for _, pos := range key.Keep {
+			out = append(out, window[pos])
+		}
+	}
+	return &data.TokenStream{Name: aug.Name + "+recovered", Tokens: out, Vocab: aug.Vocab}, nil
+}
+
+// AugmentedText pairs an augmented classification dataset with its key.
+type AugmentedText struct {
+	Dataset *data.TextDataset
+	Key     *TextAugKey
+}
+
+// AugmentTextDataset obfuscates a classification dataset: every sample of
+// length L grows to L + L·A with synthetic tokens at the secret positions.
+func AugmentTextDataset(ds *data.TextDataset, opts TextAugmentOptions) (*AugmentedText, error) {
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("core: empty text dataset")
+	}
+	if err := opts.Noise.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	key, err := NewTextAugKey(rng.Split(1), ds.SeqLen(), opts.Amount)
+	if err != nil {
+		return nil, err
+	}
+	noiseRNG := rng.Split(2)
+	samples := make([][]int, ds.N())
+	for i, src := range ds.Samples {
+		window := make([]int, key.AugLen)
+		for pi, pos := range key.Keep {
+			window[pos] = src[pi]
+		}
+		for _, pos := range key.Insert {
+			window[pos] = opts.Noise.sampleToken(noiseRNG, ds.Vocab)
+		}
+		samples[i] = window
+	}
+	return &AugmentedText{
+		Dataset: &data.TextDataset{
+			Name:    ds.Name + "+aug",
+			Samples: samples,
+			Labels:  append([]int(nil), ds.Labels...),
+			Vocab:   ds.Vocab,
+			Classes: ds.Classes,
+		},
+		Key: key,
+	}, nil
+}
+
+// AugmentTextDatasetWithKey reuses an existing key (e.g. for a test split).
+func AugmentTextDatasetWithKey(ds *data.TextDataset, key *TextAugKey, noise NoiseSpec, seed uint64) (*data.TextDataset, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.SeqLen() != key.OrigLen {
+		return nil, fmt.Errorf("core: key window %d does not match sample length %d", key.OrigLen, ds.SeqLen())
+	}
+	noiseRNG := tensor.NewRNG(seed).Split(2)
+	samples := make([][]int, ds.N())
+	for i, src := range ds.Samples {
+		window := make([]int, key.AugLen)
+		for pi, pos := range key.Keep {
+			window[pos] = src[pi]
+		}
+		for _, pos := range key.Insert {
+			window[pos] = noise.sampleToken(noiseRNG, ds.Vocab)
+		}
+		samples[i] = window
+	}
+	return &data.TextDataset{
+		Name:    ds.Name + "+aug",
+		Samples: samples,
+		Labels:  append([]int(nil), ds.Labels...),
+		Vocab:   ds.Vocab,
+		Classes: ds.Classes,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+// trainAugmentedInPlace runs the standard augmented training loop on an
+// already-built augmented model (the other exactness helpers construct
+// their own augmentation internally).
+func trainAugmentedInPlace(t *testing.T, am *AugmentedCVModel, ds *data.ImageDataset, steps, batch int) {
+	t.Helper()
+	am.SetTraining(true)
+	opt := optim.NewSGD(am.Params(), 0.05, 0.9, 5e-4)
+	batches := data.BatchIter(ds.N(), batch, nil)
+	for step := 0; step < steps; step++ {
+		x, labels := ds.Batch(batches[step%len(batches)])
+		nn.ZeroGrads(am)
+		total, _ := am.Loss(autodiff.Constant(x), labels)
+		autodiff.Backward(total)
+		opt.Step()
+	}
+}
+
+func TestCoverAugmentationRoundtrip(t *testing.T) {
+	ds := data.SyntheticCIFAR10(3, 1)
+	cover := data.SyntheticCIFAR10(3, 2)
+	aug, err := AugmentImagesWithCover(ds, cover, 1.0, DefaultImageNoise(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User data recovers exactly through the key.
+	rec, err := RecoverImages(aug.Dataset, aug.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Images.Equal(ds.Images) {
+		t.Fatal("cover augmentation corrupted user pixels")
+	}
+	// The cover image is embedded exactly at CoverSet positions.
+	plane := aug.Key.AugH * aug.Key.AugW
+	n := 32 * 32
+	for pi, pos := range aug.CoverSet {
+		if aug.Dataset.Images.Data[pos] != cover.Images.Data[pi] {
+			t.Fatalf("cover pixel %d not embedded (pos %d)", pi, pos)
+		}
+	}
+	if len(aug.CoverSet) != n {
+		t.Fatalf("cover set size %d, want %d", len(aug.CoverSet), n)
+	}
+	// Cover set is disjoint from the keep set.
+	keep := map[int]bool{}
+	for _, p := range aug.Key.Keep {
+		keep[p] = true
+	}
+	for _, p := range aug.CoverSet {
+		if keep[p] {
+			t.Fatal("cover position collides with keep set")
+		}
+		if p < 0 || p >= plane {
+			t.Fatal("cover position out of plane")
+		}
+	}
+}
+
+func TestCoverAugmentationValidation(t *testing.T) {
+	ds := data.SyntheticCIFAR10(2, 1)
+	cover := data.SyntheticCIFAR10(2, 2)
+	if _, err := AugmentImagesWithCover(ds, cover, 0.5, DefaultImageNoise(), 1); err == nil {
+		t.Fatal("amount < 1 should be rejected (cover cannot fit)")
+	}
+	tiny := data.SyntheticCIFAR10(1, 3)
+	if _, err := AugmentImagesWithCover(ds, tiny, 1.0, DefaultImageNoise(), 1); err == nil {
+		t.Fatal("undersized cover should be rejected")
+	}
+	wrongGeom := data.SyntheticMNIST(2, 3)
+	if _, err := AugmentImagesWithCover(ds, wrongGeom, 1.0, DefaultImageNoise(), 1); err == nil {
+		t.Fatal("geometry mismatch should be rejected")
+	}
+	if _, err := AugmentImagesWithCover(ds, cover, 1.0, SmoothInfillNoise(0.01), 1); err == nil {
+		t.Fatal("smooth infill with cover should be rejected")
+	}
+}
+
+func TestPinnedDecoyGather(t *testing.T) {
+	ds := data.SyntheticCIFAR10(2, 1)
+	cover := data.SyntheticCIFAR10(2, 2)
+	aug, err := AugmentImagesWithCover(ds, cover, 1.0, DefaultImageNoise(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := models.NewLeNet5(tensor.NewRNG(9), models.CVConfig{InC: 3, InH: 32, InW: 32, Classes: 10})
+	am, err := AugmentCVModel(m, aug.Key, 3, 10, ModelAugmentOptions{
+		Amount: 1.0, SubNets: 2, Seed: 11, DecoyGathers: [][]int{aug.CoverSet},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := am.GatherSets()
+	// sets[0] is the original; sets[1] must be the pinned cover set.
+	for i, p := range aug.CoverSet {
+		if sets[1][i] != p {
+			t.Fatal("decoy gather was not pinned to the cover set")
+		}
+	}
+	// Wrong-size pin rejected.
+	if _, err := AugmentCVModel(models.NewLeNet5(tensor.NewRNG(9), models.CVConfig{InC: 3, InH: 32, InW: 32, Classes: 10}),
+		aug.Key, 3, 10, ModelAugmentOptions{Amount: 1.0, SubNets: 2, Seed: 11, DecoyGathers: [][]int{{1, 2, 3}}}); err == nil {
+		t.Fatal("mis-sized pinned gather should be rejected")
+	}
+}
+
+// Exactness must survive the cover defense: the original sub-network still
+// trains identically.
+func TestCoverAugmentationExactness(t *testing.T) {
+	ds := data.GenerateImages(data.ImageConfig{Name: "t", N: 16, C: 3, H: 12, W: 12, Classes: 2, Seed: 21, Noise: 0.05})
+	cover := data.GenerateImages(data.ImageConfig{Name: "c", N: 16, C: 3, H: 12, W: 12, Classes: 2, Seed: 22, Noise: 0.05})
+	build := func() models.CVModel {
+		return models.NewLeNet5(tensor.NewRNG(77), models.CVConfig{InC: 3, InH: 12, InW: 12, Classes: 2})
+	}
+	ref := trainOriginalCV(t, build, ds, 4, 8)
+
+	aug, err := AugmentImagesWithCover(ds, cover, 1.0, DefaultImageNoise(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := AugmentCVModel(build(), aug.Key, 3, 2, ModelAugmentOptions{
+		Amount: 1.0, SubNets: 2, Seed: 24, DecoyGathers: [][]int{aug.CoverSet},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainAugmentedInPlace(t, am, aug.Dataset, 4, 8)
+	assertSameWeights(t, "cover-exactness", ref, am.Orig)
+}

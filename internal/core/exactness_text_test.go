@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+func TestAugmentedTrainingExactnessTextClassifier(t *testing.T) {
+	ds := data.GenerateClassifiedText(data.ClassTextConfig{
+		Name: "tinytext", N: 24, SeqLen: 16, Vocab: 300, Classes: 3, Seed: 4,
+	})
+	build := func() *models.TextClassifier {
+		return models.NewTextClassifier(tensor.NewRNG(55), 300, 12, 3)
+	}
+
+	// Baseline.
+	ref := build()
+	refOpt := optim.NewSGD(ref.Params(), 0.1, 0.9, 1e-4)
+	batches := data.BatchIter(ds.N(), 8, nil)
+	for step := 0; step < 6; step++ {
+		ids, labels := ds.Batch(batches[step%len(batches)])
+		nn.ZeroGrads(ref)
+		autodiff.Backward(autodiff.SoftmaxCrossEntropy(ref.ForwardIDs(ids), labels))
+		refOpt.Step()
+	}
+
+	// Amalgam path.
+	aug, err := AugmentTextDataset(ds, TextAugmentOptions{Amount: 0.5, Noise: DefaultTextNoise(300), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := AugmentTextClassifier(build(), aug.Key, ModelAugmentOptions{Amount: 0.5, SubNets: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amOpt := optim.NewSGD(am.Params(), 0.1, 0.9, 1e-4)
+	for step := 0; step < 6; step++ {
+		ids, labels := aug.Dataset.Batch(batches[step%len(batches)])
+		nn.ZeroGrads(am)
+		total, _ := am.Loss(ids, labels)
+		autodiff.Backward(total)
+		amOpt.Step()
+	}
+	assertSameWeights(t, "textclassifier", ref, am.Orig)
+
+	// Extraction parity on a fresh instance.
+	fresh := build()
+	if err := Extract(am, fresh); err != nil {
+		t.Fatal(err)
+	}
+	testIDs, _ := ds.Batch([]int{0, 1, 2})
+	augIDs, _ := aug.Dataset.Batch([]int{0, 1, 2})
+	lo := fresh.ForwardIDs(testIDs)
+	la := am.ForwardIDs(augIDs)
+	if !lo.Val.Equal(la.Val) {
+		t.Fatal("extracted classifier logits differ from augmented-model logits")
+	}
+}
+
+func TestAugmentedTrainingExactnessTransformerLM(t *testing.T) {
+	stream := data.GenerateTokenStream(data.TextConfig{Name: "tinylm", Tokens: 1200, Vocab: 80, Seed: 2})
+	const window = 12
+	cfg := models.TransformerLMConfig{Vocab: 80, D: 16, Heads: 2, FF: 24, Layers: 1, MaxT: 32, Dropout: 0}
+	build := func() *models.TransformerLM { return models.NewTransformerLM(tensor.NewRNG(321), cfg) }
+
+	// Window the original stream: batch of 4 windows per step.
+	mkWindows := func(tokens []int, w int) [][]int {
+		var out [][]int
+		for lo := 0; lo+w <= len(tokens); lo += w {
+			out = append(out, tokens[lo:lo+w])
+		}
+		return out
+	}
+	origWins := mkWindows(stream.Tokens, window)
+
+	ref := build()
+	ref.SetTraining(true)
+	refOpt := optim.NewSGD(ref.Params(), 0.05, 0.9, 0)
+	for step := 0; step < 4; step++ {
+		batch := origWins[step*4 : step*4+4]
+		nn.ZeroGrads(ref)
+		autodiff.Backward(LMWindowLoss(ref, batch))
+		refOpt.Step()
+	}
+
+	aug, err := AugmentTokenStream(stream, TextAugmentOptions{Amount: 0.5, WindowLen: window, Noise: DefaultTextNoise(80), Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	augWins := mkWindows(aug.Stream.Tokens, aug.Key.AugLen)
+	if len(augWins) != len(origWins) {
+		t.Fatalf("window count mismatch %d vs %d", len(augWins), len(origWins))
+	}
+	am, err := AugmentTransformerLM(build(), aug.Key, ModelAugmentOptions{Amount: 0.5, SubNets: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.SetTraining(true)
+	amOpt := optim.NewSGD(am.Params(), 0.05, 0.9, 0)
+	for step := 0; step < 4; step++ {
+		batch := augWins[step*4 : step*4+4]
+		nn.ZeroGrads(am)
+		total, _ := am.LossWindows(batch)
+		autodiff.Backward(total)
+		amOpt.Step()
+	}
+	assertSameWeights(t, "transformerlm", ref, am.Orig)
+
+	// Validation parity: original loss on augmented windows equals plain
+	// loss on original windows.
+	am.SetTraining(false)
+	ref2 := build()
+	if err := Extract(am, ref2); err != nil {
+		t.Fatal(err)
+	}
+	ref2.SetTraining(false)
+	va := am.ValidateLoss(augWins[:4]).Scalar()
+	vo := LMWindowLoss(ref2, origWins[:4]).Scalar()
+	if va != vo {
+		t.Fatalf("validation loss differs: augmented %v vs extracted %v", va, vo)
+	}
+}
+
+func TestAugmentedTextParamBudget(t *testing.T) {
+	key, err := NewTextAugKey(tensor.NewRNG(1), 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.25, 0.5, 1.0} {
+		orig := models.NewTextClassifier(tensor.NewRNG(2), 5000, 32, 4)
+		am, err := AugmentTextClassifier(orig, key, ModelAugmentOptions{Amount: alpha, SubNets: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(nn.NumParams(orig)) * (1 + alpha)
+		got := float64(am.TotalParams())
+		if dev := (got - want) / want; dev > 0.05 || dev < -0.05 {
+			t.Fatalf("α=%v: text params %v, want ≈%v", alpha, got, want)
+		}
+
+		lm := models.NewTransformerLM(tensor.NewRNG(4), models.TransformerLMConfig{Vocab: 2000, D: 32, Heads: 2, FF: 32, Layers: 1, MaxT: 64})
+		amLM, err := AugmentTransformerLM(lm, key, ModelAugmentOptions{Amount: alpha, SubNets: 2, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLM := float64(nn.NumParams(lm)) * (1 + alpha)
+		gotLM := float64(amLM.TotalParams())
+		if dev := (gotLM - wantLM) / wantLM; dev > 0.06 || dev < -0.06 {
+			t.Fatalf("α=%v: LM params %v, want ≈%v", alpha, gotLM, wantLM)
+		}
+	}
+}

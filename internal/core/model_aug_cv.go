@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// ModelAugmentOptions configures the NN Model Augmenter (§4.2).
+type ModelAugmentOptions struct {
+	// Amount is the augmentation amount α: synthetic parameters are added
+	// until the augmented model holds ≈ (1+α)·P trainable parameters
+	// (Table 3's scaling).
+	Amount float64
+	// SubNets is the number of decoy sub-networks n_s; 0 draws a random
+	// count in [2,4] (the paper's default is a random number).
+	SubNets int
+	// Seed drives decoy architecture generation and initialisation.
+	Seed uint64
+	// DisableTaps turns off original→decoy activation taps (ablation).
+	DisableTaps bool
+	// UndetachedTaps feeds taps without gradient detachment. This is an
+	// ablation that deliberately BREAKS Amalgam's exactness invariant — the
+	// test suite uses it to show detachment is load-bearing. Never enable
+	// it in real use.
+	UndetachedTaps bool
+	// DecoyGathers, when non-empty, pins the first decoys' gather sets
+	// (each must have origH·origW entries within the augmented plane).
+	// Used with cover-image augmentation: pointing a decoy at the embedded
+	// cover makes its reconstruction a real image, defeating smoothness
+	// identification (see internal/core/cover.go).
+	DecoyGathers [][]int
+}
+
+func (o ModelAugmentOptions) subNets(rng *tensor.RNG) int {
+	if o.SubNets > 0 {
+		return o.SubNets
+	}
+	return 2 + rng.IntN(3)
+}
+
+// cvDecoy is one synthetic sub-network: a secret (random) input gather, a
+// small CNN with a width solved to hit its parameter budget, an optional
+// tap projection from a detached original activation, and its own head.
+type cvDecoy struct {
+	gather       *SkipGather2d
+	conv1, conv2 *nn.Conv2d
+	mid          *nn.Linear
+	head         *nn.Linear
+	tapFC        *nn.Linear // nil when taps are disabled
+	tapIdx       int
+}
+
+func (d *cvDecoy) params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("conv1", d.conv1.Params())...)
+	out = append(out, nn.PrefixParams("conv2", d.conv2.Params())...)
+	out = append(out, nn.PrefixParams("mid", d.mid.Params())...)
+	out = append(out, nn.PrefixParams("head", d.head.Params())...)
+	if d.tapFC != nil {
+		out = append(out, nn.PrefixParams("tap", d.tapFC.Params())...)
+	}
+	return out
+}
+
+// AugmentedCVModel is the obfuscated form of a computer-vision model: the
+// untouched original network behind a secret input gather, plus decoy
+// sub-networks that all consume the same augmented input. Each sub-network
+// has its own loss head (Algorithm 1); taps from original layers into
+// decoys are gradient-detached, so original weights train exactly as they
+// would unaugmented.
+type AugmentedCVModel struct {
+	Orig       models.CVModel
+	OrigGather *SkipGather2d
+	Decoys     []*cvDecoy
+	Classes    int
+	opts       ModelAugmentOptions
+}
+
+// AugmentCVModel wraps orig (built for the original input geometry) into an
+// augmented model bound to the dataset key. classes is the label count;
+// inC the input channel count.
+func AugmentCVModel(orig models.CVModel, key *ImageAugKey, inC, classes int, opts ModelAugmentOptions) (*AugmentedCVModel, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Amount < 0 {
+		return nil, fmt.Errorf("core: model augmentation amount must be ≥ 0, got %v", opts.Amount)
+	}
+	rng := tensor.NewRNG(opts.Seed ^ 0xa06a16a9)
+	m := &AugmentedCVModel{
+		Orig:       orig,
+		OrigGather: NewSkipGather2dFromKey(key),
+		Classes:    classes,
+		opts:       opts,
+	}
+	if opts.Amount == 0 {
+		return m, nil
+	}
+
+	// Probe the original model's tap-feature shapes with a dummy forward.
+	// Eval mode so the probe cannot touch batch-norm running statistics —
+	// otherwise augmentation itself would perturb the original model's
+	// state and break the exactness invariant.
+	var tapShapes [][]int
+	if !opts.DisableTaps {
+		orig.SetTraining(false)
+		probe := autodiff.Constant(tensor.New(1, inC, key.OrigH, key.OrigW))
+		_, feats := orig.ForwardFeatures(probe)
+		orig.SetTraining(true)
+		for _, f := range feats {
+			tapShapes = append(tapShapes, f.Val.Shape())
+		}
+	}
+
+	total := nn.NumParams(orig)
+	ns := opts.subNets(rng)
+	budget := int(float64(total) * opts.Amount)
+	per := budget / ns
+	for i := 0; i < ns; i++ {
+		b := per
+		if i == ns-1 {
+			b = budget - per*(ns-1) // give the remainder to the last decoy
+		}
+		d, err := newCVDecoy(rng.Split(uint64(i+1)), key, inC, classes, b, tapShapes)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(opts.DecoyGathers) {
+			pinned := opts.DecoyGathers[i]
+			if len(pinned) != key.OrigH*key.OrigW {
+				return nil, fmt.Errorf("core: pinned decoy gather %d has %d entries, want %d", i, len(pinned), key.OrigH*key.OrigW)
+			}
+			d.gather.Idx = append([]int(nil), pinned...)
+		}
+		m.Decoys = append(m.Decoys, d)
+	}
+	return m, nil
+}
+
+// newCVDecoy builds a decoy whose trainable parameter count is as close as
+// possible to budget. Architecture: gather → avgpool/2 → conv3×3 stride 2
+// (C→c1) → ReLU → conv3×3(c1→c1) → ReLU → GAP → linear(c1→m) → ReLU →
+// [⊕ tap] → linear(→classes); m is solved in closed form from the budget.
+//
+// The budget deliberately lands in the FC layer, not the convolutions:
+// parameters there are compute-cheap, keeping the training overhead
+// proportional to α as the paper reports (§4.5, Table 3) — a decoy that
+// spent its budget on wide spatial convolutions would cost far more
+// compute per parameter than the original network.
+func newCVDecoy(rng *tensor.RNG, key *ImageAugKey, inC, classes, budget int, tapShapes [][]int) (*cvDecoy, error) {
+	d := &cvDecoy{gather: NewRandomSkipGather2d(rng.Split(1), key)}
+	tapDim := 0
+	tapC := 0
+	if len(tapShapes) > 0 {
+		d.tapIdx = rng.IntN(len(tapShapes))
+		tapC = tapShapes[d.tapIdx][1]
+		tapDim = 16
+	}
+	convStride := 2
+	if key.OrigH < 8 || key.OrigW < 8 {
+		convStride = 1 // tiny inputs: stride-2 stacking would underflow
+	}
+	for _, c1 := range []int{32, 16, 8, 4, 2, 1} {
+		fixed := 9*inC*c1 + c1 + // conv1 (+bias)
+			9*c1*c1 + c1 + // conv2 (+bias)
+			classes // head bias
+		if tapDim > 0 {
+			fixed += tapC*tapDim + tapDim // tap projection
+			fixed += tapDim * classes     // tap slice of head weight
+		}
+		// mid: c1*m + m; head weight from mid: m*classes.
+		coef := c1 + 1 + classes
+		m := (budget - fixed) / coef
+		if m < 4 {
+			continue
+		}
+		d.conv1 = nn.NewConv2d(rng.Split(2), inC, c1, 3, convStride, 1)
+		d.conv2 = nn.NewConv2d(rng.Split(3), c1, c1, 3, 1, 1)
+		d.mid = nn.NewLinear(rng.Split(4), c1, m)
+		d.head = nn.NewLinear(rng.Split(5), m+tapDim, classes)
+		if tapDim > 0 {
+			d.tapFC = nn.NewLinear(rng.Split(6), tapC, tapDim)
+		}
+		return d, nil
+	}
+	// Tiny budget: a single minimal conv plus head.
+	d.tapFC = nil
+	c1 := 1
+	d.conv1 = nn.NewConv2d(rng.Split(2), inC, c1, 3, convStride, 1)
+	d.conv2 = nn.NewConv2d(rng.Split(3), c1, c1, 3, 1, 1)
+	d.mid = nn.NewLinear(rng.Split(4), c1, 4)
+	d.head = nn.NewLinear(rng.Split(5), 4, classes)
+	return d, nil
+}
+
+// Forward returns the original sub-network's logits for an augmented
+// input — the path used to validate the augmented model on the augmented
+// test set (§5.4).
+func (m *AugmentedCVModel) Forward(x *autodiff.Node) *autodiff.Node {
+	logits, _ := m.ForwardAll(x)
+	return logits
+}
+
+// ForwardAll runs every sub-network on the augmented input [N, C, H', W'],
+// returning the original logits and each decoy's logits.
+func (m *AugmentedCVModel) ForwardAll(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
+	xo := m.OrigGather.Forward(x)
+	origLogits, feats := m.Orig.ForwardFeatures(xo)
+	decoyLogits := make([]*autodiff.Node, 0, len(m.Decoys))
+	for _, d := range m.Decoys {
+		h := d.gather.Forward(x)
+		// Cheap early downsampling: decoy compute stays proportional to
+		// its parameter share (see newCVDecoy).
+		if h.Val.Dim(2) >= 4 && h.Val.Dim(3) >= 4 {
+			h = autodiff.AvgPool2d(h, 2, 2, 0)
+		}
+		h = autodiff.ReLU(d.conv1.Forward(h))
+		h = autodiff.ReLU(d.conv2.Forward(h))
+		g := autodiff.ReLU(d.mid.Forward(autodiff.GlobalAvgPool(h)))
+		if d.tapFC != nil && d.tapIdx < len(feats) {
+			tap := feats[d.tapIdx]
+			if !m.opts.UndetachedTaps {
+				// The load-bearing detachment: original activations flow
+				// into the decoy, but no gradient flows back (§4.2: original
+				// layers "do not receive input from other augmented layers"
+				// and their training is unaffected).
+				tap = autodiff.Detach(tap)
+			}
+			tv := autodiff.ReLU(d.tapFC.Forward(autodiff.GlobalAvgPool(tap)))
+			g = autodiff.ConcatFeatures(g, tv)
+		}
+		decoyLogits = append(decoyLogits, d.head.Forward(g))
+	}
+	return origLogits, decoyLogits
+}
+
+// Loss computes Algorithm 1's joint objective: the sum of every
+// sub-network's cross-entropy against the (shared) labels. It returns the
+// total and the original sub-network's own loss (the curve the paper
+// plots).
+func (m *AugmentedCVModel) Loss(x *autodiff.Node, labels []int) (total, orig *autodiff.Node) {
+	o, ds := m.ForwardAll(x)
+	orig = autodiff.SoftmaxCrossEntropy(o, labels)
+	losses := []*autodiff.Node{orig}
+	for _, dl := range ds {
+		losses = append(losses, autodiff.SoftmaxCrossEntropy(dl, labels))
+	}
+	return autodiff.AddN(losses...), orig
+}
+
+// Params returns the augmented state dict: original parameters under
+// "orig.", decoys under "decoy<i>.". The "orig." prefix is what the
+// extractor strips — and what the cloud cannot distinguish from decoys,
+// since serialisation randomises sub-network order and strips names (see
+// the serialize package).
+func (m *AugmentedCVModel) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("orig", m.Orig.Params())...)
+	for i, d := range m.Decoys {
+		out = append(out, nn.PrefixParams(fmt.Sprintf("decoy%d", i), d.params())...)
+	}
+	return out
+}
+
+// SetTraining toggles training mode on all sub-networks.
+func (m *AugmentedCVModel) SetTraining(t bool) {
+	m.Orig.SetTraining(t)
+}
+
+// GatherSets returns every sub-network's input gather set (original
+// sub-network first, then decoys). These sets are visible inside the
+// shipped graph (the real prototype bakes them into TorchScript); the
+// cloud simulator's provider view shuffles them before exposure.
+func (m *AugmentedCVModel) GatherSets() [][]int {
+	out := [][]int{append([]int(nil), m.OrigGather.Idx...)}
+	for _, d := range m.Decoys {
+		out = append(out, append([]int(nil), d.gather.Idx...))
+	}
+	return out
+}
+
+// AddedParams returns the trainable parameter count contributed by decoys.
+func (m *AugmentedCVModel) AddedParams() int {
+	n := 0
+	for _, d := range m.Decoys {
+		for _, p := range d.params() {
+			if p.Node.RequiresGrad() {
+				n += p.Node.Val.Numel()
+			}
+		}
+	}
+	return n
+}
+
+// TotalParams returns the trainable parameter count of the whole augmented
+// model (Table 3's "after augmentation" column).
+func (m *AugmentedCVModel) TotalParams() int {
+	return nn.NumParams(m.Orig) + m.AddedParams()
+}
+
+var _ nn.Module = (*AugmentedCVModel)(nil)

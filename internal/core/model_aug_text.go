@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// textDecoy is a decoy sub-network for text models: a secret random token
+// gather, its own embedding table sized to the parameter budget, and a
+// linear head. Eq. 2's custom embedding is the composition gather∘lookup.
+type textDecoy struct {
+	gather *SkipTokenGather
+	embed  *nn.Embedding
+	head   *nn.Linear
+	tapFC  *nn.Linear // projection of the detached original pooled feature
+}
+
+func (d *textDecoy) params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("embed", d.embed.Params())...)
+	out = append(out, nn.PrefixParams("head", d.head.Params())...)
+	if d.tapFC != nil {
+		out = append(out, nn.PrefixParams("tap", d.tapFC.Params())...)
+	}
+	return out
+}
+
+// AugmentedTextClassifier obfuscates the AG News-style classifier.
+type AugmentedTextClassifier struct {
+	Orig       *models.TextClassifier
+	OrigGather *SkipTokenGather
+	Decoys     []*textDecoy
+	opts       ModelAugmentOptions
+}
+
+// AugmentTextClassifier wraps the original classifier with decoy
+// sub-networks bound to the dataset key.
+func AugmentTextClassifier(orig *models.TextClassifier, key *TextAugKey, opts ModelAugmentOptions) (*AugmentedTextClassifier, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Amount < 0 {
+		return nil, fmt.Errorf("core: model augmentation amount must be ≥ 0, got %v", opts.Amount)
+	}
+	rng := tensor.NewRNG(opts.Seed ^ 0x7e87a63)
+	m := &AugmentedTextClassifier{
+		Orig:       orig,
+		OrigGather: NewSkipTokenGatherFromKey(key),
+		opts:       opts,
+	}
+	if opts.Amount == 0 {
+		return m, nil
+	}
+	total := nn.NumParams(orig)
+	ns := opts.subNets(rng)
+	budget := int(float64(total) * opts.Amount)
+	per := budget / ns
+	for i := 0; i < ns; i++ {
+		b := per
+		if i == ns-1 {
+			b = budget - per*(ns-1)
+		}
+		drng := rng.Split(uint64(i + 1))
+		tapDim := 0
+		if !opts.DisableTaps {
+			tapDim = 8
+		}
+		// embed: vocab·d + head: (d+tapDim)·classes + classes + tap: 64·tapDim+tapDim.
+		fixed := orig.Classes + tapDim*orig.Classes + orig.EmbedDim*tapDim + tapDim
+		d := (b - fixed) / (orig.Vocab + orig.Classes)
+		if d < 1 {
+			d = 1
+		}
+		dec := &textDecoy{
+			gather: NewRandomSkipTokenGather(drng.Split(1), key),
+			embed:  nn.NewEmbedding(drng.Split(2), orig.Vocab, d),
+			head:   nn.NewLinear(drng.Split(3), d+tapDim, orig.Classes),
+		}
+		if tapDim > 0 {
+			dec.tapFC = nn.NewLinear(drng.Split(4), orig.EmbedDim, tapDim)
+		}
+		m.Decoys = append(m.Decoys, dec)
+	}
+	return m, nil
+}
+
+// ForwardAll runs every sub-network on augmented token batches.
+func (m *AugmentedTextClassifier) ForwardAll(ids [][]int) (*autodiff.Node, []*autodiff.Node) {
+	origLogits, pooled := m.Orig.ForwardIDsFeatures(m.OrigGather.Apply(ids))
+	var decoyLogits []*autodiff.Node
+	for _, d := range m.Decoys {
+		h := d.embed.LookupMean(d.gather.Apply(ids))
+		if d.tapFC != nil {
+			tap := pooled
+			if !m.opts.UndetachedTaps {
+				tap = autodiff.Detach(tap)
+			}
+			h = autodiff.ConcatFeatures(h, autodiff.ReLU(d.tapFC.Forward(tap)))
+		}
+		decoyLogits = append(decoyLogits, d.head.Forward(h))
+	}
+	return origLogits, decoyLogits
+}
+
+// ForwardIDs returns the original sub-network's logits (augmented-testset
+// validation path).
+func (m *AugmentedTextClassifier) ForwardIDs(ids [][]int) *autodiff.Node {
+	logits, _ := m.ForwardAll(ids)
+	return logits
+}
+
+// Loss is Algorithm 1's joint objective for text classification.
+func (m *AugmentedTextClassifier) Loss(ids [][]int, labels []int) (total, orig *autodiff.Node) {
+	o, ds := m.ForwardAll(ids)
+	orig = autodiff.SoftmaxCrossEntropy(o, labels)
+	losses := []*autodiff.Node{orig}
+	for _, dl := range ds {
+		losses = append(losses, autodiff.SoftmaxCrossEntropy(dl, labels))
+	}
+	return autodiff.AddN(losses...), orig
+}
+
+// Params returns the augmented state dict ("orig." + "decoy<i>.").
+func (m *AugmentedTextClassifier) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("orig", m.Orig.Params())...)
+	for i, d := range m.Decoys {
+		out = append(out, nn.PrefixParams(fmt.Sprintf("decoy%d", i), d.params())...)
+	}
+	return out
+}
+
+// SetTraining toggles training mode.
+func (m *AugmentedTextClassifier) SetTraining(t bool) { m.Orig.SetTraining(t) }
+
+// TotalParams returns the trainable parameter count after augmentation.
+func (m *AugmentedTextClassifier) TotalParams() int {
+	n := nn.NumParams(m.Orig)
+	for _, d := range m.Decoys {
+		for _, p := range d.params() {
+			if p.Node.RequiresGrad() {
+				n += p.Node.Val.Numel()
+			}
+		}
+	}
+	return n
+}
+
+// AugmentedTransformerLM obfuscates the WikiText-2-style language model.
+// Training operates on non-overlapping windows of the augmented stream
+// (window length = key.AugLen); the original sub-network gathers the key's
+// positions, recovering exactly the original windows, and predicts the
+// next original token at each position. Decoys run their own gathers
+// through their own (small) embedding+decoder stacks.
+type AugmentedTransformerLM struct {
+	Orig       *models.TransformerLM
+	OrigGather *SkipTokenGather
+	Decoys     []*textDecoy
+	opts       ModelAugmentOptions
+}
+
+// AugmentTransformerLM wraps the original LM with decoys bound to the key.
+func AugmentTransformerLM(orig *models.TransformerLM, key *TextAugKey, opts ModelAugmentOptions) (*AugmentedTransformerLM, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Amount < 0 {
+		return nil, fmt.Errorf("core: model augmentation amount must be ≥ 0, got %v", opts.Amount)
+	}
+	rng := tensor.NewRNG(opts.Seed ^ 0x11a6)
+	m := &AugmentedTransformerLM{
+		Orig:       orig,
+		OrigGather: NewSkipTokenGatherFromKey(key),
+		opts:       opts,
+	}
+	if opts.Amount == 0 {
+		return m, nil
+	}
+	total := nn.NumParams(orig)
+	ns := opts.subNets(rng)
+	budget := int(float64(total) * opts.Amount)
+	per := budget / ns
+	for i := 0; i < ns; i++ {
+		b := per
+		if i == ns-1 {
+			b = budget - per*(ns-1)
+		}
+		drng := rng.Split(uint64(i + 1))
+		// Decoy LM: embedding vocab·d + decoder d·vocab + vocab.
+		d := (b - orig.Vocab) / (2 * orig.Vocab)
+		if d < 1 {
+			d = 1
+		}
+		m.Decoys = append(m.Decoys, &textDecoy{
+			gather: NewRandomSkipTokenGather(drng.Split(1), key),
+			embed:  nn.NewEmbedding(drng.Split(2), orig.Vocab, d),
+			head:   nn.NewLinear(drng.Split(3), d, orig.Vocab),
+		})
+	}
+	return m, nil
+}
+
+// LossWindows computes the joint LM objective over a batch of augmented
+// windows (each of length key.AugLen). Every sub-network gathers its own
+// positions w and trains on (w[:L-1] → w[1:]) next-token pairs.
+func (m *AugmentedTransformerLM) LossWindows(windows [][]int) (total, orig *autodiff.Node) {
+	orig = lmWindowLoss(func(ids [][]int) *autodiff.Node { return m.Orig.ForwardIDs(ids) }, m.OrigGather.Apply(windows))
+	losses := []*autodiff.Node{orig}
+	for _, d := range m.Decoys {
+		gathered := d.gather.Apply(windows)
+		losses = append(losses, lmWindowLoss(func(ids [][]int) *autodiff.Node {
+			// Decoy "LM": per-position embedding → decoder (no attention);
+			// synthetic parameters that participate fully in gradient
+			// descent, as §6.3's DLG analysis requires.
+			emb := d.embed.Lookup(ids)
+			n, t, dd := emb.Val.Dim(0), emb.Val.Dim(1), emb.Val.Dim(2)
+			return d.head.Forward(autodiff.Reshape(emb, n*t, dd))
+		}, gathered))
+	}
+	return autodiff.AddN(losses...), orig
+}
+
+// ValidateLoss returns the original sub-network's loss on augmented
+// windows without decoy terms (the §5.4 validation path).
+func (m *AugmentedTransformerLM) ValidateLoss(windows [][]int) *autodiff.Node {
+	return lmWindowLoss(func(ids [][]int) *autodiff.Node { return m.Orig.ForwardIDs(ids) }, m.OrigGather.Apply(windows))
+}
+
+// lmWindowLoss slices windows into (input, shifted-target) pairs and
+// returns the mean next-token cross-entropy.
+func lmWindowLoss(forward func([][]int) *autodiff.Node, windows [][]int) *autodiff.Node {
+	inputs := make([][]int, len(windows))
+	targets := make([][]int, len(windows))
+	for i, w := range windows {
+		inputs[i] = w[:len(w)-1]
+		targets[i] = w[1:]
+	}
+	logits := forward(inputs)
+	return autodiff.SoftmaxCrossEntropy(logits, models.FlattenTargets(targets))
+}
+
+// LMWindowLoss is the un-augmented counterpart used for baseline training:
+// mean next-token cross-entropy of a plain model over original windows.
+func LMWindowLoss(m *models.TransformerLM, windows [][]int) *autodiff.Node {
+	return lmWindowLoss(func(ids [][]int) *autodiff.Node { return m.ForwardIDs(ids) }, windows)
+}
+
+// Params returns the augmented state dict ("orig." + "decoy<i>.").
+func (m *AugmentedTransformerLM) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("orig", m.Orig.Params())...)
+	for i, d := range m.Decoys {
+		out = append(out, nn.PrefixParams(fmt.Sprintf("decoy%d", i), d.params())...)
+	}
+	return out
+}
+
+// SetTraining toggles training mode.
+func (m *AugmentedTransformerLM) SetTraining(t bool) { m.Orig.SetTraining(t) }
+
+// TotalParams returns the trainable parameter count after augmentation.
+func (m *AugmentedTransformerLM) TotalParams() int {
+	n := nn.NumParams(m.Orig)
+	for _, d := range m.Decoys {
+		for _, p := range d.params() {
+			if p.Node.RequiresGrad() {
+				n += p.Node.Val.Numel()
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+package core
+
+// PrivacyLoss returns ε = 1/(1+α) for augmentation amount α (Eq. 5):
+// the smaller the value, the harder it is for an adversary's query to hit
+// an original feature. α = 0 gives ε = 1 (no protection).
+func PrivacyLoss(alpha float64) float64 {
+	if alpha < 0 {
+		alpha = 0
+	}
+	return 1 / (1 + alpha)
+}
+
+// ComputePerformanceLoss returns ρ = 1 − 1/(1+α) (Eq. 6): the fraction of
+// computation spent on synthetic data/parameters.
+func ComputePerformanceLoss(alpha float64) float64 {
+	return 1 - PrivacyLoss(alpha)
+}
+
+// TradeoffRow is one point of Fig. 15's privacy/performance curve.
+type TradeoffRow struct {
+	Alpha       float64
+	PrivacyLoss float64
+	PerfLoss    float64
+}
+
+// TradeoffCurve evaluates Eqs. 5–6 over the given augmentation amounts.
+func TradeoffCurve(alphas []float64) []TradeoffRow {
+	out := make([]TradeoffRow, len(alphas))
+	for i, a := range alphas {
+		out[i] = TradeoffRow{Alpha: a, PrivacyLoss: PrivacyLoss(a), PerfLoss: ComputePerformanceLoss(a)}
+	}
+	return out
+}

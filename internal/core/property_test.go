@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amalgam/internal/data"
+	"amalgam/internal/tensor"
+)
+
+// Property: augment∘recover is the identity for any geometry, amount, and
+// seed (the formal statement of §4.1's "noise does not alter the original
+// information").
+func TestAugmentRecoverIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		h := 4 + rng.IntN(12)
+		w := 4 + rng.IntN(12)
+		c := 1 + rng.IntN(3)
+		n := 1 + rng.IntN(4)
+		amount := 0.1 + rng.Float64()*1.4
+		ds := data.GenerateImages(data.ImageConfig{Name: "p", N: n, C: c, H: h, W: w, Classes: 2, Seed: seed, Noise: 0.1})
+		aug, err := AugmentImages(ds, ImageAugmentOptions{Amount: amount, Noise: DefaultImageNoise(), Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		rec, err := RecoverImages(aug.Dataset, aug.Key)
+		if err != nil {
+			return false
+		}
+		return rec.Images.Equal(ds.Images)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same identity holds for token streams over random window
+// lengths and amounts.
+func TestTextAugmentRecoverIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		window := 5 + rng.IntN(30)
+		vocab := 50 + rng.IntN(500)
+		amount := 0.1 + rng.Float64()*1.4
+		nTokens := window * (2 + rng.IntN(10))
+		s := data.GenerateTokenStream(data.TextConfig{Name: "p", Tokens: nTokens, Vocab: vocab, Seed: seed})
+		aug, err := AugmentTokenStream(s, TextAugmentOptions{Amount: amount, WindowLen: window, Noise: DefaultTextNoise(vocab), Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		rec, err := RecoverTokenStream(aug.Stream, aug.Key)
+		if err != nil {
+			return false
+		}
+		if len(rec.Tokens) != nTokens {
+			return false
+		}
+		for i, tok := range rec.Tokens {
+			if tok != s.Tokens[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: keys generated for any amount partition the augmented plane
+// and pass Validate.
+func TestKeyPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		h := 2 + rng.IntN(20)
+		w := 2 + rng.IntN(20)
+		amount := rng.Float64() * 2
+		key, err := NewImageAugKey(rng, h, w, amount)
+		if err != nil {
+			return false
+		}
+		return key.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: privacy and performance loss are complementary, monotone, and
+// bounded for any α ≥ 0.
+func TestPrivacyEquationsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		a := raw
+		if a < 0 {
+			a = -a
+		}
+		if a > 1e6 {
+			a = 1e6
+		}
+		eps := PrivacyLoss(a)
+		rho := ComputePerformanceLoss(a)
+		if eps < 0 || eps > 1 || rho < 0 || rho > 1 {
+			return false
+		}
+		// Complementarity and monotonicity.
+		if diff := eps + rho - 1; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		return PrivacyLoss(a+1) <= eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: search space is monotone in the augmentation amount.
+func TestSearchSpaceMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		orig := 10 + rng.IntN(500)
+		a1 := 1 + rng.IntN(orig)
+		a2 := a1 + 1 + rng.IntN(orig)
+		return LogSearchSpace(orig, orig+a1) < LogSearchSpace(orig, orig+a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

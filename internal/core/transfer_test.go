@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// §4.4: augmentation must not touch pre-trained weights — the model
+// instance the user hands in becomes the original sub-network verbatim.
+func TestAugmentationPreservesPretrainedWeights(t *testing.T) {
+	cfg := models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3}
+	m := models.NewLeNet5(tensor.NewRNG(61), cfg)
+	// Simulate pre-training: overwrite with recognisable values.
+	for _, p := range m.Params() {
+		if p.Node.RequiresGrad() {
+			p.Node.Val.Fill(0.123)
+		}
+	}
+	snapshot := map[string]*tensor.Tensor{}
+	for name, tns := range nn.StateDict(m) {
+		snapshot[name] = tns.Clone()
+	}
+
+	ds := data.GenerateImages(data.ImageConfig{Name: "t", N: 4, C: 1, H: 12, W: 12, Classes: 3, Seed: 62, Noise: 0.05})
+	aug, err := AugmentImages(ds, ImageAugmentOptions{Amount: 1.0, Noise: DefaultImageNoise(), Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := AugmentCVModel(m, aug.Key, 1, 3, ModelAugmentOptions{Amount: 1.0, SubNets: 3, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tns := range nn.StateDict(am.Orig) {
+		if !tns.Equal(snapshot[name]) {
+			t.Fatalf("augmentation modified pre-trained tensor %q", name)
+		}
+	}
+	// Fine-tuning then extracting returns those weights evolved, not reset:
+	// extraction into a fresh model must carry the 0.123-derived values.
+	fresh := models.NewLeNet5(tensor.NewRNG(99), cfg) // different init
+	if err := Extract(am, fresh); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := nn.ParamByName(fresh, "conv1.weight")
+	if !ok {
+		t.Fatal("conv1.weight missing")
+	}
+	if p.Node.Val.Data[0] != 0.123 {
+		t.Fatalf("extracted weight %v, want the pre-trained 0.123", p.Node.Val.Data[0])
+	}
+}
+
+// Fine-tuning exactness: starting from pre-trained weights, augmented
+// fine-tuning equals plain fine-tuning bit-for-bit (Fig. 13's claim in
+// its strongest form).
+func TestTransferLearningExactness(t *testing.T) {
+	cfg := models.CVConfig{InC: 3, InH: 12, InW: 12, Classes: 2}
+	pretrain := func() map[string]*tensor.Tensor {
+		m := models.NewLeNet5(tensor.NewRNG(71), cfg)
+		src := data.GenerateImages(data.ImageConfig{Name: "src", N: 8, C: 3, H: 12, W: 12, Classes: 2, Seed: 72, Noise: 0.05})
+		_ = trainOriginalCV(t, func() models.CVModel { return m }, src, 2, 4)
+		out := map[string]*tensor.Tensor{}
+		for name, tns := range nn.StateDict(m) {
+			out[name] = tns.Clone()
+		}
+		return out
+	}
+	pretrained := pretrain()
+	build := func() models.CVModel {
+		m := models.NewLeNet5(tensor.NewRNG(71), cfg)
+		if err := nn.LoadStateDict(m, pretrained); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	target := data.GenerateImages(data.ImageConfig{Name: "tgt", N: 16, C: 3, H: 12, W: 12, Classes: 2, Seed: 73, Noise: 0.05})
+	ref := trainOriginalCV(t, build, target, 4, 8)
+	am, _ := trainAugmentedCV(t, build, target, ModelAugmentOptions{Amount: 0.5, SubNets: 2, Seed: 74}, 4, 8)
+	assertSameWeights(t, "transfer", ref, am.Orig)
+}

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"sort"
+	"strings"
+)
+
+// Vocab maps tokens to ids, built frequency-ranked from a corpus (the
+// WikiText-2 convention: ids ordered by descending frequency, unknown
+// tokens map to <unk>).
+type Vocab struct {
+	byToken map[string]int
+	byID    []string
+}
+
+// UnkToken is the out-of-vocabulary marker (always id 0).
+const UnkToken = "<unk>"
+
+// BuildVocab constructs a vocabulary from text, keeping at most maxSize
+// tokens (0 = unlimited) ranked by frequency (ties broken
+// lexicographically for determinism).
+func BuildVocab(text string, maxSize int) *Vocab {
+	counts := map[string]int{}
+	for _, tok := range strings.Fields(text) {
+		counts[tok]++
+	}
+	type tc struct {
+		tok string
+		n   int
+	}
+	ranked := make([]tc, 0, len(counts))
+	for tok, n := range counts {
+		ranked = append(ranked, tc{tok, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].tok < ranked[j].tok
+	})
+	v := &Vocab{byToken: map[string]int{UnkToken: 0}, byID: []string{UnkToken}}
+	for _, e := range ranked {
+		if maxSize > 0 && len(v.byID) >= maxSize {
+			break
+		}
+		if e.tok == UnkToken {
+			continue
+		}
+		v.byToken[e.tok] = len(v.byID)
+		v.byID = append(v.byID, e.tok)
+	}
+	return v
+}
+
+// Size returns the vocabulary size (including <unk>).
+func (v *Vocab) Size() int { return len(v.byID) }
+
+// ID returns the id of tok, or 0 (<unk>) when absent.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.byToken[tok]; ok {
+		return id
+	}
+	return 0
+}
+
+// Token returns the token string for an id (<unk> for out-of-range ids).
+func (v *Vocab) Token(id int) string {
+	if id < 0 || id >= len(v.byID) {
+		return UnkToken
+	}
+	return v.byID[id]
+}
+
+// Encode tokenises text (whitespace split) into ids.
+func (v *Vocab) Encode(text string) []int {
+	fields := strings.Fields(text)
+	out := make([]int, len(fields))
+	for i, tok := range fields {
+		out[i] = v.ID(tok)
+	}
+	return out
+}
+
+// Decode renders ids back to a space-joined string.
+func (v *Vocab) Decode(ids []int) string {
+	toks := make([]string, len(ids))
+	for i, id := range ids {
+		toks[i] = v.Token(id)
+	}
+	return strings.Join(toks, " ")
+}
+
+// TokenizeCorpus builds a TokenStream from raw text, constructing the
+// vocabulary in one pass — the user-side preprocessing step before the
+// dataset augmenter (Fig. 3 starts from exactly this representation).
+func TokenizeCorpus(name, text string, maxVocab int) (*TokenStream, *Vocab) {
+	v := BuildVocab(text, maxVocab)
+	return &TokenStream{Name: name, Tokens: v.Encode(text), Vocab: v.Size()}, v
+}

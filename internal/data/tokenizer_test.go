@@ -1,0 +1,85 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amalgam/internal/tensor"
+)
+
+func TestBuildVocabFrequencyRanked(t *testing.T) {
+	v := BuildVocab("the cat sat on the mat the cat", 0)
+	if v.Token(0) != UnkToken {
+		t.Fatal("<unk> must be id 0")
+	}
+	// "the" (3) ranks before "cat" (2) before the singletons.
+	if v.ID("the") != 1 || v.ID("cat") != 2 {
+		t.Fatalf("frequency ranking wrong: the=%d cat=%d", v.ID("the"), v.ID("cat"))
+	}
+	if v.Size() != 6 { // unk, the, cat, mat, on, sat
+		t.Fatalf("vocab size %d, want 6", v.Size())
+	}
+}
+
+func TestVocabMaxSizeAndUnk(t *testing.T) {
+	v := BuildVocab("a a a b b c", 3) // unk + 2 tokens
+	if v.Size() != 3 {
+		t.Fatalf("size %d, want 3", v.Size())
+	}
+	if v.ID("c") != 0 {
+		t.Fatal("truncated token should map to <unk>")
+	}
+	if v.Token(99) != UnkToken {
+		t.Fatal("out-of-range id should render <unk>")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	text := "hello world hello amalgam"
+	v := BuildVocab(text, 0)
+	ids := v.Encode(text)
+	if got := v.Decode(ids); got != text {
+		t.Fatalf("roundtrip %q → %q", text, got)
+	}
+	if ids[0] != ids[2] {
+		t.Fatal("repeated token must map to the same id")
+	}
+}
+
+func TestTokenizeCorpus(t *testing.T) {
+	stream, v := TokenizeCorpus("demo", "x y z x y x", 0)
+	if stream.Vocab != v.Size() || len(stream.Tokens) != 6 {
+		t.Fatalf("stream vocab %d tokens %d", stream.Vocab, len(stream.Tokens))
+	}
+	for _, id := range stream.Tokens {
+		if id < 0 || id >= stream.Vocab {
+			t.Fatalf("token id %d out of range", id)
+		}
+	}
+}
+
+func TestVocabDeterministicProperty(t *testing.T) {
+	// Same corpus → same vocabulary (ties broken lexicographically).
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			b.WriteString(words[rng.IntN(len(words))])
+			b.WriteByte(' ')
+		}
+		text := b.String()
+		v1 := BuildVocab(text, 0)
+		v2 := BuildVocab(text, 0)
+		for i := 0; i < v1.Size(); i++ {
+			if v1.Token(i) != v2.Token(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package disco
+
+import (
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+func TestObfuscatorShapesAndPruning(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	o, err := NewChannelObfuscator(rng, 8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 8, 4, 4)
+	rng.FillUniform(x, 0.1, 1)
+	y := o.Forward(autodiff.Constant(x))
+	if !y.Val.SameShape(x) {
+		t.Fatalf("obfuscator changed shape: %v", y.Val.Shape())
+	}
+	pruned := 0
+	for _, p := range o.Pruned {
+		if p {
+			pruned++
+		}
+	}
+	if pruned != 2 {
+		t.Fatalf("pruned %d channels, want 2 (25%% of 8)", pruned)
+	}
+}
+
+func TestObfuscatorPermutationIsSecretAndComplete(t *testing.T) {
+	o1, _ := NewChannelObfuscator(tensor.NewRNG(1), 16, 0)
+	o2, _ := NewChannelObfuscator(tensor.NewRNG(2), 16, 0)
+	seen := map[int]bool{}
+	for _, p := range o1.Perm {
+		seen[p] = true
+	}
+	if len(seen) != 16 {
+		t.Fatal("permutation must be complete")
+	}
+	same := true
+	for i := range o1.Perm {
+		if o1.Perm[i] != o2.Perm[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different permutations")
+	}
+}
+
+func TestObfuscatorRejectsBadPruneFrac(t *testing.T) {
+	if _, err := NewChannelObfuscator(tensor.NewRNG(1), 4, 1.0); err == nil {
+		t.Fatal("pruneFrac 1.0 should be rejected")
+	}
+	if _, err := NewChannelObfuscator(tensor.NewRNG(1), 4, -0.1); err == nil {
+		t.Fatal("negative pruneFrac should be rejected")
+	}
+}
+
+func TestObfuscatorGradientsFlow(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	o, err := NewChannelObfuscator(rng, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 4, 3, 3)
+	rng.FillNormal(x, 0, 1)
+	xN := autodiff.Leaf(x)
+	autodiff.Backward(autodiff.Mean(o.Forward(xN)))
+	if xN.Grad == nil || tensor.L2Norm(xN.Grad) == 0 {
+		t.Fatal("gradient did not flow through obfuscator")
+	}
+	for _, p := range o.Params() {
+		if p.Node.Grad == nil {
+			t.Fatalf("mix conv param %s missing grad", p.Name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package dp implements the differential-privacy baseline (Table 1's DP
+// row): DP-SGD with per-sample gradient clipping and Gaussian noise
+// (Abadi et al., CCS'16). The paper cites DP's accuracy impact as the
+// reason Amalgam avoids it; the ablation bench reproduces that impact.
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// Options configures a DP-SGD run.
+type Options struct {
+	LR              float64
+	ClipNorm        float64 // per-sample gradient L2 bound C
+	NoiseMultiplier float64 // σ: noise stddev is σ·C
+	Seed            uint64
+}
+
+// Trainer performs DP-SGD steps over a model's parameters.
+type Trainer struct {
+	params []nn.Param
+	opts   Options
+	rng    *tensor.RNG
+	steps  int
+}
+
+// NewTrainer validates options and builds a trainer.
+func NewTrainer(params []nn.Param, opts Options) (*Trainer, error) {
+	if opts.ClipNorm <= 0 {
+		return nil, fmt.Errorf("dp: ClipNorm must be positive")
+	}
+	if opts.NoiseMultiplier < 0 {
+		return nil, fmt.Errorf("dp: NoiseMultiplier must be ≥ 0")
+	}
+	return &Trainer{params: params, opts: opts, rng: tensor.NewRNG(opts.Seed)}, nil
+}
+
+// Step runs one DP-SGD update: per-sample losses are provided by lossOf(i)
+// (micro-batching: DP requires per-sample gradients), each sample's
+// gradient is clipped to ClipNorm, the clipped sum is noised and averaged.
+func (t *Trainer) Step(batch []int, lossOf func(i int) *autodiff.Node) {
+	type accum struct {
+		sum *tensor.Tensor
+	}
+	sums := make([]accum, len(t.params))
+	for pi, p := range t.params {
+		if !p.Node.RequiresGrad() {
+			continue
+		}
+		sums[pi] = accum{sum: tensor.New(p.Node.Val.Shape()...)}
+	}
+	for _, i := range batch {
+		for _, p := range t.params {
+			p.Node.ZeroGrad()
+		}
+		autodiff.Backward(lossOf(i))
+		// Per-sample global L2 norm across all parameters.
+		var norm2 float64
+		for _, p := range t.params {
+			if p.Node.Grad != nil && p.Node.RequiresGrad() {
+				n := tensor.L2Norm(p.Node.Grad)
+				norm2 += n * n
+			}
+		}
+		clip := 1.0
+		if n := math.Sqrt(norm2); n > t.opts.ClipNorm {
+			clip = t.opts.ClipNorm / n
+		}
+		for pi, p := range t.params {
+			if p.Node.Grad != nil && sums[pi].sum != nil {
+				tensor.AddScaledInto(sums[pi].sum, float32(clip), p.Node.Grad)
+			}
+		}
+	}
+	// Noise + average + apply.
+	sigma := t.opts.NoiseMultiplier * t.opts.ClipNorm
+	inv := 1.0 / float64(len(batch))
+	for pi, p := range t.params {
+		if sums[pi].sum == nil {
+			continue
+		}
+		g := sums[pi].sum
+		for j := range g.Data {
+			noisy := float64(g.Data[j]) + t.rng.Normal(0, sigma)
+			p.Node.Val.Data[j] -= float32(t.opts.LR * noisy * inv)
+		}
+	}
+	t.steps++
+}
+
+// Steps returns the number of updates taken.
+func (t *Trainer) Steps() int { return t.steps }
+
+// EpsilonEstimate returns a coarse (ε, δ)-DP accounting via strong
+// composition for the Gaussian mechanism: ε ≈ q·√(2T·ln(1/δ))/σ with
+// sampling rate q and T steps. It is an upper-bound-flavoured estimate
+// (the moments accountant is tighter); adequate for the comparison table.
+func EpsilonEstimate(samplingRate float64, steps int, noiseMultiplier, delta float64) float64 {
+	if noiseMultiplier <= 0 {
+		return math.Inf(1)
+	}
+	return samplingRate * math.Sqrt(2*float64(steps)*math.Log(1/delta)) / noiseMultiplier
+}

@@ -1,0 +1,129 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+func TestTrainerValidation(t *testing.T) {
+	if _, err := NewTrainer(nil, Options{ClipNorm: 0}); err == nil {
+		t.Fatal("zero clip norm should be rejected")
+	}
+	if _, err := NewTrainer(nil, Options{ClipNorm: 1, NoiseMultiplier: -1}); err == nil {
+		t.Fatal("negative noise should be rejected")
+	}
+}
+
+func TestDPSGDLearnsWithoutNoise(t *testing.T) {
+	// σ=0 reduces DP-SGD to clipped SGD, which must still learn.
+	rng := tensor.NewRNG(1)
+	l := nn.NewLinear(rng, 4, 2)
+	tr, err := NewTrainer(l.Params(), Options{LR: 0.5, ClipNorm: 1, NoiseMultiplier: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*tensor.Tensor, 8)
+	labels := make([]int, 8)
+	for i := range xs {
+		x := tensor.New(1, 4)
+		labels[i] = i % 2
+		for j := range x.Data {
+			x.Data[j] = rng.Float32() * 0.2
+			if labels[i] == 1 {
+				x.Data[j] += 0.8
+			}
+		}
+		xs[i] = x
+	}
+	lossOf := func(i int) *autodiff.Node {
+		return autodiff.SoftmaxCrossEntropy(l.Forward(autodiff.Constant(xs[i])), labels[i:i+1])
+	}
+	batch := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	first := lossOf(0).Scalar()
+	for s := 0; s < 30; s++ {
+		tr.Step(batch, lossOf)
+	}
+	last := lossOf(0).Scalar()
+	if float64(last) > float64(first)/2 {
+		t.Fatalf("clipped SGD failed to learn: %v → %v", first, last)
+	}
+	if tr.Steps() != 30 {
+		t.Fatalf("Steps() = %d", tr.Steps())
+	}
+}
+
+func TestNoiseDegradesTraining(t *testing.T) {
+	// The paper's stated reason to avoid DP: noise hurts accuracy. With a
+	// large σ the final loss must be worse than without.
+	run := func(sigma float64) float32 {
+		rng := tensor.NewRNG(3)
+		l := nn.NewLinear(rng, 4, 2)
+		tr, err := NewTrainer(l.Params(), Options{LR: 0.3, ClipNorm: 1, NoiseMultiplier: sigma, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]*tensor.Tensor, 8)
+		labels := make([]int, 8)
+		for i := range xs {
+			x := tensor.New(1, 4)
+			labels[i] = i % 2
+			for j := range x.Data {
+				x.Data[j] = rng.Float32()*0.2 + float32(labels[i])*0.8
+			}
+			xs[i] = x
+		}
+		lossOf := func(i int) *autodiff.Node {
+			return autodiff.SoftmaxCrossEntropy(l.Forward(autodiff.Constant(xs[i])), labels[i:i+1])
+		}
+		batch := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		for s := 0; s < 25; s++ {
+			tr.Step(batch, lossOf)
+		}
+		var total float32
+		for i := range xs {
+			total += lossOf(i).Scalar()
+		}
+		return total
+	}
+	clean := run(0)
+	noisy := run(8)
+	if noisy <= clean {
+		t.Fatalf("σ=8 training (loss %v) should be worse than σ=0 (loss %v)", noisy, clean)
+	}
+}
+
+func TestClippingBoundsUpdate(t *testing.T) {
+	// A sample with a huge gradient must contribute at most ClipNorm.
+	rng := tensor.NewRNG(5)
+	l := nn.NewLinear(rng, 2, 2)
+	tr, err := NewTrainer(l.Params(), Options{LR: 1, ClipNorm: 0.001, NoiseMultiplier: 0, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float32{100, -100}, 1, 2)
+	before := l.W.Val.Clone()
+	tr.Step([]int{0}, func(int) *autodiff.Node {
+		return autodiff.SoftmaxCrossEntropy(l.Forward(autodiff.Constant(x)), []int{0})
+	})
+	if d := before.MaxAbsDiff(l.W.Val); d > 0.002 {
+		t.Fatalf("clipped update moved weights by %v, clip 0.001", d)
+	}
+}
+
+func TestEpsilonEstimate(t *testing.T) {
+	eps := EpsilonEstimate(0.01, 1000, 1.0, 1e-5)
+	if eps <= 0 || math.IsInf(eps, 1) {
+		t.Fatalf("ε = %v", eps)
+	}
+	// More noise → less ε.
+	if EpsilonEstimate(0.01, 1000, 2.0, 1e-5) >= eps {
+		t.Fatal("doubling σ must reduce ε")
+	}
+	if !math.IsInf(EpsilonEstimate(0.01, 10, 0, 1e-5), 1) {
+		t.Fatal("σ=0 should be ε=∞")
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/cloudsim"
+	"amalgam/internal/core"
+	"amalgam/internal/data"
+	"amalgam/internal/disco"
+	"amalgam/internal/he"
+	"amalgam/internal/models"
+	"amalgam/internal/mpc"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+// Fig14FrameworkComparison reproduces the LeNet/MNIST training-time
+// comparison: vanilla, Amalgam (100% augmentation), DISCO, CrypTen-style
+// MPC, CPU/TEE, and PyCrCNN-style HE. Wall-clock is measured on this
+// machine for vanilla/Amalgam/DISCO/MPC; the GPU baseline is the paper-
+// calibrated accelerator model applied to the measured CPU time; HE is
+// extrapolated from measured Paillier per-op latency (running a real HE
+// epoch would take days — exactly the paper's finding).
+func Fig14FrameworkComparison(w io.Writer, sc Scale) error {
+	fmt.Fprintln(w, "Figure 14: LeNet/MNIST per-epoch training time by framework")
+	train := data.SyntheticMNIST(sc.TrainN, 61)
+	cfg := models.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10}
+	epochSteps := (train.N() + sc.BatchSize - 1) / sc.BatchSize
+
+	// --- Vanilla (CPU) ---
+	vanilla := models.NewLeNet5(tensor.NewRNG(71), cfg)
+	cpuSecs := timeEpoch(func() {
+		trainPlainEpoch(vanilla, train, sc)
+	})
+
+	// --- Amalgam (100% model + dataset augmentation) ---
+	aug, err := core.AugmentImages(train, core.ImageAugmentOptions{Amount: 1.0, Noise: core.DefaultImageNoise(), Seed: 62})
+	if err != nil {
+		return err
+	}
+	am, err := core.AugmentCVModel(models.NewLeNet5(tensor.NewRNG(71), cfg), aug.Key, 1, 10, core.ModelAugmentOptions{Amount: 1.0, SubNets: 3, Seed: 63})
+	if err != nil {
+		return err
+	}
+	amalgamSecs := timeEpoch(func() {
+		trainAugEpoch(am, aug.Dataset, sc)
+	})
+
+	// --- DISCO-style channel obfuscation ---
+	dl, err := newDiscoLeNet(tensor.NewRNG(72), cfg)
+	if err != nil {
+		return err
+	}
+	discoSecs := timeEpoch(func() {
+		trainPlainEpoch(dl, train, sc)
+	})
+
+	// --- CrypTen-style MPC: measured secure-MLP epoch + throughput-based
+	// secure-LeNet extrapolation ---
+	eng := mpc.NewEngine(73)
+	mlp := mpc.NewSecureMLP(eng, tensor.NewRNG(74), 28*28, 64, 10)
+	mpcStart := time.Now()
+	flops := 0.0
+	for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
+		x, labels := train.Batch(idx)
+		mlp.Step(x.Data, len(labels), labels, 0.05)
+		n := float64(len(labels))
+		flops += 2 * n * (784*64 + 64*10) * 3 // fwd + two backward matmuls
+	}
+	mpcMLPSecs := time.Since(mpcStart).Seconds()
+	secureFlops := flops / mpcMLPSecs
+	mpcLeNetSecs := mpc.ExtrapolateLeNet(secureFlops, train.N(), sc.BatchSize, 28, 28, 10)
+
+	// --- PyCrCNN-style HE: measured Paillier op cost, extrapolated ---
+	key, err := he.GenerateKey(512)
+	if err != nil {
+		return err
+	}
+	opCost, err := he.MeasureOps(key, 20)
+	if err != nil {
+		return err
+	}
+	heSecs := he.LeNetEpochSeconds(opCost, train.N(), 28, 28, 10)
+
+	// --- GPU baseline (accelerator cost model) ---
+	acc := cloudsim.PaperCalibratedAccelerator()
+	gpuSecs := acc.Simulate(cpuSecs)
+
+	fmt.Fprintf(w, "dataset: %d samples, batch %d, %d steps/epoch (quick scale)\n", train.N(), sc.BatchSize, epochSteps)
+	fmt.Fprintf(w, "%-22s %-14s %-12s %s\n", "framework", "epochTime(s)", "vsBaseline", "how")
+	rows := []struct {
+		name string
+		secs float64
+		how  string
+	}{
+		{"baseline (GPU model)", gpuSecs, "accelerator cost model over measured CPU"},
+		{"Amalgam (100%)", amalgamSecs, "measured"},
+		{"DISCO-style", discoSecs, "measured"},
+		{"CrypTen-style MPC", mpcLeNetSecs, "measured secure throughput, LeNet schedule"},
+		{"CPU only (TEE bound)", cpuSecs, "measured"},
+		{"PyCrCNN-style HE", heSecs, "measured Paillier ops, LeNet schedule"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %-14.2f %-12.1fx %s\n", r.name, r.secs, r.secs/gpuSecs, r.how)
+	}
+	fmt.Fprintf(w, "(secure MLP epoch measured directly: %.2fs; MPC comm %.1f MB, %d rounds)\n",
+		mpcMLPSecs, float64(eng.BytesSent)/1e6, eng.Rounds)
+	return nil
+}
+
+func timeEpoch(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+func trainPlainEpoch(m interface {
+	Forward(*autodiff.Node) *autodiff.Node
+	Params() []nn.Param
+	SetTraining(bool)
+}, train *data.ImageDataset, sc Scale) {
+	m.SetTraining(true)
+	opt := optim.NewSGD(m.Params(), sc.LR, 0.9, 0)
+	for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
+		x, labels := train.Batch(idx)
+		nn.ZeroGrads(m)
+		autodiff.Backward(autodiff.SoftmaxCrossEntropy(m.Forward(autodiff.Constant(x)), labels))
+		opt.Step()
+	}
+}
+
+func trainAugEpoch(am *core.AugmentedCVModel, train *data.ImageDataset, sc Scale) {
+	am.SetTraining(true)
+	opt := optim.NewSGD(am.Params(), sc.LR, 0.9, 0)
+	for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
+		x, labels := train.Batch(idx)
+		nn.ZeroGrads(am)
+		total, _ := am.Loss(autodiff.Constant(x), labels)
+		autodiff.Backward(total)
+		opt.Step()
+	}
+}
+
+// discoLeNet is LeNet with a DISCO channel obfuscator after conv1.
+type discoLeNet struct {
+	inner *models.LeNet5
+	obf   *disco.ChannelObfuscator
+}
+
+func newDiscoLeNet(rng *tensor.RNG, cfg models.CVConfig) (*discoLeNet, error) {
+	obf, err := disco.NewChannelObfuscator(rng.Split(1), 6, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	return &discoLeNet{inner: models.NewLeNet5(rng.Split(2), cfg), obf: obf}, nil
+}
+
+func (d *discoLeNet) Forward(x *autodiff.Node) *autodiff.Node {
+	h := autodiff.MaxPool2d(autodiff.ReLU(d.obf.Forward(d.inner.Conv1.Forward(x))), 2, 2, 0)
+	h = autodiff.MaxPool2d(autodiff.ReLU(d.inner.Conv2.Forward(h)), 2, 2, 0)
+	flat := autodiff.Flatten(h)
+	h2 := autodiff.ReLU(d.inner.FC1.Forward(flat))
+	h2 = autodiff.ReLU(d.inner.FC2.Forward(h2))
+	return d.inner.FC3.Forward(h2)
+}
+
+func (d *discoLeNet) Params() []nn.Param {
+	out := d.inner.Params()
+	return append(out, nn.PrefixParams("disco", d.obf.Params())...)
+}
+
+func (d *discoLeNet) SetTraining(bool) {}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"time"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/core"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+)
+
+// windowsOf splits a token stream into non-overlapping windows.
+func windowsOf(tokens []int, window int) [][]int {
+	var out [][]int
+	for lo := 0; lo+window <= len(tokens); lo += window {
+		out = append(out, tokens[lo:lo+window])
+	}
+	return out
+}
+
+// trainLM trains either a plain LM (orig != nil) or an augmented LM
+// (am != nil) over windowed batches and returns the wall-clock seconds.
+func trainLM(orig *models.TransformerLM, am *core.AugmentedTransformerLM, tokens []int, window int, sc Scale) float64 {
+	wins := windowsOf(tokens, window)
+	batch := sc.BatchSize
+	if batch > len(wins) {
+		batch = len(wins)
+	}
+	var params []nn.Param
+	if orig != nil {
+		orig.SetTraining(true)
+		params = orig.Params()
+	} else {
+		am.SetTraining(true)
+		params = am.Params()
+	}
+	opt := optim.NewSGD(params, sc.LR, 0.9, 0)
+	start := time.Now()
+	for e := 0; e < sc.Epochs; e++ {
+		for lo := 0; lo+batch <= len(wins); lo += batch {
+			b := wins[lo : lo+batch]
+			if orig != nil {
+				nn.ZeroGrads(orig)
+				autodiff.Backward(core.LMWindowLoss(orig, b))
+			} else {
+				nn.ZeroGrads(am)
+				total, _ := am.LossWindows(b)
+				autodiff.Backward(total)
+			}
+			opt.Step()
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+// lmCurves returns per-epoch train/val loss for plain or augmented LMs.
+func lmCurves(orig *models.TransformerLM, am *core.AugmentedTransformerLM, trainToks, valToks []int, window int, sc Scale, label string) RunResult {
+	trainWins := windowsOf(trainToks, window)
+	valWins := windowsOf(valToks, window)
+	batch := sc.BatchSize
+	if batch > len(trainWins) {
+		batch = len(trainWins)
+	}
+	var params []nn.Param
+	if orig != nil {
+		orig.SetTraining(true)
+		params = orig.Params()
+	} else {
+		am.SetTraining(true)
+		params = am.Params()
+	}
+	opt := optim.NewSGD(params, sc.LR, 0.9, 0)
+	loss := func(wins [][]int) float64 {
+		if orig != nil {
+			return float64(core.LMWindowLoss(orig, wins).Scalar())
+		}
+		return float64(am.ValidateLoss(wins).Scalar())
+	}
+	start := time.Now()
+	var points []EpochPoint
+	for e := 0; e < sc.Epochs; e++ {
+		for lo := 0; lo+batch <= len(trainWins); lo += batch {
+			b := trainWins[lo : lo+batch]
+			if orig != nil {
+				nn.ZeroGrads(orig)
+				autodiff.Backward(core.LMWindowLoss(orig, b))
+			} else {
+				nn.ZeroGrads(am)
+				total, _ := am.LossWindows(b)
+				autodiff.Backward(total)
+			}
+			opt.Step()
+		}
+		points = append(points, EpochPoint{
+			Epoch:     e + 1,
+			TrainLoss: loss(trainWins[:min(len(trainWins), 8)]),
+			ValLoss:   loss(valWins[:min(len(valWins), 8)]),
+		})
+	}
+	return RunResult{Label: label, Points: points, Seconds: time.Since(start).Seconds()}
+}
+
+// trainTextClassifier trains plain (orig) or augmented (am) classifiers
+// and returns wall-clock seconds.
+func trainTextClassifier(orig *models.TextClassifier, am *core.AugmentedTextClassifier, ds *data.TextDataset, sc Scale) float64 {
+	var params []nn.Param
+	if orig != nil {
+		params = orig.Params()
+	} else {
+		params = am.Params()
+	}
+	opt := optim.NewSGD(params, 0.5, 0.9, 0)
+	start := time.Now()
+	for e := 0; e < sc.Epochs; e++ {
+		for _, idx := range data.BatchIter(ds.N(), sc.BatchSize, nil) {
+			ids, labels := ds.Batch(idx)
+			if orig != nil {
+				nn.ZeroGrads(orig)
+				autodiff.Backward(autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels))
+			} else {
+				nn.ZeroGrads(am)
+				total, _ := am.Loss(ids, labels)
+				autodiff.Backward(total)
+			}
+			opt.Step()
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+// classifierCurves records per-epoch loss/accuracy for plain or augmented
+// text classifiers on train/val splits.
+func classifierCurves(orig *models.TextClassifier, am *core.AugmentedTextClassifier, train, val *data.TextDataset, sc Scale, label string) RunResult {
+	var params []nn.Param
+	if orig != nil {
+		params = orig.Params()
+	} else {
+		params = am.Params()
+	}
+	opt := optim.NewSGD(params, 0.5, 0.9, 0)
+	eval := func(ds *data.TextDataset) (float64, float64) {
+		var lossSum float64
+		correct := 0
+		for _, idx := range data.BatchIter(ds.N(), sc.BatchSize, nil) {
+			ids, labels := ds.Batch(idx)
+			var logits *autodiff.Node
+			if orig != nil {
+				logits = orig.ForwardIDs(ids)
+			} else {
+				logits = am.ForwardIDs(ids)
+			}
+			l := autodiff.SoftmaxCrossEntropy(logits, labels)
+			lossSum += float64(l.Scalar()) * float64(len(labels))
+			for i, p := range argmaxRows(logits) {
+				if p == labels[i] {
+					correct++
+				}
+			}
+		}
+		return lossSum / float64(ds.N()), float64(correct) / float64(ds.N())
+	}
+	start := time.Now()
+	var points []EpochPoint
+	for e := 0; e < sc.Epochs; e++ {
+		for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
+			ids, labels := train.Batch(idx)
+			if orig != nil {
+				nn.ZeroGrads(orig)
+				autodiff.Backward(autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels))
+			} else {
+				nn.ZeroGrads(am)
+				total, _ := am.Loss(ids, labels)
+				autodiff.Backward(total)
+			}
+			opt.Step()
+		}
+		trLoss, trAcc := eval(train)
+		vLoss, vAcc := eval(val)
+		points = append(points, EpochPoint{Epoch: e + 1, TrainLoss: trLoss, TrainAcc: trAcc, ValLoss: vLoss, ValAcc: vAcc})
+	}
+	return RunResult{Label: label, Points: points, Seconds: time.Since(start).Seconds()}
+}
+
+func argmaxRows(logits *autodiff.Node) []int {
+	rows, cols := logits.Val.Dim(0), logits.Val.Dim(1)
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best := 0
+		for c := 1; c < cols; c++ {
+			if logits.Val.At(r, c) > logits.Val.At(r, best) {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+// Package experiments is the harness that regenerates every table and
+// figure of the paper's evaluation (§5–§6) on the synthetic substrate.
+// Each experiment has one entry point that writes the same rows/series the
+// paper reports; bench_test.go and cmd/amalgam-bench share these.
+//
+// Scale: the paper trains full datasets for many epochs on 2×RTX 3090; we
+// default to reduced sample counts/epochs sized for CPUs. The *shape* of
+// every result (who wins, monotonicity, curve coincidence) is preserved;
+// EXPERIMENTS.md records paper-vs-measured for each experiment.
+package experiments
+
+import (
+	"time"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/core"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	TrainN, TestN int
+	Epochs        int
+	BatchSize     int
+	LR            float64
+}
+
+// QuickScale is the CI/bench default: seconds per configuration.
+func QuickScale() Scale { return Scale{TrainN: 48, TestN: 24, Epochs: 3, BatchSize: 16, LR: 0.02} }
+
+// FullScale approaches paper geometry (still CPU-bound; expect hours).
+func FullScale() Scale { return Scale{TrainN: 2048, TestN: 512, Epochs: 10, BatchSize: 64, LR: 0.02} }
+
+// EpochPoint is one point of a training/validation curve (Figs. 5–13).
+type EpochPoint struct {
+	Epoch     int
+	TrainLoss float64
+	TrainAcc  float64
+	ValLoss   float64
+	ValAcc    float64
+}
+
+// RunResult is a complete training run.
+type RunResult struct {
+	Label   string
+	Points  []EpochPoint
+	Seconds float64
+	Params  int
+}
+
+// TrainCV trains a plain CV model, recording per-epoch curves.
+func TrainCV(m models.CVModel, train, test *data.ImageDataset, sc Scale, label string) RunResult {
+	m.SetTraining(true)
+	opt := optim.NewSGD(m.Params(), sc.LR, 0.9, 5e-4)
+	start := time.Now()
+	var points []EpochPoint
+	for e := 0; e < sc.Epochs; e++ {
+		var lossSum float64
+		seen := 0
+		for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
+			x, labels := train.Batch(idx)
+			nn.ZeroGrads(m)
+			loss := autodiff.SoftmaxCrossEntropy(m.Forward(autodiff.Constant(x)), labels)
+			autodiff.Backward(loss)
+			opt.Step()
+			lossSum += float64(loss.Scalar()) * float64(len(labels))
+			seen += len(labels)
+		}
+		trLoss, trAcc := evalCV(m, train, sc.BatchSize)
+		vLoss, vAcc := evalCV(m, test, sc.BatchSize)
+		_ = lossSum
+		_ = seen
+		points = append(points, EpochPoint{Epoch: e + 1, TrainLoss: trLoss, TrainAcc: trAcc, ValLoss: vLoss, ValAcc: vAcc})
+	}
+	return RunResult{Label: label, Points: points, Seconds: time.Since(start).Seconds(), Params: nn.NumParams(m)}
+}
+
+// TrainAugmentedCV trains an augmented model on the augmented dataset,
+// recording the ORIGINAL sub-network's curves (what the paper plots).
+func TrainAugmentedCV(am *core.AugmentedCVModel, augTrain, augTest *data.ImageDataset, sc Scale, label string) RunResult {
+	am.SetTraining(true)
+	opt := optim.NewSGD(am.Params(), sc.LR, 0.9, 5e-4)
+	start := time.Now()
+	var points []EpochPoint
+	for e := 0; e < sc.Epochs; e++ {
+		for _, idx := range data.BatchIter(augTrain.N(), sc.BatchSize, nil) {
+			x, labels := augTrain.Batch(idx)
+			nn.ZeroGrads(am)
+			total, _ := am.Loss(autodiff.Constant(x), labels)
+			autodiff.Backward(total)
+			opt.Step()
+		}
+		trLoss, trAcc := evalCV(am, augTrain, sc.BatchSize)
+		vLoss, vAcc := evalCV(am, augTest, sc.BatchSize)
+		points = append(points, EpochPoint{Epoch: e + 1, TrainLoss: trLoss, TrainAcc: trAcc, ValLoss: vLoss, ValAcc: vAcc})
+	}
+	return RunResult{Label: label, Points: points, Seconds: time.Since(start).Seconds(), Params: am.TotalParams()}
+}
+
+// cvEvaluable covers plain CV models and AugmentedCVModel.
+type cvEvaluable interface {
+	Forward(x *autodiff.Node) *autodiff.Node
+	SetTraining(bool)
+}
+
+func evalCV(m cvEvaluable, ds *data.ImageDataset, batch int) (loss, acc float64) {
+	m.SetTraining(false)
+	defer m.SetTraining(true)
+	var lossSum float64
+	correct := 0
+	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
+		x, labels := ds.Batch(idx)
+		logits := m.Forward(autodiff.Constant(x))
+		l := autodiff.SoftmaxCrossEntropy(logits, labels)
+		lossSum += float64(l.Scalar()) * float64(len(labels))
+		for i, p := range tensor.ArgmaxRows(logits.Val) {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return lossSum / float64(ds.N()), float64(correct) / float64(ds.N())
+}
+
+// datasetByName builds the synthetic stand-in with quick-scale counts.
+func datasetByName(name string, n int, seed uint64) *data.ImageDataset {
+	switch name {
+	case "mnist":
+		return data.SyntheticMNIST(n, seed)
+	case "cifar10":
+		return data.SyntheticCIFAR10(n, seed)
+	case "cifar100":
+		return data.SyntheticCIFAR100(n, seed)
+	case "imagenette":
+		return data.SyntheticImagenette(n, seed)
+	case "imagenette-lite":
+		// 64×64 stand-in for CPU-sized transfer-learning runs.
+		return data.GenerateImages(data.ImageConfig{Name: "imagenette-lite", N: n, C: 3, H: 64, W: 64, Classes: 10, Seed: seed, Noise: 0.08})
+	default:
+		panic("experiments: unknown dataset " + name)
+	}
+}

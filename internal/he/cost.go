@@ -1,0 +1,76 @@
+package he
+
+import "time"
+
+// OpCost holds measured per-operation latencies of the cryptosystem on
+// this machine.
+type OpCost struct {
+	Encrypt  time.Duration
+	Add      time.Duration
+	MulPlain time.Duration
+	Decrypt  time.Duration
+}
+
+// MeasureOps benchmarks the primitive operations with the given key.
+func MeasureOps(k *Keypair, iters int) (OpCost, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	var cost OpCost
+	c1, err := k.Encrypt(1234)
+	if err != nil {
+		return cost, err
+	}
+	c2, err := k.Encrypt(-99)
+	if err != nil {
+		return cost, err
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := k.Encrypt(int64(i)); err != nil {
+			return cost, err
+		}
+	}
+	cost.Encrypt = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		k.AddCipher(c1, c2)
+	}
+	cost.Add = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		k.MulPlain(c1, 77)
+	}
+	cost.MulPlain = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		k.Decrypt(c1)
+	}
+	cost.Decrypt = time.Since(start) / time.Duration(iters)
+	return cost, nil
+}
+
+// LeNetEpochSeconds extrapolates one HE training epoch for LeNet on
+// nSamples inputs of inH×inW from measured per-op cost: every multiply-
+// accumulate of the network's forward AND backward pass becomes one
+// ciphertext-plaintext exponentiation plus one ciphertext addition
+// (PyCrCNN runs inference only; training at least doubles the op count —
+// our estimate is therefore conservative in HE's favour).
+func LeNetEpochSeconds(cost OpCost, nSamples, inH, inW, classes int) float64 {
+	h2, w2 := inH/2, inW/2
+	h4, w4 := h2/2, w2/2
+	flat := 16 * h4 * w4
+	macs := 0
+	macs += 6 * 25 * inH * inW    // conv1 (5×5, 6 filters, padded)
+	macs += 16 * 6 * 25 * h2 * w2 // conv2
+	macs += flat * 120
+	macs += 120 * 84
+	macs += 84 * classes
+	perSample := float64(macs) * 2 // forward + backward
+	perOp := cost.MulPlain.Seconds() + cost.Add.Seconds()
+	return perSample * perOp * float64(nSamples)
+}

@@ -1,0 +1,117 @@
+package he
+
+import (
+	"math"
+	"testing"
+)
+
+func testKey(t *testing.T) *Keypair {
+	t.Helper()
+	k, err := GenerateKey(256) // small key: fast tests, same code path
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	k := testKey(t)
+	for _, m := range []int64{0, 1, -1, 123456, -987654} {
+		c, err := k.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := k.Decrypt(c); got != m {
+			t.Fatalf("Decrypt(Encrypt(%d)) = %d", m, got)
+		}
+	}
+}
+
+func TestCiphertextsRandomised(t *testing.T) {
+	k := testKey(t)
+	c1, _ := k.Encrypt(42)
+	c2, _ := k.Encrypt(42)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("Paillier must be probabilistic: identical ciphertexts for equal plaintexts")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	k := testKey(t)
+	a, _ := k.Encrypt(1500)
+	b, _ := k.Encrypt(-300)
+	if got := k.Decrypt(k.AddCipher(a, b)); got != 1200 {
+		t.Fatalf("Enc(1500)+Enc(-300) = %d", got)
+	}
+}
+
+func TestHomomorphicScalarMul(t *testing.T) {
+	k := testKey(t)
+	a, _ := k.Encrypt(25)
+	if got := k.Decrypt(k.MulPlain(a, 4)); got != 100 {
+		t.Fatalf("4·Enc(25) = %d", got)
+	}
+	if got := k.Decrypt(k.MulPlain(a, -3)); got != -75 {
+		t.Fatalf("-3·Enc(25) = %d", got)
+	}
+}
+
+func TestEncryptedLinearLayerMatchesPlain(t *testing.T) {
+	k := testKey(t)
+	x := []float64{0.5, -1.25, 2}
+	w := [][]float64{{1, 0.5, -0.25}, {-2, 1, 0.5}}
+	b := []float64{0.125, -0.5}
+
+	enc, err := k.EncryptVector(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.LinearLayer(enc, w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.DecryptVector(out, 2)
+	for j := range w {
+		want := b[j]
+		for i := range x {
+			want += w[j][i] * x[i]
+		}
+		if math.Abs(got[j]-want) > 0.05 {
+			t.Fatalf("encrypted linear[%d] = %v, plain %v", j, got[j], want)
+		}
+	}
+}
+
+func TestLinearLayerShapeError(t *testing.T) {
+	k := testKey(t)
+	enc, _ := k.EncryptVector([]float64{1, 2})
+	if _, err := k.LinearLayer(enc, [][]float64{{1, 2, 3}}, []float64{0}); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestGenerateKeyRejectsTiny(t *testing.T) {
+	if _, err := GenerateKey(64); err == nil {
+		t.Fatal("64-bit modulus should be rejected")
+	}
+}
+
+func TestMeasureOpsAndExtrapolation(t *testing.T) {
+	k := testKey(t)
+	cost, err := MeasureOps(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Encrypt <= 0 || cost.MulPlain <= 0 {
+		t.Fatalf("degenerate costs: %+v", cost)
+	}
+	sec := LeNetEpochSeconds(cost, 60000, 28, 28, 10)
+	if sec <= 0 {
+		t.Fatalf("epoch extrapolation %v", sec)
+	}
+	// The headline of Fig. 14: HE is catastrophically slower. Even with a
+	// weak 256-bit key the per-epoch estimate must exceed tens of seconds.
+	if sec < 10 {
+		t.Fatalf("HE epoch estimate suspiciously fast: %v s", sec)
+	}
+}

@@ -1,0 +1,181 @@
+// Package metrics provides evaluation utilities shared by the experiment
+// harness and examples: classification metrics, perplexity, and running
+// timing statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// ConfusionMatrix accumulates multi-class prediction outcomes.
+type ConfusionMatrix struct {
+	classes int
+	counts  []int // [true*classes + predicted]
+}
+
+// NewConfusionMatrix builds a matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes <= 0 {
+		panic("metrics: classes must be positive")
+	}
+	return &ConfusionMatrix{classes: classes, counts: make([]int, classes*classes)}
+}
+
+// Add records one (trueLabel, predicted) outcome.
+func (m *ConfusionMatrix) Add(trueLabel, predicted int) {
+	if trueLabel < 0 || trueLabel >= m.classes || predicted < 0 || predicted >= m.classes {
+		panic(fmt.Sprintf("metrics: label out of range: true=%d pred=%d classes=%d", trueLabel, predicted, m.classes))
+	}
+	m.counts[trueLabel*m.classes+predicted]++
+}
+
+// AddBatch records a batch of outcomes.
+func (m *ConfusionMatrix) AddBatch(trueLabels, predicted []int) {
+	for i := range trueLabels {
+		m.Add(trueLabels[i], predicted[i])
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (m *ConfusionMatrix) Total() int {
+	n := 0
+	for _, c := range m.counts {
+		n += c
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction correct.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for k := 0; k < m.classes; k++ {
+		correct += m.counts[k*m.classes+k]
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall per class (NaN-free: 0 when unseen).
+func (m *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, m.classes)
+	for k := 0; k < m.classes; k++ {
+		var row int
+		for j := 0; j < m.classes; j++ {
+			row += m.counts[k*m.classes+j]
+		}
+		if row > 0 {
+			out[k] = float64(m.counts[k*m.classes+k]) / float64(row)
+		}
+	}
+	return out
+}
+
+// PerClassPrecision returns precision per class.
+func (m *ConfusionMatrix) PerClassPrecision() []float64 {
+	out := make([]float64, m.classes)
+	for k := 0; k < m.classes; k++ {
+		var col int
+		for j := 0; j < m.classes; j++ {
+			col += m.counts[j*m.classes+k]
+		}
+		if col > 0 {
+			out[k] = float64(m.counts[k*m.classes+k]) / float64(col)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 across classes.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	p := m.PerClassPrecision()
+	r := m.PerClassRecall()
+	var sum float64
+	for k := 0; k < m.classes; k++ {
+		if p[k]+r[k] > 0 {
+			sum += 2 * p[k] * r[k] / (p[k] + r[k])
+		}
+	}
+	return sum / float64(m.classes)
+}
+
+// String renders the matrix compactly.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.3f)\n", m.classes, m.Total(), m.Accuracy())
+	for k := 0; k < m.classes; k++ {
+		for j := 0; j < m.classes; j++ {
+			fmt.Fprintf(&b, "%5d", m.counts[k*m.classes+j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Perplexity converts a mean cross-entropy (nats) to perplexity, the LM
+// metric the paper's transformer loss curves imply.
+func Perplexity(meanCrossEntropy float64) float64 {
+	return math.Exp(meanCrossEntropy)
+}
+
+// Timer accumulates wall-clock statistics over repeated laps.
+type Timer struct {
+	n              int
+	total          time.Duration
+	minLap, maxLap time.Duration
+	start          time.Time
+	running        bool
+}
+
+// Start begins a lap. It panics if a lap is already running (a misuse that
+// would silently corrupt statistics).
+func (t *Timer) Start() {
+	if t.running {
+		panic("metrics: Timer.Start while running")
+	}
+	t.start = time.Now()
+	t.running = true
+}
+
+// Stop ends the lap and folds it into the statistics.
+func (t *Timer) Stop() time.Duration {
+	if !t.running {
+		panic("metrics: Timer.Stop without Start")
+	}
+	lap := time.Since(t.start)
+	t.running = false
+	t.n++
+	t.total += lap
+	if t.n == 1 || lap < t.minLap {
+		t.minLap = lap
+	}
+	if lap > t.maxLap {
+		t.maxLap = lap
+	}
+	return lap
+}
+
+// Laps returns the lap count.
+func (t *Timer) Laps() int { return t.n }
+
+// Mean returns the mean lap duration (0 with no laps).
+func (t *Timer) Mean() time.Duration {
+	if t.n == 0 {
+		return 0
+	}
+	return t.total / time.Duration(t.n)
+}
+
+// Min returns the fastest lap.
+func (t *Timer) Min() time.Duration { return t.minLap }
+
+// Max returns the slowest lap.
+func (t *Timer) Max() time.Duration { return t.maxLap }
+
+// Total returns the summed duration.
+func (t *Timer) Total() time.Duration { return t.total }

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.AddBatch([]int{0, 0, 1, 2, 2, 2}, []int{0, 1, 1, 2, 2, 0})
+	if m.Total() != 6 {
+		t.Fatalf("total %d", m.Total())
+	}
+	if acc := m.Accuracy(); math.Abs(acc-4.0/6) > 1e-12 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	recall := m.PerClassRecall()
+	if math.Abs(recall[0]-0.5) > 1e-12 || math.Abs(recall[2]-2.0/3) > 1e-12 {
+		t.Fatalf("recall %v", recall)
+	}
+	prec := m.PerClassPrecision()
+	if math.Abs(prec[1]-0.5) > 1e-12 {
+		t.Fatalf("precision %v", prec)
+	}
+	if f1 := m.MacroF1(); f1 <= 0 || f1 > 1 {
+		t.Fatalf("macro F1 %v", f1)
+	}
+	if !strings.Contains(m.String(), "acc 0.667") {
+		t.Fatalf("String(): %s", m.String())
+	}
+}
+
+func TestConfusionMatrixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label should panic")
+		}
+	}()
+	NewConfusionMatrix(2).Add(0, 5)
+}
+
+func TestEmptyMatrixSafe(t *testing.T) {
+	m := NewConfusionMatrix(4)
+	if m.Accuracy() != 0 || m.MacroF1() != 0 {
+		t.Fatal("empty matrix should be all-zero, not NaN")
+	}
+	for _, r := range m.PerClassRecall() {
+		if r != 0 {
+			t.Fatal("unseen class recall must be 0")
+		}
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if p := Perplexity(0); p != 1 {
+		t.Fatalf("Perplexity(0) = %v", p)
+	}
+	if p := Perplexity(math.Log(50)); math.Abs(p-50) > 1e-9 {
+		t.Fatalf("Perplexity(ln 50) = %v", p)
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	var tm Timer
+	for i := 0; i < 3; i++ {
+		tm.Start()
+		time.Sleep(time.Millisecond)
+		tm.Stop()
+	}
+	if tm.Laps() != 3 {
+		t.Fatalf("laps %d", tm.Laps())
+	}
+	if tm.Mean() <= 0 || tm.Min() <= 0 || tm.Max() < tm.Min() || tm.Total() < tm.Max() {
+		t.Fatalf("stats inconsistent: mean=%v min=%v max=%v total=%v", tm.Mean(), tm.Min(), tm.Max(), tm.Total())
+	}
+}
+
+func TestTimerMisusePanics(t *testing.T) {
+	var tm Timer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stop without Start should panic")
+		}
+	}()
+	tm.Stop()
+}

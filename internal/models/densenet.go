@@ -1,0 +1,167 @@
+package models
+
+import (
+	"fmt"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// denseLayer is DenseNet-BC's bottleneck unit: BN-ReLU-Conv1×1(4k) →
+// BN-ReLU-Conv3×3(k); its output is concatenated onto its input.
+type denseLayer struct {
+	bn1, bn2     *nn.BatchNorm2d
+	conv1, conv2 *nn.Conv2d
+}
+
+func newDenseLayer(rng *tensor.RNG, inC, growth int) *denseLayer {
+	inter := 4 * growth
+	return &denseLayer{
+		bn1:   nn.NewBatchNorm2d(inC),
+		conv1: nn.NewConv2dNoBias(rng.Split(1), inC, inter, 1, 1, 0),
+		bn2:   nn.NewBatchNorm2d(inter),
+		conv2: nn.NewConv2dNoBias(rng.Split(2), inter, growth, 3, 1, 1),
+	}
+}
+
+func (l *denseLayer) forward(x *autodiff.Node) *autodiff.Node {
+	h := l.conv1.Forward(autodiff.ReLU(l.bn1.Forward(x)))
+	h = l.conv2.Forward(autodiff.ReLU(l.bn2.Forward(h)))
+	return autodiff.ConcatChannels(x, h)
+}
+
+func (l *denseLayer) params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("bn1", l.bn1.Params())...)
+	out = append(out, nn.PrefixParams("conv1", l.conv1.Params())...)
+	out = append(out, nn.PrefixParams("bn2", l.bn2.Params())...)
+	out = append(out, nn.PrefixParams("conv2", l.conv2.Params())...)
+	return out
+}
+
+func (l *denseLayer) setTraining(t bool) {
+	l.bn1.SetTraining(t)
+	l.bn2.SetTraining(t)
+}
+
+// transition halves channels (compression 0.5) and spatial size.
+type transition struct {
+	bn   *nn.BatchNorm2d
+	conv *nn.Conv2d
+}
+
+func newTransition(rng *tensor.RNG, inC, outC int) *transition {
+	return &transition{bn: nn.NewBatchNorm2d(inC), conv: nn.NewConv2dNoBias(rng, inC, outC, 1, 1, 0)}
+}
+
+func (t *transition) forward(x *autodiff.Node) *autodiff.Node {
+	h := t.conv.Forward(autodiff.ReLU(t.bn.Forward(x)))
+	return autodiff.AvgPool2d(h, 2, 2, 0)
+}
+
+// DenseNetLite is a DenseNet-BC with DenseNet-121's block pattern
+// (6/12/24/16 layers) but growth rate 12 instead of 32, sizing it to the
+// ~1.0M parameters the paper reports for its DenseNet121 configuration
+// (Table 3 lists 10.00×10⁵). Structure — dense connectivity, bottlenecks,
+// 0.5-compression transitions — is faithful to Huang et al.
+type DenseNetLite struct {
+	cfg        CVConfig
+	stem       *nn.Conv2d
+	blocks     [][]*denseLayer
+	trans      []*transition
+	finalBN    *nn.BatchNorm2d
+	fc         *nn.Linear
+	finalWidth int
+}
+
+// DenseNetLiteGrowth is the growth rate selected to hit the paper's
+// parameter budget (growth 12 lands at ≈0.99M parameters vs the paper's
+// 1.00M); see EXPERIMENTS.md for the measured count.
+const DenseNetLiteGrowth = 12
+
+// NewDenseNetLite builds the network for the given input geometry.
+func NewDenseNetLite(rng *tensor.RNG, cfg CVConfig) *DenseNetLite {
+	growth := DenseNetLiteGrowth
+	blockSizes := []int{6, 12, 24, 16}
+	width := 2 * growth
+	m := &DenseNetLite{
+		cfg:  cfg,
+		stem: nn.NewConv2dNoBias(rng.Split(1), cfg.InC, width, 3, 1, 1),
+	}
+	for bi, nLayers := range blockSizes {
+		brng := rng.Split(uint64(10 + bi))
+		var layers []*denseLayer
+		for li := 0; li < nLayers; li++ {
+			layers = append(layers, newDenseLayer(brng.Split(uint64(li)), width, growth))
+			width += growth
+		}
+		m.blocks = append(m.blocks, layers)
+		if bi < len(blockSizes)-1 {
+			out := width / 2
+			m.trans = append(m.trans, newTransition(brng.Split(999), width, out))
+			width = out
+		}
+	}
+	m.finalBN = nn.NewBatchNorm2d(width)
+	m.fc = nn.NewLinear(rng.Split(2), width, cfg.Classes)
+	m.finalWidth = width
+	return m
+}
+
+// Forward returns class logits.
+func (m *DenseNetLite) Forward(x *autodiff.Node) *autodiff.Node {
+	logits, _ := m.ForwardFeatures(x)
+	return logits
+}
+
+// ForwardFeatures returns logits plus per-block activations.
+func (m *DenseNetLite) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
+	nn.CheckImageInput(x, m.cfg.InC)
+	h := m.stem.Forward(x)
+	var feats []*autodiff.Node
+	for bi, block := range m.blocks {
+		for _, l := range block {
+			h = l.forward(h)
+		}
+		feats = append(feats, h)
+		if bi < len(m.trans) {
+			h = m.trans[bi].forward(h)
+		}
+	}
+	h = autodiff.ReLU(m.finalBN.Forward(h))
+	return m.fc.Forward(autodiff.GlobalAvgPool(h)), feats
+}
+
+// Params returns all parameters under stable hierarchical names.
+func (m *DenseNetLite) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("stem", m.stem.Params())...)
+	for bi, block := range m.blocks {
+		for li, l := range block {
+			out = append(out, nn.PrefixParams(fmt.Sprintf("block%d.%d", bi+1, li), l.params())...)
+		}
+		if bi < len(m.trans) {
+			out = append(out, nn.PrefixParams(fmt.Sprintf("trans%d.bn", bi+1), m.trans[bi].bn.Params())...)
+			out = append(out, nn.PrefixParams(fmt.Sprintf("trans%d.conv", bi+1), m.trans[bi].conv.Params())...)
+		}
+	}
+	out = append(out, nn.PrefixParams("finalbn", m.finalBN.Params())...)
+	out = append(out, nn.PrefixParams("fc", m.fc.Params())...)
+	return out
+}
+
+// SetTraining toggles every batch norm.
+func (m *DenseNetLite) SetTraining(t bool) {
+	for _, block := range m.blocks {
+		for _, l := range block {
+			l.setTraining(t)
+		}
+	}
+	for _, tr := range m.trans {
+		tr.bn.SetTraining(t)
+	}
+	m.finalBN.SetTraining(t)
+}
+
+var _ CVModel = (*DenseNetLite)(nil)

@@ -1,0 +1,65 @@
+package models
+
+import (
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// LeNet5 is the classic LeCun'98 convolutional network, the model used in
+// the paper's framework comparison (Fig. 14) and attack analysis (§6.3).
+type LeNet5 struct {
+	cfg           CVConfig
+	Conv1, Conv2  *nn.Conv2d
+	FC1, FC2, FC3 *nn.Linear
+	flatDim       int
+}
+
+// NewLeNet5 builds LeNet-5 for the given input geometry.
+func NewLeNet5(rng *tensor.RNG, cfg CVConfig) *LeNet5 {
+	// conv5x5 pad2 keeps spatial size; two 2× pools quarter it.
+	h, w := cfg.InH/2/2, cfg.InW/2/2
+	flat := 16 * h * w
+	return &LeNet5{
+		cfg:     cfg,
+		Conv1:   nn.NewConv2d(rng.Split(1), cfg.InC, 6, 5, 1, 2),
+		Conv2:   nn.NewConv2d(rng.Split(2), 6, 16, 5, 1, 2),
+		FC1:     nn.NewLinear(rng.Split(3), flat, 120),
+		FC2:     nn.NewLinear(rng.Split(4), 120, 84),
+		FC3:     nn.NewLinear(rng.Split(5), 84, cfg.Classes),
+		flatDim: flat,
+	}
+}
+
+// Forward returns class logits.
+func (m *LeNet5) Forward(x *autodiff.Node) *autodiff.Node {
+	logits, _ := m.ForwardFeatures(x)
+	return logits
+}
+
+// ForwardFeatures returns logits and tap points (after each conv stage).
+func (m *LeNet5) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
+	nn.CheckImageInput(x, m.cfg.InC)
+	f1 := autodiff.MaxPool2d(autodiff.ReLU(m.Conv1.Forward(x)), 2, 2, 0)
+	f2 := autodiff.MaxPool2d(autodiff.ReLU(m.Conv2.Forward(f1)), 2, 2, 0)
+	flat := autodiff.Flatten(f2)
+	h := autodiff.ReLU(m.FC1.Forward(flat))
+	h = autodiff.ReLU(m.FC2.Forward(h))
+	return m.FC3.Forward(h), []*autodiff.Node{f1, f2}
+}
+
+// Params returns all parameters under stable layer names.
+func (m *LeNet5) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("conv1", m.Conv1.Params())...)
+	out = append(out, nn.PrefixParams("conv2", m.Conv2.Params())...)
+	out = append(out, nn.PrefixParams("fc1", m.FC1.Params())...)
+	out = append(out, nn.PrefixParams("fc2", m.FC2.Params())...)
+	out = append(out, nn.PrefixParams("fc3", m.FC3.Params())...)
+	return out
+}
+
+// SetTraining is a no-op for LeNet (no BN/dropout).
+func (m *LeNet5) SetTraining(bool) {}
+
+var _ CVModel = (*LeNet5)(nil)

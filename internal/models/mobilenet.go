@@ -1,0 +1,163 @@
+package models
+
+import (
+	"fmt"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// invertedResidual is MobileNetV2's block: 1×1 expand → 3×3 depthwise →
+// 1×1 project, with a residual connection when stride is 1 and channel
+// counts match.
+type invertedResidual struct {
+	expand    *nn.Conv2d // nil when expansion factor is 1
+	expandBN  *nn.BatchNorm2d
+	dw        *nn.DepthwiseConv2d
+	dwBN      *nn.BatchNorm2d
+	project   *nn.Conv2d
+	projectBN *nn.BatchNorm2d
+	residual  bool
+}
+
+func newInvertedResidual(rng *tensor.RNG, inC, outC, stride, expandRatio int) *invertedResidual {
+	hidden := inC * expandRatio
+	b := &invertedResidual{residual: stride == 1 && inC == outC}
+	if expandRatio != 1 {
+		b.expand = nn.NewConv2dNoBias(rng.Split(1), inC, hidden, 1, 1, 0)
+		b.expandBN = nn.NewBatchNorm2d(hidden)
+	}
+	b.dw = nn.NewDepthwiseConv2d(rng.Split(2), hidden, 3, stride, 1)
+	b.dwBN = nn.NewBatchNorm2d(hidden)
+	b.project = nn.NewConv2dNoBias(rng.Split(3), hidden, outC, 1, 1, 0)
+	b.projectBN = nn.NewBatchNorm2d(outC)
+	return b
+}
+
+func (b *invertedResidual) forward(x *autodiff.Node) *autodiff.Node {
+	h := x
+	if b.expand != nil {
+		h = autodiff.ReLU6(b.expandBN.Forward(b.expand.Forward(h)))
+	}
+	h = autodiff.ReLU6(b.dwBN.Forward(b.dw.Forward(h)))
+	h = b.projectBN.Forward(b.project.Forward(h))
+	if b.residual {
+		return autodiff.Add(x, h)
+	}
+	return h
+}
+
+func (b *invertedResidual) params() []nn.Param {
+	var out []nn.Param
+	if b.expand != nil {
+		out = append(out, nn.PrefixParams("expand", b.expand.Params())...)
+		out = append(out, nn.PrefixParams("expandbn", b.expandBN.Params())...)
+	}
+	out = append(out, nn.PrefixParams("dw", b.dw.Params())...)
+	out = append(out, nn.PrefixParams("dwbn", b.dwBN.Params())...)
+	out = append(out, nn.PrefixParams("project", b.project.Params())...)
+	out = append(out, nn.PrefixParams("projectbn", b.projectBN.Params())...)
+	return out
+}
+
+func (b *invertedResidual) setTraining(t bool) {
+	if b.expandBN != nil {
+		b.expandBN.SetTraining(t)
+	}
+	b.dwBN.SetTraining(t)
+	b.projectBN.SetTraining(t)
+}
+
+// MobileNetV2 is the CIFAR-style MobileNetV2 (stride-1 stem, the standard
+// (t,c,n,s) schedule, 1280-wide head) — ≈2.3M parameters at 10 classes,
+// matching Table 3's original row.
+type MobileNetV2 struct {
+	cfg     CVConfig
+	stem    *nn.Conv2d
+	stemBN  *nn.BatchNorm2d
+	blocks  []*invertedResidual
+	stageIx []int // indices into blocks after which a tap is exposed
+	head    *nn.Conv2d
+	headBN  *nn.BatchNorm2d
+	fc      *nn.Linear
+}
+
+// NewMobileNetV2 builds the network for the given input geometry.
+func NewMobileNetV2(rng *tensor.RNG, cfg CVConfig) *MobileNetV2 {
+	m := &MobileNetV2{
+		cfg:    cfg,
+		stem:   nn.NewConv2dNoBias(rng.Split(1), cfg.InC, 32, 3, 1, 1),
+		stemBN: nn.NewBatchNorm2d(32),
+	}
+	// (expansion, outC, repeats, firstStride) — strides reduced for 32×32
+	// inputs per the common CIFAR adaptation.
+	schedule := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 3, 2}, {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	inC := 32
+	for si, st := range schedule {
+		srng := rng.Split(uint64(10 + si))
+		for i := 0; i < st.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.s
+			}
+			m.blocks = append(m.blocks, newInvertedResidual(srng.Split(uint64(i)), inC, st.c, stride, st.t))
+			inC = st.c
+		}
+		m.stageIx = append(m.stageIx, len(m.blocks)-1)
+	}
+	m.head = nn.NewConv2dNoBias(rng.Split(2), inC, 1280, 1, 1, 0)
+	m.headBN = nn.NewBatchNorm2d(1280)
+	m.fc = nn.NewLinear(rng.Split(3), 1280, cfg.Classes)
+	return m
+}
+
+// Forward returns class logits.
+func (m *MobileNetV2) Forward(x *autodiff.Node) *autodiff.Node {
+	logits, _ := m.ForwardFeatures(x)
+	return logits
+}
+
+// ForwardFeatures returns logits plus activations after selected stages.
+func (m *MobileNetV2) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
+	nn.CheckImageInput(x, m.cfg.InC)
+	h := autodiff.ReLU6(m.stemBN.Forward(m.stem.Forward(x)))
+	var feats []*autodiff.Node
+	next := 0
+	for i, blk := range m.blocks {
+		h = blk.forward(h)
+		if next < len(m.stageIx) && i == m.stageIx[next] {
+			feats = append(feats, h)
+			next++
+		}
+	}
+	h = autodiff.ReLU6(m.headBN.Forward(m.head.Forward(h)))
+	return m.fc.Forward(autodiff.GlobalAvgPool(h)), feats
+}
+
+// Params returns all parameters under stable hierarchical names.
+func (m *MobileNetV2) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("stem", m.stem.Params())...)
+	out = append(out, nn.PrefixParams("stembn", m.stemBN.Params())...)
+	for i, blk := range m.blocks {
+		out = append(out, nn.PrefixParams(fmt.Sprintf("block%d", i), blk.params())...)
+	}
+	out = append(out, nn.PrefixParams("headconv", m.head.Params())...)
+	out = append(out, nn.PrefixParams("headbn", m.headBN.Params())...)
+	out = append(out, nn.PrefixParams("fc", m.fc.Params())...)
+	return out
+}
+
+// SetTraining toggles every batch norm.
+func (m *MobileNetV2) SetTraining(t bool) {
+	m.stemBN.SetTraining(t)
+	for _, blk := range m.blocks {
+		blk.setTraining(t)
+	}
+	m.headBN.SetTraining(t)
+}
+
+var _ CVModel = (*MobileNetV2)(nil)

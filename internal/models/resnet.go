@@ -1,0 +1,146 @@
+package models
+
+import (
+	"fmt"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// basicBlock is ResNet's two-conv residual block with optional projection
+// shortcut.
+type basicBlock struct {
+	conv1, conv2 *nn.Conv2d
+	bn1, bn2     *nn.BatchNorm2d
+	downConv     *nn.Conv2d // nil for identity shortcut
+	downBN       *nn.BatchNorm2d
+}
+
+func newBasicBlock(rng *tensor.RNG, inC, outC, stride int) *basicBlock {
+	b := &basicBlock{
+		conv1: nn.NewConv2dNoBias(rng.Split(1), inC, outC, 3, stride, 1),
+		bn1:   nn.NewBatchNorm2d(outC),
+		conv2: nn.NewConv2dNoBias(rng.Split(2), outC, outC, 3, 1, 1),
+		bn2:   nn.NewBatchNorm2d(outC),
+	}
+	if stride != 1 || inC != outC {
+		b.downConv = nn.NewConv2dNoBias(rng.Split(3), inC, outC, 1, stride, 0)
+		b.downBN = nn.NewBatchNorm2d(outC)
+	}
+	return b
+}
+
+func (b *basicBlock) forward(x *autodiff.Node) *autodiff.Node {
+	out := autodiff.ReLU(b.bn1.Forward(b.conv1.Forward(x)))
+	out = b.bn2.Forward(b.conv2.Forward(out))
+	short := x
+	if b.downConv != nil {
+		short = b.downBN.Forward(b.downConv.Forward(x))
+	}
+	return autodiff.ReLU(autodiff.Add(out, short))
+}
+
+func (b *basicBlock) params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("conv1", b.conv1.Params())...)
+	out = append(out, nn.PrefixParams("bn1", b.bn1.Params())...)
+	out = append(out, nn.PrefixParams("conv2", b.conv2.Params())...)
+	out = append(out, nn.PrefixParams("bn2", b.bn2.Params())...)
+	if b.downConv != nil {
+		out = append(out, nn.PrefixParams("down.conv", b.downConv.Params())...)
+		out = append(out, nn.PrefixParams("down.bn", b.downBN.Params())...)
+	}
+	return out
+}
+
+func (b *basicBlock) setTraining(t bool) {
+	b.bn1.SetTraining(t)
+	b.bn2.SetTraining(t)
+	if b.downBN != nil {
+		b.downBN.SetTraining(t)
+	}
+}
+
+// ResNet18 is the CIFAR-style ResNet-18 (3×3 stem, four 2-block stages,
+// global average pooling) used throughout the paper's CV evaluation;
+// 11.17M parameters at 10 classes, matching Table 3's original row.
+type ResNet18 struct {
+	cfg    CVConfig
+	stem   *nn.Conv2d
+	stemBN *nn.BatchNorm2d
+	stages [4][]*basicBlock
+	fc     *nn.Linear
+}
+
+// NewResNet18 builds the network for the given input geometry.
+func NewResNet18(rng *tensor.RNG, cfg CVConfig) *ResNet18 {
+	m := &ResNet18{
+		cfg:    cfg,
+		stem:   nn.NewConv2dNoBias(rng.Split(1), cfg.InC, 64, 3, 1, 1),
+		stemBN: nn.NewBatchNorm2d(64),
+		fc:     nn.NewLinear(rng.Split(2), 512, cfg.Classes),
+	}
+	widths := []int{64, 128, 256, 512}
+	inC := 64
+	for s, w := range widths {
+		stride := 1
+		if s > 0 {
+			stride = 2
+		}
+		srng := rng.Split(uint64(10 + s))
+		m.stages[s] = []*basicBlock{
+			newBasicBlock(srng.Split(0), inC, w, stride),
+			newBasicBlock(srng.Split(1), w, w, 1),
+		}
+		inC = w
+	}
+	return m
+}
+
+// Forward returns class logits.
+func (m *ResNet18) Forward(x *autodiff.Node) *autodiff.Node {
+	logits, _ := m.ForwardFeatures(x)
+	return logits
+}
+
+// ForwardFeatures returns logits plus per-stage activations as tap points.
+func (m *ResNet18) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
+	nn.CheckImageInput(x, m.cfg.InC)
+	h := autodiff.ReLU(m.stemBN.Forward(m.stem.Forward(x)))
+	feats := make([]*autodiff.Node, 0, 4)
+	for _, stage := range m.stages {
+		for _, blk := range stage {
+			h = blk.forward(h)
+		}
+		feats = append(feats, h)
+	}
+	pooled := autodiff.GlobalAvgPool(h)
+	return m.fc.Forward(pooled), feats
+}
+
+// Params returns all parameters under stable hierarchical names.
+func (m *ResNet18) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("stem", m.stem.Params())...)
+	out = append(out, nn.PrefixParams("stembn", m.stemBN.Params())...)
+	for s, stage := range m.stages {
+		for b, blk := range stage {
+			out = append(out, nn.PrefixParams(fmt.Sprintf("layer%d.%d", s+1, b), blk.params())...)
+		}
+	}
+	out = append(out, nn.PrefixParams("fc", m.fc.Params())...)
+	return out
+}
+
+// SetTraining toggles every batch norm.
+func (m *ResNet18) SetTraining(t bool) {
+	m.stemBN.SetTraining(t)
+	for _, stage := range m.stages {
+		for _, blk := range stage {
+			blk.setTraining(t)
+		}
+	}
+}
+
+var _ CVModel = (*ResNet18)(nil)

@@ -1,0 +1,154 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// TextClassifier is the paper's AG News model: a mean-pooled embedding bag
+// followed by one linear layer (6.13M parameters at the real AG News
+// vocabulary of 95,812 and embedding width 64 — Table 4's original row).
+type TextClassifier struct {
+	Vocab, EmbedDim, Classes int
+	Embed                    *nn.Embedding
+	FC                       *nn.Linear
+}
+
+// NewTextClassifier builds the classifier.
+func NewTextClassifier(rng *tensor.RNG, vocab, embedDim, classes int) *TextClassifier {
+	return &TextClassifier{
+		Vocab: vocab, EmbedDim: embedDim, Classes: classes,
+		Embed: nn.NewEmbedding(rng.Split(1), vocab, embedDim),
+		FC:    nn.NewLinear(rng.Split(2), embedDim, classes),
+	}
+}
+
+// ForwardIDs maps token batches to class logits.
+func (m *TextClassifier) ForwardIDs(ids [][]int) *autodiff.Node {
+	logits, _ := m.ForwardIDsFeatures(ids)
+	return logits
+}
+
+// ForwardIDsFeatures additionally returns the pooled embedding (the tap
+// point for decoy sub-networks).
+func (m *TextClassifier) ForwardIDsFeatures(ids [][]int) (*autodiff.Node, *autodiff.Node) {
+	pooled := m.Embed.LookupMean(ids)
+	return m.FC.Forward(pooled), pooled
+}
+
+// Params returns embedding and classifier parameters.
+func (m *TextClassifier) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("embed", m.Embed.Params())...)
+	out = append(out, nn.PrefixParams("fc", m.FC.Params())...)
+	return out
+}
+
+// SetTraining is a no-op (no dropout/BN).
+func (m *TextClassifier) SetTraining(bool) {}
+
+var _ TextModel = (*TextClassifier)(nil)
+
+// TransformerLM is the paper's WikiText-2 language model, following the
+// PyTorch word-LM tutorial configuration the paper's parameter count
+// implies: d_model 200, 2 heads, 2 encoder layers, FFN width 200 —
+// 12.03M parameters at the 28,782-token vocabulary (Table 4).
+type TransformerLM struct {
+	Vocab, D, Heads, Layers int
+	Embed                   *nn.Embedding
+	Blocks                  []*nn.TransformerEncoderLayer
+	Decoder                 *nn.Linear
+	Drop                    *nn.Dropout
+	pe                      *tensor.Tensor
+	maxT                    int
+}
+
+// TransformerLMConfig mirrors the PyTorch tutorial hyper-parameters.
+type TransformerLMConfig struct {
+	Vocab, D, Heads, FF, Layers, MaxT int
+	Dropout                           float32
+}
+
+// DefaultTransformerLMConfig returns the paper-scale configuration.
+func DefaultTransformerLMConfig(vocab int) TransformerLMConfig {
+	return TransformerLMConfig{Vocab: vocab, D: 200, Heads: 2, FF: 200, Layers: 2, MaxT: 512, Dropout: 0.2}
+}
+
+// NewTransformerLM builds the language model.
+func NewTransformerLM(rng *tensor.RNG, cfg TransformerLMConfig) *TransformerLM {
+	m := &TransformerLM{
+		Vocab: cfg.Vocab, D: cfg.D, Heads: cfg.Heads, Layers: cfg.Layers,
+		Embed:   nn.NewEmbedding(rng.Split(1), cfg.Vocab, cfg.D),
+		Decoder: nn.NewLinear(rng.Split(2), cfg.D, cfg.Vocab),
+		Drop:    nn.NewDropout(rng.Split(3), cfg.Dropout),
+		pe:      nn.PositionalEncoding(cfg.MaxT, cfg.D),
+		maxT:    cfg.MaxT,
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, nn.NewTransformerEncoderLayer(rng.Split(uint64(10+i)), cfg.D, cfg.Heads, cfg.FF, cfg.Dropout))
+	}
+	return m
+}
+
+// ForwardIDs maps token batches [N][T] to next-token logits [N*T, Vocab],
+// applying a causal mask.
+func (m *TransformerLM) ForwardIDs(ids [][]int) *autodiff.Node {
+	n := len(ids)
+	t := len(ids[0])
+	if t > m.maxT {
+		panic(fmt.Sprintf("models: sequence length %d exceeds positional table %d", t, m.maxT))
+	}
+	h := m.Embed.Lookup(ids) // [N, T, D]
+	h = autodiff.Scale(h, float32(math.Sqrt(float64(m.D))))
+	// Add positional encodings (broadcast over batch).
+	peBatch := tensor.New(n, t, m.D)
+	for b := 0; b < n; b++ {
+		copy(peBatch.Data[b*t*m.D:(b+1)*t*m.D], m.pe.Data[:t*m.D])
+	}
+	h = m.Drop.Forward(autodiff.AddConst(h, peBatch))
+	mask := nn.CausalMask(t)
+	for _, blk := range m.Blocks {
+		h = blk.ForwardSeq(h, mask)
+	}
+	flat := autodiff.Reshape(h, n*t, m.D)
+	return m.Decoder.Forward(flat)
+}
+
+// Params returns all parameters under stable hierarchical names.
+func (m *TransformerLM) Params() []nn.Param {
+	var out []nn.Param
+	out = append(out, nn.PrefixParams("embed", m.Embed.Params())...)
+	for i, blk := range m.Blocks {
+		out = append(out, nn.PrefixParams(fmt.Sprintf("block%d", i), blk.Params())...)
+	}
+	out = append(out, nn.PrefixParams("decoder", m.Decoder.Params())...)
+	return out
+}
+
+// SetTraining toggles dropout in the embedding path and every block.
+func (m *TransformerLM) SetTraining(t bool) {
+	m.Drop.SetTraining(t)
+	for _, blk := range m.Blocks {
+		blk.SetTraining(t)
+	}
+}
+
+var _ TextModel = (*TransformerLM)(nil)
+
+// FlattenTargets turns [N][T] target ids into the flat []int label layout
+// matching TransformerLM.ForwardIDs's [N*T, Vocab] logits.
+func FlattenTargets(targets [][]int) []int {
+	if len(targets) == 0 {
+		return nil
+	}
+	t := len(targets[0])
+	out := make([]int, 0, len(targets)*t)
+	for _, row := range targets {
+		out = append(out, row...)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amalgam/internal/tensor"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 3.14159, -1234.5678, 1e-4} {
+		if got := Decode(Encode(v)); math.Abs(got-v) > 1.0/scale {
+			t.Fatalf("fixed point roundtrip %v → %v", v, got)
+		}
+	}
+}
+
+func TestShareOpenRoundtrip(t *testing.T) {
+	e := NewEngine(1)
+	v := []float64{1.5, -2.25, 0, 100.125}
+	got := e.Open(e.Share(v))
+	for i := range v {
+		if math.Abs(got[i]-v[i]) > 1e-4 {
+			t.Fatalf("share/open %v → %v", v[i], got[i])
+		}
+	}
+}
+
+func TestSharesIndividuallyUseless(t *testing.T) {
+	// A single party's share must look nothing like the secret (it is a
+	// uniformly random ring element).
+	e := NewEngine(2)
+	v := []float64{42.0}
+	s := e.Share(v)
+	for p := 0; p < Parties-1; p++ {
+		if Decode(s.shares[p][0]) == 42.0 {
+			t.Fatalf("party %d share equals the secret", p)
+		}
+	}
+}
+
+func TestAddSubLocal(t *testing.T) {
+	e := NewEngine(3)
+	a := e.Share([]float64{1, 2, 3})
+	b := e.Share([]float64{10, 20, 30})
+	bytesBefore := e.BytesSent
+	sum := Add(a, b)
+	diff := Sub(b, a)
+	if e.BytesSent != bytesBefore {
+		t.Fatal("Add/Sub must be communication-free")
+	}
+	gotSum := e.Open(sum)
+	gotDiff := e.Open(diff)
+	for i := range gotSum {
+		if math.Abs(gotSum[i]-float64(11*(i+1))) > 1e-4 {
+			t.Fatalf("Add wrong: %v", gotSum)
+		}
+		if math.Abs(gotDiff[i]-float64(9*(i+1))) > 1e-4 {
+			t.Fatalf("Sub wrong: %v", gotDiff)
+		}
+	}
+}
+
+func TestBeaverMul(t *testing.T) {
+	e := NewEngine(4)
+	a := e.Share([]float64{1.5, -2, 0.25})
+	b := e.Share([]float64{2, 3, -4})
+	got := e.Open(e.Mul(a, b))
+	want := []float64{3, -6, -1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-3 {
+			t.Fatalf("Mul[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e.Rounds == 0 || e.BytesSent == 0 {
+		t.Fatal("Beaver multiplication must consume communication")
+	}
+}
+
+func TestBeaverMulProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		e := NewEngine(seed)
+		rng := tensor.NewRNG(seed + 1)
+		a := make([]float64, 5)
+		b := make([]float64, 5)
+		for i := range a {
+			a[i] = rng.Normal(0, 2)
+			b[i] = rng.Normal(0, 2)
+		}
+		got := e.Open(e.Mul(e.Share(a), e.Share(b)))
+		for i := range a {
+			if math.Abs(got[i]-a[i]*b[i]) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureMatMul(t *testing.T) {
+	e := NewEngine(5)
+	// A [2,3] · B [3,2]
+	a := e.Share([]float64{1, 2, 3, 4, 5, 6})
+	b := e.Share([]float64{7, 8, 9, 10, 11, 12})
+	got := e.Open(e.MatMul(a, 2, 3, b, 2))
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSecureReLU(t *testing.T) {
+	e := NewEngine(6)
+	a := e.Share([]float64{-1, 0.5, -0.25, 3})
+	out, mask := e.ReLU(a)
+	got := e.Open(out)
+	want := []float64{0, 0.5, 0, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-3 {
+			t.Fatalf("ReLU[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if mask[0] || !mask[1] || mask[2] || !mask[3] {
+		t.Fatalf("ReLU mask wrong: %v", mask)
+	}
+	if e.Comparisons != 4 {
+		t.Fatalf("comparisons = %d, want 4", e.Comparisons)
+	}
+}
+
+func TestTransposeLocal(t *testing.T) {
+	e := NewEngine(7)
+	a := e.Share([]float64{1, 2, 3, 4, 5, 6}) // [2,3]
+	at := Transpose(a, 2, 3)
+	got := e.Open(at)
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-4 {
+			t.Fatalf("Transpose = %v", got)
+		}
+	}
+}
+
+func TestSecureMLPTrains(t *testing.T) {
+	// Secure end-to-end training on a linearly separable toy task.
+	e := NewEngine(8)
+	rng := tensor.NewRNG(9)
+	m := NewSecureMLP(e, rng, 8, 16, 2)
+	n := 16
+	x := make([]float32, n*8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % 2
+		for j := 0; j < 8; j++ {
+			v := rng.Float32() * 0.1
+			if labels[i] == 1 {
+				v += 0.7
+			}
+			x[i*8+j] = v
+		}
+	}
+	var first, last float64
+	for step := 0; step < 25; step++ {
+		loss := m.Step(x, n, labels, 0.3)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first/2 {
+		t.Fatalf("secure MLP failed to learn: %v → %v", first, last)
+	}
+	pred := m.Predict(x, n)
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	if correct < n*3/4 {
+		t.Fatalf("secure MLP accuracy %d/%d", correct, n)
+	}
+}
+
+func TestCommunicationAccounting(t *testing.T) {
+	e := NewEngine(10)
+	a := e.Share(make([]float64, 100))
+	b := e.Share(make([]float64, 100))
+	base := e.BytesSent
+	e.Mul(a, b)
+	mulCost := e.BytesSent - base
+	if mulCost <= 0 {
+		t.Fatal("Mul must be charged")
+	}
+	// A 10×10×10 MatMul involves 1000 scalar multiplications; with a matrix
+	// triple it must cost far less than 1000 element-wise Beaver muls (10×
+	// the 100-element cost) — that is the point of matrix triples.
+	e2 := NewEngine(10)
+	a2 := e2.Share(make([]float64, 100))
+	b2 := e2.Share(make([]float64, 100))
+	base2 := e2.BytesSent
+	e2.MatMul(a2, 10, 10, b2, 10)
+	matCost := e2.BytesSent - base2
+	if matCost >= 10*mulCost {
+		t.Fatalf("matrix triple (%d B) should beat 1000 element triples (%d B)", matCost, 10*mulCost)
+	}
+}
+
+func TestExtrapolateLeNet(t *testing.T) {
+	sec := ExtrapolateLeNet(1e9, 1000, 100, 28, 28, 10)
+	if sec <= 0 || math.IsInf(sec, 1) {
+		t.Fatalf("extrapolation = %v", sec)
+	}
+	if ExtrapolateLeNet(0, 1000, 100, 28, 28, 10) != math.Inf(1) {
+		t.Fatal("zero throughput should give Inf")
+	}
+	// Twice the throughput halves the time.
+	if got := ExtrapolateLeNet(2e9, 1000, 100, 28, 28, 10); math.Abs(got-sec/2) > 1e-9 {
+		t.Fatalf("scaling wrong: %v vs %v", got, sec/2)
+	}
+}

@@ -1,0 +1,197 @@
+package mpc
+
+import (
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+// SecureMLP is a secret-shared two-layer perceptron trained entirely under
+// MPC — weights, activations, and gradients all remain additively shared;
+// only the loss value is opened per step for monitoring. It is the
+// measured workload behind the CrypTen bar of Fig. 14 (per-layer cost is
+// then composed into LeNet's op schedule; see ExtrapolateLeNet).
+type SecureMLP struct {
+	In, Hidden, Out int
+	W1, B1, W2, B2  *Secret
+	e               *Engine
+}
+
+// NewSecureMLP shares freshly initialised weights.
+func NewSecureMLP(e *Engine, rng *tensor.RNG, in, hidden, out int) *SecureMLP {
+	initVec := func(n, fan int) []float64 {
+		bound := 1 / math.Sqrt(float64(fan))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.Uniform(-float32(bound), float32(bound)))
+		}
+		return v
+	}
+	return &SecureMLP{
+		In: in, Hidden: hidden, Out: out,
+		W1: e.Share(initVec(in*hidden, in)),
+		B1: e.Share(initVec(hidden, in)),
+		W2: e.Share(initVec(hidden*out, hidden)),
+		B2: e.Share(initVec(out, hidden)),
+		e:  e,
+	}
+}
+
+// addRowBias adds a shared bias [d] to every row of a shared [n,d] matrix.
+func addRowBias(x *Secret, n, d int, b *Secret) *Secret {
+	out := clone(x)
+	for p := 0; p < Parties; p++ {
+		for r := 0; r < n; r++ {
+			for j := 0; j < d; j++ {
+				out.shares[p][r*d+j] += b.shares[p][j]
+			}
+		}
+	}
+	return out
+}
+
+// Step performs one secure forward+backward+SGD update on a batch
+// (x: [n, In] plaintext at the data owners, shared on entry; labels are
+// public to the loss functionality, as in CrypTen's training benchmark).
+// It returns the opened batch loss.
+func (m *SecureMLP) Step(x []float32, n int, labels []int, lr float64) float64 {
+	e := m.e
+	xs := e.ShareFloat32(x)
+
+	// Forward: h = ReLU(x·W1 + b1); logits = h·W2 + b2.
+	z1 := addRowBias(e.MatMul(xs, n, m.In, m.W1, m.Hidden), n, m.Hidden, m.B1)
+	h, mask := e.ReLU(z1)
+	logits := addRowBias(e.MatMul(h, n, m.Hidden, m.W2, m.Out), n, m.Out, m.B2)
+
+	// Softmax cross-entropy gradient. CrypTen approximates exp/reciprocal
+	// under MPC; we open the logits to the loss functionality and re-share
+	// the gradient, charging the communication its polynomial-approximation
+	// pipeline would spend (8 squarings + 3 Newton iterations per element).
+	lg := e.Open(logits)
+	e.charge(8*n*m.Out*(8+3), 11)
+	probs := make([]float64, n*m.Out)
+	loss := 0.0
+	for r := 0; r < n; r++ {
+		row := lg[r*m.Out : (r+1)*m.Out]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			ev := math.Exp(v - maxv)
+			probs[r*m.Out+j] = ev
+			sum += ev
+		}
+		for j := range row {
+			probs[r*m.Out+j] /= sum
+		}
+		loss -= math.Log(math.Max(probs[r*m.Out+labels[r]], 1e-12))
+	}
+	loss /= float64(n)
+
+	dlogits := make([]float64, n*m.Out)
+	for r := 0; r < n; r++ {
+		for j := 0; j < m.Out; j++ {
+			d := probs[r*m.Out+j]
+			if j == labels[r] {
+				d -= 1
+			}
+			dlogits[r*m.Out+j] = d / float64(n)
+		}
+	}
+	dl := e.Share(dlogits)
+
+	// Backward under sharing.
+	hT := Transpose(h, n, m.Hidden)
+	dW2 := e.MatMul(hT, m.Hidden, n, dl, m.Out)
+	dB2 := colSum(dl, n, m.Out)
+	w2T := Transpose(m.W2, m.Hidden, m.Out)
+	dh := e.MatMul(dl, n, m.Out, w2T, m.Hidden)
+	dz1 := SelectByMask(dh, mask)
+	xT := Transpose(xs, n, m.In)
+	dW1 := e.MatMul(xT, m.In, n, dz1, m.Hidden)
+	dB1 := colSum(dz1, n, m.Hidden)
+
+	// SGD update (local).
+	m.W1 = Sub(m.W1, e.Scale(dW1, lr))
+	m.B1 = Sub(m.B1, e.Scale(dB1, lr))
+	m.W2 = Sub(m.W2, e.Scale(dW2, lr))
+	m.B2 = Sub(m.B2, e.Scale(dB2, lr))
+	return loss
+}
+
+// Predict opens argmax predictions for evaluation.
+func (m *SecureMLP) Predict(x []float32, n int) []int {
+	e := m.e
+	xs := e.ShareFloat32(x)
+	z1 := addRowBias(e.MatMul(xs, n, m.In, m.W1, m.Hidden), n, m.Hidden, m.B1)
+	h, _ := e.ReLU(z1)
+	logits := e.Open(addRowBias(e.MatMul(h, n, m.Hidden, m.W2, m.Out), n, m.Out, m.B2))
+	out := make([]int, n)
+	for r := 0; r < n; r++ {
+		best := 0
+		for j := 1; j < m.Out; j++ {
+			if logits[r*m.Out+j] > logits[r*m.Out+best] {
+				best = j
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// colSum sums a shared [n,d] matrix over rows; local.
+func colSum(a *Secret, n, d int) *Secret {
+	out := newSecret(d)
+	for p := 0; p < Parties; p++ {
+		for r := 0; r < n; r++ {
+			for j := 0; j < d; j++ {
+				out.shares[p][j] += a.shares[p][r*d+j]
+			}
+		}
+	}
+	return out
+}
+
+// LeNetOpSchedule lists the matrix shapes of one LeNet forward+backward on
+// a batch (im2col-lowered convolutions plus fully connected layers), used
+// to extrapolate the secure per-epoch time from measured secure-matmul
+// throughput when running the full secure LeNet is too slow for a bench.
+type matShape struct{ M, K, N int }
+
+func lenetOpSchedule(batch, inH, inW, classes int) []matShape {
+	h2, w2 := inH/2, inW/2
+	h4, w4 := h2/2, w2/2
+	flat := 16 * h4 * w4
+	fwd := []matShape{
+		{6, 25, inH * inW * batch / 1}, // conv1 as W[6,25]·cols
+		{16, 6 * 25, h2 * w2 * batch},  // conv2
+		{batch, flat, 120},
+		{batch, 120, 84},
+		{batch, 84, classes},
+	}
+	// Backward roughly doubles each (dW and dX per layer).
+	out := append([]matShape(nil), fwd...)
+	for _, s := range fwd {
+		out = append(out, s, s)
+	}
+	return out
+}
+
+// ExtrapolateLeNet estimates the secure per-epoch seconds for LeNet on a
+// dataset of nSamples from a measured secure-matmul throughput
+// (flops/sec), mirroring how PyCrCNN-style costs are reported.
+func ExtrapolateLeNet(securedFlopsPerSec float64, nSamples, batch, inH, inW, classes int) float64 {
+	if securedFlopsPerSec <= 0 {
+		return math.Inf(1)
+	}
+	var flops float64
+	for _, s := range lenetOpSchedule(batch, inH, inW, classes) {
+		flops += 2 * float64(s.M) * float64(s.K) * float64(s.N)
+	}
+	steps := float64(nSamples) / float64(batch)
+	return flops * steps / securedFlopsPerSec
+}

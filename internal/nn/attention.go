@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"math"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product self-attention with H
+// heads over inputs of shape [N, T, D].
+type MultiHeadAttention struct {
+	D, Heads       int
+	Wq, Wk, Wv, Wo *Linear
+}
+
+// NewMultiHeadAttention builds the four projection layers.
+func NewMultiHeadAttention(rng *tensor.RNG, d, heads int) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic("nn: attention dimension must divide heads")
+	}
+	return &MultiHeadAttention{
+		D: d, Heads: heads,
+		Wq: NewLinear(rng.Split(1), d, d),
+		Wk: NewLinear(rng.Split(2), d, d),
+		Wv: NewLinear(rng.Split(3), d, d),
+		Wo: NewLinear(rng.Split(4), d, d),
+	}
+}
+
+// ForwardSelf applies self-attention to x [N, T, D]. mask, when non-nil,
+// is an additive [T, T] tensor (use CausalMask for autoregressive LMs).
+func (m *MultiHeadAttention) ForwardSelf(x *autodiff.Node, mask *tensor.Tensor) *autodiff.Node {
+	s := x.Val.Shape()
+	n, t := s[0], s[1]
+	hd := m.D / m.Heads
+
+	flat := autodiff.Reshape(x, n*t, m.D)
+	q := autodiff.SplitHeads(autodiff.Reshape(m.Wq.Forward(flat), n, t, m.D), m.Heads)
+	k := autodiff.SplitHeads(autodiff.Reshape(m.Wk.Forward(flat), n, t, m.D), m.Heads)
+	v := autodiff.SplitHeads(autodiff.Reshape(m.Wv.Forward(flat), n, t, m.D), m.Heads)
+
+	scores := autodiff.BatchedMatMul(q, autodiff.Transpose12(k)) // [N*H, T, T]
+	scores = autodiff.Scale(scores, float32(1/math.Sqrt(float64(hd))))
+	if mask != nil {
+		big := tensor.New(n*m.Heads, t, t)
+		for b := 0; b < n*m.Heads; b++ {
+			copy(big.Data[b*t*t:(b+1)*t*t], mask.Data)
+		}
+		scores = autodiff.AddConst(scores, big)
+	}
+	attn := autodiff.Reshape(autodiff.SoftmaxLastDim(autodiff.Reshape(scores, n*m.Heads*t, t)), n*m.Heads, t, t)
+	ctx := autodiff.BatchedMatMul(attn, v) // [N*H, T, hd]
+	merged := autodiff.MergeHeads(ctx, m.Heads)
+	out := m.Wo.Forward(autodiff.Reshape(merged, n*t, m.D))
+	return autodiff.Reshape(out, n, t, m.D)
+}
+
+// Params returns all projection parameters.
+func (m *MultiHeadAttention) Params() []Param {
+	var out []Param
+	out = append(out, PrefixParams("wq", m.Wq.Params())...)
+	out = append(out, PrefixParams("wk", m.Wk.Params())...)
+	out = append(out, PrefixParams("wv", m.Wv.Params())...)
+	out = append(out, PrefixParams("wo", m.Wo.Params())...)
+	return out
+}
+
+// SetTraining is a no-op (projections are linear).
+func (m *MultiHeadAttention) SetTraining(bool) {}
+
+// CausalMask returns a [T, T] additive mask with -1e9 above the diagonal,
+// preventing attention to future positions.
+func CausalMask(t int) *tensor.Tensor {
+	m := tensor.New(t, t)
+	for i := 0; i < t; i++ {
+		for j := i + 1; j < t; j++ {
+			m.Data[i*t+j] = -1e9
+		}
+	}
+	return m
+}
+
+// TransformerEncoderLayer is a post-norm transformer block: self-attention
+// and a position-wise feed-forward network, each wrapped with residual
+// connection and layer norm (matching nn.TransformerEncoderLayer defaults).
+type TransformerEncoderLayer struct {
+	D        int
+	Attn     *MultiHeadAttention
+	FF1, FF2 *Linear
+	Norm1    *LayerNorm
+	Norm2    *LayerNorm
+	Drop     *Dropout
+}
+
+// NewTransformerEncoderLayer builds a block with the given model dimension,
+// head count, and feed-forward width.
+func NewTransformerEncoderLayer(rng *tensor.RNG, d, heads, ffDim int, dropout float32) *TransformerEncoderLayer {
+	return &TransformerEncoderLayer{
+		D:     d,
+		Attn:  NewMultiHeadAttention(rng.Split(1), d, heads),
+		FF1:   NewLinear(rng.Split(2), d, ffDim),
+		FF2:   NewLinear(rng.Split(3), ffDim, d),
+		Norm1: NewLayerNorm(d),
+		Norm2: NewLayerNorm(d),
+		Drop:  NewDropout(rng.Split(4), dropout),
+	}
+}
+
+// ForwardSeq applies the block to x [N, T, D] with an optional mask.
+func (l *TransformerEncoderLayer) ForwardSeq(x *autodiff.Node, mask *tensor.Tensor) *autodiff.Node {
+	s := x.Val.Shape()
+	n, t := s[0], s[1]
+	att := l.Drop.Forward(l.Attn.ForwardSelf(x, mask))
+	x = l.Norm1.Forward(autodiff.Add(x, att))
+	flat := autodiff.Reshape(x, n*t, l.D)
+	ff := l.FF2.Forward(l.Drop.Forward(autodiff.ReLU(l.FF1.Forward(flat))))
+	ff3 := autodiff.Reshape(ff, n, t, l.D)
+	return l.Norm2.Forward(autodiff.Add(x, ff3))
+}
+
+// Params returns all block parameters.
+func (l *TransformerEncoderLayer) Params() []Param {
+	var out []Param
+	out = append(out, PrefixParams("attn", l.Attn.Params())...)
+	out = append(out, PrefixParams("ff1", l.FF1.Params())...)
+	out = append(out, PrefixParams("ff2", l.FF2.Params())...)
+	out = append(out, PrefixParams("norm1", l.Norm1.Params())...)
+	out = append(out, PrefixParams("norm2", l.Norm2.Params())...)
+	return out
+}
+
+// SetTraining toggles the block's dropout.
+func (l *TransformerEncoderLayer) SetTraining(training bool) { l.Drop.SetTraining(training) }
+
+// PositionalEncoding returns the sinusoidal [maxT, D] table from
+// "Attention Is All You Need".
+func PositionalEncoding(maxT, d int) *tensor.Tensor {
+	pe := tensor.New(maxT, d)
+	for pos := 0; pos < maxT; pos++ {
+		for i := 0; i < d; i += 2 {
+			angle := float64(pos) / math.Pow(10000, float64(i)/float64(d))
+			pe.Data[pos*d+i] = float32(math.Sin(angle))
+			if i+1 < d {
+				pe.Data[pos*d+i+1] = float32(math.Cos(angle))
+			}
+		}
+	}
+	return pe
+}
+
+// CBAM is a Convolutional Block Attention Module (Woo et al., ECCV'18):
+// channel attention followed by spatial attention. The paper's transfer-
+// learning experiment inserts CBAMs into a pre-trained VGG16.
+type CBAM struct {
+	C, Reduction int
+	FC1, FC2     *Linear // shared MLP for channel attention
+	SpatialConv  *Conv2d // 7x7 conv over [mean;max] maps
+}
+
+// NewCBAM builds a CBAM for c channels with the standard reduction of 16
+// (clamped so the bottleneck is at least 1 unit wide).
+func NewCBAM(rng *tensor.RNG, c int) *CBAM {
+	r := 16
+	hidden := c / r
+	if hidden < 1 {
+		hidden = 1
+	}
+	return &CBAM{
+		C: c, Reduction: r,
+		FC1:         NewLinear(rng.Split(1), c, hidden),
+		FC2:         NewLinear(rng.Split(2), hidden, c),
+		SpatialConv: NewConv2d(rng.Split(3), 2, 1, 7, 1, 3),
+	}
+}
+
+// Forward applies channel then spatial attention to x [N, C, H, W].
+func (m *CBAM) Forward(x *autodiff.Node) *autodiff.Node {
+	// Channel attention: sigmoid(MLP(avgpool) + MLP(maxpool)).
+	avg := autodiff.GlobalAvgPool(x)
+	mx := autodiff.GlobalMaxPool(x)
+	att := autodiff.Sigmoid(autodiff.Add(
+		m.FC2.Forward(autodiff.ReLU(m.FC1.Forward(avg))),
+		m.FC2.Forward(autodiff.ReLU(m.FC1.Forward(mx))),
+	))
+	x = autodiff.MulChannelScale(x, att)
+	// Spatial attention: sigmoid(conv7x7([mean;max] over channels)).
+	sp := autodiff.Sigmoid(m.SpatialConv.Forward(autodiff.ChannelMeanMax(x)))
+	return autodiff.MulSpatialScale(x, sp)
+}
+
+// Params returns the attention parameters.
+func (m *CBAM) Params() []Param {
+	var out []Param
+	out = append(out, PrefixParams("fc1", m.FC1.Params())...)
+	out = append(out, PrefixParams("fc2", m.FC2.Params())...)
+	out = append(out, PrefixParams("spatial", m.SpatialConv.Params())...)
+	return out
+}
+
+// SetTraining is a no-op for CBAM.
+func (m *CBAM) SetTraining(bool) {}
+
+var _ Module = (*CBAM)(nil)

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+// DepthwiseConv2d is the layer form of the depthwise convolution op.
+type DepthwiseConv2d struct {
+	C, Kernel, Stride, Pad int
+	W                      *autodiff.Node
+}
+
+// NewDepthwiseConv2d builds a bias-free depthwise convolution (batch norm
+// always follows it in MobileNet-style architectures).
+func NewDepthwiseConv2d(rng *tensor.RNG, c, kernel, stride, pad int) *DepthwiseConv2d {
+	w := tensor.New(c, kernel, kernel)
+	tensor.KaimingUniform(rng, w, kernel*kernel)
+	return &DepthwiseConv2d{C: c, Kernel: kernel, Stride: stride, Pad: pad, W: autodiff.Leaf(w)}
+}
+
+// Forward applies the depthwise convolution.
+func (d *DepthwiseConv2d) Forward(x *autodiff.Node) *autodiff.Node {
+	return autodiff.DepthwiseConv2d(x, d.W, d.Stride, d.Pad)
+}
+
+// Params returns the filter bank.
+func (d *DepthwiseConv2d) Params() []Param { return []Param{{Name: "weight", Node: d.W}} }
+
+// SetTraining is a no-op.
+func (d *DepthwiseConv2d) SetTraining(bool) {}
+
+var _ Module = (*DepthwiseConv2d)(nil)

@@ -1,0 +1,159 @@
+// Package nn provides neural-network layers and containers on top of the
+// autodiff engine — the substrate equivalent of torch.nn for this
+// reproduction. Every layer carries stable, hierarchical parameter names so
+// Amalgam's model extractor can identify original-layer weights inside an
+// augmented model by name.
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+// Param is a named trainable tensor.
+type Param struct {
+	Name string
+	Node *autodiff.Node
+}
+
+// Module is a tensor-to-tensor layer or network.
+type Module interface {
+	// Forward applies the module. Implementations may panic on shape
+	// mismatch (programming error), mirroring the tensor package.
+	Forward(x *autodiff.Node) *autodiff.Node
+	// Params returns the module's named parameters, prefixed hierarchically.
+	Params() []Param
+	// SetTraining toggles training-time behaviour (batch-norm statistics,
+	// dropout) for this module and all children.
+	SetTraining(training bool)
+}
+
+// PrefixParams returns params with prefix+"." prepended to every name.
+func PrefixParams(prefix string, params []Param) []Param {
+	out := make([]Param, len(params))
+	for i, p := range params {
+		out[i] = Param{Name: prefix + "." + p.Name, Node: p.Node}
+	}
+	return out
+}
+
+// NumParams sums the element counts of all trainable parameters
+// (non-trainable state such as batch-norm running statistics is excluded).
+func NumParams(m interface{ Params() []Param }) int {
+	n := 0
+	for _, p := range m.Params() {
+		if p.Node.RequiresGrad() {
+			n += p.Node.Val.Numel()
+		}
+	}
+	return n
+}
+
+// ZeroGrads clears every parameter gradient.
+func ZeroGrads(m interface{ Params() []Param }) {
+	for _, p := range m.Params() {
+		p.Node.ZeroGrad()
+	}
+}
+
+// ParamByName finds a parameter by exact name.
+func ParamByName(m interface{ Params() []Param }, name string) (Param, bool) {
+	for _, p := range m.Params() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// StateDict returns a name → tensor map of parameter values (the live
+// tensors, not copies).
+func StateDict(m interface{ Params() []Param }) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range m.Params() {
+		out[p.Name] = p.Node.Val
+	}
+	return out
+}
+
+// LoadStateDict copies values from dict into the matching parameters of m.
+// Every parameter of m must be present in dict with a matching shape.
+func LoadStateDict(m interface{ Params() []Param }, dict map[string]*tensor.Tensor) error {
+	for _, p := range m.Params() {
+		src, ok := dict[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: LoadStateDict missing parameter %q", p.Name)
+		}
+		if !src.SameShape(p.Node.Val) {
+			return fmt.Errorf("nn: LoadStateDict shape mismatch for %q: %v vs %v", p.Name, src.Shape(), p.Node.Val.Shape())
+		}
+		p.Node.Val.CopyFrom(src)
+	}
+	return nil
+}
+
+// Sequential chains modules; children are named by index.
+type Sequential struct {
+	mods []Module
+}
+
+// NewSequential builds a Sequential from the given modules.
+func NewSequential(mods ...Module) *Sequential {
+	return &Sequential{mods: mods}
+}
+
+// Append adds a module and returns the container for chaining.
+func (s *Sequential) Append(m Module) *Sequential {
+	s.mods = append(s.mods, m)
+	return s
+}
+
+// Len returns the number of child modules.
+func (s *Sequential) Len() int { return len(s.mods) }
+
+// Child returns the i-th child module.
+func (s *Sequential) Child(i int) Module { return s.mods[i] }
+
+// Forward applies children in order.
+func (s *Sequential) Forward(x *autodiff.Node) *autodiff.Node {
+	for _, m := range s.mods {
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// Params returns children's parameters with index prefixes.
+func (s *Sequential) Params() []Param {
+	var out []Param
+	for i, m := range s.mods {
+		out = append(out, PrefixParams(fmt.Sprintf("%d", i), m.Params())...)
+	}
+	return out
+}
+
+// SetTraining propagates to all children.
+func (s *Sequential) SetTraining(training bool) {
+	for _, m := range s.mods {
+		m.SetTraining(training)
+	}
+}
+
+var _ Module = (*Sequential)(nil)
+
+// stateless is embedded by layers without parameters or modes.
+type stateless struct{}
+
+func (stateless) Params() []Param  { return nil }
+func (stateless) SetTraining(bool) {}
+
+// FormatParams renders a human-readable parameter listing for debugging.
+func FormatParams(m interface{ Params() []Param }) string {
+	var b strings.Builder
+	for _, p := range m.Params() {
+		fmt.Fprintf(&b, "%-48s %v\n", p.Name, p.Node.Val.Shape())
+	}
+	return b.String()
+}

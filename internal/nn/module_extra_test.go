@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+func TestSequentialAppendAndChild(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	seq := NewSequential()
+	seq.Append(NewLinear(rng, 4, 4)).Append(&ReLU{})
+	if seq.Len() != 2 {
+		t.Fatalf("Len = %d", seq.Len())
+	}
+	if _, ok := seq.Child(0).(*Linear); !ok {
+		t.Fatal("Child(0) should be the Linear")
+	}
+	x := autodiff.Constant(tensor.Ones(2, 4))
+	if y := seq.Forward(x); y.Val.Dim(1) != 4 {
+		t.Fatalf("seq output %v", y.Val.Shape())
+	}
+}
+
+func TestFormatParamsListsEverything(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	l := NewLinear(rng, 3, 2)
+	s := FormatParams(l)
+	if !strings.Contains(s, "weight") || !strings.Contains(s, "bias") {
+		t.Fatalf("FormatParams output:\n%s", s)
+	}
+}
+
+func TestParamByName(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	l := NewLinear(rng, 3, 2)
+	if _, ok := ParamByName(l, "weight"); !ok {
+		t.Fatal("weight should be found")
+	}
+	if _, ok := ParamByName(l, "nonexistent"); ok {
+		t.Fatal("nonexistent should not be found")
+	}
+}
+
+func TestResidualTrainingPropagates(t *testing.T) {
+	bn := NewBatchNorm2d(2)
+	r := &Residual{Body: bn}
+	r.SetTraining(false)
+	x := tensor.New(1, 2, 2, 2)
+	before := bn.RunningMean.Clone()
+	_ = r.Forward(autodiff.Constant(x))
+	if !bn.RunningMean.Equal(before) {
+		t.Fatal("SetTraining(false) must propagate through Residual")
+	}
+	// Residual params are prefixed.
+	for _, p := range r.Params() {
+		if !strings.HasPrefix(p.Name, "body.") {
+			t.Fatalf("param %q missing body prefix", p.Name)
+		}
+	}
+}
+
+func TestBatchNormStateInParams(t *testing.T) {
+	bn := NewBatchNorm2d(3)
+	names := map[string]bool{}
+	trainable := 0
+	for _, p := range bn.Params() {
+		names[p.Name] = true
+		if p.Node.RequiresGrad() {
+			trainable += p.Node.Val.Numel()
+		}
+	}
+	for _, want := range []string{"gamma", "beta", "running_mean", "running_var"} {
+		if !names[want] {
+			t.Fatalf("BatchNorm state dict missing %q", want)
+		}
+	}
+	if trainable != 6 { // gamma+beta only
+		t.Fatalf("trainable params %d, want 6", trainable)
+	}
+	if NumParams(bn) != 6 {
+		t.Fatal("NumParams must exclude running statistics")
+	}
+}

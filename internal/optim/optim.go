@@ -1,0 +1,167 @@
+// Package optim implements the optimisers used by the Amalgam evaluation:
+// SGD with momentum/weight decay (Algorithm 1's update rule) and Adam.
+// Optimisers operate on named parameter lists from the nn package, keyed by
+// name so per-parameter state survives graph rebuilds.
+package optim
+
+import (
+	"math"
+
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers zero
+	// them via nn.ZeroGrads, matching the usual train-loop shape).
+	Step()
+	// SetLR replaces the learning rate (for schedules).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD implements stochastic gradient descent with optional momentum and
+// L2 weight decay: v ← µv + (g + λθ); θ ← θ − η·v.
+type SGD struct {
+	params      []nn.Param
+	lr          float64
+	momentum    float64
+	weightDecay float64
+	velocity    map[string]*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimiser over the given parameters.
+func NewSGD(params []nn.Param, lr, momentum, weightDecay float64) *SGD {
+	return &SGD{
+		params:      params,
+		lr:          lr,
+		momentum:    momentum,
+		weightDecay: weightDecay,
+		velocity:    make(map[string]*tensor.Tensor, len(params)),
+	}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	lr := float32(s.lr)
+	mu := float32(s.momentum)
+	wd := float32(s.weightDecay)
+	for _, p := range s.params {
+		if p.Node.Grad == nil {
+			continue
+		}
+		g := p.Node.Grad
+		w := p.Node.Val
+		if s.momentum != 0 {
+			v, ok := s.velocity[p.Name]
+			if !ok {
+				v = tensor.New(w.Shape()...)
+				s.velocity[p.Name] = v
+			}
+			for i := range w.Data {
+				gi := g.Data[i] + wd*w.Data[i]
+				v.Data[i] = mu*v.Data[i] + gi
+				w.Data[i] -= lr * v.Data[i]
+			}
+		} else {
+			for i := range w.Data {
+				w.Data[i] -= lr * (g.Data[i] + wd*w.Data[i])
+			}
+		}
+	}
+}
+
+// SetLR replaces the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR returns the learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+var _ Optimizer = (*SGD)(nil)
+
+// Adam implements the Adam optimiser (Kingma & Ba, 2015).
+type Adam struct {
+	params       []nn.Param
+	lr           float64
+	beta1, beta2 float64
+	eps          float64
+	weightDecay  float64
+	step         int
+	m, v         map[string]*tensor.Tensor
+}
+
+// NewAdam builds an Adam optimiser with the standard β₁=0.9, β₂=0.999.
+func NewAdam(params []nn.Param, lr float64) *Adam {
+	return &Adam{
+		params: params,
+		lr:     lr,
+		beta1:  0.9, beta2: 0.999, eps: 1e-8,
+		m: make(map[string]*tensor.Tensor, len(params)),
+		v: make(map[string]*tensor.Tensor, len(params)),
+	}
+}
+
+// Step applies one Adam update with bias correction.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
+	lr := a.lr * math.Sqrt(bc2) / bc1
+	b1 := float32(a.beta1)
+	b2 := float32(a.beta2)
+	for _, p := range a.params {
+		if p.Node.Grad == nil {
+			continue
+		}
+		g := p.Node.Grad
+		w := p.Node.Val
+		m, ok := a.m[p.Name]
+		if !ok {
+			m = tensor.New(w.Shape()...)
+			a.m[p.Name] = m
+			a.v[p.Name] = tensor.New(w.Shape()...)
+		}
+		v := a.v[p.Name]
+		for i := range w.Data {
+			gi := g.Data[i]
+			if a.weightDecay != 0 {
+				gi += float32(a.weightDecay) * w.Data[i]
+			}
+			m.Data[i] = b1*m.Data[i] + (1-b1)*gi
+			v.Data[i] = b2*v.Data[i] + (1-b2)*gi*gi
+			w.Data[i] -= float32(lr) * m.Data[i] / (float32(math.Sqrt(float64(v.Data[i]))) + float32(a.eps))
+		}
+	}
+}
+
+// SetLR replaces the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR returns the learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+var _ Optimizer = (*Adam)(nil)
+
+// StepLR decays an optimiser's learning rate by gamma every stepSize
+// epochs, mirroring torch.optim.lr_scheduler.StepLR.
+type StepLR struct {
+	opt      Optimizer
+	baseLR   float64
+	stepSize int
+	gamma    float64
+	epoch    int
+}
+
+// NewStepLR wraps opt with a step decay schedule.
+func NewStepLR(opt Optimizer, stepSize int, gamma float64) *StepLR {
+	return &StepLR{opt: opt, baseLR: opt.LR(), stepSize: stepSize, gamma: gamma}
+}
+
+// EpochEnd advances the schedule by one epoch.
+func (s *StepLR) EpochEnd() {
+	s.epoch++
+	decays := s.epoch / s.stepSize
+	s.opt.SetLR(s.baseLR * math.Pow(s.gamma, float64(decays)))
+}

@@ -1,0 +1,110 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+// quadratic builds a single-parameter problem: minimise (w - target)².
+func quadratic(t *testing.T, opt func(params []nn.Param) Optimizer, steps int) float64 {
+	t.Helper()
+	w := autodiff.Leaf(tensor.FromSlice([]float32{5}, 1))
+	params := []nn.Param{{Name: "w", Node: w}}
+	o := opt(params)
+	target := tensor.FromSlice([]float32{2}, 1)
+	for i := 0; i < steps; i++ {
+		w.ZeroGrad()
+		loss := autodiff.MSE(autodiff.Scale(w, 1), target)
+		autodiff.Backward(loss)
+		o.Step()
+	}
+	return math.Abs(float64(w.Val.Data[0]) - 2)
+}
+
+func TestSGDConverges(t *testing.T) {
+	gap := quadratic(t, func(p []nn.Param) Optimizer { return NewSGD(p, 0.1, 0, 0) }, 100)
+	if gap > 1e-3 {
+		t.Fatalf("SGD did not converge, gap %v", gap)
+	}
+}
+
+func TestSGDMomentumConvergesFasterThanPlain(t *testing.T) {
+	plain := quadratic(t, func(p []nn.Param) Optimizer { return NewSGD(p, 0.02, 0, 0) }, 40)
+	mom := quadratic(t, func(p []nn.Param) Optimizer { return NewSGD(p, 0.02, 0.9, 0) }, 40)
+	if mom >= plain {
+		t.Fatalf("momentum (%v) should beat plain SGD (%v) on a quadratic", mom, plain)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	gap := quadratic(t, func(p []nn.Param) Optimizer { return NewAdam(p, 0.3) }, 200)
+	if gap > 1e-2 {
+		t.Fatalf("Adam did not converge, gap %v", gap)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	w := autodiff.Leaf(tensor.FromSlice([]float32{1}, 1))
+	params := []nn.Param{{Name: "w", Node: w}}
+	o := NewSGD(params, 0.1, 0, 0.5)
+	// Zero gradient (but allocated): only decay acts.
+	// One step: w ← w − lr·λ·w = 1 − 0.05.
+	autodiff.Backward(autodiff.Mean(autodiff.Scale(w, 0)))
+	w.ZeroGrad()
+	o.Step()
+	if got := w.Val.Data[0]; math.Abs(float64(got)-0.95) > 1e-6 {
+		t.Fatalf("weight decay step = %v, want 0.95", got)
+	}
+}
+
+func TestStepIgnoresNilGrads(t *testing.T) {
+	w := autodiff.Leaf(tensor.FromSlice([]float32{1}, 1))
+	params := []nn.Param{{Name: "w", Node: w}}
+	NewSGD(params, 0.1, 0.9, 0).Step() // must not panic
+	NewAdam(params, 0.1).Step()
+	if w.Val.Data[0] != 1 {
+		t.Fatal("step without grads should not move weights")
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	w := autodiff.Leaf(tensor.FromSlice([]float32{1}, 1))
+	o := NewSGD([]nn.Param{{Name: "w", Node: w}}, 1.0, 0, 0)
+	sched := NewStepLR(o, 2, 0.1)
+	lrs := []float64{}
+	for e := 0; e < 5; e++ {
+		lrs = append(lrs, o.LR())
+		sched.EpochEnd()
+	}
+	want := []float64{1, 1, 0.1, 0.1, 0.01}
+	for i := range want {
+		if math.Abs(lrs[i]-want[i]) > 1e-12 {
+			t.Fatalf("StepLR epoch %d lr = %v, want %v", i, lrs[i], want[i])
+		}
+	}
+}
+
+func TestSGDDeterministicAcrossRuns(t *testing.T) {
+	run := func() float32 {
+		rng := tensor.NewRNG(1)
+		l := nn.NewLinear(rng, 4, 2)
+		o := NewSGD(l.Params(), 0.05, 0.9, 1e-4)
+		x := tensor.New(3, 4)
+		rng.FillNormal(x, 0, 1)
+		labels := []int{0, 1, 0}
+		for i := 0; i < 10; i++ {
+			nn.ZeroGrads(l)
+			logits := l.Forward(autodiff.Constant(x))
+			autodiff.Backward(autodiff.SoftmaxCrossEntropy(logits, labels))
+			o.Step()
+		}
+		return l.W.Val.Data[0]
+	}
+	if run() != run() {
+		t.Fatal("training is not deterministic")
+	}
+}

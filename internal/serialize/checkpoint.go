@@ -1,0 +1,56 @@
+package serialize
+
+import (
+	"fmt"
+	"os"
+
+	"amalgam/internal/nn"
+)
+
+// SaveModel writes a model's full state dict (parameters plus batch-norm
+// running statistics) to path atomically (write-then-rename), so a crash
+// mid-save never leaves a truncated checkpoint.
+func SaveModel(path string, m interface{ Params() []nn.Param }) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serialize: create checkpoint: %w", err)
+	}
+	dict := nn.StateDict(m)
+	if err := WriteStateDict(f, dict); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serialize: write checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadModel reads a checkpoint into an already-constructed model with the
+// same architecture. Missing or mis-shaped entries fail the load without
+// partially mutating the model — values are staged first.
+func LoadModel(path string, m interface{ Params() []nn.Param }) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serialize: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	dict, err := ReadStateDict(f)
+	if err != nil {
+		return fmt.Errorf("serialize: read checkpoint: %w", err)
+	}
+	// Validate everything before touching the model.
+	for _, p := range m.Params() {
+		src, ok := dict[p.Name]
+		if !ok {
+			return fmt.Errorf("serialize: checkpoint missing %q", p.Name)
+		}
+		if !src.SameShape(p.Node.Val) {
+			return fmt.Errorf("serialize: checkpoint shape mismatch for %q", p.Name)
+		}
+	}
+	return nn.LoadStateDict(m, dict)
+}

@@ -1,0 +1,68 @@
+package serialize
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amalgam/internal/models"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+func TestSaveLoadModelRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lenet.amd")
+	cfg := models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3}
+	a := models.NewLeNet5(tensor.NewRNG(1), cfg)
+	if err := SaveModel(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b := models.NewLeNet5(tensor.NewRNG(2), cfg) // different init
+	if err := LoadModel(path, b); err != nil {
+		t.Fatal(err)
+	}
+	da, db := nn.StateDict(a), nn.StateDict(b)
+	for name, src := range da {
+		if !db[name].Equal(src) {
+			t.Fatalf("entry %q not restored", name)
+		}
+	}
+}
+
+func TestLoadModelArchitectureMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.amd")
+	small := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	if err := SaveModel(path, small); err != nil {
+		t.Fatal(err)
+	}
+	big := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 3, InH: 12, InW: 12, Classes: 3})
+	before := big.Conv1.W.Val.Clone()
+	if err := LoadModel(path, big); err == nil {
+		t.Fatal("architecture mismatch should fail")
+	}
+	// And must not have partially mutated the model.
+	if !big.Conv1.W.Val.Equal(before) {
+		t.Fatal("failed load must not mutate the model")
+	}
+}
+
+func TestSaveModelAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.amd")
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file must not linger")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	if err := LoadModel("/nonexistent/x.amd", m); err == nil {
+		t.Fatal("missing checkpoint should error")
+	}
+}

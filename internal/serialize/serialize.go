@@ -1,0 +1,247 @@
+// Package serialize defines the binary wire/disk formats for the artifacts
+// Amalgam ships to and from the cloud: tensors, state dicts, datasets, and
+// augmentation keys. The real prototype ships TorchScript modules and
+// PyTorch tensor files; our formats play the same role (self-contained,
+// name-anonymisable, versioned).
+//
+// All integers are little-endian. Every stream starts with a 4-byte magic
+// and a format version so decoders fail fast on foreign input.
+package serialize
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"amalgam/internal/tensor"
+)
+
+const (
+	tensorMagic = 0x414d5431 // "AMT1"
+	dictMagic   = 0x414d4431 // "AMD1"
+	version     = 1
+	maxDims     = 8
+	maxNameLen  = 1 << 12
+	maxElements = 1 << 31
+	maxDictSize = 1 << 20
+)
+
+// WriteTensor encodes t.
+func WriteTensor(w io.Writer, t *tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, tensorMagic); err != nil {
+		return err
+	}
+	if err := writeTensorBody(bw, t); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTensor decodes a tensor written by WriteTensor.
+func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, tensorMagic); err != nil {
+		return nil, err
+	}
+	return readTensorBody(br)
+}
+
+func writeHeader(w io.Writer, magic uint32) error {
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return fmt.Errorf("serialize: write magic: %w", err)
+	}
+	return binary.Write(w, binary.LittleEndian, uint16(version))
+}
+
+func readHeader(r io.Reader, magic uint32) error {
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("serialize: read magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("serialize: bad magic %#x, want %#x", m, magic)
+	}
+	var v uint16
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return fmt.Errorf("serialize: read version: %w", err)
+	}
+	if v != version {
+		return fmt.Errorf("serialize: unsupported version %d", v)
+	}
+	return nil
+}
+
+func writeTensorBody(w io.Writer, t *tensor.Tensor) error {
+	shape := t.Shape()
+	if len(shape) > maxDims {
+		return fmt.Errorf("serialize: tensor rank %d exceeds %d", len(shape), maxDims)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readTensorBody(r io.Reader) (*tensor.Tensor, error) {
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("serialize: read rank: %w", err)
+	}
+	if rank > maxDims {
+		return nil, fmt.Errorf("serialize: tensor rank %d exceeds %d", rank, maxDims)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("serialize: read dim: %w", err)
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	if n < 0 || n > maxElements {
+		return nil, fmt.Errorf("serialize: tensor with %d elements rejected", n)
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serialize: read payload: %w", err)
+	}
+	out := tensor.New(shape...)
+	for i := range out.Data {
+		out.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}
+
+// WriteStateDict encodes a name→tensor map with deterministic (sorted)
+// entry order so byte output is reproducible.
+func WriteStateDict(w io.Writer, dict map[string]*tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, dictMagic); err != nil {
+		return err
+	}
+	names := sortedKeys(dict)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		if err := writeTensorBody(bw, dict[name]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStateDict decodes a map written by WriteStateDict.
+func ReadStateDict(r io.Reader) (map[string]*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, dictMagic); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxDictSize {
+		return nil, fmt.Errorf("serialize: dict with %d entries rejected", n)
+	}
+	out := make(map[string]*tensor.Tensor, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		t, err := readTensorBody(br)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: entry %q: %w", name, err)
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxNameLen {
+		return fmt.Errorf("serialize: string length %d exceeds %d", len(s), maxNameLen)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteIntSlice encodes a []int (augmentation-key index lists).
+func WriteIntSlice(w io.Writer, s []int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	for _, v := range s {
+		if err := binary.Write(w, binary.LittleEndian, int64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadIntSlice decodes a slice written by WriteIntSlice.
+func ReadIntSlice(r io.Reader) ([]int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxElements {
+		return nil, fmt.Errorf("serialize: int slice with %d entries rejected", n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		var v int64
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]*tensor.Tensor) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

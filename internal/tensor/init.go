@@ -1,0 +1,31 @@
+package tensor
+
+import "math"
+
+// KaimingUniform fills t (interpreted as a weight with the given fan-in)
+// with the He/Kaiming uniform distribution used by PyTorch's default
+// conv/linear initialisation: U(-bound, bound), bound = sqrt(6/fanIn)
+// adjusted for a = sqrt(5) leaky slope → bound = sqrt(3/fanIn) * gain where
+// gain = sqrt(2/(1+5)) = sqrt(1/3); net effect bound = 1/sqrt(fanIn).
+func KaimingUniform(rng *RNG, t *Tensor, fanIn int) {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	bound := float32(1.0 / math.Sqrt(float64(fanIn)))
+	rng.FillUniform(t, -bound, bound)
+}
+
+// XavierUniform fills t with Glorot/Xavier uniform initialisation.
+func XavierUniform(rng *RNG, t *Tensor, fanIn, fanOut int) {
+	if fanIn+fanOut <= 0 {
+		fanIn, fanOut = 1, 0
+	}
+	bound := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	rng.FillUniform(t, -bound, bound)
+}
+
+// NormalInit fills t with N(0, std²) samples, the common initialisation for
+// embeddings and transformer weights.
+func NormalInit(rng *RNG, t *Tensor, std float64) {
+	rng.FillNormal(t, 0, std)
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a × b for a of shape [m, k] and b of shape [k, n].
+//
+// The kernel is a cache-friendly i-k-j loop parallelised over output rows.
+// Accumulation order per output element is fixed, so results are
+// bit-identical regardless of worker count.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v × %v invalid (%v)", a.shape, b.shape, ErrShape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	_ = k
+	return out
+}
+
+// MatMulInto computes out = a × b, reusing out's storage. out must be
+// [m, n] and zeroed or overwritable; it is fully overwritten.
+func MatMulInto(out, a, b *Tensor) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	ad, bd, od := a.Data, b.Data, out.Data
+	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			orow := od[i*n : (i+1)*n]
+			for x := range orow {
+				orow[x] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matmulRowsPerWorker picks a minimum per-goroutine row count so tiny
+// multiplies stay single-threaded.
+func matmulRowsPerWorker(k, n int) int {
+	work := k * n
+	if work <= 0 {
+		return 1
+	}
+	const targetFlopsPerWorker = 1 << 15
+	rows := targetFlopsPerWorker / work
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// MatMulBT returns a × bᵀ for a [m, k] and b [n, k]. This avoids
+// materialising the transpose in backward passes.
+func MatMulBT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulBT shapes %v × %vᵀ invalid (%v)", a.shape, b.shape, ErrShape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	ad, bd, od := a.Data, b.Data, out.Data
+	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulAT returns aᵀ × b for a [k, m] and b [k, n]; used for weight
+// gradients (dW = xᵀ·dy).
+func MatMulAT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulAT shapes %vᵀ × %v invalid (%v)", a.shape, b.shape, ErrShape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	ad, bd, od := a.Data, b.Data, out.Data
+	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			orow := od[i*n : (i+1)*n]
+			for x := range orow {
+				orow[x] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// binCheck panics with a descriptive message when a and b differ in shape.
+func binCheck(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v (%v)", op, a.shape, b.shape, ErrShape))
+	}
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Tensor) *Tensor {
+	binCheck("Add", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInto computes dst += src element-wise.
+func AddInto(dst, src *Tensor) {
+	binCheck("AddInto", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// AddScaledInto computes dst += alpha*src element-wise (axpy).
+func AddScaledInto(dst *Tensor, alpha float32, src *Tensor) {
+	binCheck("AddScaledInto", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * src.Data[i]
+	}
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	binCheck("Sub", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product a ⊙ b.
+func Mul(a, b *Tensor) *Tensor {
+	binCheck("Mul", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Div returns a / b element-wise.
+func Div(a, b *Tensor) *Tensor {
+	binCheck("Div", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] / b.Data[i]
+	}
+	return out
+}
+
+// Scale returns alpha * a.
+func Scale(a *Tensor, alpha float32) *Tensor {
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = alpha * a.Data[i]
+	}
+	return out
+}
+
+// ScaleInto computes a *= alpha in place.
+func ScaleInto(a *Tensor, alpha float32) {
+	for i := range a.Data {
+		a.Data[i] *= alpha
+	}
+}
+
+// Apply returns a new tensor with fn applied element-wise.
+func Apply(a *Tensor, fn func(float32) float32) *Tensor {
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = fn(a.Data[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func Sum(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *Tensor) float64 {
+	if len(a.Data) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a.Data))
+}
+
+// Max returns the maximum element. It panics on empty tensors.
+func Max(a *Tensor) float32 {
+	if len(a.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := a.Data[0]
+	for _, v := range a.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on empty tensors.
+func Min(a *Tensor) float32 {
+	if len(a.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := a.Data[0]
+	for _, v := range a.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgmaxRows treats a as a [rows, cols] matrix and returns, for each row,
+// the column index of its maximum element.
+func ArgmaxRows(a *Tensor) []int {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows requires 2-D tensor, got %v", a.shape))
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		best := 0
+		bv := a.Data[base]
+		for c := 1; c < cols; c++ {
+			if v := a.Data[base+c]; v > bv {
+				bv, best = v, c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a [rows, cols] matrix.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires 2-D tensor, got %v", a.shape))
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	out := New(cols, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out.Data[c*rows+r] = a.Data[r*cols+c]
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks 2-D matrices with equal column counts on top of each
+// other.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := ts[0].Dim(1)
+	rows := 0
+	for _, t := range ts {
+		if t.Dims() != 2 || t.Dim(1) != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch (%v)", ErrShape))
+		}
+		rows += t.Dim(0)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+// GatherFlat returns a new tensor whose element i equals a.Data[idx[i]],
+// shaped as a flat vector of len(idx). Used by the Amalgam skip layers to
+// pull secret index subsets out of augmented samples.
+func GatherFlat(a *Tensor, idx []int) *Tensor {
+	out := New(len(idx))
+	for i, j := range idx {
+		out.Data[i] = a.Data[j]
+	}
+	return out
+}
+
+// ScatterAddFlat adds src[i] into dst.Data[idx[i]] for every i. It is the
+// adjoint of GatherFlat.
+func ScatterAddFlat(dst *Tensor, idx []int, src *Tensor) {
+	if len(idx) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: ScatterAddFlat index/src length mismatch %d vs %d", len(idx), len(src.Data)))
+	}
+	for i, j := range idx {
+		dst.Data[j] += src.Data[i]
+	}
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func L2Norm(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two tensors with equal numel.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot numel mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}

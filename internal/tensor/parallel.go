@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps the parallelism used by tensor kernels. It is a variable
+// (not constant) so tests can pin it to 1 and verify determinism claims.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the number of goroutines tensor kernels may use.
+// n < 1 resets to runtime.NumCPU(). It returns the previous value.
+//
+// Results are bit-identical for any worker count because work is split into
+// disjoint output ranges; this knob exists for benchmarking the parallel
+// speedup, not for correctness.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	maxWorkers = n
+	return prev
+}
+
+// ParallelRange runs fn over [0,n) split into contiguous disjoint chunks,
+// one per worker. It is exported for packages (autodiff, data) that
+// parallelise batch loops; disjoint ranges keep results deterministic.
+func ParallelRange(n int, fn func(start, end int)) {
+	parallelFor(n, 1, fn)
+}
+
+// parallelFor runs fn over [0,n) split into contiguous chunks, one per
+// worker. fn receives the half-open range [start, end). It runs inline when
+// the problem is small enough that goroutine overhead would dominate.
+func parallelFor(n, minPerWorker int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	if max := (n + minPerWorker - 1) / minPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,258 @@
+// Package tensor implements a small, dependency-free dense tensor engine
+// used as the computational substrate for the Amalgam reproduction.
+//
+// Tensors are row-major, contiguous, float32. The package provides the
+// primitive operations (element-wise arithmetic, matrix multiplication,
+// im2col-based convolution helpers, gathers/scatters, padding) on top of
+// which the autodiff and neural-network layers are built.
+//
+// All operations are deterministic: parallel loops partition output ranges
+// so that floating-point accumulation order never depends on the number of
+// workers.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned (wrapped) by operations whose operands have
+// incompatible shapes.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Tensor is a dense, row-major, contiguous float32 tensor.
+//
+// The zero value is an empty tensor; use the constructors to build usable
+// ones. Data is exposed for hot loops but callers must not resize it.
+type Tensor struct {
+	shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkedNumel(shape)
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied). It panics if len(data) does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkedNumel(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (numel %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+func checkedNumel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's shape. The returned slice is a copy.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i (supporting negative indices from the
+// end, à la Python, because model code reads much better with Dim(-1)).
+func (t *Tensor) Dim(i int) int {
+	if i < 0 {
+		i += len(t.shape)
+	}
+	return t.shape[i]
+}
+
+// Numel returns the total number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.flatIndex(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.flatIndex(idx)] = v }
+
+func (t *Tensor) flatIndex(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	flat := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		flat = flat*t.shape[i] + x
+	}
+	return flat
+}
+
+// Reshape returns a view of t with a new shape sharing the same backing
+// data. One dimension may be -1 to infer its size. It panics if the total
+// element count differs.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	out := append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range out {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: Reshape allows at most one -1 dimension")
+			}
+			infer = i
+			continue
+		}
+		known *= d
+	}
+	if infer >= 0 {
+		if known == 0 || t.Numel()%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		out[infer] = t.Numel() / known
+	}
+	if checkedNumel(out) != t.Numel() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (numel %d) to %v", t.shape, t.Numel(), out))
+	}
+	return &Tensor{shape: out, Data: t.Data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal numel.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyFrom numel mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every element of t to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and o have the same shape and bit-identical data.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.Data {
+		if t.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have the same shape and element-wise
+// absolute difference at most tol.
+func (t *Tensor) AllClose(o *Tensor, tol float32) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.Data {
+		d := t.Data[i] - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol || math.IsNaN(float64(t.Data[i])) != math.IsNaN(float64(o.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum element-wise absolute difference between t
+// and o. It panics if shapes differ.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float32 {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	var m float32
+	for i := range t.Data {
+		d := t.Data[i] - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// String renders a compact description (shape plus a data preview) suitable
+// for debugging and error messages.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := len(t.Data)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.Data[i])
+	}
+	if n > show {
+		fmt.Fprintf(&b, ", … %d more", n-show)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// SizeBytes returns the in-memory size of the tensor payload in bytes
+// (float32 elements only, excluding headers).
+func (t *Tensor) SizeBytes() int64 { return int64(len(t.Data)) * 4 }
