@@ -1,0 +1,3 @@
+module amalgam
+
+go 1.24

@@ -1,0 +1,70 @@
+package autodiff
+
+import (
+	"testing"
+
+	"amalgam/internal/tensor"
+)
+
+// benchConvStep runs one training step (forward + backward) of a small conv
+// stack at quick-experiment scale: batch 16 of 1×28×28 through an 8-channel
+// 3×3 conv, ReLU, and a linear head. This is the allocation profile the
+// scratch pool targets; run with -benchmem and compare allocs/op against
+// BENCH_pr1.json.
+func benchConvStep(b *testing.B, batch int) {
+	rng := tensor.NewRNG(7)
+	x := tensor.New(batch, 1, 28, 28)
+	rng.FillNormal(x, 0, 1)
+	w := tensor.New(8, 1, 3, 3)
+	rng.FillNormal(w, 0, 0.3)
+	bias := tensor.New(8)
+	rng.FillNormal(bias, 0, 0.1)
+	fc := tensor.New(8*28*28, 10)
+	rng.FillNormal(fc, 0, 0.05)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+
+	wN, bN, fcN := Leaf(w), Leaf(bias), Leaf(fc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wN.ZeroGrad()
+		bN.ZeroGrad()
+		fcN.ZeroGrad()
+		h := ReLU(Conv2d(Constant(x), wN, bN, 1, 1))
+		logits := MatMul(Flatten(h), fcN)
+		loss := SoftmaxCrossEntropy(logits, labels)
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkConv2dTrainStep(b *testing.B) { benchConvStep(b, 16) }
+
+// BenchmarkLinearTrainStep isolates the fully-connected hot path (the
+// transformer/MLP profile): forward + backward of a 2-layer MLP.
+func BenchmarkLinearTrainStep(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	x := tensor.New(64, 256)
+	rng.FillNormal(x, 0, 1)
+	w1 := tensor.New(256, 512)
+	rng.FillNormal(w1, 0, 0.05)
+	w2 := tensor.New(512, 10)
+	rng.FillNormal(w2, 0, 0.05)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	w1N, w2N := Leaf(w1), Leaf(w2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w1N.ZeroGrad()
+		w2N.ZeroGrad()
+		loss := SoftmaxCrossEntropy(MatMul(ReLU(MatMul(Constant(x), w1N)), w2N), labels)
+		Backward(loss)
+		Release(loss)
+	}
+}

@@ -1,0 +1,148 @@
+package autodiff
+
+import (
+	"fmt"
+	"testing"
+
+	"amalgam/internal/tensor"
+)
+
+// convRun executes one Conv2d forward+backward and returns the output
+// value plus both gradients, cloned so pooled buffers can be recycled.
+func convRun(t *testing.T, seed uint64, batch, inC, outC, h, w, kernel, stride, pad int) (out, dx, dw *tensor.Tensor) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(batch, inC, h, w)
+	wt := tensor.New(outC, inC, kernel, kernel)
+	bias := tensor.New(outC)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(wt, 0, 0.5)
+	rng.FillNormal(bias, 0, 0.5)
+
+	xN, wN, bN := Leaf(x), Leaf(wt), Leaf(bias)
+	loss := Mean(Conv2d(xN, wN, bN, stride, pad))
+	Backward(loss)
+	out = loss.Val.Clone()
+	dx = xN.Grad.Clone()
+	dw = wN.Grad.Clone()
+	Release(loss)
+	return out, dx, dw
+}
+
+// TestDeterminismAcrossWorkers is the repo's determinism contract as a
+// table test: the blocked MatMul variants and the im2col Conv2d
+// forward+backward must produce bit-identical outputs AND gradients at
+// SetMaxWorkers(1) and SetMaxWorkers(8) (plus in-between counts that force
+// uneven chunking).
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	workerCounts := []int{2, 3, 8}
+
+	t.Run("MatMulForwardBackward", func(t *testing.T) {
+		run := func() (out, da, db *tensor.Tensor) {
+			rng := tensor.NewRNG(5)
+			a := tensor.New(33, 17)
+			b := tensor.New(17, 29)
+			rng.FillNormal(a, 0, 1)
+			rng.FillNormal(b, 0, 1)
+			aN, bN := Leaf(a), Leaf(b)
+			loss := Mean(MatMul(aN, bN))
+			Backward(loss)
+			out, da, db = loss.Val.Clone(), aN.Grad.Clone(), bN.Grad.Clone()
+			Release(loss)
+			return out, da, db
+		}
+		prev := tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(prev)
+		refOut, refDa, refDb := run()
+		for _, wk := range workerCounts {
+			tensor.SetMaxWorkers(wk)
+			out, da, db := run()
+			if !out.Equal(refOut) || !da.Equal(refDa) || !db.Equal(refDb) {
+				t.Errorf("workers=%d: MatMul fwd/bwd not bit-identical to workers=1", wk)
+			}
+		}
+	})
+
+	convCases := []struct {
+		name                                        string
+		batch, inC, outC, h, w, kernel, stride, pad int
+	}{
+		{"lenet-like", 4, 1, 6, 28, 28, 5, 1, 2},
+		{"vgg-like", 3, 3, 8, 16, 16, 3, 1, 1},
+		{"strided", 2, 2, 4, 15, 15, 3, 2, 1},
+		{"odd-batch", 5, 1, 3, 9, 9, 3, 1, 0},
+	}
+	for _, tc := range convCases {
+		t.Run(fmt.Sprintf("Conv2d/%s", tc.name), func(t *testing.T) {
+			prev := tensor.SetMaxWorkers(1)
+			defer tensor.SetMaxWorkers(prev)
+			refOut, refDx, refDw := convRun(t, 99, tc.batch, tc.inC, tc.outC, tc.h, tc.w, tc.kernel, tc.stride, tc.pad)
+			for _, wk := range workerCounts {
+				tensor.SetMaxWorkers(wk)
+				out, dx, dw := convRun(t, 99, tc.batch, tc.inC, tc.outC, tc.h, tc.w, tc.kernel, tc.stride, tc.pad)
+				if !out.Equal(refOut) {
+					t.Errorf("workers=%d: conv output not bit-identical", wk)
+				}
+				if !dx.Equal(refDx) {
+					t.Errorf("workers=%d: conv dX not bit-identical", wk)
+				}
+				if !dw.Equal(refDw) {
+					t.Errorf("workers=%d: conv dW not bit-identical", wk)
+				}
+			}
+		})
+	}
+}
+
+// TestReleaseRecyclesScratch verifies Release actually feeds the pool: a
+// second identical training step after Release must hit the pool instead
+// of allocating fresh buffers.
+func TestReleaseRecyclesScratch(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	x := tensor.New(2, 1, 8, 8)
+	w := tensor.New(4, 1, 3, 3)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.5)
+	wN := Leaf(w)
+
+	step := func() {
+		wN.ZeroGrad()
+		loss := Mean(ReLU(Conv2d(Constant(x), wN, nil, 1, 1)))
+		Backward(loss)
+		Release(loss)
+	}
+	step() // warm the pool
+	h0, _ := tensor.PoolStats()
+	step()
+	h1, m1 := tensor.PoolStats()
+	if h1 <= h0 {
+		t.Errorf("second step hit the pool %d times, want > 0 (misses now %d)", h1-h0, m1)
+	}
+}
+
+// TestReleaseKeepsLeaves verifies Release leaves parameter values and
+// gradients untouched (the optimizer reads them after Backward).
+func TestReleaseKeepsLeaves(t *testing.T) {
+	rng := tensor.NewRNG(33)
+	w := tensor.New(4, 3)
+	rng.FillNormal(w, 0, 1)
+	wVals := w.Clone()
+	wN := Leaf(w)
+	x := tensor.New(2, 4)
+	rng.FillNormal(x, 0, 1)
+
+	mm := MatMul(Constant(x), wN) // pooled interior node
+	loss := Mean(mm)
+	Backward(loss)
+	grad := wN.Grad.Clone()
+	Release(loss)
+	if wN.Val == nil || !wN.Val.Equal(wVals) {
+		t.Fatal("Release modified a leaf value")
+	}
+	if wN.Grad == nil || !wN.Grad.Equal(grad) {
+		t.Fatal("Release modified a leaf gradient")
+	}
+	if mm.Val != nil || mm.Grad != nil {
+		t.Fatal("Release kept an interior pooled value or gradient alive")
+	}
+}

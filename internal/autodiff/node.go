@@ -27,6 +27,15 @@ type Node struct {
 	parents      []*Node
 	backward     func()
 	name         string
+	// ownsVal marks interior nodes whose Val came from the tensor scratch
+	// pool (and is not shared with any view), so Release may recycle it.
+	ownsVal bool
+	// scratch holds pooled buffers the op retained for its backward pass
+	// (im2col columns, normalisation xhat, softmax probabilities). The
+	// backward closure may Put entries early and nil them; Release returns
+	// whatever is left, which covers eval-mode graphs where backward never
+	// runs.
+	scratch []*tensor.Tensor
 }
 
 // Leaf wraps t as a trainable graph input (requires gradients).
@@ -67,10 +76,21 @@ func newNode(val *tensor.Tensor, parents []*Node, backward func()) *Node {
 	return n
 }
 
-// ensureGrad allocates (once) and returns the gradient buffer.
+// newPooledNode is newNode for ops that allocated val from the tensor
+// scratch pool and fully own it (no views share the storage); Release will
+// recycle such values once the step is over.
+func newPooledNode(val *tensor.Tensor, parents []*Node, backward func()) *Node {
+	n := newNode(val, parents, backward)
+	n.ownsVal = true
+	return n
+}
+
+// ensureGrad allocates (once) and returns the gradient buffer. Buffers come
+// from the scratch pool; interior-node gradients flow back to it in Release
+// while leaf gradients live as long as the parameter.
 func (n *Node) ensureGrad() *tensor.Tensor {
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Val.Shape()...)
+		n.Grad = tensor.GetZero(n.Val.Shape()...)
 	}
 	return n.Grad
 }
@@ -135,6 +155,49 @@ func topoSort(root *Node) []*Node {
 		stack = stack[:len(stack)-1]
 	}
 	return order
+}
+
+// Release returns a finished graph's pooled scratch — interior node values
+// allocated from the tensor pool and every interior gradient buffer — so
+// the next training step reuses the same storage instead of allocating.
+// Call it after the optimizer step (and after reading any values such as
+// the loss scalar); the graph must not be used afterwards. Leaves and
+// constants are untouched: parameter values, parameter gradients, and
+// input tensors all survive. Calling Release twice, or on overlapping
+// graphs, is safe — buffers are handed back at most once.
+func Release(root *Node) {
+	if root == nil {
+		return
+	}
+	visited := map[*Node]bool{root: true}
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.parents != nil { // interior node
+			if n.ownsVal && n.Val != nil {
+				tensor.Put(n.Val)
+				n.Val = nil
+				n.ownsVal = false
+			}
+			if n.Grad != nil {
+				tensor.Put(n.Grad)
+				n.Grad = nil
+			}
+			for i, s := range n.scratch {
+				tensor.Put(s) // Put(nil) is a no-op for early-returned entries
+				n.scratch[i] = nil
+			}
+			n.scratch = nil
+			n.backward = nil
+		}
+		for _, p := range n.parents {
+			if p != nil && !visited[p] {
+				visited[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
 }
 
 // Scalar returns the single element of a scalar node's value.

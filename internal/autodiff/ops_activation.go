@@ -9,13 +9,14 @@ import (
 
 // ReLU returns max(0, a) element-wise.
 func ReLU(a *Node) *Node {
-	val := tensor.Apply(a.Val, func(v float32) float32 {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
 		if v > 0 {
 			return v
 		}
 		return 0
 	})
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -31,7 +32,8 @@ func ReLU(a *Node) *Node {
 
 // ReLU6 returns min(max(0, a), 6), MobileNet's activation.
 func ReLU6(a *Node) *Node {
-	val := tensor.Apply(a.Val, func(v float32) float32 {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
 		if v < 0 {
 			return 0
 		}
@@ -40,7 +42,7 @@ func ReLU6(a *Node) *Node {
 		}
 		return v
 	})
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -56,10 +58,11 @@ func ReLU6(a *Node) *Node {
 
 // Sigmoid returns 1/(1+exp(-a)) element-wise.
 func Sigmoid(a *Node) *Node {
-	val := tensor.Apply(a.Val, func(v float32) float32 {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
 		return float32(1 / (1 + math.Exp(-float64(v))))
 	})
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -73,10 +76,11 @@ func Sigmoid(a *Node) *Node {
 
 // Tanh returns tanh(a) element-wise.
 func Tanh(a *Node) *Node {
-	val := tensor.Apply(a.Val, func(v float32) float32 {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
 		return float32(math.Tanh(float64(v)))
 	})
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -91,11 +95,12 @@ func Tanh(a *Node) *Node {
 // GELU returns the Gaussian error linear unit (tanh approximation).
 func GELU(a *Node) *Node {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	val := tensor.Apply(a.Val, func(v float32) float32 {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
 		x := float64(v)
 		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
 	})
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -122,23 +127,22 @@ func Dropout(a *Node, p float32, rng *tensor.RNG, training bool) *Node {
 	}
 	keep := 1 - p
 	scale := 1 / keep
-	mask := make([]bool, a.Val.Numel())
-	val := tensor.New(a.Val.Shape()...)
+	// The mask stores 0 for dropped elements and 1/(1-p) for survivors, so
+	// it doubles as the backward multiplier and comes from the pool
+	// (registered as node scratch) instead of a fresh []bool per forward.
+	mask := tensor.GetZero(a.Val.Shape()...)
+	val := tensor.GetZero(a.Val.Shape()...)
 	for i, v := range a.Val.Data {
 		if rng.Float32() < keep {
-			mask[i] = true
+			mask.Data[i] = scale
 			val.Data[i] = v * scale
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.scratch = []*tensor.Tensor{mask}
 	out.backward = func() {
 		if a.requiresGrad {
-			g := a.ensureGrad()
-			for i, keepIt := range mask {
-				if keepIt {
-					g.Data[i] += out.Grad.Data[i] * scale
-				}
-			}
+			tensor.AddMulInto(a.ensureGrad(), out.Grad, mask)
 		}
 	}
 	return out
@@ -151,7 +155,7 @@ func SoftmaxCrossEntropy(logits *Node, labels []int) *Node {
 	if len(labels) != n {
 		panic(fmt.Sprintf("autodiff: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
 	}
-	probs := tensor.New(n, c)
+	probs := tensor.Get(n, c) // registered as node scratch below
 	var loss float64
 	for r := 0; r < n; r++ {
 		row := logits.Val.Data[r*c : (r+1)*c]
@@ -184,6 +188,7 @@ func SoftmaxCrossEntropy(logits *Node, labels []int) *Node {
 	}
 	val := tensor.FromSlice([]float32{float32(loss / float64(n))}, 1)
 	out := newNode(val, []*Node{logits}, nil)
+	out.scratch = []*tensor.Tensor{probs}
 	out.backward = func() {
 		if logits.requiresGrad {
 			g := logits.ensureGrad()
@@ -209,7 +214,7 @@ func SoftmaxCrossEntropy(logits *Node, labels []int) *Node {
 // [rows, cols]; used inside attention.
 func SoftmaxLastDim(a *Node) *Node {
 	rows, cols := a.Val.Dim(0), a.Val.Dim(1)
-	val := tensor.New(rows, cols)
+	val := tensor.Get(rows, cols)
 	for r := 0; r < rows; r++ {
 		src := a.Val.Data[r*cols : (r+1)*cols]
 		dst := val.Data[r*cols : (r+1)*cols]
@@ -230,7 +235,7 @@ func SoftmaxLastDim(a *Node) *Node {
 			dst[j] *= inv
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()

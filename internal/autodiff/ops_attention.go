@@ -14,7 +14,7 @@ func GlobalMaxPool(x *Node) *Node {
 		panic(fmt.Sprintf("autodiff: GlobalMaxPool needs 4-D input, got %v", xs))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	val := tensor.New(n, c)
+	val := tensor.Get(n, c)
 	arg := make([]int, n*c)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -30,7 +30,7 @@ func GlobalMaxPool(x *Node) *Node {
 			arg[b*c+ch] = bi
 		}
 	}
-	out := newNode(val, []*Node{x}, nil)
+	out := newPooledNode(val, []*Node{x}, nil)
 	out.backward = func() {
 		if x.requiresGrad {
 			xg := x.ensureGrad()
@@ -51,7 +51,7 @@ func MulChannelScale(x, s *Node) *Node {
 		panic(fmt.Sprintf("autodiff: MulChannelScale shapes %v × %v", xs, s.Val.Shape()))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	val := tensor.New(xs...)
+	val := tensor.Get(xs...)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * hw
@@ -61,7 +61,7 @@ func MulChannelScale(x, s *Node) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{x, s}, nil)
+	out := newPooledNode(val, []*Node{x, s}, nil)
 	out.backward = func() {
 		for b := 0; b < n; b++ {
 			for ch := 0; ch < c; ch++ {
@@ -94,7 +94,7 @@ func MulSpatialScale(x, s *Node) *Node {
 		panic(fmt.Sprintf("autodiff: MulSpatialScale shapes %v × %v", xs, ss))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	val := tensor.New(xs...)
+	val := tensor.Get(xs...)
 	for b := 0; b < n; b++ {
 		sp := s.Val.Data[b*hw : (b+1)*hw]
 		for ch := 0; ch < c; ch++ {
@@ -104,7 +104,7 @@ func MulSpatialScale(x, s *Node) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{x, s}, nil)
+	out := newPooledNode(val, []*Node{x, s}, nil)
 	out.backward = func() {
 		for b := 0; b < n; b++ {
 			sp := s.Val.Data[b*hw : (b+1)*hw]
@@ -136,7 +136,7 @@ func ChannelMeanMax(x *Node) *Node {
 		panic(fmt.Sprintf("autodiff: ChannelMeanMax needs 4-D input, got %v", xs))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	val := tensor.New(n, 2, xs[2], xs[3])
+	val := tensor.Get(n, 2, xs[2], xs[3])
 	arg := make([]int, n*hw) // channel index of max per pixel
 	for b := 0; b < n; b++ {
 		for i := 0; i < hw; i++ {
@@ -155,7 +155,7 @@ func ChannelMeanMax(x *Node) *Node {
 			arg[b*hw+i] = bi
 		}
 	}
-	out := newNode(val, []*Node{x}, nil)
+	out := newPooledNode(val, []*Node{x}, nil)
 	out.backward = func() {
 		if x.requiresGrad {
 			xg := x.ensureGrad()

@@ -8,8 +8,9 @@ import (
 
 // Add returns a + b (same shapes).
 func Add(a, b *Node) *Node {
-	val := tensor.Add(a.Val, b.Val)
-	out := newNode(val, []*Node{a, b}, nil)
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.AddOut(val, a.Val, b.Val)
+	out := newPooledNode(val, []*Node{a, b}, nil)
 	out.backward = func() {
 		a.accumulate(out.Grad)
 		b.accumulate(out.Grad)
@@ -19,8 +20,9 @@ func Add(a, b *Node) *Node {
 
 // Sub returns a - b.
 func Sub(a, b *Node) *Node {
-	val := tensor.Sub(a.Val, b.Val)
-	out := newNode(val, []*Node{a, b}, nil)
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.SubOut(val, a.Val, b.Val)
+	out := newPooledNode(val, []*Node{a, b}, nil)
 	out.backward = func() {
 		a.accumulate(out.Grad)
 		if b.requiresGrad {
@@ -32,14 +34,15 @@ func Sub(a, b *Node) *Node {
 
 // Mul returns the element-wise product a ⊙ b.
 func Mul(a, b *Node) *Node {
-	val := tensor.Mul(a.Val, b.Val)
-	out := newNode(val, []*Node{a, b}, nil)
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.MulOut(val, a.Val, b.Val)
+	out := newPooledNode(val, []*Node{a, b}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
-			a.accumulate(tensor.Mul(out.Grad, b.Val))
+			tensor.AddMulInto(a.ensureGrad(), out.Grad, b.Val)
 		}
 		if b.requiresGrad {
-			b.accumulate(tensor.Mul(out.Grad, a.Val))
+			tensor.AddMulInto(b.ensureGrad(), out.Grad, a.Val)
 		}
 	}
 	return out
@@ -47,8 +50,9 @@ func Mul(a, b *Node) *Node {
 
 // Scale returns alpha * a.
 func Scale(a *Node, alpha float32) *Node {
-	val := tensor.Scale(a.Val, alpha)
-	out := newNode(val, []*Node{a}, nil)
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ScaleOut(val, alpha, a.Val)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			tensor.AddScaledInto(a.ensureGrad(), alpha, out.Grad)
@@ -63,12 +67,13 @@ func AddN(nodes ...*Node) *Node {
 	if len(nodes) == 0 {
 		panic("autodiff: AddN of nothing")
 	}
-	val := nodes[0].Val.Clone()
+	val := tensor.Get(nodes[0].Val.Shape()...)
+	val.CopyFrom(nodes[0].Val)
 	for _, n := range nodes[1:] {
 		tensor.AddInto(val, n.Val)
 	}
 	parents := append([]*Node(nil), nodes...)
-	out := newNode(val, parents, nil)
+	out := newPooledNode(val, parents, nil)
 	out.backward = func() {
 		for _, n := range parents {
 			n.accumulate(out.Grad)
@@ -83,14 +88,15 @@ func AddRowBias(x, bias *Node) *Node {
 	if bias.Val.Numel() != d {
 		panic(fmt.Sprintf("autodiff: AddRowBias dims %v + %v", x.Val.Shape(), bias.Val.Shape()))
 	}
-	val := x.Val.Clone()
+	val := tensor.Get(x.Val.Shape()...)
+	val.CopyFrom(x.Val)
 	for r := 0; r < n; r++ {
 		row := val.Data[r*d : (r+1)*d]
 		for j := range row {
 			row[j] += bias.Val.Data[j]
 		}
 	}
-	out := newNode(val, []*Node{x, bias}, nil)
+	out := newPooledNode(val, []*Node{x, bias}, nil)
 	out.backward = func() {
 		x.accumulate(out.Grad)
 		if bias.requiresGrad {
@@ -113,7 +119,8 @@ func AddChanBias(x, bias *Node) *Node {
 		panic(fmt.Sprintf("autodiff: AddChanBias dims %v + %v", sh, bias.Val.Shape()))
 	}
 	n, c, hw := sh[0], sh[1], sh[2]*sh[3]
-	val := x.Val.Clone()
+	val := tensor.Get(x.Val.Shape()...)
+	val.CopyFrom(x.Val)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * hw
@@ -123,7 +130,7 @@ func AddChanBias(x, bias *Node) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{x, bias}, nil)
+	out := newPooledNode(val, []*Node{x, bias}, nil)
 	out.backward = func() {
 		x.accumulate(out.Grad)
 		if bias.requiresGrad {
@@ -145,14 +152,21 @@ func AddChanBias(x, bias *Node) *Node {
 
 // MatMul returns a × b for 2-D nodes.
 func MatMul(a, b *Node) *Node {
-	val := tensor.MatMul(a.Val, b.Val)
-	out := newNode(val, []*Node{a, b}, nil)
+	val := tensor.Get(a.Val.Dim(0), b.Val.Dim(1))
+	tensor.MatMulInto(val, a.Val, b.Val)
+	out := newPooledNode(val, []*Node{a, b}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
-			a.accumulate(tensor.MatMulBT(out.Grad, b.Val)) // dA = dY·Bᵀ
+			tmp := tensor.Get(a.Val.Shape()...)
+			tensor.MatMulBTInto(tmp, out.Grad, b.Val) // dA = dY·Bᵀ
+			tensor.AddInto(a.ensureGrad(), tmp)
+			tensor.Put(tmp)
 		}
 		if b.requiresGrad {
-			b.accumulate(tensor.MatMulAT(a.Val, out.Grad)) // dB = Aᵀ·dY
+			tmp := tensor.Get(b.Val.Shape()...)
+			tensor.MatMulATInto(tmp, a.Val, out.Grad) // dB = Aᵀ·dY
+			tensor.AddInto(b.ensureGrad(), tmp)
+			tensor.Put(tmp)
 		}
 	}
 	return out
@@ -198,7 +212,7 @@ func ConcatFeatures(nodes ...*Node) *Node {
 		}
 		total += nd.Val.Dim(1)
 	}
-	val := tensor.New(n, total)
+	val := tensor.Get(n, total)
 	off := 0
 	for _, nd := range nodes {
 		d := nd.Val.Dim(1)
@@ -208,7 +222,7 @@ func ConcatFeatures(nodes ...*Node) *Node {
 		off += d
 	}
 	parents := append([]*Node(nil), nodes...)
-	out := newNode(val, parents, nil)
+	out := newPooledNode(val, parents, nil)
 	out.backward = func() {
 		off := 0
 		for _, nd := range parents {
@@ -246,7 +260,7 @@ func ConcatChannels(nodes ...*Node) *Node {
 		totalC += s[1]
 	}
 	hw := h * w
-	val := tensor.New(n, totalC, h, w)
+	val := tensor.Get(n, totalC, h, w)
 	chOff := 0
 	for _, nd := range nodes {
 		c := nd.Val.Dim(1)
@@ -258,7 +272,7 @@ func ConcatChannels(nodes ...*Node) *Node {
 		chOff += c
 	}
 	parents := append([]*Node(nil), nodes...)
-	out := newNode(val, parents, nil)
+	out := newPooledNode(val, parents, nil)
 	out.backward = func() {
 		chOff := 0
 		for _, nd := range parents {
@@ -344,7 +358,7 @@ func GatherCols(a *Node, idx []int) *Node {
 			panic(fmt.Sprintf("autodiff: GatherCols index %d out of range [0,%d)", j, f))
 		}
 	}
-	val := tensor.New(n, k)
+	val := tensor.Get(n, k)
 	for r := 0; r < n; r++ {
 		src := a.Val.Data[r*f : (r+1)*f]
 		dst := val.Data[r*k : (r+1)*k]
@@ -352,7 +366,7 @@ func GatherCols(a *Node, idx []int) *Node {
 			dst[i] = src[j]
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()

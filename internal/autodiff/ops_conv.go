@@ -33,26 +33,31 @@ func Conv2d(x, w, bias *Node, stride, pad int) *Node {
 	imgIn := g.InC * g.InH * g.InW
 	imgOut := oc * ncols
 
-	wMat := w.Val.Reshape(oc, kdim)
-	val := tensor.New(n, oc, g.OutH, g.OutW)
+	val := tensor.Get(n, oc, g.OutH, g.OutW)
 	// Keep the per-image column matrices for the backward pass: dW needs
-	// them, and recomputing costs more than the memory at our scales.
+	// them, and recomputing costs more than the memory at our scales. They
+	// come from the tensor pool and are registered as node scratch, so the
+	// backward pass returns them after use — and Release returns them for
+	// eval-mode graphs where backward never runs.
 	colsPer := make([]*tensor.Tensor, n)
 	forEachImage(n, func(b int) {
-		cols := tensor.New(kdim, ncols)
+		cols := tensor.Get(kdim, ncols)
 		tensor.Im2Col(cols, x.Val.Data[b*imgIn:(b+1)*imgIn], g)
+		// Raw matmul: w.Val viewed as [oc, kdim] and the image's output
+		// slab as [oc, ncols], with no per-image view headers.
+		tensor.MatMulRawInto(val.Data[b*imgOut:(b+1)*imgOut], w.Val.Data, cols.Data, oc, kdim, ncols)
 		colsPer[b] = cols
-		outMat := tensor.FromSlice(val.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
-		tensor.MatMulInto(outMat, wMat, cols)
 	})
 	parents := []*Node{x, w}
 	var conv *Node
 	if bias != nil {
-		pre := newNode(val, parents, nil)
+		pre := newPooledNode(val, parents, nil)
+		pre.scratch = colsPer
 		attachConvBackward(pre, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
 		conv = AddChanBias(pre, bias)
 	} else {
-		conv = newNode(val, parents, nil)
+		conv = newPooledNode(val, parents, nil)
+		conv.scratch = colsPer
 		attachConvBackward(conv, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
 	}
 	return conv
@@ -61,24 +66,34 @@ func Conv2d(x, w, bias *Node, stride, pad int) *Node {
 func attachConvBackward(out, x, w *Node, g *tensor.ConvGeom, colsPer []*tensor.Tensor, oc, kdim, ncols, imgIn, imgOut int) {
 	n := len(colsPer)
 	out.backward = func() {
-		wMat := w.Val.Reshape(oc, kdim)
 		if w.requiresGrad {
 			// dW = Σ_b dY_b · cols_bᵀ. Accumulate sequentially over the batch
 			// for determinism (parallelising the reduction would reorder
-			// float additions).
-			wg := w.ensureGrad().Reshape(oc, kdim)
+			// float additions). One pooled scratch matrix serves all images.
+			wd := w.ensureGrad().Data // [oc, kdim] viewed flat
+			tmp := tensor.Get(oc, kdim)
 			for b := 0; b < n; b++ {
-				dy := tensor.FromSlice(out.Grad.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
-				tensor.AddInto(wg, tensor.MatMulBT(dy, colsPer[b]))
+				tensor.MatMulBTRawInto(tmp.Data, out.Grad.Data[b*imgOut:(b+1)*imgOut], colsPer[b].Data, oc, ncols, kdim)
+				tensor.AddRawInto(wd, tmp.Data)
 			}
+			tensor.Put(tmp)
 		}
 		if x.requiresGrad {
 			xg := x.ensureGrad()
 			forEachImage(n, func(b int) {
-				dy := tensor.FromSlice(out.Grad.Data[b*imgOut:(b+1)*imgOut], oc, ncols)
-				dcols := tensor.MatMulAT(wMat, dy) // [kdim, ncols]
+				dcols := tensor.Get(kdim, ncols)
+				tensor.MatMulATRawInto(dcols.Data, w.Val.Data, out.Grad.Data[b*imgOut:(b+1)*imgOut], kdim, oc, ncols)
 				tensor.Col2Im(xg.Data[b*imgIn:(b+1)*imgIn], dcols, g)
+				tensor.Put(dcols)
 			})
+		}
+		// The column matrices are no longer needed once both gradients are
+		// scattered; recycle them now rather than waiting for Release.
+		// Entries are nil'd so Release (which also sees them via the node's
+		// scratch list) does not double-put.
+		for b, cols := range colsPer {
+			tensor.Put(cols)
+			colsPer[b] = nil
 		}
 	}
 }
@@ -107,7 +122,7 @@ func MaxPool2d(x *Node, kernel, stride, pad int) *Node {
 	n := xs[0]
 	imgIn := g.InC * g.InH * g.InW
 	imgOut := g.InC * g.OutH * g.OutW
-	out := newNode(val, []*Node{x}, nil)
+	out := newPooledNode(val, []*Node{x}, nil)
 	out.backward = func() {
 		if x.requiresGrad {
 			xg := x.ensureGrad()
@@ -138,7 +153,7 @@ func AvgPool2d(x *Node, kernel, stride, pad int) *Node {
 	}
 	val := tensor.AvgPoolForward(x.Val, g)
 	n := xs[0]
-	out := newNode(val, []*Node{x}, nil)
+	out := newPooledNode(val, []*Node{x}, nil)
 	out.backward = func() {
 		if !x.requiresGrad {
 			return
@@ -198,7 +213,7 @@ func GlobalAvgPool(x *Node) *Node {
 		panic(fmt.Sprintf("autodiff: GlobalAvgPool needs 4-D input, got %v", xs))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	val := tensor.New(n, c)
+	val := tensor.Get(n, c)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * hw
@@ -209,7 +224,7 @@ func GlobalAvgPool(x *Node) *Node {
 			val.Data[b*c+ch] = float32(s / float64(hw))
 		}
 	}
-	out := newNode(val, []*Node{x}, nil)
+	out := newPooledNode(val, []*Node{x}, nil)
 	out.backward = func() {
 		if x.requiresGrad {
 			xg := x.ensureGrad()
@@ -288,8 +303,8 @@ func BatchNorm2d(x, gamma, beta *Node, runningMean, runningVar *tensor.Tensor, m
 	for ch := 0; ch < c; ch++ {
 		invStd[ch] = 1 / math.Sqrt(varv[ch]+float64(eps))
 	}
-	xhat := tensor.New(xs...)
-	val := tensor.New(xs...)
+	xhat := tensor.Get(xs...) // registered as node scratch below
+	val := tensor.Get(xs...)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * hw
@@ -302,7 +317,8 @@ func BatchNorm2d(x, gamma, beta *Node, runningMean, runningVar *tensor.Tensor, m
 			}
 		}
 	}
-	out := newNode(val, []*Node{x, gamma, beta}, nil)
+	out := newPooledNode(val, []*Node{x, gamma, beta}, nil)
+	out.scratch = []*tensor.Tensor{xhat}
 	out.backward = func() {
 		// Per-channel sums of dy and dy*xhat.
 		sumDy := make([]float64, c)

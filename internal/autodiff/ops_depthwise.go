@@ -26,7 +26,7 @@ func DepthwiseConv2d(x, w *Node, stride, pad int) *Node {
 	kh, kw := ws[1], ws[2]
 	inHW := xs[2] * xs[3]
 	outHW := g.OutH * g.OutW
-	val := tensor.New(n, c, g.OutH, g.OutW)
+	val := tensor.Get(n, c, g.OutH, g.OutW)
 	forEachImage(n*c, func(bc int) {
 		ch := bc % c
 		xBase := bc * inHW
@@ -52,7 +52,7 @@ func DepthwiseConv2d(x, w *Node, stride, pad int) *Node {
 			}
 		}
 	})
-	out := newNode(val, []*Node{x, w}, nil)
+	out := newPooledNode(val, []*Node{x, w}, nil)
 	out.backward = func() {
 		if x.requiresGrad {
 			xg := x.ensureGrad()

@@ -15,7 +15,7 @@ func SplitHeads(a *Node, heads int) *Node {
 	}
 	n, t, d := as[0], as[1], as[2]
 	hd := d / heads
-	val := tensor.New(n*heads, t, hd)
+	val := tensor.Get(n*heads, t, hd)
 	for b := 0; b < n; b++ {
 		for pos := 0; pos < t; pos++ {
 			for h := 0; h < heads; h++ {
@@ -25,7 +25,7 @@ func SplitHeads(a *Node, heads int) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -53,7 +53,7 @@ func MergeHeads(a *Node, heads int) *Node {
 	}
 	n, t, hd := as[0]/heads, as[1], as[2]
 	d := heads * hd
-	val := tensor.New(n, t, d)
+	val := tensor.Get(n, t, d)
 	for b := 0; b < n; b++ {
 		for pos := 0; pos < t; pos++ {
 			for h := 0; h < heads; h++ {
@@ -63,7 +63,7 @@ func MergeHeads(a *Node, heads int) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()

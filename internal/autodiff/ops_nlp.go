@@ -16,7 +16,7 @@ func Embedding(weight *Node, ids [][]int) *Node {
 		panic("autodiff: Embedding with empty batch")
 	}
 	t := len(ids[0])
-	val := tensor.New(n, t, d)
+	val := tensor.Get(n, t, d)
 	for b, seq := range ids {
 		if len(seq) != t {
 			panic("autodiff: Embedding ragged batch")
@@ -28,7 +28,7 @@ func Embedding(weight *Node, ids [][]int) *Node {
 			copy(val.Data[(b*t+pos)*d:(b*t+pos+1)*d], weight.Val.Data[id*d:(id+1)*d])
 		}
 	}
-	out := newNode(val, []*Node{weight}, nil)
+	out := newPooledNode(val, []*Node{weight}, nil)
 	out.backward = func() {
 		if weight.requiresGrad {
 			wg := weight.ensureGrad()
@@ -52,7 +52,7 @@ func Embedding(weight *Node, ids [][]int) *Node {
 func EmbeddingMean(weight *Node, ids [][]int) *Node {
 	v, d := weight.Val.Dim(0), weight.Val.Dim(1)
 	n := len(ids)
-	val := tensor.New(n, d)
+	val := tensor.GetZero(n, d)
 	for b, seq := range ids {
 		if len(seq) == 0 {
 			continue
@@ -69,7 +69,7 @@ func EmbeddingMean(weight *Node, ids [][]int) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{weight}, nil)
+	out := newPooledNode(val, []*Node{weight}, nil)
 	out.backward = func() {
 		if weight.requiresGrad {
 			wg := weight.ensureGrad()
@@ -99,8 +99,8 @@ func LayerNorm(x, gamma, beta *Node, eps float32) *Node {
 		panic(fmt.Sprintf("autodiff: LayerNorm gamma/beta size %d/%d, want %d", gamma.Val.Numel(), beta.Val.Numel(), d))
 	}
 	rows := x.Val.Numel() / d
-	val := tensor.New(x.Val.Shape()...)
-	xhat := tensor.New(x.Val.Shape()...)
+	val := tensor.Get(x.Val.Shape()...)
+	xhat := tensor.Get(x.Val.Shape()...) // registered as node scratch below
 	invStd := make([]float64, rows)
 	for r := 0; r < rows; r++ {
 		src := x.Val.Data[r*d : (r+1)*d]
@@ -125,7 +125,8 @@ func LayerNorm(x, gamma, beta *Node, eps float32) *Node {
 			dst[i] = gamma.Val.Data[i]*h + beta.Val.Data[i]
 		}
 	}
-	out := newNode(val, []*Node{x, gamma, beta}, nil)
+	out := newPooledNode(val, []*Node{x, gamma, beta}, nil)
+	out.scratch = []*tensor.Tensor{xhat}
 	out.backward = func() {
 		if gamma.requiresGrad {
 			gg := gamma.ensureGrad()
@@ -179,28 +180,35 @@ func BatchedMatMul(a, b *Node) *Node {
 		panic(fmt.Sprintf("autodiff: BatchedMatMul shapes %v × %v", as, bs))
 	}
 	bt, m, k, n := as[0], as[1], as[2], bs[2]
-	val := tensor.New(bt, m, n)
+	val := tensor.Get(bt, m, n)
 	forEachImage(bt, func(i int) {
-		am := tensor.FromSlice(a.Val.Data[i*m*k:(i+1)*m*k], m, k)
-		bm := tensor.FromSlice(b.Val.Data[i*k*n:(i+1)*k*n], k, n)
-		om := tensor.FromSlice(val.Data[i*m*n:(i+1)*m*n], m, n)
-		tensor.MatMulInto(om, am, bm)
+		tensor.MatMulRawInto(val.Data[i*m*n:(i+1)*m*n],
+			a.Val.Data[i*m*k:(i+1)*m*k], b.Val.Data[i*k*n:(i+1)*k*n], m, k, n)
 	})
-	out := newNode(val, []*Node{a, b}, nil)
+	out := newPooledNode(val, []*Node{a, b}, nil)
 	out.backward = func() {
+		var tmpA, tmpB *tensor.Tensor
+		if a.requiresGrad {
+			tmpA = tensor.Get(m, k)
+		}
+		if b.requiresGrad {
+			tmpB = tensor.Get(k, n)
+		}
 		for i := 0; i < bt; i++ {
-			dy := tensor.FromSlice(out.Grad.Data[i*m*n:(i+1)*m*n], m, n)
+			dy := out.Grad.Data[i*m*n : (i+1)*m*n]
 			if a.requiresGrad {
-				bm := tensor.FromSlice(b.Val.Data[i*k*n:(i+1)*k*n], k, n)
-				ga := tensor.FromSlice(a.ensureGrad().Data[i*m*k:(i+1)*m*k], m, k)
-				tensor.AddInto(ga, tensor.MatMulBT(dy, bm)) // dA = dY·Bᵀ
+				ga := a.ensureGrad().Data[i*m*k : (i+1)*m*k]
+				tensor.MatMulBTRawInto(tmpA.Data, dy, b.Val.Data[i*k*n:(i+1)*k*n], m, n, k) // dA = dY·Bᵀ
+				tensor.AddRawInto(ga, tmpA.Data)
 			}
 			if b.requiresGrad {
-				am := tensor.FromSlice(a.Val.Data[i*m*k:(i+1)*m*k], m, k)
-				gb := tensor.FromSlice(b.ensureGrad().Data[i*k*n:(i+1)*k*n], k, n)
-				tensor.AddInto(gb, tensor.MatMulAT(am, dy))
+				gb := b.ensureGrad().Data[i*k*n : (i+1)*k*n]
+				tensor.MatMulATRawInto(tmpB.Data, a.Val.Data[i*m*k:(i+1)*m*k], dy, k, m, n)
+				tensor.AddRawInto(gb, tmpB.Data)
 			}
 		}
+		tensor.Put(tmpA)
+		tensor.Put(tmpB)
 	}
 	return out
 }
@@ -212,7 +220,7 @@ func Transpose12(a *Node) *Node {
 		panic(fmt.Sprintf("autodiff: Transpose12 needs 3-D, got %v", as))
 	}
 	b, m, n := as[0], as[1], as[2]
-	val := tensor.New(b, n, m)
+	val := tensor.Get(b, n, m)
 	for i := 0; i < b; i++ {
 		for r := 0; r < m; r++ {
 			for c := 0; c < n; c++ {
@@ -220,7 +228,7 @@ func Transpose12(a *Node) *Node {
 			}
 		}
 	}
-	out := newNode(val, []*Node{a}, nil)
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -239,8 +247,34 @@ func Transpose12(a *Node) *Node {
 // AddConst adds a constant tensor (no gradient) element-wise; used for
 // positional encodings and attention masks.
 func AddConst(a *Node, c *tensor.Tensor) *Node {
-	val := tensor.Add(a.Val, c)
-	out := newNode(val, []*Node{a}, nil)
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.AddOut(val, a.Val, c)
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.backward = func() { a.accumulate(out.Grad) }
+	return out
+}
+
+// AddConstBroadcast adds a constant tensor c to every leading-dimension
+// slice of a: a [B, ...] with c matching one slice. Attention uses it to
+// apply a [T, T] mask to [B*H, T, T] scores without materialising the
+// broadcast, which previously allocated a full score-sized tensor per
+// forward pass.
+func AddConstBroadcast(a *Node, c *tensor.Tensor) *Node {
+	b := a.Val.Dim(0)
+	sz := c.Numel()
+	if a.Val.Numel() != b*sz {
+		panic(fmt.Sprintf("autodiff: AddConstBroadcast %v cannot broadcast %v over dim 0", a.Val.Shape(), c.Shape()))
+	}
+	val := tensor.Get(a.Val.Shape()...)
+	cd := c.Data
+	for i := 0; i < b; i++ {
+		src := a.Val.Data[i*sz : (i+1)*sz]
+		dst := val.Data[i*sz : (i+1)*sz]
+		for j := range dst {
+			dst[j] = src[j] + cd[j]
+		}
+	}
+	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() { a.accumulate(out.Grad) }
 	return out
 }

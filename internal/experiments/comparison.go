@@ -128,8 +128,10 @@ func trainPlainEpoch(m interface {
 	for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
 		x, labels := train.Batch(idx)
 		nn.ZeroGrads(m)
-		autodiff.Backward(autodiff.SoftmaxCrossEntropy(m.Forward(autodiff.Constant(x)), labels))
+		loss := autodiff.SoftmaxCrossEntropy(m.Forward(autodiff.Constant(x)), labels)
+		autodiff.Backward(loss)
 		opt.Step()
+		autodiff.Release(loss)
 	}
 }
 
@@ -142,6 +144,7 @@ func trainAugEpoch(am *core.AugmentedCVModel, train *data.ImageDataset, sc Scale
 		total, _ := am.Loss(autodiff.Constant(x), labels)
 		autodiff.Backward(total)
 		opt.Step()
+		autodiff.Release(total)
 	}
 }
 

@@ -41,15 +41,17 @@ func trainLM(orig *models.TransformerLM, am *core.AugmentedTransformerLM, tokens
 	for e := 0; e < sc.Epochs; e++ {
 		for lo := 0; lo+batch <= len(wins); lo += batch {
 			b := wins[lo : lo+batch]
+			var loss *autodiff.Node
 			if orig != nil {
 				nn.ZeroGrads(orig)
-				autodiff.Backward(core.LMWindowLoss(orig, b))
+				loss = core.LMWindowLoss(orig, b)
 			} else {
 				nn.ZeroGrads(am)
-				total, _ := am.LossWindows(b)
-				autodiff.Backward(total)
+				loss, _ = am.LossWindows(b)
 			}
+			autodiff.Backward(loss)
 			opt.Step()
+			autodiff.Release(loss)
 		}
 	}
 	return time.Since(start).Seconds()
@@ -73,25 +75,32 @@ func lmCurves(orig *models.TransformerLM, am *core.AugmentedTransformerLM, train
 	}
 	opt := optim.NewSGD(params, sc.LR, 0.9, 0)
 	loss := func(wins [][]int) float64 {
+		var l *autodiff.Node
 		if orig != nil {
-			return float64(core.LMWindowLoss(orig, wins).Scalar())
+			l = core.LMWindowLoss(orig, wins)
+		} else {
+			l = am.ValidateLoss(wins)
 		}
-		return float64(am.ValidateLoss(wins).Scalar())
+		v := float64(l.Scalar())
+		autodiff.Release(l)
+		return v
 	}
 	start := time.Now()
 	var points []EpochPoint
 	for e := 0; e < sc.Epochs; e++ {
 		for lo := 0; lo+batch <= len(trainWins); lo += batch {
 			b := trainWins[lo : lo+batch]
+			var loss *autodiff.Node
 			if orig != nil {
 				nn.ZeroGrads(orig)
-				autodiff.Backward(core.LMWindowLoss(orig, b))
+				loss = core.LMWindowLoss(orig, b)
 			} else {
 				nn.ZeroGrads(am)
-				total, _ := am.LossWindows(b)
-				autodiff.Backward(total)
+				loss, _ = am.LossWindows(b)
 			}
+			autodiff.Backward(loss)
 			opt.Step()
+			autodiff.Release(loss)
 		}
 		points = append(points, EpochPoint{
 			Epoch:     e + 1,
@@ -116,15 +125,17 @@ func trainTextClassifier(orig *models.TextClassifier, am *core.AugmentedTextClas
 	for e := 0; e < sc.Epochs; e++ {
 		for _, idx := range data.BatchIter(ds.N(), sc.BatchSize, nil) {
 			ids, labels := ds.Batch(idx)
+			var loss *autodiff.Node
 			if orig != nil {
 				nn.ZeroGrads(orig)
-				autodiff.Backward(autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels))
+				loss = autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels)
 			} else {
 				nn.ZeroGrads(am)
-				total, _ := am.Loss(ids, labels)
-				autodiff.Backward(total)
+				loss, _ = am.Loss(ids, labels)
 			}
+			autodiff.Backward(loss)
 			opt.Step()
+			autodiff.Release(loss)
 		}
 	}
 	return time.Since(start).Seconds()
@@ -158,6 +169,7 @@ func classifierCurves(orig *models.TextClassifier, am *core.AugmentedTextClassif
 					correct++
 				}
 			}
+			autodiff.Release(l)
 		}
 		return lossSum / float64(ds.N()), float64(correct) / float64(ds.N())
 	}
@@ -166,15 +178,17 @@ func classifierCurves(orig *models.TextClassifier, am *core.AugmentedTextClassif
 	for e := 0; e < sc.Epochs; e++ {
 		for _, idx := range data.BatchIter(train.N(), sc.BatchSize, nil) {
 			ids, labels := train.Batch(idx)
+			var loss *autodiff.Node
 			if orig != nil {
 				nn.ZeroGrads(orig)
-				autodiff.Backward(autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels))
+				loss = autodiff.SoftmaxCrossEntropy(orig.ForwardIDs(ids), labels)
 			} else {
 				nn.ZeroGrads(am)
-				total, _ := am.Loss(ids, labels)
-				autodiff.Backward(total)
+				loss, _ = am.Loss(ids, labels)
 			}
+			autodiff.Backward(loss)
 			opt.Step()
+			autodiff.Release(loss)
 		}
 		trLoss, trAcc := eval(train)
 		vLoss, vAcc := eval(val)

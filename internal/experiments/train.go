@@ -69,6 +69,7 @@ func TrainCV(m models.CVModel, train, test *data.ImageDataset, sc Scale, label s
 			opt.Step()
 			lossSum += float64(loss.Scalar()) * float64(len(labels))
 			seen += len(labels)
+			autodiff.Release(loss) // recycle the step's graph scratch
 		}
 		trLoss, trAcc := evalCV(m, train, sc.BatchSize)
 		vLoss, vAcc := evalCV(m, test, sc.BatchSize)
@@ -93,6 +94,7 @@ func TrainAugmentedCV(am *core.AugmentedCVModel, augTrain, augTest *data.ImageDa
 			total, _ := am.Loss(autodiff.Constant(x), labels)
 			autodiff.Backward(total)
 			opt.Step()
+			autodiff.Release(total)
 		}
 		trLoss, trAcc := evalCV(am, augTrain, sc.BatchSize)
 		vLoss, vAcc := evalCV(am, augTest, sc.BatchSize)
@@ -122,6 +124,7 @@ func evalCV(m cvEvaluable, ds *data.ImageDataset, batch int) (loss, acc float64)
 				correct++
 			}
 		}
+		autodiff.Release(l) // logits are reachable from l; released together
 	}
 	return lossSum / float64(ds.N()), float64(correct) / float64(ds.N())
 }

@@ -43,11 +43,7 @@ func (m *MultiHeadAttention) ForwardSelf(x *autodiff.Node, mask *tensor.Tensor) 
 	scores := autodiff.BatchedMatMul(q, autodiff.Transpose12(k)) // [N*H, T, T]
 	scores = autodiff.Scale(scores, float32(1/math.Sqrt(float64(hd))))
 	if mask != nil {
-		big := tensor.New(n*m.Heads, t, t)
-		for b := 0; b < n*m.Heads; b++ {
-			copy(big.Data[b*t*t:(b+1)*t*t], mask.Data)
-		}
-		scores = autodiff.AddConst(scores, big)
+		scores = autodiff.AddConstBroadcast(scores, mask)
 	}
 	attn := autodiff.Reshape(autodiff.SoftmaxLastDim(autodiff.Reshape(scores, n*m.Heads*t, t)), n*m.Heads, t, t)
 	ctx := autodiff.BatchedMatMul(attn, v) // [N*H, T, hd]

@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// matMulNaiveInto is a frozen copy of the seed's row-parallel i-k-j kernel.
+// It stays in the bench suite as the reference point for the blocked
+// kernels: BenchmarkMatMul vs BenchmarkMatMulNaive on the same machine is
+// the speedup the bench trajectory records.
+func matMulNaiveInto(out, a, b *Tensor) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	ad, bd, od := a.Data, b.Data, out.Data
+	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			orow := od[i*n : (i+1)*n]
+			for x := range orow {
+				orow[x] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+func benchMatrices(m, k, n int) (a, b *Tensor) {
+	rng := NewRNG(42)
+	a, b = New(m, k), New(k, n)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	return a, b
+}
+
+// BenchmarkMatMul exercises the library kernel at the sizes the acceptance
+// criteria track (256×256×256) plus the shapes that dominate training:
+// skinny linear-layer products and small attention blocks.
+func BenchmarkMatMul(bb *testing.B) {
+	sizes := []struct{ m, k, n int }{
+		{256, 256, 256},
+		{64, 512, 512},
+		{128, 27, 1024}, // conv-as-matmul: [OC, C*KH*KW] × [kdim, OutH*OutW]
+		{32, 64, 64},    // attention-sized block
+	}
+	for _, s := range sizes {
+		bb.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(bb *testing.B) {
+			a, b := benchMatrices(s.m, s.k, s.n)
+			out := New(s.m, s.n)
+			bb.SetBytes(int64(s.m*s.k+s.k*s.n+s.m*s.n) * 4)
+			bb.ReportAllocs()
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				MatMulInto(out, a, b)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulNaive is the seed kernel on the same shapes; the ratio to
+// BenchmarkMatMul is the recorded speedup.
+func BenchmarkMatMulNaive(bb *testing.B) {
+	a, b := benchMatrices(256, 256, 256)
+	out := New(256, 256)
+	bb.SetBytes(int64(3*256*256) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		matMulNaiveInto(out, a, b)
+	}
+}
+
+func BenchmarkMatMulBT(bb *testing.B) {
+	a, _ := benchMatrices(256, 256, 256)
+	c, _ := benchMatrices(256, 256, 256)
+	out := New(256, 256)
+	bb.SetBytes(int64(3*256*256) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulBTInto(out, a, c)
+	}
+}
+
+func BenchmarkMatMulAT(bb *testing.B) {
+	a, _ := benchMatrices(256, 256, 256)
+	c, _ := benchMatrices(256, 256, 256)
+	out := New(256, 256)
+	bb.SetBytes(int64(3*256*256) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulATInto(out, a, c)
+	}
+}
+
+// BenchmarkPoolGetPut measures the steady-state cost of the scratch pool
+// against a raw allocation of the same footprint.
+func BenchmarkPoolGetPut(bb *testing.B) {
+	bb.ReportAllocs()
+	for i := 0; i < bb.N; i++ {
+		t := Get(64, 1024)
+		Put(t)
+	}
+}
+
+func BenchmarkRawAlloc(bb *testing.B) {
+	bb.ReportAllocs()
+	for i := 0; i < bb.N; i++ {
+		t := New(64, 1024)
+		_ = t
+	}
+}

@@ -117,7 +117,9 @@ func MaxPoolForward(x *Tensor, g *ConvGeom) (out *Tensor, argmax []int32) {
 	n := x.Dim(0)
 	imgIn := g.InC * g.InH * g.InW
 	imgOut := g.InC * g.OutH * g.OutW
-	out = New(n, g.InC, g.OutH, g.OutW)
+	// Pooled: every element is written below, and autodiff marks the
+	// wrapping node as pool-owned so Release recycles it.
+	out = Get(n, g.InC, g.OutH, g.OutW)
 	argmax = make([]int32, n*imgOut)
 	parallelFor(n, 1, func(n0, n1 int) {
 		for b := n0; b < n1; b++ {
@@ -164,7 +166,9 @@ func AvgPoolForward(x *Tensor, g *ConvGeom) *Tensor {
 	n := x.Dim(0)
 	imgIn := g.InC * g.InH * g.InW
 	imgOut := g.InC * g.OutH * g.OutW
-	out := New(n, g.InC, g.OutH, g.OutW)
+	// GetZero: windows that fall entirely into padding are skipped below
+	// and must read as zero.
+	out := GetZero(n, g.InC, g.OutH, g.OutW)
 	parallelFor(n, 1, func(n0, n1 int) {
 		for b := n0; b < n1; b++ {
 			xb := x.Data[b*imgIn : (b+1)*imgIn]

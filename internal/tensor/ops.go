@@ -38,6 +38,71 @@ func AddScaledInto(dst *Tensor, alpha float32, src *Tensor) {
 	}
 }
 
+// AddRawInto computes dst[i] += src[i] over raw buffers (src at least as
+// long as dst). Backward passes use it to fold pooled matmul scratch into
+// gradient slabs without view headers.
+func AddRawInto(dst, src []float32) {
+	src = src[:len(dst)]
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// AddOut computes dst = a + b element-wise into pre-sized dst.
+func AddOut(dst, a, b *Tensor) {
+	binCheck("AddOut", a, b)
+	binCheck("AddOut", dst, a)
+	ad := a.Data[:len(dst.Data)]
+	bd := b.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = ad[i] + bd[i]
+	}
+}
+
+// SubOut computes dst = a - b element-wise into pre-sized dst.
+func SubOut(dst, a, b *Tensor) {
+	binCheck("SubOut", a, b)
+	binCheck("SubOut", dst, a)
+	ad := a.Data[:len(dst.Data)]
+	bd := b.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = ad[i] - bd[i]
+	}
+}
+
+// MulOut computes dst = a ⊙ b element-wise into pre-sized dst.
+func MulOut(dst, a, b *Tensor) {
+	binCheck("MulOut", a, b)
+	binCheck("MulOut", dst, a)
+	ad := a.Data[:len(dst.Data)]
+	bd := b.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = ad[i] * bd[i]
+	}
+}
+
+// ScaleOut computes dst = alpha * a into pre-sized dst.
+func ScaleOut(dst *Tensor, alpha float32, a *Tensor) {
+	binCheck("ScaleOut", dst, a)
+	ad := a.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = alpha * ad[i]
+	}
+}
+
+// AddMulInto computes dst += x ⊙ y element-wise (fused multiply-accumulate
+// over whole tensors). It lets backward passes scatter product gradients
+// without a scratch tensor.
+func AddMulInto(dst, x, y *Tensor) {
+	binCheck("AddMulInto", dst, x)
+	binCheck("AddMulInto", dst, y)
+	xd := x.Data[:len(dst.Data)]
+	yd := y.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] += xd[i] * yd[i]
+	}
+}
+
 // Sub returns a - b element-wise.
 func Sub(a, b *Tensor) *Tensor {
 	binCheck("Sub", a, b)
@@ -91,6 +156,17 @@ func Apply(a *Tensor, fn func(float32) float32) *Tensor {
 		out.Data[i] = fn(a.Data[i])
 	}
 	return out
+}
+
+// ApplyInto writes fn applied element-wise over a into dst (same numel).
+func ApplyInto(dst, a *Tensor, fn func(float32) float32) {
+	if len(dst.Data) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: ApplyInto numel mismatch %d vs %d", len(dst.Data), len(a.Data)))
+	}
+	ad := a.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = fn(ad[i])
+	}
 }
 
 // Sum returns the sum of all elements (accumulated in float64 for

@@ -1,0 +1,230 @@
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy4x2SIMD(d0, d1, b0, b1, b2, b3 []float32, a *[8]float32)
+//
+// d0[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
+// d1[j] += a[4]*b0[j] + a[5]*b1[j] + a[6]*b2[j] + a[7]*b3[j]
+// for j in [0, len(d0)). Uses FMA: each term is fused, chained in fixed
+// ascending order, so results are deterministic for a given binary.
+TEXT ·axpy4x2SIMD(SB), NOSPLIT, $0-152
+	MOVQ d0_base+0(FP), DI
+	MOVQ d0_len+8(FP), CX
+	MOVQ d1_base+24(FP), R11
+	MOVQ b0_base+48(FP), SI
+	MOVQ b1_base+72(FP), R8
+	MOVQ b2_base+96(FP), R9
+	MOVQ b3_base+120(FP), R10
+	MOVQ a+144(FP), DX
+	VBROADCASTSS 0(DX), Y0
+	VBROADCASTSS 4(DX), Y1
+	VBROADCASTSS 8(DX), Y2
+	VBROADCASTSS 12(DX), Y3
+	VBROADCASTSS 16(DX), Y4
+	VBROADCASTSS 20(DX), Y5
+	VBROADCASTSS 24(DX), Y6
+	VBROADCASTSS 28(DX), Y7
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  tail
+loop8:
+	VMOVUPS (SI)(AX*4), Y8
+	VMOVUPS (R8)(AX*4), Y9
+	VMOVUPS (R9)(AX*4), Y10
+	VMOVUPS (R10)(AX*4), Y11
+	VMOVUPS (DI)(AX*4), Y12
+	VMOVUPS (R11)(AX*4), Y13
+	VFMADD231PS Y8, Y0, Y12
+	VFMADD231PS Y9, Y1, Y12
+	VFMADD231PS Y10, Y2, Y12
+	VFMADD231PS Y11, Y3, Y12
+	VFMADD231PS Y8, Y4, Y13
+	VFMADD231PS Y9, Y5, Y13
+	VFMADD231PS Y10, Y6, Y13
+	VFMADD231PS Y11, Y7, Y13
+	VMOVUPS Y12, (DI)(AX*4)
+	VMOVUPS Y13, (R11)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  loop8
+tail:
+	CMPQ AX, CX
+	JGE  done
+tailloop:
+	VMOVSS (SI)(AX*4), X8
+	VMOVSS (R8)(AX*4), X9
+	VMOVSS (R9)(AX*4), X10
+	VMOVSS (R10)(AX*4), X11
+	VMOVSS (DI)(AX*4), X12
+	VMOVSS (R11)(AX*4), X13
+	VFMADD231SS X8, X0, X12
+	VFMADD231SS X9, X1, X12
+	VFMADD231SS X10, X2, X12
+	VFMADD231SS X11, X3, X12
+	VFMADD231SS X8, X4, X13
+	VFMADD231SS X9, X5, X13
+	VFMADD231SS X10, X6, X13
+	VFMADD231SS X11, X7, X13
+	VMOVSS X12, (DI)(AX*4)
+	VMOVSS X13, (R11)(AX*4)
+	INCQ AX
+	CMPQ AX, CX
+	JLT  tailloop
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4SIMD(d, b0, b1, b2, b3 []float32, a *[4]float32)
+//
+// d[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
+// Identical per-element FMA chain to row 0 of axpy4x2SIMD.
+TEXT ·axpy4SIMD(SB), NOSPLIT, $0-128
+	MOVQ d_base+0(FP), DI
+	MOVQ d_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	MOVQ a+120(FP), DX
+	VBROADCASTSS 0(DX), Y0
+	VBROADCASTSS 4(DX), Y1
+	VBROADCASTSS 8(DX), Y2
+	VBROADCASTSS 12(DX), Y3
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  tail1
+loop8a:
+	VMOVUPS (SI)(AX*4), Y8
+	VMOVUPS (R8)(AX*4), Y9
+	VMOVUPS (R9)(AX*4), Y10
+	VMOVUPS (R10)(AX*4), Y11
+	VMOVUPS (DI)(AX*4), Y12
+	VFMADD231PS Y8, Y0, Y12
+	VFMADD231PS Y9, Y1, Y12
+	VFMADD231PS Y10, Y2, Y12
+	VFMADD231PS Y11, Y3, Y12
+	VMOVUPS Y12, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  loop8a
+tail1:
+	CMPQ AX, CX
+	JGE  done1
+tailloop1:
+	VMOVSS (SI)(AX*4), X8
+	VMOVSS (R8)(AX*4), X9
+	VMOVSS (R9)(AX*4), X10
+	VMOVSS (R10)(AX*4), X11
+	VMOVSS (DI)(AX*4), X12
+	VFMADD231SS X8, X0, X12
+	VFMADD231SS X9, X1, X12
+	VFMADD231SS X10, X2, X12
+	VFMADD231SS X11, X3, X12
+	VMOVSS X12, (DI)(AX*4)
+	INCQ AX
+	CMPQ AX, CX
+	JLT  tailloop1
+done1:
+	VZEROUPPER
+	RET
+
+// func dot4SIMD(a, b0, b1, b2, b3 []float32, out *[4]float32)
+//
+// out[r] = Σ_p a[p]*br[p], each accumulated in 8 SIMD lanes with FMA.
+// The high four lanes are folded into the low four BEFORE the scalar tail
+// loop: the VEX.128 tail FMAs zero bits 128-255 of their destination YMM
+// register, so folding first is required for correctness, not style. The
+// tail then accumulates into lane 0 and a fixed shuffle order reduces the
+// rest. Deterministic for a given binary.
+TEXT ·dot4SIMD(SB), NOSPLIT, $0-128
+	MOVQ a_base+0(FP), DI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	MOVQ out+120(FP), DX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  dtail
+dloop8:
+	VMOVUPS (DI)(AX*4), Y8
+	VMOVUPS (SI)(AX*4), Y9
+	VMOVUPS (R8)(AX*4), Y10
+	VMOVUPS (R9)(AX*4), Y11
+	VMOVUPS (R10)(AX*4), Y12
+	VFMADD231PS Y9, Y8, Y0
+	VFMADD231PS Y10, Y8, Y1
+	VFMADD231PS Y11, Y8, Y2
+	VFMADD231PS Y12, Y8, Y3
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  dloop8
+dtail:
+	// fold hi128 into lo128 before any VEX.128 op touches Y0..Y3
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS X8, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPS X8, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS X8, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPS X8, X3, X3
+	CMPQ AX, CX
+	JGE  dreduce
+dtailloop:
+	VMOVSS (DI)(AX*4), X8
+	VMOVSS (SI)(AX*4), X9
+	VMOVSS (R8)(AX*4), X10
+	VMOVSS (R9)(AX*4), X11
+	VMOVSS (R10)(AX*4), X12
+	VFMADD231SS X9, X8, X0
+	VFMADD231SS X10, X8, X1
+	VFMADD231SS X11, X8, X2
+	VFMADD231SS X12, X8, X3
+	INCQ AX
+	CMPQ AX, CX
+	JLT  dtailloop
+dreduce:
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+	VMOVSS X0, 0(DX)
+	VMOVSS X1, 4(DX)
+	VMOVSS X2, 8(DX)
+	VMOVSS X3, 12(DX)
+	VZEROUPPER
+	RET
