@@ -1,10 +1,191 @@
 package autodiff
 
 import (
+	"math"
 	"testing"
 
 	"amalgam/internal/tensor"
 )
+
+// layerNormNaive is a frozen copy of the PR 1 LayerNorm op (scalar float64
+// passes, a per-call invStd slice, and a per-row tmp buffer in the
+// backward). BenchmarkLayerNormStepNaive vs BenchmarkLayerNormStep in the
+// same run is the fused-kernel speedup the PR 2 trajectory records.
+func layerNormNaive(x, gamma, beta *Node, eps float32) *Node {
+	d := x.Val.Dim(-1)
+	rows := x.Val.Numel() / d
+	val := tensor.Get(x.Val.Shape()...)
+	xhat := tensor.Get(x.Val.Shape()...)
+	invStd := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		src := x.Val.Data[r*d : (r+1)*d]
+		var mu float64
+		for _, v := range src {
+			mu += float64(v)
+		}
+		mu /= float64(d)
+		var vr float64
+		for _, v := range src {
+			dv := float64(v) - mu
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		is := 1 / math.Sqrt(vr+float64(eps))
+		invStd[r] = is
+		xh := xhat.Data[r*d : (r+1)*d]
+		dst := val.Data[r*d : (r+1)*d]
+		for i, v := range src {
+			h := float32((float64(v) - mu) * is)
+			xh[i] = h
+			dst[i] = gamma.Val.Data[i]*h + beta.Val.Data[i]
+		}
+	}
+	out := newPooledNode(val, []*Node{x, gamma, beta}, nil)
+	out.scratch = []*tensor.Tensor{xhat}
+	out.backward = func() {
+		if gamma.requiresGrad {
+			gg := gamma.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				xh := xhat.Data[r*d : (r+1)*d]
+				for i := range dy {
+					gg.Data[i] += dy[i] * xh[i]
+				}
+			}
+		}
+		if beta.requiresGrad {
+			bg := beta.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				for i := range dy {
+					bg.Data[i] += dy[i]
+				}
+			}
+		}
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for r := 0; r < rows; r++ {
+				dy := out.Grad.Data[r*d : (r+1)*d]
+				xh := xhat.Data[r*d : (r+1)*d]
+				var mDy, mDyX float64
+				tmp := make([]float64, d)
+				for i := range dy {
+					g := float64(dy[i]) * float64(gamma.Val.Data[i])
+					tmp[i] = g
+					mDy += g
+					mDyX += g * float64(xh[i])
+				}
+				mDy /= float64(d)
+				mDyX /= float64(d)
+				dst := xg.Data[r*d : (r+1)*d]
+				for i := range dst {
+					dst[i] += float32(invStd[r] * (tmp[i] - mDy - float64(xh[i])*mDyX))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// softmaxCrossEntropyNaive is a frozen copy of the PR 1 fused loss head
+// (math.Exp per element, scalar backward).
+func softmaxCrossEntropyNaive(logits *Node, labels []int) *Node {
+	n, c := logits.Val.Dim(0), logits.Val.Dim(1)
+	probs := tensor.Get(n, c)
+	var loss float64
+	for r := 0; r < n; r++ {
+		row := logits.Val.Data[r*c : (r+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		prow := probs.Data[r*c : (r+1)*c]
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			prow[j] = float32(e)
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range prow {
+			prow[j] = float32(float64(prow[j]) * inv)
+		}
+		p := float64(prow[labels[r]])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+	}
+	val := tensor.FromSlice([]float32{float32(loss / float64(n))}, 1)
+	out := newNode(val, []*Node{logits}, nil)
+	out.scratch = []*tensor.Tensor{probs}
+	out.backward = func() {
+		if logits.requiresGrad {
+			g := logits.ensureGrad()
+			scale := out.Grad.Data[0] / float32(n)
+			for r := 0; r < n; r++ {
+				prow := probs.Data[r*c : (r+1)*c]
+				grow := g.Data[r*c : (r+1)*c]
+				y := labels[r]
+				for j, p := range prow {
+					d := p
+					if j == y {
+						d -= 1
+					}
+					grow[j] += scale * d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// softmaxLastDimNaive is a frozen copy of the PR 1 row softmax op.
+func softmaxLastDimNaive(a *Node) *Node {
+	rows, cols := a.Val.Dim(0), a.Val.Dim(1)
+	val := tensor.Get(rows, cols)
+	for r := 0; r < rows; r++ {
+		src := a.Val.Data[r*cols : (r+1)*cols]
+		dst := val.Data[r*cols : (r+1)*cols]
+		maxv := src[0]
+		for _, v := range src[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			e := math.Exp(float64(v - maxv))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for r := 0; r < rows; r++ {
+				s := val.Data[r*cols : (r+1)*cols]
+				dy := out.Grad.Data[r*cols : (r+1)*cols]
+				var dot float32
+				for j := range s {
+					dot += s[j] * dy[j]
+				}
+				grow := g.Data[r*cols : (r+1)*cols]
+				for j := range s {
+					grow[j] += s[j] * (dy[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
 
 // benchConvStep runs one training step (forward + backward) of a small conv
 // stack at quick-experiment scale: batch 16 of 1×28×28 through an 8-channel
@@ -42,6 +223,98 @@ func benchConvStep(b *testing.B, batch int) {
 }
 
 func BenchmarkConv2dTrainStep(b *testing.B) { benchConvStep(b, 16) }
+
+// benchLayerNormStep measures one LayerNorm forward+backward at
+// transformer scale ([N*T, D] = [256, 256]); the fused vs naive ratio in
+// one run is the PR 2 acceptance number.
+func benchLayerNormStep(b *testing.B, op func(x, gamma, beta *Node, eps float32) *Node) {
+	rng := tensor.NewRNG(11)
+	x := tensor.New(256, 256)
+	rng.FillNormal(x, 0, 1)
+	gamma := tensor.Ones(256)
+	beta := tensor.New(256)
+	xN, gN, btN := Leaf(x), Leaf(gamma), Leaf(beta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xN.ZeroGrad()
+		gN.ZeroGrad()
+		btN.ZeroGrad()
+		loss := Mean(op(xN, gN, btN, 1e-5))
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkLayerNormStep(b *testing.B)      { benchLayerNormStep(b, LayerNorm) }
+func BenchmarkLayerNormStepNaive(b *testing.B) { benchLayerNormStep(b, layerNormNaive) }
+
+// benchSoftmaxXentStep measures the fused softmax-cross-entropy loss head
+// forward+backward on [256, 256] logits.
+func benchSoftmaxXentStep(b *testing.B, op func(logits *Node, labels []int) *Node) {
+	rng := tensor.NewRNG(12)
+	logits := tensor.New(256, 256)
+	rng.FillNormal(logits, 0, 2)
+	labels := make([]int, 256)
+	for i := range labels {
+		labels[i] = i % 256
+	}
+	lN := Leaf(logits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lN.ZeroGrad()
+		loss := op(lN, labels)
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkSoftmaxXentStep(b *testing.B)      { benchSoftmaxXentStep(b, SoftmaxCrossEntropy) }
+func BenchmarkSoftmaxXentStepNaive(b *testing.B) { benchSoftmaxXentStep(b, softmaxCrossEntropyNaive) }
+
+// benchSoftmaxLastDimStep measures the attention-shaped row softmax
+// ([N*H*T, T] = [512, 64]) forward+backward.
+func benchSoftmaxLastDimStep(b *testing.B, op func(a *Node) *Node) {
+	rng := tensor.NewRNG(13)
+	x := tensor.New(512, 64)
+	rng.FillNormal(x, 0, 1)
+	xN := Leaf(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xN.ZeroGrad()
+		loss := Mean(op(xN))
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkSoftmaxLastDimStep(b *testing.B)      { benchSoftmaxLastDimStep(b, SoftmaxLastDim) }
+func BenchmarkSoftmaxLastDimStepNaive(b *testing.B) { benchSoftmaxLastDimStep(b, softmaxLastDimNaive) }
+
+// BenchmarkBatchNorm2dStep measures BatchNorm2d forward+backward at CIFAR
+// feature-map scale ([16, 32, 16, 16]).
+func BenchmarkBatchNorm2dStep(b *testing.B) {
+	rng := tensor.NewRNG(14)
+	x := tensor.New(16, 32, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	gamma := tensor.Ones(32)
+	beta := tensor.New(32)
+	rm := tensor.New(32)
+	rv := tensor.Ones(32)
+	xN, gN, btN := Leaf(x), Leaf(gamma), Leaf(beta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xN.ZeroGrad()
+		gN.ZeroGrad()
+		btN.ZeroGrad()
+		loss := Mean(BatchNorm2d(xN, gN, btN, rm, rv, 0.1, 1e-5, true))
+		Backward(loss)
+		Release(loss)
+	}
+}
 
 // BenchmarkLinearTrainStep isolates the fully-connected hot path (the
 // transformer/MLP profile): forward + backward of a 2-layer MLP.

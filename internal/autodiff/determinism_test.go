@@ -63,6 +63,116 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		}
 	})
 
+	// The PR 2 fused kernel family, run through autodiff on the persistent
+	// worker pool: forward values and every gradient must be bit-identical
+	// across worker counts.
+	t.Run("LayerNormFwdBwd", func(t *testing.T) {
+		run := func() (out, dx, dg *tensor.Tensor) {
+			rng := tensor.NewRNG(17)
+			x := tensor.New(37, 96) // odd row count forces uneven chunks
+			rng.FillNormal(x, 0.3, 2)
+			gamma, beta := tensor.Ones(96), tensor.New(96)
+			xN, gN, bN := Leaf(x), Leaf(gamma), Leaf(beta)
+			loss := Mean(LayerNorm(xN, gN, bN, 1e-5))
+			Backward(loss)
+			out, dx, dg = loss.Val.Clone(), xN.Grad.Clone(), gN.Grad.Clone()
+			Release(loss)
+			return out, dx, dg
+		}
+		prev := tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(prev)
+		refOut, refDx, refDg := run()
+		for _, wk := range workerCounts {
+			tensor.SetMaxWorkers(wk)
+			out, dx, dg := run()
+			if !out.Equal(refOut) || !dx.Equal(refDx) || !dg.Equal(refDg) {
+				t.Errorf("workers=%d: LayerNorm fwd/bwd not bit-identical to workers=1", wk)
+			}
+		}
+	})
+
+	t.Run("BatchNormFwdBwd", func(t *testing.T) {
+		run := func() (out, dx, rmOut *tensor.Tensor) {
+			rng := tensor.NewRNG(18)
+			x := tensor.New(5, 13, 6, 6)
+			rng.FillNormal(x, 0.5, 1.5)
+			gamma, beta := tensor.Ones(13), tensor.New(13)
+			rm, rv := tensor.New(13), tensor.Ones(13)
+			xN, gN, bN := Leaf(x), Leaf(gamma), Leaf(beta)
+			loss := Mean(BatchNorm2d(xN, gN, bN, rm, rv, 0.1, 1e-5, true))
+			Backward(loss)
+			out, dx, rmOut = loss.Val.Clone(), xN.Grad.Clone(), rm.Clone()
+			Release(loss)
+			return out, dx, rmOut
+		}
+		prev := tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(prev)
+		refOut, refDx, refRm := run()
+		for _, wk := range workerCounts {
+			tensor.SetMaxWorkers(wk)
+			out, dx, rm := run()
+			if !out.Equal(refOut) || !dx.Equal(refDx) || !rm.Equal(refRm) {
+				t.Errorf("workers=%d: BatchNorm2d fwd/bwd not bit-identical to workers=1", wk)
+			}
+		}
+	})
+
+	t.Run("SoftmaxCrossEntropyFwdBwd", func(t *testing.T) {
+		labels := make([]int, 61)
+		for i := range labels {
+			labels[i] = i % 32
+		}
+		run := func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(19)
+			x := tensor.New(61, 32)
+			rng.FillNormal(x, 0, 2)
+			xN := Leaf(x)
+			loss := SoftmaxCrossEntropy(xN, labels)
+			Backward(loss)
+			out, dx = loss.Val.Clone(), xN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		}
+		prev := tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(prev)
+		refOut, refDx := run()
+		for _, wk := range workerCounts {
+			tensor.SetMaxWorkers(wk)
+			out, dx := run()
+			if !out.Equal(refOut) || !dx.Equal(refDx) {
+				t.Errorf("workers=%d: SoftmaxCrossEntropy fwd/bwd not bit-identical to workers=1", wk)
+			}
+		}
+	})
+
+	t.Run("LinearReLUFwdBwd", func(t *testing.T) {
+		run := func() (out, dx, dw *tensor.Tensor) {
+			rng := tensor.NewRNG(20)
+			x := tensor.New(33, 64)
+			w := tensor.New(64, 48)
+			b := tensor.New(48)
+			rng.FillNormal(x, 0, 1)
+			rng.FillNormal(w, 0, 0.3)
+			rng.FillNormal(b, 0, 0.3)
+			xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+			loss := Mean(LinearReLU(xN, wN, bN))
+			Backward(loss)
+			out, dx, dw = loss.Val.Clone(), xN.Grad.Clone(), wN.Grad.Clone()
+			Release(loss)
+			return out, dx, dw
+		}
+		prev := tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(prev)
+		refOut, refDx, refDw := run()
+		for _, wk := range workerCounts {
+			tensor.SetMaxWorkers(wk)
+			out, dx, dw := run()
+			if !out.Equal(refOut) || !dx.Equal(refDx) || !dw.Equal(refDw) {
+				t.Errorf("workers=%d: LinearReLU fwd/bwd not bit-identical to workers=1", wk)
+			}
+		}
+	})
+
 	convCases := []struct {
 		name                                        string
 		batch, inC, outC, h, w, kernel, stride, pad int

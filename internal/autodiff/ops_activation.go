@@ -150,107 +150,43 @@ func Dropout(a *Node, p float32, rng *tensor.RNG, training bool) *Node {
 
 // SoftmaxCrossEntropy computes mean cross-entropy between logits [N, C] and
 // integer labels, fused for numerical stability. Returns a scalar node.
+// Both passes run on the fused tensor kernels (Exp32 row softmax, one-hot
+// subtraction in the backward); probs live in pooled node scratch.
 func SoftmaxCrossEntropy(logits *Node, labels []int) *Node {
 	n, c := logits.Val.Dim(0), logits.Val.Dim(1)
 	if len(labels) != n {
 		panic(fmt.Sprintf("autodiff: SoftmaxCrossEntropy %d labels for %d rows", len(labels), n))
 	}
-	probs := tensor.Get(n, c) // registered as node scratch below
-	var loss float64
-	for r := 0; r < n; r++ {
-		row := logits.Val.Data[r*c : (r+1)*c]
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		prow := probs.Data[r*c : (r+1)*c]
-		for j, v := range row {
-			e := math.Exp(float64(v - maxv))
-			prow[j] = float32(e)
-			sum += e
-		}
-		inv := 1 / sum
-		for j := range prow {
-			prow[j] = float32(float64(prow[j]) * inv)
-		}
-		y := labels[r]
+	for _, y := range labels {
 		if y < 0 || y >= c {
 			panic(fmt.Sprintf("autodiff: label %d out of range [0,%d)", y, c))
 		}
-		p := float64(prow[y])
-		if p < 1e-30 {
-			p = 1e-30
-		}
-		loss -= math.Log(p)
 	}
+	probs := tensor.Get(n, c) // registered as node scratch below
+	loss := tensor.SoftmaxXentFwdInto(probs.Data, logits.Val.Data, labels, n, c)
 	val := tensor.FromSlice([]float32{float32(loss / float64(n))}, 1)
 	out := newNode(val, []*Node{logits}, nil)
 	out.scratch = []*tensor.Tensor{probs}
 	out.backward = func() {
 		if logits.requiresGrad {
-			g := logits.ensureGrad()
 			scale := out.Grad.Data[0] / float32(n)
-			for r := 0; r < n; r++ {
-				prow := probs.Data[r*c : (r+1)*c]
-				grow := g.Data[r*c : (r+1)*c]
-				y := labels[r]
-				for j, p := range prow {
-					d := p
-					if j == y {
-						d -= 1
-					}
-					grow[j] += scale * d
-				}
-			}
+			tensor.SoftmaxXentBwdInto(logits.ensureGrad().Data, probs.Data, labels, n, c, scale)
 		}
 	}
 	return out
 }
 
 // SoftmaxLastDim applies softmax along the last axis of a 2-D node
-// [rows, cols]; used inside attention.
+// [rows, cols]; used inside attention. Forward and backward run on the
+// fused row-softmax kernels.
 func SoftmaxLastDim(a *Node) *Node {
 	rows, cols := a.Val.Dim(0), a.Val.Dim(1)
 	val := tensor.Get(rows, cols)
-	for r := 0; r < rows; r++ {
-		src := a.Val.Data[r*cols : (r+1)*cols]
-		dst := val.Data[r*cols : (r+1)*cols]
-		maxv := src[0]
-		for _, v := range src[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for j, v := range src {
-			e := math.Exp(float64(v - maxv))
-			dst[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
+	tensor.SoftmaxRowsInto(val.Data, a.Val.Data, rows, cols)
 	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
-			g := a.ensureGrad()
-			for r := 0; r < rows; r++ {
-				s := val.Data[r*cols : (r+1)*cols]
-				dy := out.Grad.Data[r*cols : (r+1)*cols]
-				var dot float32
-				for j := range s {
-					dot += s[j] * dy[j]
-				}
-				grow := g.Data[r*cols : (r+1)*cols]
-				for j := range s {
-					grow[j] += s[j] * (dy[j] - dot)
-				}
-			}
+			tensor.SoftmaxRowsBwdInto(a.ensureGrad().Data, val.Data, out.Grad.Data, rows, cols)
 		}
 	}
 	return out

@@ -14,6 +14,28 @@ import (
 // The implementation lowers each image with im2col and performs a single
 // matrix multiplication per image, parallelised over the batch.
 func Conv2d(x, w, bias *Node, stride, pad int) *Node {
+	pre := conv2dCore(x, w, stride, pad)
+	if bias != nil {
+		return AddChanBias(pre, bias)
+	}
+	return pre
+}
+
+// Conv2dReLU computes relu(Conv2d(x, w, bias)) with the bias+activation
+// epilogue fused into a single pass over the feature maps (see
+// AddChanBiasReLU). Models whose blocks end in conv→ReLU use it through
+// nn.Conv2d.ForwardReLU.
+func Conv2dReLU(x, w, bias *Node, stride, pad int) *Node {
+	pre := conv2dCore(x, w, stride, pad)
+	if bias != nil {
+		return AddChanBiasReLU(pre, bias)
+	}
+	return ReLU(pre)
+}
+
+// conv2dCore builds the bias-free convolution node shared by Conv2d and
+// Conv2dReLU.
+func conv2dCore(x, w *Node, stride, pad int) *Node {
 	xs, ws := x.Val.Shape(), w.Val.Shape()
 	if len(xs) != 4 || len(ws) != 4 || xs[1] != ws[1] {
 		panic(fmt.Sprintf("autodiff: Conv2d shapes x%v w%v", xs, ws))
@@ -48,18 +70,9 @@ func Conv2d(x, w, bias *Node, stride, pad int) *Node {
 		tensor.MatMulRawInto(val.Data[b*imgOut:(b+1)*imgOut], w.Val.Data, cols.Data, oc, kdim, ncols)
 		colsPer[b] = cols
 	})
-	parents := []*Node{x, w}
-	var conv *Node
-	if bias != nil {
-		pre := newPooledNode(val, parents, nil)
-		pre.scratch = colsPer
-		attachConvBackward(pre, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
-		conv = AddChanBias(pre, bias)
-	} else {
-		conv = newPooledNode(val, parents, nil)
-		conv.scratch = colsPer
-		attachConvBackward(conv, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
-	}
+	conv := newPooledNode(val, []*Node{x, w}, nil)
+	conv.scratch = colsPer
+	attachConvBackward(conv, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
 	return conv
 }
 
@@ -248,126 +261,62 @@ func GlobalAvgPool(x *Node) *Node {
 // In training mode it uses batch statistics and updates runningMean/
 // runningVar in place with the given momentum. In eval mode it uses the
 // running statistics (no stat gradients). gamma and beta are [C] nodes.
+// Stats, normalize+affine, and the full backward run on the fused tensor
+// kernels; the per-channel stat vectors live in pooled node scratch, so
+// the op allocates nothing at steady state.
 func BatchNorm2d(x, gamma, beta *Node, runningMean, runningVar *tensor.Tensor, momentum, eps float32, training bool) *Node {
 	xs := x.Val.Shape()
 	if len(xs) != 4 {
 		panic(fmt.Sprintf("autodiff: BatchNorm2d needs 4-D input, got %v", xs))
 	}
 	n, c, hw := xs[0], xs[1], xs[2]*xs[3]
-	m := float64(n * hw) // reduction size per channel
+	if gamma.Val.Numel() != c || beta.Val.Numel() != c {
+		panic(fmt.Sprintf("autodiff: BatchNorm2d gamma/beta size %d/%d, want %d", gamma.Val.Numel(), beta.Val.Numel(), c))
+	}
 
-	mean := make([]float64, c)
-	varv := make([]float64, c)
+	mean := tensor.Get(c)   // registered as node scratch below
+	invStd := tensor.Get(c) // registered as node scratch below
 	if training {
-		for ch := 0; ch < c; ch++ {
-			var s float64
-			for b := 0; b < n; b++ {
-				base := (b*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					s += float64(x.Val.Data[base+i])
-				}
-			}
-			mean[ch] = s / m
-		}
-		for ch := 0; ch < c; ch++ {
-			var s float64
-			mu := mean[ch]
-			for b := 0; b < n; b++ {
-				base := (b*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					d := float64(x.Val.Data[base+i]) - mu
-					s += d * d
-				}
-			}
-			varv[ch] = s / m
-		}
-		// Update running stats (biased variance, PyTorch uses unbiased for
-		// running; the distinction is irrelevant for our experiments but we
-		// match PyTorch to keep eval-mode parity).
+		varv := tensor.Get(c)
+		tensor.BatchNormStatsInto(mean.Data, varv.Data, x.Val.Data, n, c, hw)
+		// Update running stats (biased variance for normalisation, unbiased
+		// for the running estimate — matching PyTorch to keep eval-mode
+		// parity).
+		m := float64(n * hw)
 		unbias := m / (m - 1)
 		if m <= 1 {
 			unbias = 1
 		}
 		for ch := 0; ch < c; ch++ {
-			runningMean.Data[ch] = (1-momentum)*runningMean.Data[ch] + momentum*float32(mean[ch])
-			runningVar.Data[ch] = (1-momentum)*runningVar.Data[ch] + momentum*float32(varv[ch]*unbias)
+			runningMean.Data[ch] = (1-momentum)*runningMean.Data[ch] + momentum*mean.Data[ch]
+			runningVar.Data[ch] = (1-momentum)*runningVar.Data[ch] + momentum*float32(float64(varv.Data[ch])*unbias)
+			invStd.Data[ch] = float32(1 / math.Sqrt(float64(varv.Data[ch])+float64(eps)))
 		}
+		tensor.Put(varv)
 	} else {
 		for ch := 0; ch < c; ch++ {
-			mean[ch] = float64(runningMean.Data[ch])
-			varv[ch] = float64(runningVar.Data[ch])
+			mean.Data[ch] = runningMean.Data[ch]
+			invStd.Data[ch] = float32(1 / math.Sqrt(float64(runningVar.Data[ch])+float64(eps)))
 		}
 	}
 
-	invStd := make([]float64, c)
-	for ch := 0; ch < c; ch++ {
-		invStd[ch] = 1 / math.Sqrt(varv[ch]+float64(eps))
-	}
 	xhat := tensor.Get(xs...) // registered as node scratch below
 	val := tensor.Get(xs...)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * hw
-			mu, is := mean[ch], invStd[ch]
-			ga, be := gamma.Val.Data[ch], beta.Val.Data[ch]
-			for i := 0; i < hw; i++ {
-				xh := float32((float64(x.Val.Data[base+i]) - mu) * is)
-				xhat.Data[base+i] = xh
-				val.Data[base+i] = ga*xh + be
-			}
-		}
-	}
+	tensor.BatchNormFwdInto(val.Data, xhat.Data, x.Val.Data, mean.Data, invStd.Data, gamma.Val.Data, beta.Val.Data, n, c, hw)
 	out := newPooledNode(val, []*Node{x, gamma, beta}, nil)
-	out.scratch = []*tensor.Tensor{xhat}
+	out.scratch = []*tensor.Tensor{xhat, mean, invStd}
 	out.backward = func() {
-		// Per-channel sums of dy and dy*xhat.
-		sumDy := make([]float64, c)
-		sumDyXhat := make([]float64, c)
-		for b := 0; b < n; b++ {
-			for ch := 0; ch < c; ch++ {
-				base := (b*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					dy := float64(out.Grad.Data[base+i])
-					sumDy[ch] += dy
-					sumDyXhat[ch] += dy * float64(xhat.Data[base+i])
-				}
-			}
+		var dx, dg, db []float32
+		if x.requiresGrad {
+			dx = x.ensureGrad().Data
 		}
 		if gamma.requiresGrad {
-			gg := gamma.ensureGrad()
-			for ch := 0; ch < c; ch++ {
-				gg.Data[ch] += float32(sumDyXhat[ch])
-			}
+			dg = gamma.ensureGrad().Data
 		}
 		if beta.requiresGrad {
-			bg := beta.ensureGrad()
-			for ch := 0; ch < c; ch++ {
-				bg.Data[ch] += float32(sumDy[ch])
-			}
+			db = beta.ensureGrad().Data
 		}
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for b := 0; b < n; b++ {
-				for ch := 0; ch < c; ch++ {
-					base := (b*c + ch) * hw
-					ga := float64(gamma.Val.Data[ch])
-					is := invStd[ch]
-					if training {
-						mDy := sumDy[ch] / m
-						mDyX := sumDyXhat[ch] / m
-						for i := 0; i < hw; i++ {
-							dy := float64(out.Grad.Data[base+i])
-							xh := float64(xhat.Data[base+i])
-							xg.Data[base+i] += float32(ga * is * (dy - mDy - xh*mDyX))
-						}
-					} else {
-						for i := 0; i < hw; i++ {
-							xg.Data[base+i] += float32(ga * is * float64(out.Grad.Data[base+i]))
-						}
-					}
-				}
-			}
-		}
+		tensor.BatchNormBwdInto(dx, dg, db, out.Grad.Data, xhat.Data, invStd.Data, gamma.Val.Data, n, c, hw, training)
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package autodiff
 
 import (
 	"fmt"
-	"math"
 
 	"amalgam/internal/tensor"
 )
@@ -92,7 +91,11 @@ func EmbeddingMean(weight *Node, ids [][]int) *Node {
 }
 
 // LayerNorm normalises the last dimension of a [..., D] node with learned
-// gain gamma [D] and bias beta [D].
+// gain gamma [D] and bias beta [D]. Forward and backward run on the fused
+// tensor kernels: one stats pass plus one normalize+affine pass forward,
+// and a backward that recomputes dy⊙gamma instead of staging it in a
+// per-row buffer — the whole op is allocation-free at steady state (xhat
+// and invStd live in pooled node scratch).
 func LayerNorm(x, gamma, beta *Node, eps float32) *Node {
 	d := x.Val.Dim(-1)
 	if gamma.Val.Numel() != d || beta.Val.Numel() != d {
@@ -101,73 +104,22 @@ func LayerNorm(x, gamma, beta *Node, eps float32) *Node {
 	rows := x.Val.Numel() / d
 	val := tensor.Get(x.Val.Shape()...)
 	xhat := tensor.Get(x.Val.Shape()...) // registered as node scratch below
-	invStd := make([]float64, rows)
-	for r := 0; r < rows; r++ {
-		src := x.Val.Data[r*d : (r+1)*d]
-		var mu float64
-		for _, v := range src {
-			mu += float64(v)
-		}
-		mu /= float64(d)
-		var vr float64
-		for _, v := range src {
-			dv := float64(v) - mu
-			vr += dv * dv
-		}
-		vr /= float64(d)
-		is := 1 / math.Sqrt(vr+float64(eps))
-		invStd[r] = is
-		xh := xhat.Data[r*d : (r+1)*d]
-		dst := val.Data[r*d : (r+1)*d]
-		for i, v := range src {
-			h := float32((float64(v) - mu) * is)
-			xh[i] = h
-			dst[i] = gamma.Val.Data[i]*h + beta.Val.Data[i]
-		}
-	}
+	invStd := tensor.Get(rows)           // registered as node scratch below
+	tensor.LayerNormFwdInto(val.Data, xhat.Data, invStd.Data, x.Val.Data, gamma.Val.Data, beta.Val.Data, rows, d, eps)
 	out := newPooledNode(val, []*Node{x, gamma, beta}, nil)
-	out.scratch = []*tensor.Tensor{xhat}
+	out.scratch = []*tensor.Tensor{xhat, invStd}
 	out.backward = func() {
+		var dx, dg, db []float32
+		if x.requiresGrad {
+			dx = x.ensureGrad().Data
+		}
 		if gamma.requiresGrad {
-			gg := gamma.ensureGrad()
-			for r := 0; r < rows; r++ {
-				dy := out.Grad.Data[r*d : (r+1)*d]
-				xh := xhat.Data[r*d : (r+1)*d]
-				for i := range dy {
-					gg.Data[i] += dy[i] * xh[i]
-				}
-			}
+			dg = gamma.ensureGrad().Data
 		}
 		if beta.requiresGrad {
-			bg := beta.ensureGrad()
-			for r := 0; r < rows; r++ {
-				dy := out.Grad.Data[r*d : (r+1)*d]
-				for i := range dy {
-					bg.Data[i] += dy[i]
-				}
-			}
+			db = beta.ensureGrad().Data
 		}
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for r := 0; r < rows; r++ {
-				dy := out.Grad.Data[r*d : (r+1)*d]
-				xh := xhat.Data[r*d : (r+1)*d]
-				var mDy, mDyX float64
-				tmp := make([]float64, d)
-				for i := range dy {
-					g := float64(dy[i]) * float64(gamma.Val.Data[i])
-					tmp[i] = g
-					mDy += g
-					mDyX += g * float64(xh[i])
-				}
-				mDy /= float64(d)
-				mDyX /= float64(d)
-				dst := xg.Data[r*d : (r+1)*d]
-				for i := range dst {
-					dst[i] += float32(invStd[r] * (tmp[i] - mDy - float64(xh[i])*mDyX))
-				}
-			}
-		}
+		tensor.LayerNormBwdInto(dx, dg, db, out.Grad.Data, xhat.Data, invStd.Data, gamma.Val.Data, rows, d)
 	}
 	return out
 }

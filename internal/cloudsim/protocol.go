@@ -30,9 +30,20 @@ const (
 	msgError  byte = 9
 )
 
-const maxFrame = 1 << 30
+// maxFrame bounds a single frame's payload. It is a variable only so the
+// protocol tests can lower it without allocating gigabyte payloads; both
+// sides of a connection must agree on it.
+var maxFrame = 1 << 30
 
+// writeFrame emits one frame, failing fast on payloads the peer would
+// reject. Without this check an oversized state dict had its length
+// silently truncated to uint32 (or accepted here and refused by readFrame),
+// corrupting the stream mid-job; now the sender gets a clear error and
+// writes nothing.
 func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cloudsim: frame type %d payload of %d bytes exceeds the %d-byte frame limit", kind, len(payload), maxFrame)
+	}
 	hdr := [5]byte{kind}
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -48,7 +59,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
+	if uint64(n) > uint64(maxFrame) {
 		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected", n)
 	}
 	payload := make([]byte, n)

@@ -55,6 +55,34 @@ func TestFrameOversizeRejected(t *testing.T) {
 	}
 }
 
+// TestWriteFrameOversizeFailsFast pins the write-side guard: a payload over
+// maxFrame must be refused before a single byte hits the wire — previously
+// it was written with a (potentially truncated) uint32 length and the peer
+// rejected the stream mid-job. maxFrame is lowered so the test does not
+// allocate gigabytes.
+func TestWriteFrameOversizeFailsFast(t *testing.T) {
+	prev := maxFrame
+	maxFrame = 16
+	defer func() { maxFrame = prev }()
+
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgState, make([]byte, 17)); err == nil {
+		t.Fatal("oversize payload should fail fast on the write side")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversize write left %d bytes on the wire; a partial frame corrupts the stream", buf.Len())
+	}
+	// At exactly the limit the frame must still round-trip.
+	payload := make([]byte, 16)
+	if err := writeFrame(&buf, msgState, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := readFrame(&buf)
+	if err != nil || kind != msgState || len(got) != 16 {
+		t.Fatalf("limit-sized frame roundtrip failed: kind=%d len=%d err=%v", kind, len(got), err)
+	}
+}
+
 // TestServerSurvivesGarbageConnection is failure injection: a client that
 // sends junk must not wedge or crash the service; a well-formed job
 // afterwards still succeeds.

@@ -218,9 +218,9 @@ func (m *AugmentedCVModel) ForwardAll(x *autodiff.Node) (*autodiff.Node, []*auto
 		if h.Val.Dim(2) >= 4 && h.Val.Dim(3) >= 4 {
 			h = autodiff.AvgPool2d(h, 2, 2, 0)
 		}
-		h = autodiff.ReLU(d.conv1.Forward(h))
-		h = autodiff.ReLU(d.conv2.Forward(h))
-		g := autodiff.ReLU(d.mid.Forward(autodiff.GlobalAvgPool(h)))
+		h = d.conv1.ForwardReLU(h)
+		h = d.conv2.ForwardReLU(h)
+		g := d.mid.ForwardReLU(autodiff.GlobalAvgPool(h))
 		if d.tapFC != nil && d.tapIdx < len(feats) {
 			tap := feats[d.tapIdx]
 			if !m.opts.UndetachedTaps {
@@ -230,7 +230,7 @@ func (m *AugmentedCVModel) ForwardAll(x *autodiff.Node) (*autodiff.Node, []*auto
 				// and their training is unaffected).
 				tap = autodiff.Detach(tap)
 			}
-			tv := autodiff.ReLU(d.tapFC.Forward(autodiff.GlobalAvgPool(tap)))
+			tv := d.tapFC.ForwardReLU(autodiff.GlobalAvgPool(tap))
 			g = autodiff.ConcatFeatures(g, tv)
 		}
 		decoyLogits = append(decoyLogits, d.head.Forward(g))

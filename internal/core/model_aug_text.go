@@ -99,7 +99,7 @@ func (m *AugmentedTextClassifier) ForwardAll(ids [][]int) (*autodiff.Node, []*au
 			if !m.opts.UndetachedTaps {
 				tap = autodiff.Detach(tap)
 			}
-			h = autodiff.ConcatFeatures(h, autodiff.ReLU(d.tapFC.Forward(tap)))
+			h = autodiff.ConcatFeatures(h, d.tapFC.ForwardReLU(tap))
 		}
 		decoyLogits = append(decoyLogits, d.head.Forward(h))
 	}

@@ -40,11 +40,11 @@ func (m *LeNet5) Forward(x *autodiff.Node) *autodiff.Node {
 // ForwardFeatures returns logits and tap points (after each conv stage).
 func (m *LeNet5) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.Node) {
 	nn.CheckImageInput(x, m.cfg.InC)
-	f1 := autodiff.MaxPool2d(autodiff.ReLU(m.Conv1.Forward(x)), 2, 2, 0)
-	f2 := autodiff.MaxPool2d(autodiff.ReLU(m.Conv2.Forward(f1)), 2, 2, 0)
+	f1 := autodiff.MaxPool2d(m.Conv1.ForwardReLU(x), 2, 2, 0)
+	f2 := autodiff.MaxPool2d(m.Conv2.ForwardReLU(f1), 2, 2, 0)
 	flat := autodiff.Flatten(f2)
-	h := autodiff.ReLU(m.FC1.Forward(flat))
-	h = autodiff.ReLU(m.FC2.Forward(h))
+	h := m.FC1.ForwardReLU(flat)
+	h = m.FC2.ForwardReLU(h)
 	return m.FC3.Forward(h), []*autodiff.Node{f1, f2}
 }
 

@@ -117,8 +117,8 @@ func (m *VGG16) ForwardFeatures(x *autodiff.Node) (*autodiff.Node, []*autodiff.N
 	var flat *autodiff.Node
 	if m.imagenetHead {
 		flat = autodiff.Flatten(h)
-		flat = m.drop.Forward(autodiff.ReLU(m.headFC[0].Forward(flat)))
-		flat = m.drop.Forward(autodiff.ReLU(m.headFC[1].Forward(flat)))
+		flat = m.drop.Forward(m.headFC[0].ForwardReLU(flat))
+		flat = m.drop.Forward(m.headFC[1].ForwardReLU(flat))
 		return m.headFC[2].Forward(flat), feats
 	}
 	flat = autodiff.GlobalAvgPool(h)

@@ -110,7 +110,7 @@ func (l *TransformerEncoderLayer) ForwardSeq(x *autodiff.Node, mask *tensor.Tens
 	att := l.Drop.Forward(l.Attn.ForwardSelf(x, mask))
 	x = l.Norm1.Forward(autodiff.Add(x, att))
 	flat := autodiff.Reshape(x, n*t, l.D)
-	ff := l.FF2.Forward(l.Drop.Forward(autodiff.ReLU(l.FF1.Forward(flat))))
+	ff := l.FF2.Forward(l.Drop.Forward(l.FF1.ForwardReLU(flat)))
 	ff3 := autodiff.Reshape(ff, n, t, l.D)
 	return l.Norm2.Forward(autodiff.Add(x, ff3))
 }
@@ -176,8 +176,8 @@ func (m *CBAM) Forward(x *autodiff.Node) *autodiff.Node {
 	avg := autodiff.GlobalAvgPool(x)
 	mx := autodiff.GlobalMaxPool(x)
 	att := autodiff.Sigmoid(autodiff.Add(
-		m.FC2.Forward(autodiff.ReLU(m.FC1.Forward(avg))),
-		m.FC2.Forward(autodiff.ReLU(m.FC1.Forward(mx))),
+		m.FC2.Forward(m.FC1.ForwardReLU(avg)),
+		m.FC2.Forward(m.FC1.ForwardReLU(mx)),
 	))
 	x = autodiff.MulChannelScale(x, att)
 	// Spatial attention: sigmoid(conv7x7([mean;max] over channels)).

@@ -27,6 +27,13 @@ func (l *Linear) Forward(x *autodiff.Node) *autodiff.Node {
 	return autodiff.AddRowBias(autodiff.MatMul(x, l.W), l.B)
 }
 
+// ForwardReLU computes relu(x·W + b) with the bias+activation epilogue
+// fused into the matmul output pass — use it wherever a Linear feeds
+// straight into a ReLU.
+func (l *Linear) ForwardReLU(x *autodiff.Node) *autodiff.Node {
+	return autodiff.LinearReLU(x, l.W, l.B)
+}
+
 // Params returns the weight and bias.
 func (l *Linear) Params() []Param {
 	return []Param{{Name: "weight", Node: l.W}, {Name: "bias", Node: l.B}}
@@ -68,6 +75,12 @@ func newConv2d(rng *tensor.RNG, inC, outC, kernel, stride, pad int) *Conv2d {
 // Forward applies the convolution.
 func (c *Conv2d) Forward(x *autodiff.Node) *autodiff.Node {
 	return autodiff.Conv2d(x, c.W, c.B, c.Stride, c.Pad)
+}
+
+// ForwardReLU applies the convolution with a fused bias+ReLU epilogue —
+// use it wherever a Conv2d feeds straight into a ReLU.
+func (c *Conv2d) ForwardReLU(x *autodiff.Node) *autodiff.Node {
+	return autodiff.Conv2dReLU(x, c.W, c.B, c.Stride, c.Pad)
 }
 
 // Params returns weight (and bias when present).

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"testing"
 )
 
@@ -99,6 +100,121 @@ func BenchmarkMatMulAT(bb *testing.B) {
 	bb.ResetTimer()
 	for i := 0; i < bb.N; i++ {
 		MatMulATInto(out, a, c)
+	}
+}
+
+// layerNormFwdNaive is a frozen copy of the PR 1 scalar LayerNorm forward
+// (per-op float64 passes); the ratio to BenchmarkLayerNormFwd is the
+// fused-kernel speedup the PR 2 trajectory records.
+func layerNormFwdNaive(dst, xhat []float32, invStd []float64, x, gamma, beta []float32, rows, d int, eps float32) {
+	for r := 0; r < rows; r++ {
+		src := x[r*d : (r+1)*d]
+		var mu float64
+		for _, v := range src {
+			mu += float64(v)
+		}
+		mu /= float64(d)
+		var vr float64
+		for _, v := range src {
+			dv := float64(v) - mu
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		is := 1 / math.Sqrt(vr+float64(eps))
+		invStd[r] = is
+		xh := xhat[r*d : (r+1)*d]
+		out := dst[r*d : (r+1)*d]
+		for i, v := range src {
+			h := float32((float64(v) - mu) * is)
+			xh[i] = h
+			out[i] = gamma[i]*h + beta[i]
+		}
+	}
+}
+
+// softmaxRowsNaive is a frozen copy of the PR 1 row softmax (math.Exp per
+// element, float64 sum).
+func softmaxRowsNaive(dst, x []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		src := x[r*cols : (r+1)*cols]
+		out := dst[r*cols : (r+1)*cols]
+		maxv := src[0]
+		for _, v := range src[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			e := math.Exp(float64(v - maxv))
+			out[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
+func benchNormInputs(rows, d int) (x, gamma, beta *Tensor) {
+	rng := NewRNG(77)
+	x, gamma, beta = New(rows, d), New(d), New(d)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(gamma, 1, 0.2)
+	rng.FillNormal(beta, 0, 0.2)
+	return x, gamma, beta
+}
+
+func BenchmarkLayerNormFwd(bb *testing.B) {
+	const rows, d = 256, 256
+	x, gamma, beta := benchNormInputs(rows, d)
+	dst := make([]float32, rows*d)
+	xhat := make([]float32, rows*d)
+	invStd := make([]float32, rows)
+	bb.SetBytes(int64(rows*d) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		LayerNormFwdInto(dst, xhat, invStd, x.Data, gamma.Data, beta.Data, rows, d, 1e-5)
+	}
+}
+
+func BenchmarkLayerNormFwdNaive(bb *testing.B) {
+	const rows, d = 256, 256
+	x, gamma, beta := benchNormInputs(rows, d)
+	dst := make([]float32, rows*d)
+	xhat := make([]float32, rows*d)
+	invStd := make([]float64, rows)
+	bb.SetBytes(int64(rows*d) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		layerNormFwdNaive(dst, xhat, invStd, x.Data, gamma.Data, beta.Data, rows, d, 1e-5)
+	}
+}
+
+func BenchmarkSoftmaxRows(bb *testing.B) {
+	const rows, cols = 512, 64
+	x, _, _ := benchNormInputs(rows, cols)
+	dst := make([]float32, rows*cols)
+	bb.SetBytes(int64(rows*cols) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		SoftmaxRowsInto(dst, x.Data, rows, cols)
+	}
+}
+
+func BenchmarkSoftmaxRowsNaive(bb *testing.B) {
+	const rows, cols = 512, 64
+	x, _, _ := benchNormInputs(rows, cols)
+	dst := make([]float32, rows*cols)
+	bb.SetBytes(int64(rows*cols) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		softmaxRowsNaive(dst, x.Data, rows, cols)
 	}
 }
 

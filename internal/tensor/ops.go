@@ -169,12 +169,22 @@ func ApplyInto(dst, a *Tensor, fn func(float32) float32) {
 	}
 }
 
-// Sum returns the sum of all elements (accumulated in float64 for
-// stability).
+// Sum returns the sum of all elements, accumulated in four float64 lanes
+// (for stability and to break the add latency chain) combined in a fixed
+// order.
 func Sum(a *Tensor) float64 {
-	var s float64
-	for _, v := range a.Data {
-		s += float64(v)
+	var s0, s1, s2, s3 float64
+	d := a.Data
+	p := 0
+	for ; p+4 <= len(d); p += 4 {
+		s0 += float64(d[p])
+		s1 += float64(d[p+1])
+		s2 += float64(d[p+2])
+		s3 += float64(d[p+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; p < len(d); p++ {
+		s += float64(d[p])
 	}
 	return s
 }

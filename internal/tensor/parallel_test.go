@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelForCoversRange verifies every index is visited exactly once
+// for worker counts that force uneven chunking.
+func TestParallelForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		prev := SetMaxWorkers(workers)
+		for _, n := range []int{1, 2, 5, 97, 1000} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			parallelFor(n, 1, func(s, e int) {
+				mu.Lock()
+				for i := s; i < e; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+		SetMaxWorkers(prev)
+	}
+}
+
+// TestParallelForNested pins the worker pool's no-deadlock guarantee: a
+// parallel region whose body opens another parallel region (the batch-loop
+// → matmul shape) must complete even when every pool worker is busy. The
+// unbuffered try-send design degrades to inline execution, never blocks.
+func TestParallelForNested(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	out := make([]int32, 64*64)
+	parallelFor(64, 1, func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			base := b * 64
+			parallelFor(64, 1, func(s, e int) {
+				for i := s; i < e; i++ {
+					out[base+i] = int32(base + i)
+				}
+			})
+		}
+	})
+	for i, v := range out {
+		if v != int32(i) {
+			t.Fatalf("nested parallelFor lost element %d (got %d)", i, v)
+		}
+	}
+}
+
+// TestSetMaxWorkersConcurrent exercises SetMaxWorkers racing running
+// kernels; run under -race this pins the atomicity contract (the old plain
+// int was a data race).
+func TestSetMaxWorkersConcurrent(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			SetMaxWorkers(1 + i%8)
+		}
+	}()
+	sink := make([]float32, 512)
+	for i := 0; i < 200; i++ {
+		parallelFor(len(sink), 1, func(s, e int) {
+			for j := s; j < e; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+	<-done
+	for i, v := range sink {
+		if v != 200 {
+			t.Fatalf("element %d accumulated %v, want 200", i, v)
+		}
+	}
+}
+
+// TestSetMaxWorkersReset verifies n < 1 resets to NumCPU and that the
+// previous value round-trips.
+func TestSetMaxWorkersReset(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	if got := SetMaxWorkers(0); got != 3 {
+		t.Fatalf("SetMaxWorkers returned %d, want 3", got)
+	}
+	if got := SetMaxWorkers(prev); got < 1 {
+		t.Fatalf("reset left non-positive worker count %d", got)
+	}
+}

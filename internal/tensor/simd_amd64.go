@@ -28,6 +28,15 @@ func axpy4SIMD(d, b0, b1, b2, b3 []float32, a *[4]float32)
 //go:noescape
 func dot4SIMD(a, b0, b1, b2, b3 []float32, out *[4]float32)
 
+//go:noescape
+func expRowSumSIMD(dst, src []float32, maxv float32) float64
+
+//go:noescape
+func normAffineSIMD(dst, xh, src, gamma, beta []float32, mu, is float32)
+
+//go:noescape
+func lnBwdDxSIMD(dx, dy, gamma, xh []float32, mDy, mDyX, is float32)
+
 // simdAvailable gates the SIMD dispatch in matmul.go.
 var simdAvailable = detectAVX2FMA()
 

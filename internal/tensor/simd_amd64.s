@@ -228,3 +228,257 @@ dreduce:
 	VMOVSS X3, 12(DX)
 	VZEROUPPER
 	RET
+
+// Pre-broadcast 8-lane constant vectors for the exp row kernel. Keeping
+// them as full 32-byte rows lets the polynomial use memory-operand FMAs
+// instead of burning a register per coefficient.
+DATA expLog2e<>+0(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+4(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+8(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+12(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+16(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+20(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+24(SB)/4, $0x3FB8AA3B
+DATA expLog2e<>+28(SB)/4, $0x3FB8AA3B
+GLOBL expLog2e<>(SB), RODATA, $32
+
+DATA expMagic<>+0(SB)/4, $0x4B400000
+DATA expMagic<>+4(SB)/4, $0x4B400000
+DATA expMagic<>+8(SB)/4, $0x4B400000
+DATA expMagic<>+12(SB)/4, $0x4B400000
+DATA expMagic<>+16(SB)/4, $0x4B400000
+DATA expMagic<>+20(SB)/4, $0x4B400000
+DATA expMagic<>+24(SB)/4, $0x4B400000
+DATA expMagic<>+28(SB)/4, $0x4B400000
+GLOBL expMagic<>(SB), RODATA, $32
+
+DATA expC1<>+0(SB)/4, $0x3F318000
+DATA expC1<>+4(SB)/4, $0x3F318000
+DATA expC1<>+8(SB)/4, $0x3F318000
+DATA expC1<>+12(SB)/4, $0x3F318000
+DATA expC1<>+16(SB)/4, $0x3F318000
+DATA expC1<>+20(SB)/4, $0x3F318000
+DATA expC1<>+24(SB)/4, $0x3F318000
+DATA expC1<>+28(SB)/4, $0x3F318000
+GLOBL expC1<>(SB), RODATA, $32
+
+DATA expC2<>+0(SB)/4, $0xB95E8083
+DATA expC2<>+4(SB)/4, $0xB95E8083
+DATA expC2<>+8(SB)/4, $0xB95E8083
+DATA expC2<>+12(SB)/4, $0xB95E8083
+DATA expC2<>+16(SB)/4, $0xB95E8083
+DATA expC2<>+20(SB)/4, $0xB95E8083
+DATA expC2<>+24(SB)/4, $0xB95E8083
+DATA expC2<>+28(SB)/4, $0xB95E8083
+GLOBL expC2<>(SB), RODATA, $32
+
+DATA expP0<>+0(SB)/4, $0x39506967
+DATA expP0<>+4(SB)/4, $0x39506967
+DATA expP0<>+8(SB)/4, $0x39506967
+DATA expP0<>+12(SB)/4, $0x39506967
+DATA expP0<>+16(SB)/4, $0x39506967
+DATA expP0<>+20(SB)/4, $0x39506967
+DATA expP0<>+24(SB)/4, $0x39506967
+DATA expP0<>+28(SB)/4, $0x39506967
+GLOBL expP0<>(SB), RODATA, $32
+
+DATA expP1<>+0(SB)/4, $0x3AB743CE
+DATA expP1<>+4(SB)/4, $0x3AB743CE
+DATA expP1<>+8(SB)/4, $0x3AB743CE
+DATA expP1<>+12(SB)/4, $0x3AB743CE
+DATA expP1<>+16(SB)/4, $0x3AB743CE
+DATA expP1<>+20(SB)/4, $0x3AB743CE
+DATA expP1<>+24(SB)/4, $0x3AB743CE
+DATA expP1<>+28(SB)/4, $0x3AB743CE
+GLOBL expP1<>(SB), RODATA, $32
+
+DATA expP2<>+0(SB)/4, $0x3C088908
+DATA expP2<>+4(SB)/4, $0x3C088908
+DATA expP2<>+8(SB)/4, $0x3C088908
+DATA expP2<>+12(SB)/4, $0x3C088908
+DATA expP2<>+16(SB)/4, $0x3C088908
+DATA expP2<>+20(SB)/4, $0x3C088908
+DATA expP2<>+24(SB)/4, $0x3C088908
+DATA expP2<>+28(SB)/4, $0x3C088908
+GLOBL expP2<>(SB), RODATA, $32
+
+DATA expP3<>+0(SB)/4, $0x3D2AA9C1
+DATA expP3<>+4(SB)/4, $0x3D2AA9C1
+DATA expP3<>+8(SB)/4, $0x3D2AA9C1
+DATA expP3<>+12(SB)/4, $0x3D2AA9C1
+DATA expP3<>+16(SB)/4, $0x3D2AA9C1
+DATA expP3<>+20(SB)/4, $0x3D2AA9C1
+DATA expP3<>+24(SB)/4, $0x3D2AA9C1
+DATA expP3<>+28(SB)/4, $0x3D2AA9C1
+GLOBL expP3<>(SB), RODATA, $32
+
+DATA expP4<>+0(SB)/4, $0x3E2AAAAA
+DATA expP4<>+4(SB)/4, $0x3E2AAAAA
+DATA expP4<>+8(SB)/4, $0x3E2AAAAA
+DATA expP4<>+12(SB)/4, $0x3E2AAAAA
+DATA expP4<>+16(SB)/4, $0x3E2AAAAA
+DATA expP4<>+20(SB)/4, $0x3E2AAAAA
+DATA expP4<>+24(SB)/4, $0x3E2AAAAA
+DATA expP4<>+28(SB)/4, $0x3E2AAAAA
+GLOBL expP4<>(SB), RODATA, $32
+
+DATA expP5<>+0(SB)/4, $0x3F000000
+DATA expP5<>+4(SB)/4, $0x3F000000
+DATA expP5<>+8(SB)/4, $0x3F000000
+DATA expP5<>+12(SB)/4, $0x3F000000
+DATA expP5<>+16(SB)/4, $0x3F000000
+DATA expP5<>+20(SB)/4, $0x3F000000
+DATA expP5<>+24(SB)/4, $0x3F000000
+DATA expP5<>+28(SB)/4, $0x3F000000
+GLOBL expP5<>(SB), RODATA, $32
+
+// 0x3F800000 is both float32(1.0) and the integer exponent bias 127<<23,
+// so one table serves the res = r+1 add and the 2^n reconstruction.
+DATA expOne<>+0(SB)/4, $0x3F800000
+DATA expOne<>+4(SB)/4, $0x3F800000
+DATA expOne<>+8(SB)/4, $0x3F800000
+DATA expOne<>+12(SB)/4, $0x3F800000
+DATA expOne<>+16(SB)/4, $0x3F800000
+DATA expOne<>+20(SB)/4, $0x3F800000
+DATA expOne<>+24(SB)/4, $0x3F800000
+DATA expOne<>+28(SB)/4, $0x3F800000
+GLOBL expOne<>(SB), RODATA, $32
+
+DATA expLo<>+0(SB)/4, $0xC2AEAC50
+DATA expLo<>+4(SB)/4, $0xC2AEAC50
+DATA expLo<>+8(SB)/4, $0xC2AEAC50
+DATA expLo<>+12(SB)/4, $0xC2AEAC50
+DATA expLo<>+16(SB)/4, $0xC2AEAC50
+DATA expLo<>+20(SB)/4, $0xC2AEAC50
+DATA expLo<>+24(SB)/4, $0xC2AEAC50
+DATA expLo<>+28(SB)/4, $0xC2AEAC50
+GLOBL expLo<>(SB), RODATA, $32
+
+// func expRowSumSIMD(dst, src []float32, maxv float32) float64
+//
+// For j in [0, len&^7): dst[j] = e^(src[j]-maxv), flushed to 0 below the
+// float32 underflow threshold; returns Σ dst[j] accumulated in 8 float64
+// lanes reduced in a fixed order. The remaining tail elements are the
+// caller's job. Same range reduction and polynomial as exp32Core, with
+// FMA where the scalar code rounds twice — consistent per machine/binary
+// like the rest of the SIMD backend.
+TEXT ·expRowSumSIMD(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	VBROADCASTSS maxv+48(FP), Y15
+	VXORPD Y13, Y13, Y13             // f64 sum lanes 0-3
+	VXORPD Y12, Y12, Y12             // f64 sum lanes 4-7
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  esum
+eloop8:
+	VMOVUPS (SI)(AX*4), Y0
+	VSUBPS Y15, Y0, Y0               // x = src - maxv
+	VMOVUPS expMagic<>(SB), Y1
+	VFMADD231PS expLog2e<>(SB), Y0, Y1 // t = x*log2e + magic (round-to-nearest)
+	VSUBPS expMagic<>(SB), Y1, Y1    // rz = t - magic
+	VCVTTPS2DQ Y1, Y2                // n (rz is integral, truncation exact)
+	VMOVAPS Y0, Y3
+	VFNMADD231PS expC1<>(SB), Y1, Y3 // r = x - rz*c1
+	VFNMADD231PS expC2<>(SB), Y1, Y3 // r -= rz*c2
+	VMOVUPS expP0<>(SB), Y4
+	VFMADD213PS expP1<>(SB), Y3, Y4  // p = p*r + c, ascending
+	VFMADD213PS expP2<>(SB), Y3, Y4
+	VFMADD213PS expP3<>(SB), Y3, Y4
+	VFMADD213PS expP4<>(SB), Y3, Y4
+	VFMADD213PS expP5<>(SB), Y3, Y4
+	VMULPS Y3, Y3, Y5                // z = r*r
+	VADDPS expOne<>(SB), Y3, Y6      // res = r + 1
+	VFMADD231PS Y4, Y5, Y6           // res += z*p
+	VPSLLD $23, Y2, Y2
+	VPADDD expOne<>(SB), Y2, Y2      // (n<<23) + (127<<23)
+	VMULPS Y2, Y6, Y6                // res *= 2^n
+	VCMPPS $1, expLo<>(SB), Y0, Y7   // mask = x < underflow threshold
+	VANDNPS Y6, Y7, Y6               // res = 0 where masked
+	VMOVUPS Y6, (DI)(AX*4)
+	VCVTPS2PD X6, Y8                 // lanes 0-3 → float64
+	VADDPD Y8, Y13, Y13
+	VEXTRACTF128 $1, Y6, X8
+	VCVTPS2PD X8, Y8                 // lanes 4-7 → float64
+	VADDPD Y8, Y12, Y12
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  eloop8
+esum:
+	VADDPD Y12, Y13, Y13             // fixed lane-combine order
+	VEXTRACTF128 $1, Y13, X8
+	VADDPD X8, X13, X13
+	VHADDPD X13, X13, X13
+	VMOVSD X13, ret+56(FP)
+	VZEROUPPER
+	RET
+
+// func normAffineSIMD(dst, xh, src, gamma, beta []float32, mu, is float32)
+//
+// For j in [0, len&^7): h = (src[j]-mu)*is; xh[j] = h;
+// dst[j] = gamma[j]*h + beta[j]. Tail is the caller's job.
+TEXT ·normAffineSIMD(SB), NOSPLIT, $0-128
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ xh_base+24(FP), R8
+	MOVQ src_base+48(FP), SI
+	MOVQ gamma_base+72(FP), R9
+	MOVQ beta_base+96(FP), R10
+	VBROADCASTSS mu+120(FP), Y14
+	VBROADCASTSS is+124(FP), Y15
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  ndone
+nloop8:
+	VMOVUPS (SI)(AX*4), Y0
+	VSUBPS Y14, Y0, Y0               // src - mu
+	VMULPS Y15, Y0, Y0               // h
+	VMOVUPS Y0, (R8)(AX*4)
+	VMOVUPS (R10)(AX*4), Y1          // beta
+	VFMADD231PS (R9)(AX*4), Y0, Y1   // beta + gamma*h
+	VMOVUPS Y1, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  nloop8
+ndone:
+	VZEROUPPER
+	RET
+
+// func lnBwdDxSIMD(dx, dy, gamma, xh []float32, mDy, mDyX, is float32)
+//
+// For j in [0, len&^7): dx[j] += is*(dy[j]*gamma[j] - mDy - xh[j]*mDyX).
+// Tail is the caller's job.
+TEXT ·lnBwdDxSIMD(SB), NOSPLIT, $0-108
+	MOVQ dx_base+0(FP), DI
+	MOVQ dx_len+8(FP), CX
+	MOVQ dy_base+24(FP), SI
+	MOVQ gamma_base+48(FP), R8
+	MOVQ xh_base+72(FP), R9
+	VBROADCASTSS mDy+96(FP), Y13
+	VBROADCASTSS mDyX+100(FP), Y14
+	VBROADCASTSS is+104(FP), Y15
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  ldone
+lloop8:
+	VMOVUPS (SI)(AX*4), Y0           // dy
+	VMULPS (R8)(AX*4), Y0, Y0        // dy*gamma
+	VSUBPS Y13, Y0, Y0               // - mDy
+	VMOVUPS (R9)(AX*4), Y1           // xh
+	VFNMADD231PS Y14, Y1, Y0         // - xh*mDyX
+	VMOVUPS (DI)(AX*4), Y2
+	VFMADD231PS Y15, Y0, Y2          // dx += is * t
+	VMOVUPS Y2, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  lloop8
+ldone:
+	VZEROUPPER
+	RET

@@ -27,3 +27,15 @@ func axpy4SIMD(d, b0, b1, b2, b3 []float32, a *[4]float32) {
 func dot4SIMD(a, b0, b1, b2, b3 []float32, out *[4]float32) {
 	panic("tensor: SIMD kernel called on non-amd64 build")
 }
+
+func expRowSumSIMD(dst, src []float32, maxv float32) float64 {
+	panic("tensor: SIMD kernel called on non-amd64 build")
+}
+
+func normAffineSIMD(dst, xh, src, gamma, beta []float32, mu, is float32) {
+	panic("tensor: SIMD kernel called on non-amd64 build")
+}
+
+func lnBwdDxSIMD(dx, dy, gamma, xh []float32, mDy, mDyX, is float32) {
+	panic("tensor: SIMD kernel called on non-amd64 build")
+}
