@@ -4,31 +4,34 @@
 // Neural Network Training on the Cloud" (Taki & Mastorakis,
 // MIDDLEWARE '24).
 //
-// The workflow mirrors the paper's Fig. 1:
+// The workflow mirrors the paper's Fig. 1 and is modality-generic: a Job
+// (images) or TextJob (token sequences) holds the obfuscated artifacts and
+// the secret key, and any Trainer — LocalTrainer in-process, RemoteTrainer
+// against a cloud service — runs it with streaming progress, context
+// cancellation, and checkpoint/resume:
 //
 //	ds := amalgam.SyntheticCIFAR10(1024, 1)                  // or your own dataset
 //	model, _ := amalgam.BuildCV("resnet18", 7, amalgam.CVConfig{InC: 3, InH: 32, InW: 32, Classes: 10})
 //	job, _ := amalgam.Obfuscate(model, ds, amalgam.Options{Amount: 0.5, Seed: 42})
-//	_, _ = job.Train(amalgam.TrainConfig{Epochs: 5, BatchSize: 64, LR: 0.02}) // or job.TrainRemote(addr, …)
+//	stats, _ := amalgam.Train(ctx, amalgam.LocalTrainer{}, job,
+//	        amalgam.TrainConfig{Epochs: 5, BatchSize: 64, LR: 0.02},
+//	        amalgam.WithProgress(func(s amalgam.EpochStats) { fmt.Println(s.Epoch, s.Loss) }),
+//	        amalgam.WithCheckpoint("job.amc", 1))
 //	trained, _ := job.Extract("resnet18", 7)                 // fresh original model, trained weights
 //
-// Everything the cloud sees — the augmented model and the augmented
-// dataset — hides the original architecture and data; the secret key never
-// leaves the Job. Training the augmented model updates the original
-// sub-network EXACTLY as un-obfuscated training would (bit-identical
-// weights; see internal/core's property tests).
+// Text classification follows the same shape through ObfuscateText /
+// ExtractText. Everything the cloud sees — the augmented model and the
+// augmented dataset — hides the original architecture and data; the secret
+// key never leaves the job. Training the augmented model updates the
+// original sub-network EXACTLY as un-obfuscated training would
+// (bit-identical weights; see internal/core's property tests).
 package amalgam
 
 import (
-	"fmt"
-
 	"amalgam/internal/autodiff"
-	"amalgam/internal/cloudsim"
 	"amalgam/internal/core"
 	"amalgam/internal/data"
 	"amalgam/internal/models"
-	"amalgam/internal/nn"
-	"amalgam/internal/optim"
 	"amalgam/internal/tensor"
 )
 
@@ -66,191 +69,6 @@ var (
 // "densenet121", "mobilenetv2", "vgg16cbam") with a deterministic seed.
 func BuildCV(name string, seed uint64, cfg CVConfig) (CVModel, error) {
 	return models.BuildCV(name, tensor.NewRNG(seed), cfg)
-}
-
-// Options configures obfuscation (dataset + model augmentation).
-type Options struct {
-	// Amount is the augmentation amount α for both the dataset and the
-	// model (the paper uses matched amounts throughout its evaluation).
-	Amount float64
-	// SubNets is the number of decoy sub-networks (0 = random in [2,4]).
-	SubNets int
-	// Noise overrides the default uniform pixel noise.
-	Noise *NoiseSpec
-	// Seed drives every random choice (key, noise, decoys).
-	Seed uint64
-	// ModelName is the zoo name of the model; required only for
-	// TrainRemote, which ships a rebuildable spec to the service.
-	ModelName string
-}
-
-// Job holds the obfuscated artifacts and the secret key. Ship
-// AugmentedDataset and the augmented model to the cloud; keep the Job.
-type Job struct {
-	Augmented        *core.AugmentedCVModel
-	AugmentedDataset *ImageDataset
-	Key              *ImageAugKey
-
-	origCfg CVConfig
-	opts    Options
-}
-
-// Obfuscate augments the dataset and wraps the model (paper §4.1–4.2).
-// The model instance becomes the original sub-network of the augmented
-// model; pre-trained weights on it are preserved (transfer learning §4.4).
-func Obfuscate(model CVModel, ds *ImageDataset, opts Options) (*Job, error) {
-	noise := core.DefaultImageNoise()
-	if opts.Noise != nil {
-		noise = *opts.Noise
-	}
-	aug, err := core.AugmentImages(ds, core.ImageAugmentOptions{Amount: opts.Amount, Noise: noise, Seed: opts.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("amalgam: dataset augmentation: %w", err)
-	}
-	am, err := core.AugmentCVModel(model, aug.Key, ds.C(), ds.Classes, core.ModelAugmentOptions{
-		Amount: opts.Amount, SubNets: opts.SubNets, Seed: opts.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("amalgam: model augmentation: %w", err)
-	}
-	return &Job{
-		Augmented:        am,
-		AugmentedDataset: aug.Dataset,
-		Key:              aug.Key,
-		origCfg:          CVConfig{InC: ds.C(), InH: ds.H(), InW: ds.W(), Classes: ds.Classes},
-		opts:             opts,
-	}, nil
-}
-
-// ObfuscateTestSet augments an evaluation split with the job's key so the
-// augmented model can be validated cloud-side (§5.4).
-func (j *Job) ObfuscateTestSet(ds *ImageDataset, seed uint64) (*ImageDataset, error) {
-	noise := core.DefaultImageNoise()
-	if j.opts.Noise != nil {
-		noise = *j.opts.Noise
-	}
-	return core.AugmentImagesWithKey(ds, j.Key, noise, seed)
-}
-
-// TrainConfig holds training hyper-parameters.
-type TrainConfig struct {
-	Epochs, BatchSize         int
-	LR, Momentum, WeightDecay float64
-}
-
-// EpochStats reports per-epoch original-sub-network loss and accuracy.
-type EpochStats struct {
-	Epoch    int
-	Loss     float64
-	Accuracy float64
-}
-
-// Train runs obfuscated training locally (Algorithm 1): the joint loss
-// over all sub-networks, gradients detached at the original→decoy taps.
-func (j *Job) Train(cfg TrainConfig) ([]EpochStats, error) {
-	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
-		return nil, fmt.Errorf("amalgam: epochs and batch size must be positive")
-	}
-	j.Augmented.SetTraining(true)
-	opt := optim.NewSGD(j.Augmented.Params(), cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	ds := j.AugmentedDataset
-	var stats []EpochStats
-	for e := 0; e < cfg.Epochs; e++ {
-		var lossSum float64
-		for _, idx := range data.BatchIter(ds.N(), cfg.BatchSize, nil) {
-			x, labels := ds.Batch(idx)
-			nn.ZeroGrads(j.Augmented)
-			total, orig := j.Augmented.Loss(autodiff.Constant(x), labels)
-			autodiff.Backward(total)
-			opt.Step()
-			lossSum += float64(orig.Scalar()) * float64(len(labels))
-		}
-		acc := j.evalAccuracy(ds, cfg.BatchSize)
-		stats = append(stats, EpochStats{Epoch: e + 1, Loss: lossSum / float64(ds.N()), Accuracy: acc})
-	}
-	return stats, nil
-}
-
-// TrainRemote ships the augmented artifacts to a cloudsim training
-// service (see cmd/amalgam-train -serve), waits for training, and loads
-// the returned weights back into the job — the full Fig. 1 loop. Requires
-// Options.ModelName. The service only ever receives augmented data and
-// the augmented graph spec; the key stays local.
-func (j *Job) TrainRemote(addr string, cfg TrainConfig) ([]EpochStats, error) {
-	if j.opts.ModelName == "" {
-		return nil, fmt.Errorf("amalgam: TrainRemote requires Options.ModelName")
-	}
-	// SubNets must be pinned for the server-side rebuild to match.
-	subnets := len(j.Augmented.Decoys)
-	spec := cloudsim.ModelSpec{
-		Kind: "augmented-cv", Model: j.opts.ModelName,
-		InC: j.origCfg.InC, OrigH: j.origCfg.InH, OrigW: j.origCfg.InW, Classes: j.origCfg.Classes,
-		AugAmount: j.opts.Amount, SubNets: subnets, AugSeed: j.opts.Seed,
-		KeyKeep: j.Key.Keep, AugH: j.Key.AugH, AugW: j.Key.AugW,
-	}
-	req := &cloudsim.TrainRequest{
-		Spec: spec,
-		Hyper: cloudsim.Hyper{
-			Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
-			LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
-		},
-		Images:    j.AugmentedDataset.Images,
-		Labels:    j.AugmentedDataset.Labels,
-		InitState: nn.StateDict(j.Augmented),
-	}
-	resp, err := cloudsim.Train(addr, req)
-	if err != nil {
-		return nil, err
-	}
-	if err := nn.LoadStateDict(j.Augmented, resp.State); err != nil {
-		return nil, fmt.Errorf("amalgam: loading trained weights: %w", err)
-	}
-	stats := make([]EpochStats, len(resp.Metrics))
-	for i, m := range resp.Metrics {
-		stats[i] = EpochStats{Epoch: m.Epoch, Loss: m.Loss, Accuracy: m.Accuracy}
-	}
-	return stats, nil
-}
-
-func (j *Job) evalAccuracy(ds *ImageDataset, batch int) float64 {
-	j.Augmented.SetTraining(false)
-	defer j.Augmented.SetTraining(true)
-	correct := 0
-	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
-		x, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(j.Augmented.Forward(autodiff.Constant(x)).Val)
-		for i, p := range pred {
-			if p == labels[i] {
-				correct++
-			}
-		}
-	}
-	return float64(correct) / float64(ds.N())
-}
-
-// Extract builds a fresh instance of the original architecture (from the
-// zoo name used to build the model, with the given seed) and copies the
-// trained original weights into it (§4.3). For models built outside the
-// zoo, use ExtractInto.
-func (j *Job) Extract(name string, seed uint64) (CVModel, error) {
-	fresh, err := BuildCV(name, seed, j.origCfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := j.ExtractInto(fresh); err != nil {
-		return nil, err
-	}
-	return fresh, nil
-}
-
-// ExtractInto copies the trained original weights (including batch-norm
-// running statistics) into a user-provided fresh model and verifies the
-// copy bit-for-bit.
-func (j *Job) ExtractInto(fresh CVModel) error {
-	if err := core.Extract(j.Augmented, fresh); err != nil {
-		return err
-	}
-	return core.VerifyExtraction(j.Augmented, fresh)
 }
 
 // Classifier is anything that maps image batches to class logits — zoo

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,14 +32,12 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("need -in and -out")
 	}
-	f, err := os.Open(*in)
+	dict, epoch, isCkpt, err := readDict(*in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	dict, err := serialize.ReadStateDict(f)
-	if err != nil {
-		return err
+	if isCkpt {
+		fmt.Printf("input is a training checkpoint at epoch %d\n", epoch)
 	}
 	extracted := map[string]*tensor.Tensor{}
 	var decoyParams, origParams int
@@ -64,4 +63,27 @@ func run() error {
 	fmt.Printf("extracted %d tensors (%d params); discarded %d decoy params\n", len(extracted), origParams, decoyParams)
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// readDict loads either a plain state dict (.amd) or a training
+// checkpoint (.amc, as written by WithCheckpoint / a cancelled run) —
+// the formats are distinguished by magic, so extraction from a mid-job
+// snapshot needs no extra flag. Only a wrong-magic probe falls through to
+// the state-dict reader; a corrupt checkpoint surfaces its own error
+// instead of a misleading state-dict one.
+func readDict(path string) (dict map[string]*tensor.Tensor, epoch int, isCkpt bool, err error) {
+	epoch, dict, err = serialize.LoadTrainCheckpoint(path)
+	if err == nil {
+		return dict, epoch, true, nil
+	}
+	if !errors.Is(err, serialize.ErrWrongFormat) {
+		return nil, 0, true, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	dict, err = serialize.ReadStateDict(f)
+	return dict, 0, false, err
 }

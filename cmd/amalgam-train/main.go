@@ -1,23 +1,26 @@
 // Command amalgam-train is the cloud side of the workflow: it serves the
 // training service (the role of the Jupyter notebook environment in the
-// paper) or submits a demo obfuscated job to a running service.
+// paper) or submits a demo obfuscated job to a running service through the
+// public Job/Trainer API — with per-epoch progress streamed over the wire,
+// periodic checkpoints, and Ctrl-C cancellation that leaves a resumable
+// checkpoint.
 //
-//	amalgam-train -serve :7009                 # cloud side
-//	amalgam-train -submit 127.0.0.1:7009       # user side (demo job)
+//	amalgam-train -serve :7009                        # cloud side
+//	amalgam-train -submit 127.0.0.1:7009              # user side (CV demo job)
+//	amalgam-train -submit 127.0.0.1:7009 -text        # text-classification job
+//	amalgam-train -submit ... -checkpoint job.amc     # resumable (Ctrl-C safe)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 
+	"amalgam"
 	"amalgam/internal/cloudsim"
-	"amalgam/internal/core"
-	"amalgam/internal/data"
-	"amalgam/internal/models"
-	"amalgam/internal/nn"
-	"amalgam/internal/tensor"
 )
 
 func main() {
@@ -30,9 +33,11 @@ func main() {
 func run() error {
 	serve := flag.String("serve", "", "address to serve the training service on")
 	submit := flag.String("submit", "", "address of a training service to submit a demo job to")
+	text := flag.Bool("text", false, "submit a text-classification job instead of a CV job")
 	amount := flag.Float64("amount", 1.0, "augmentation amount for the demo job")
 	epochs := flag.Int("epochs", 2, "epochs for the demo job")
 	samples := flag.Int("samples", 64, "synthetic samples for the demo job")
+	checkpoint := flag.String("checkpoint", "", "checkpoint path: writes per-epoch snapshots and resumes from an existing file")
 	flag.Parse()
 
 	switch {
@@ -46,65 +51,89 @@ func run() error {
 		server.Wait()
 		return nil
 	case *submit != "":
-		return submitDemo(*submit, *amount, *epochs, *samples)
+		// Ctrl-C cancels the remote job mid-flight; with -checkpoint the
+		// partial state lands on disk and a re-run resumes it.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if *text {
+			return submitTextDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
+		}
+		return submitCVDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
 	default:
 		flag.Usage()
 		return fmt.Errorf("need -serve or -submit")
 	}
 }
 
-func submitDemo(addr string, amount float64, epochs, samples int) error {
-	ds := data.SyntheticMNIST(samples, 1)
-	aug, err := core.AugmentImages(ds, core.ImageAugmentOptions{Amount: amount, Noise: core.DefaultImageNoise(), Seed: 42})
-	if err != nil {
-		return err
+func trainOptions(checkpoint string) []amalgam.TrainOption {
+	opts := []amalgam.TrainOption{
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			line := fmt.Sprintf("epoch %d: loss=%.4f acc=%.3f", s.Epoch, s.Loss, s.Accuracy)
+			if s.HasEval {
+				line += fmt.Sprintf(" eval=%.3f", s.EvalAccuracy)
+			}
+			fmt.Println(line)
+		}),
 	}
-	spec := cloudsim.ModelSpec{
-		Kind: "augmented-cv", Model: "lenet", InC: 1, OrigH: 28, OrigW: 28, Classes: 10, ModelSeed: 7,
-		AugAmount: amount, SubNets: 3, AugSeed: 13,
-		KeyKeep: aug.Key.Keep, AugH: aug.Key.AugH, AugW: aug.Key.AugW,
+	if checkpoint != "" {
+		opts = append(opts,
+			amalgam.WithCheckpoint(checkpoint, 1),
+			amalgam.WithResume(checkpoint))
 	}
-	model, _, err := cloudsim.BuildModel(spec)
-	if err != nil {
-		return err
-	}
-	req := &cloudsim.TrainRequest{
-		Spec:   spec,
-		Hyper:  cloudsim.Hyper{Epochs: epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9},
-		Images: aug.Dataset.Images,
-		Labels: aug.Dataset.Labels,
-		// Ship the client-side initialisation so the returned weights can
-		// be verified against a local reference.
-		InitState: nn.StateDict(model),
-	}
-	fmt.Printf("submitting obfuscated job: %d augmented samples at %dx%d, model %s +%.0f%%\n",
-		aug.Dataset.N(), aug.Key.AugH, aug.Key.AugW, spec.Model, amount*100)
-	resp, err := cloudsim.Train(addr, req)
-	if err != nil {
-		return err
-	}
-	for _, m := range resp.Metrics {
-		fmt.Printf("epoch %d: loss=%.4f acc=%.3f (%.2fs)\n", m.Epoch, m.Loss, m.Accuracy, m.Seconds)
-	}
+	return opts
+}
 
-	// Extract the original model from the returned state dict.
-	fresh := models.NewLeNet5(tensor.NewRNG(7), models.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
-	dict := map[string]*tensor.Tensor{}
-	for name, t := range resp.State {
-		if cut, ok := cutPrefix(name, "orig."); ok {
-			dict[cut] = t
-		}
+func submitCVDemo(ctx context.Context, addr string, amount float64, epochs, samples int, checkpoint string) error {
+	train := amalgam.SyntheticMNIST(samples, 1)
+	testN := samples / 4
+	if testN < 1 {
+		testN = 1
 	}
-	if err := nn.LoadStateDict(fresh, dict); err != nil {
+	test := amalgam.SyntheticMNIST(testN, 2)
+	model, err := amalgam.BuildCV("lenet", 7, amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		return err
+	}
+	job, err := amalgam.Obfuscate(model, train, amalgam.Options{
+		Amount: amount, SubNets: 3, Seed: 42, ModelName: "lenet",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitting obfuscated CV job: %d augmented samples at %dx%d, lenet +%.0f%%\n",
+		job.AugmentedDataset.N(), job.Key.AugH, job.Key.AugW, amount*100)
+	opts := append(trainOptions(checkpoint), amalgam.WithEvalSet(test))
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
+		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9}, opts...); err != nil {
+		return err
+	}
+	if _, err := job.Extract("lenet", 7); err != nil {
 		return fmt.Errorf("extraction: %w", err)
 	}
 	fmt.Println("extraction ok: original model recovered from cloud-trained augmented weights")
 	return nil
 }
 
-func cutPrefix(s, prefix string) (string, bool) {
-	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
-		return s[len(prefix):], true
+func submitTextDemo(ctx context.Context, addr string, amount float64, epochs, samples int, checkpoint string) error {
+	const vocab, embed, classes = 5000, 32, 4
+	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "agnews-demo", N: samples, SeqLen: 64, Vocab: vocab, Classes: classes, Seed: 1,
+	})
+	model := amalgam.BuildTextClassifier(7, vocab, embed, classes)
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: amount, SubNets: 2, Seed: 42})
+	if err != nil {
+		return err
 	}
-	return "", false
+	fmt.Printf("submitting obfuscated text job: %d samples, %d → %d tokens each, +%.0f%%\n",
+		job.AugmentedDataset.N(), job.Key.OrigLen, job.Key.AugLen, amount*100)
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
+		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.5, Momentum: 0.9},
+		trainOptions(checkpoint)...); err != nil {
+		return err
+	}
+	if _, err := job.ExtractText(7); err != nil {
+		return fmt.Errorf("extraction: %w", err)
+	}
+	fmt.Println("extraction ok: original classifier recovered from cloud-trained augmented weights")
+	return nil
 }

@@ -1,12 +1,16 @@
 // NLP example: obfuscated training for both paper NLP workloads — the
-// AG News-style text classifier (embedding-bag + linear) and the
-// WikiText-2-style transformer language model.
+// AG News-style text classifier through the public Job/Trainer API
+// (ObfuscateText → LocalTrainer → ExtractText), and the WikiText-2-style
+// transformer language model through the internal core (LM jobs are not
+// yet first-class in the public API).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"amalgam"
 	"amalgam/internal/autodiff"
 	"amalgam/internal/core"
 	"amalgam/internal/data"
@@ -22,41 +26,41 @@ func main() {
 }
 
 func textClassification() {
-	fmt.Println("== text classification (AG News-style) ==")
-	vocab := 5000
-	train := data.GenerateClassifiedText(data.ClassTextConfig{Name: "ag", N: 96, SeqLen: 64, Vocab: vocab, Classes: 4, Seed: 1})
+	fmt.Println("== text classification (AG News-style, public API) ==")
+	const vocab, classes = 5000, 4
+	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "ag", N: 96, SeqLen: 64, Vocab: vocab, Classes: classes, Seed: 1})
+	test := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "ag-test", N: 32, SeqLen: 64, Vocab: vocab, Classes: classes, Seed: 2})
 
-	aug, err := core.AugmentTextDataset(train, core.TextAugmentOptions{Amount: 0.5, Noise: core.DefaultTextNoise(vocab), Seed: 2})
+	model := amalgam.BuildTextClassifier(3, vocab, 64, classes)
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sequences: %d → %d tokens (search space %s)\n",
-		train.SeqLen(), aug.Dataset.SeqLen(), core.SearchSpaceString(train.SeqLen(), aug.Dataset.SeqLen()))
+	fmt.Printf("sequences: %d → %d tokens (search space 10^%.1f)\n",
+		train.SeqLen(), job.AugmentedDataset.SeqLen(),
+		amalgam.SearchSpace(train.SeqLen(), job.AugmentedDataset.SeqLen()))
 
-	orig := models.NewTextClassifier(tensor.NewRNG(3), vocab, 64, 4)
-	am, err := core.AugmentTextClassifier(orig, aug.Key, core.ModelAugmentOptions{Amount: 0.5, SubNets: 2, Seed: 4})
+	// Train through the Trainer API: streamed per-epoch stats plus a
+	// held-out split obfuscated with the job key. Swapping LocalTrainer{}
+	// for RemoteTrainer{Addr} runs the identical job on a cloud service.
+	_, err = amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 3, BatchSize: 16, LR: 0.5, Momentum: 0.9},
+		amalgam.WithEvalSet(test),
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("epoch %d: original-subnet loss %.4f acc %.3f eval %.3f\n",
+				s.Epoch, s.Loss, s.Accuracy, s.EvalAccuracy)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := optim.NewSGD(am.Params(), 0.5, 0.9, 0)
-	for epoch := 0; epoch < 3; epoch++ {
-		var lossSum float32
-		batches := data.BatchIter(aug.Dataset.N(), 16, nil)
-		for _, idx := range batches {
-			ids, labels := aug.Dataset.Batch(idx)
-			nn.ZeroGrads(am)
-			total, origLoss := am.Loss(ids, labels)
-			autodiff.Backward(total)
-			opt.Step()
-			lossSum += origLoss.Scalar()
-		}
-		fmt.Printf("epoch %d: original-subnet loss %.4f\n", epoch+1, lossSum/float32(len(batches)))
-	}
-	fresh := models.NewTextClassifier(tensor.NewRNG(3), vocab, 64, 4)
-	if err := core.Extract(am, fresh); err != nil {
+	fresh, err := job.ExtractText(3)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("extraction ok: classifier recovered")
+	fmt.Printf("extraction ok: classifier recovered (test accuracy %.3f)\n",
+		amalgam.PredictText(fresh, test, 16))
 }
 
 func languageModel() {

@@ -1,10 +1,15 @@
 // Quickstart: obfuscate a model and dataset, train, extract, evaluate —
-// the complete Fig. 1 workflow in one file using only the public API.
+// the complete Fig. 1 workflow in one file using only the public API. The
+// training run streams per-epoch progress, scores a held-out split, and
+// writes a resumable checkpoint every epoch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"amalgam"
 )
@@ -26,14 +31,21 @@ func main() {
 	fmt.Printf("augmented dataset: %dx%d → %dx%d, privacy loss ε=%.2f\n",
 		train.H(), train.W(), job.AugmentedDataset.H(), job.AugmentedDataset.W(), amalgam.PrivacyLoss(0.5))
 
-	// 3. Train the augmented model (locally here; see cmd/amalgam-train for
-	// the remote cloud service).
-	stats, err := job.Train(amalgam.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9})
+	// 3. Train the augmented model (locally here; RemoteTrainer{Addr} runs
+	// the identical job against cmd/amalgam-train -serve). WithEvalSet
+	// obfuscates the held-out split with the job key and scores it each
+	// epoch; the checkpoint makes the run resumable after interruption.
+	ckpt := filepath.Join(os.TempDir(), "quickstart.amc")
+	defer os.Remove(ckpt)
+	_, err = amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9},
+		amalgam.WithEvalSet(test),
+		amalgam.WithCheckpoint(ckpt, 1),
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("epoch %d: loss=%.4f acc=%.3f eval=%.3f\n", s.Epoch, s.Loss, s.Accuracy, s.EvalAccuracy)
+		}))
 	if err != nil {
 		log.Fatal(err)
-	}
-	for _, s := range stats {
-		fmt.Printf("epoch %d: loss=%.4f acc=%.3f\n", s.Epoch, s.Loss, s.Accuracy)
 	}
 
 	// 4. Extract the original model and evaluate on the ORIGINAL test set.

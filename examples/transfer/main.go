@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := amalgam.CVConfig{InC: 3, InH: 32, InW: 32, Classes: 10}
 
 	// "Pre-train" a ResNet-18 on a source task.
@@ -25,7 +27,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := preJob.Train(amalgam.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9}); err != nil {
+	if _, err := amalgam.Train(ctx, amalgam.LocalTrainer{}, preJob,
+		amalgam.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9}); err != nil {
 		log.Fatal(err)
 	}
 	pretrained := nn.StateDict(pre)
@@ -57,12 +60,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats, err := job.Train(amalgam.TrainConfig{Epochs: 2, BatchSize: 20, LR: 0.02, Momentum: 0.9})
+	_, err = amalgam.Train(ctx, amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 2, BatchSize: 20, LR: 0.02, Momentum: 0.9},
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("fine-tune epoch %d: loss=%.4f acc=%.3f\n", s.Epoch, s.Loss, s.Accuracy)
+		}))
 	if err != nil {
 		log.Fatal(err)
-	}
-	for _, s := range stats {
-		fmt.Printf("fine-tune epoch %d: loss=%.4f acc=%.3f\n", s.Epoch, s.Loss, s.Accuracy)
 	}
 	extracted, err := job.Extract("resnet18", 8)
 	if err != nil {

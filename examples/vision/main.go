@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := job.Train(amalgam.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9}); err != nil {
+	// Train with a per-epoch eval of the held-out split, obfuscated with
+	// the job key (§5.4's cloud-side validation path).
+	if _, err := amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.02, Momentum: 0.9},
+		amalgam.WithEvalSet(test),
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("epoch %d: loss=%.4f train=%.3f eval=%.3f\n", s.Epoch, s.Loss, s.Accuracy, s.EvalAccuracy)
+		})); err != nil {
 		log.Fatal(err)
 	}
 	extracted, err := job.Extract("resnet18", 7)

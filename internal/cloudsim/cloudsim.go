@@ -5,9 +5,15 @@
 // exactly what an honest-but-curious cloud can observe — which the attack
 // analysis (§6.3) consumes, and an accelerator cost model used to report
 // GPU-relative numbers on a CPU-only testbed (Fig. 14; see DESIGN.md §4).
+//
+// Protocol v2 extends the original blocking request/response loop with
+// per-epoch progress streaming, cooperative cancellation, mid-job
+// checkpoint frames, and a second modality: augmented text-classification
+// jobs ride the same wire as CV jobs.
 package cloudsim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -29,11 +35,11 @@ import (
 // not also derive from TorchScript (see ProviderView for what attacks may
 // use).
 type ModelSpec struct {
-	Kind      string  `json:"kind"`  // "plain-cv" or "augmented-cv"
-	Model     string  `json:"model"` // registry name, e.g. "lenet"
-	InC       int     `json:"in_c"`
-	OrigH     int     `json:"orig_h"`
-	OrigW     int     `json:"orig_w"`
+	Kind      string  `json:"kind"`            // "plain-cv", "augmented-cv", or "augmented-text"
+	Model     string  `json:"model,omitempty"` // CV registry name, e.g. "lenet"
+	InC       int     `json:"in_c,omitempty"`
+	OrigH     int     `json:"orig_h,omitempty"`
+	OrigW     int     `json:"orig_w,omitempty"`
 	Classes   int     `json:"classes"`
 	ModelSeed uint64  `json:"model_seed"`
 	AugAmount float64 `json:"aug_amount"`
@@ -42,6 +48,11 @@ type ModelSpec struct {
 	KeyKeep   []int   `json:"key_keep,omitempty"` // gather set of sub-network 0
 	AugH      int     `json:"aug_h,omitempty"`
 	AugW      int     `json:"aug_w,omitempty"`
+	// Text-modality geometry ("augmented-text").
+	Vocab    int `json:"vocab,omitempty"`
+	EmbedDim int `json:"embed_dim,omitempty"`
+	OrigLen  int `json:"orig_len,omitempty"`
+	AugLen   int `json:"aug_len,omitempty"`
 }
 
 // Hyper holds the training hyper-parameters of a job.
@@ -53,15 +64,31 @@ type Hyper struct {
 	WeightDecay float64 `json:"weight_decay"`
 	Shuffle     bool    `json:"shuffle"`
 	ShuffleSeed uint64  `json:"shuffle_seed"`
+	// StartEpoch resumes a job: epochs [0, StartEpoch) are assumed done
+	// (their effect carried by InitState) and metrics continue from there.
+	StartEpoch int `json:"start_epoch,omitempty"`
+	// Stream asks a v2 server to push msgProgress frames per epoch.
+	Stream bool `json:"stream,omitempty"`
+	// CheckpointEvery asks a v2 server to push a msgCheckpoint frame (full
+	// state dict) every N epochs. 0 disables.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the
-// (augmented) dataset.
+// (augmented) dataset — images for CV jobs, token samples for text jobs.
 type TrainRequest struct {
 	Spec   ModelSpec
 	Hyper  Hyper
-	Images *tensor.Tensor // [N, C, H, W]
+	Images *tensor.Tensor // [N, C, H, W] (CV modality)
 	Labels []int
+	// Samples holds the augmented token sequences of a text job, each of
+	// length Spec.AugLen.
+	Samples [][]int
+	// Eval* hold an optional held-out split (already obfuscated with the
+	// job key) the service scores each epoch, reported as EvalAccuracy.
+	EvalImages  *tensor.Tensor
+	EvalLabels  []int
+	EvalSamples [][]int
 	// InitState, when non-nil, overrides the rebuilt model's initial
 	// parameters with the client's (preserving client-side initialisation).
 	InitState map[string]*tensor.Tensor
@@ -74,6 +101,10 @@ type EpochMetric struct {
 	Loss     float64 `json:"loss"`
 	Accuracy float64 `json:"accuracy"`
 	Seconds  float64 `json:"seconds"`
+	// EvalAccuracy is the held-out accuracy when the request shipped an
+	// eval split; HasEval distinguishes "no eval set" from 0%.
+	EvalAccuracy float64 `json:"eval_accuracy,omitempty"`
+	HasEval      bool    `json:"has_eval,omitempty"`
 }
 
 // TrainResponse carries the trained weights and metrics back to the user.
@@ -81,47 +112,61 @@ type TrainResponse struct {
 	State   map[string]*tensor.Tensor
 	Metrics []EpochMetric
 	Seconds float64
+	// Cancelled reports that the job stopped early on a client msgCancel;
+	// State then holds the epoch-aligned weights at interruption and
+	// CompletedEpochs the number of fully finished epochs (the resume
+	// point — resuming there re-trains no batch twice).
+	Cancelled       bool
+	CompletedEpochs int
 }
 
-// trainable unifies the plain and augmented model cases for the server.
-type trainable interface {
+// Trainable is the server-side handle on a rebuilt model: everything the
+// optimiser and state-dict plumbing need, for any modality.
+type Trainable interface {
 	Params() []nn.Param
 	SetTraining(bool)
 }
 
 // BuildModel instantiates the spec. Exposed so local runs, the TCP server,
 // and tests share one code path.
-func BuildModel(spec ModelSpec) (trainable, func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node), error) {
-	cfg := models.CVConfig{InC: spec.InC, InH: spec.OrigH, InW: spec.OrigW, Classes: spec.Classes}
-	orig, err := models.BuildCV(spec.Model, tensor.NewRNG(spec.ModelSeed), cfg)
-	if err != nil {
-		return nil, nil, err
-	}
+func BuildModel(spec ModelSpec) (Trainable, error) {
 	switch spec.Kind {
 	case "plain-cv":
-		loss := func(x *autodiff.Node, labels []int) (*autodiff.Node, *autodiff.Node) {
-			l := autodiff.SoftmaxCrossEntropy(orig.Forward(x), labels)
-			return l, l
-		}
-		return orig, loss, nil
+		cfg := models.CVConfig{InC: spec.InC, InH: spec.OrigH, InW: spec.OrigW, Classes: spec.Classes}
+		return models.BuildCV(spec.Model, tensor.NewRNG(spec.ModelSeed), cfg)
 	case "augmented-cv":
+		cfg := models.CVConfig{InC: spec.InC, InH: spec.OrigH, InW: spec.OrigW, Classes: spec.Classes}
+		orig, err := models.BuildCV(spec.Model, tensor.NewRNG(spec.ModelSeed), cfg)
+		if err != nil {
+			return nil, err
+		}
 		key := &core.ImageAugKey{
 			OrigH: spec.OrigH, OrigW: spec.OrigW, AugH: spec.AugH, AugW: spec.AugW,
 			Keep: spec.KeyKeep,
 		}
 		key.Insert = complement(key.Keep, spec.AugH*spec.AugW)
 		if err := key.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("cloudsim: invalid key in spec: %w", err)
+			return nil, fmt.Errorf("cloudsim: invalid key in spec: %w", err)
 		}
-		am, err := core.AugmentCVModel(orig, key, spec.InC, spec.Classes, core.ModelAugmentOptions{
+		return core.AugmentCVModel(orig, key, spec.InC, spec.Classes, core.ModelAugmentOptions{
 			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
 		})
-		if err != nil {
-			return nil, nil, err
+	case "augmented-text":
+		if spec.Vocab <= 0 || spec.EmbedDim <= 0 || spec.Classes <= 0 {
+			return nil, fmt.Errorf("cloudsim: text spec needs vocab/embed_dim/classes, got %d/%d/%d",
+				spec.Vocab, spec.EmbedDim, spec.Classes)
 		}
-		return am, am.Loss, nil
+		orig := models.NewTextClassifier(tensor.NewRNG(spec.ModelSeed), spec.Vocab, spec.EmbedDim, spec.Classes)
+		key := &core.TextAugKey{OrigLen: spec.OrigLen, AugLen: spec.AugLen, Keep: spec.KeyKeep}
+		key.Insert = complement(key.Keep, spec.AugLen)
+		if err := key.Validate(); err != nil {
+			return nil, fmt.Errorf("cloudsim: invalid text key in spec: %w", err)
+		}
+		return core.AugmentTextClassifier(orig, key, core.ModelAugmentOptions{
+			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
+		})
 	default:
-		return nil, nil, fmt.Errorf("cloudsim: unknown model kind %q", spec.Kind)
+		return nil, fmt.Errorf("cloudsim: unknown model kind %q", spec.Kind)
 	}
 }
 
@@ -141,64 +186,25 @@ func complement(keep []int, n int) []int {
 	return out
 }
 
-// RunLocal executes a job in-process — the "deployed locally on user
-// devices" mode the paper mentions, and the engine behind the TCP server.
-func RunLocal(req *TrainRequest) (*TrainResponse, error) {
-	model, lossFn, err := BuildModel(req.Spec)
-	if err != nil {
-		return nil, err
-	}
-	if req.InitState != nil {
-		if err := nn.LoadStateDict(model, req.InitState); err != nil {
-			return nil, fmt.Errorf("cloudsim: loading client init: %w", err)
-		}
-	}
-	if req.Hyper.Epochs <= 0 || req.Hyper.BatchSize <= 0 {
-		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
-	}
-	n := len(req.Labels)
-	if n == 0 || req.Images.Dim(0) != n {
-		return nil, fmt.Errorf("cloudsim: dataset has %d images for %d labels", req.Images.Dim(0), n)
-	}
-	model.SetTraining(true)
-	opt := optim.NewSGD(model.Params(), req.Hyper.LR, req.Hyper.Momentum, req.Hyper.WeightDecay)
-	var shuffleRNG *tensor.RNG
-	if req.Hyper.Shuffle {
-		shuffleRNG = tensor.NewRNG(req.Hyper.ShuffleSeed)
-	}
-	ds := &data.ImageDataset{Images: req.Images, Labels: req.Labels, Classes: req.Spec.Classes}
-	start := time.Now()
-	var metrics []EpochMetric
-	for e := 0; e < req.Hyper.Epochs; e++ {
-		epochStart := time.Now()
-		var lossSum float64
-		correct, seen := 0, 0
-		for _, idx := range data.BatchIter(n, req.Hyper.BatchSize, shuffleRNG) {
-			x, labels := ds.Batch(idx)
-			nn.ZeroGrads(model)
-			total, orig := lossFn(autodiff.Constant(x), labels)
-			autodiff.Backward(total)
-			opt.Step()
-			lossSum += float64(orig.Scalar()) * float64(len(labels))
-			// Original-path logits for accuracy: recompute cheaply from the
-			// already-built graph is not possible; reuse orig loss only and
-			// compute accuracy from a forward pass per epoch end instead.
-			seen += len(labels)
-			_ = correct
-		}
-		acc := evalAccuracy(model, ds, req.Hyper.BatchSize)
-		metrics = append(metrics, EpochMetric{
-			Epoch:    e + 1,
-			Loss:     lossSum / float64(seen),
-			Accuracy: acc,
-			Seconds:  time.Since(epochStart).Seconds(),
-		})
-	}
-	return &TrainResponse{
-		State:   nn.StateDict(model),
-		Metrics: metrics,
-		Seconds: time.Since(start).Seconds(),
-	}, nil
+// Engine hides a job's modality behind step/accuracy closures so one
+// training loop serves CV and text jobs alike. The cloud service builds
+// engines from wire requests (newEngine); the public LocalTrainer builds
+// them over its live job artifacts — both then drive the SAME TrainLoop,
+// which is what makes local and remote training bit-identical by
+// construction rather than by hand-synced copies.
+type Engine struct {
+	Model Trainable
+	// N is the number of training samples.
+	N int
+	// Step runs one mini-batch: zero grads, forward, backward, optimiser
+	// step, release the graph. Returns the summed original-sub-network
+	// loss and the batch size.
+	Step func(opt *optim.SGD, idx []int) (lossSum float64, count int)
+	// TrainAcc scores the model on the (augmented) training set.
+	TrainAcc func(batch int) float64
+	// EvalAcc scores the held-out split; ok is false when there is none.
+	// Nil means no eval set.
+	EvalAcc func(batch int) (acc float64, ok bool)
 }
 
 // forwarder is implemented by both plain CV models and AugmentedCVModel.
@@ -206,7 +212,214 @@ type forwarder interface {
 	Forward(x *autodiff.Node) *autodiff.Node
 }
 
-func evalAccuracy(model trainable, ds *data.ImageDataset, batch int) float64 {
+// idForwarder is implemented by text models (original and augmented).
+type idForwarder interface {
+	ForwardIDs(ids [][]int) *autodiff.Node
+}
+
+func newEngine(req *TrainRequest) (*Engine, error) {
+	model, err := BuildModel(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Spec.Kind {
+	case "plain-cv", "augmented-cv":
+		n := len(req.Labels)
+		if req.Images == nil || n == 0 || req.Images.Dim(0) != n {
+			return nil, fmt.Errorf("cloudsim: dataset has %d images for %d labels", imageCount(req.Images), n)
+		}
+		ds := &data.ImageDataset{Images: req.Images, Labels: req.Labels, Classes: req.Spec.Classes}
+		var lossFn func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node)
+		if am, ok := model.(*core.AugmentedCVModel); ok {
+			lossFn = am.Loss
+		} else {
+			fw := model.(forwarder)
+			lossFn = func(x *autodiff.Node, labels []int) (*autodiff.Node, *autodiff.Node) {
+				l := autodiff.SoftmaxCrossEntropy(fw.Forward(x), labels)
+				return l, l
+			}
+		}
+		eng := &Engine{
+			Model:    model,
+			N:        n,
+			Step:     CVStep(model, lossFn, ds),
+			TrainAcc: func(batch int) float64 { return imageAccuracy(model, ds, batch) },
+		}
+		if req.EvalImages != nil {
+			if len(req.EvalLabels) == 0 || req.EvalImages.Dim(0) != len(req.EvalLabels) {
+				return nil, fmt.Errorf("cloudsim: eval split has %d images for %d labels",
+					req.EvalImages.Dim(0), len(req.EvalLabels))
+			}
+			eds := &data.ImageDataset{Images: req.EvalImages, Labels: req.EvalLabels, Classes: req.Spec.Classes}
+			eng.EvalAcc = func(batch int) (float64, bool) { return imageAccuracy(model, eds, batch), true }
+		}
+		return eng, nil
+	case "augmented-text":
+		n := len(req.Labels)
+		if len(req.Samples) != n || n == 0 {
+			return nil, fmt.Errorf("cloudsim: dataset has %d samples for %d labels", len(req.Samples), n)
+		}
+		for i, s := range req.Samples {
+			if len(s) != req.Spec.AugLen {
+				return nil, fmt.Errorf("cloudsim: sample %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+			}
+		}
+		ds := &data.TextDataset{Samples: req.Samples, Labels: req.Labels, Vocab: req.Spec.Vocab, Classes: req.Spec.Classes}
+		am := model.(*core.AugmentedTextClassifier)
+		eng := &Engine{
+			Model:    model,
+			N:        n,
+			Step:     TextStep(am, ds),
+			TrainAcc: func(batch int) float64 { return textAccuracy(model, ds, batch) },
+		}
+		if len(req.EvalSamples) > 0 {
+			if len(req.EvalSamples) != len(req.EvalLabels) {
+				return nil, fmt.Errorf("cloudsim: eval split has %d samples for %d labels",
+					len(req.EvalSamples), len(req.EvalLabels))
+			}
+			eds := &data.TextDataset{Samples: req.EvalSamples, Labels: req.EvalLabels, Vocab: req.Spec.Vocab, Classes: req.Spec.Classes}
+			eng.EvalAcc = func(batch int) (float64, bool) { return textAccuracy(model, eds, batch), true }
+		}
+		return eng, nil
+	default:
+		return nil, fmt.Errorf("cloudsim: unknown model kind %q", req.Spec.Kind)
+	}
+}
+
+// CVStep builds the canonical CV mini-batch step: zero grads, joint loss,
+// backward, optimiser step, graph release. Shared by the service and the
+// public LocalTrainer so there is exactly one definition of "a training
+// step" per modality.
+func CVStep(model Trainable, lossFn func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node), ds *data.ImageDataset) func(*optim.SGD, []int) (float64, int) {
+	return func(opt *optim.SGD, idx []int) (float64, int) {
+		x, labels := ds.Batch(idx)
+		nn.ZeroGrads(model)
+		total, orig := lossFn(autodiff.Constant(x), labels)
+		autodiff.Backward(total)
+		opt.Step()
+		l := float64(orig.Scalar()) * float64(len(labels))
+		autodiff.Release(total)
+		return l, len(labels)
+	}
+}
+
+// TextStep is CVStep's text-classification counterpart.
+func TextStep(am *core.AugmentedTextClassifier, ds *data.TextDataset) func(*optim.SGD, []int) (float64, int) {
+	return func(opt *optim.SGD, idx []int) (float64, int) {
+		ids, labels := ds.Batch(idx)
+		nn.ZeroGrads(am)
+		total, orig := am.Loss(ids, labels)
+		autodiff.Backward(total)
+		opt.Step()
+		l := float64(orig.Scalar()) * float64(len(labels))
+		autodiff.Release(total)
+		return l, len(labels)
+	}
+}
+
+func imageCount(t *tensor.Tensor) int {
+	if t == nil {
+		return 0
+	}
+	return t.Dim(0)
+}
+
+// RunLocal executes a job in-process — the "deployed locally on user
+// devices" mode the paper mentions, and the engine behind the TCP server.
+func RunLocal(req *TrainRequest) (*TrainResponse, error) {
+	return runTraining(context.Background(), req, nil, nil)
+}
+
+// runTraining builds the engine from a wire request and drives TrainLoop.
+func runTraining(ctx context.Context, req *TrainRequest,
+	progress func(EpochMetric) error,
+	checkpoint func(epoch int, state map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+
+	eng, err := newEngine(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.InitState != nil {
+		if err := nn.LoadStateDict(eng.Model, req.InitState); err != nil {
+			return nil, fmt.Errorf("cloudsim: loading client init: %w", err)
+		}
+	}
+	return TrainLoop(ctx, eng, req.Hyper, progress, checkpoint)
+}
+
+// TrainLoop is THE obfuscated-training epoch loop — the cloud service and
+// the public LocalTrainer both run it, so batch order (per-epoch
+// data.ShuffleRNG), checkpoint cadence, and cancellation semantics cannot
+// drift between the two paths.
+//
+// progress (if non-nil) is called after every epoch; checkpoint (if
+// non-nil, and hyper.CheckpointEvery > 0) receives a state-dict snapshot
+// at checkpoint boundaries. A cancelled ctx stops the loop at the NEXT
+// EPOCH BOUNDARY (the in-flight epoch completes) and returns the state
+// with Cancelled set — not an error, so the caller still gets the
+// weights. Epoch granularity keeps the returned state and
+// CompletedEpochs consistent: a checkpoint written from a cancelled run
+// never contains a partially applied epoch, so resuming re-trains no
+// batch twice.
+func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
+	progress func(EpochMetric) error,
+	checkpoint func(epoch int, state map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+
+	if hyper.Epochs <= 0 || hyper.BatchSize <= 0 {
+		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
+	}
+	if hyper.StartEpoch < 0 || hyper.StartEpoch >= hyper.Epochs {
+		return nil, fmt.Errorf("cloudsim: start epoch %d out of range [0,%d)", hyper.StartEpoch, hyper.Epochs)
+	}
+	eng.Model.SetTraining(true)
+	opt := optim.NewSGD(eng.Model.Params(), hyper.LR, hyper.Momentum, hyper.WeightDecay)
+	start := time.Now()
+	resp := &TrainResponse{CompletedEpochs: hyper.StartEpoch}
+	for e := hyper.StartEpoch; e < hyper.Epochs; e++ {
+		if ctx.Err() != nil {
+			resp.Cancelled = true
+			break
+		}
+		epochStart := time.Now()
+		var shuffleRNG *tensor.RNG
+		if hyper.Shuffle {
+			shuffleRNG = data.ShuffleRNG(hyper.ShuffleSeed, e)
+		}
+		var lossSum float64
+		seen := 0
+		for _, idx := range data.BatchIter(eng.N, hyper.BatchSize, shuffleRNG) {
+			l, c := eng.Step(opt, idx)
+			lossSum += l
+			seen += c
+		}
+		resp.CompletedEpochs = e + 1
+		m := EpochMetric{
+			Epoch:    e + 1,
+			Loss:     lossSum / float64(seen),
+			Accuracy: eng.TrainAcc(hyper.BatchSize),
+			Seconds:  time.Since(epochStart).Seconds(),
+		}
+		if eng.EvalAcc != nil {
+			m.EvalAccuracy, m.HasEval = eng.EvalAcc(hyper.BatchSize)
+		}
+		resp.Metrics = append(resp.Metrics, m)
+		if progress != nil {
+			if err := progress(m); err != nil {
+				return nil, err
+			}
+		}
+		if checkpoint != nil && hyper.CheckpointEvery > 0 && (e+1)%hyper.CheckpointEvery == 0 {
+			if err := checkpoint(e+1, nn.StateDict(eng.Model)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	resp.State = nn.StateDict(eng.Model)
+	resp.Seconds = time.Since(start).Seconds()
+	return resp, nil
+}
+
+func imageAccuracy(model Trainable, ds *data.ImageDataset, batch int) float64 {
 	fw, ok := model.(forwarder)
 	if !ok {
 		return 0
@@ -217,6 +430,26 @@ func evalAccuracy(model trainable, ds *data.ImageDataset, batch int) float64 {
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		x, labels := ds.Batch(idx)
 		pred := tensor.ArgmaxRows(fw.Forward(autodiff.Constant(x)).Val)
+		for i, p := range pred {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.N())
+}
+
+func textAccuracy(model Trainable, ds *data.TextDataset, batch int) float64 {
+	fw, ok := model.(idForwarder)
+	if !ok {
+		return 0
+	}
+	model.SetTraining(false)
+	defer model.SetTraining(true)
+	correct := 0
+	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
+		ids, labels := ds.Batch(idx)
+		pred := tensor.ArgmaxRows(fw.ForwardIDs(ids).Val)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++

@@ -93,7 +93,7 @@ func TestCloudRoundtripMatchesLocalTraining(t *testing.T) {
 	req, origDS, key := tinyJob(t, true)
 	// Client-side initial weights travel with the job so cloud training
 	// continues from the user's initialisation.
-	model, _, err := BuildModel(req.Spec)
+	model, err := BuildModel(req.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package cloudsim
+
+import "errors"
+
+// Sentinel errors classify protocol failures so clients (RemoteTrainer)
+// can distinguish fatal mismatches from transient transport faults with
+// errors.Is instead of string matching.
+var (
+	// ErrProtocolVersion marks version skew between client and server:
+	// retrying the same binary cannot succeed.
+	ErrProtocolVersion = errors.New("cloudsim: protocol version mismatch")
+	// ErrFrameTooLarge marks a frame over the agreed payload bound, on
+	// either the write side (fail fast, nothing hits the wire) or the read
+	// side (header rejected before allocation).
+	ErrFrameTooLarge = errors.New("cloudsim: frame exceeds size limit")
+	// ErrUnknownFrame marks an unrecognised frame type mid-stream — a
+	// corrupted or foreign stream, not retryable.
+	ErrUnknownFrame = errors.New("cloudsim: unknown frame type")
+)
+
+// Error codes carried in v2 msgError payloads (first byte) so wire-borne
+// server failures map back onto the sentinels client-side.
+const (
+	errCodeGeneric byte = 0
+	errCodeVersion byte = 1
+	errCodeFrame   byte = 2
+	errCodeUnknown byte = 3
+)
+
+// errCodeOf classifies an error for the wire.
+func errCodeOf(err error) byte {
+	switch {
+	case errors.Is(err, ErrProtocolVersion):
+		return errCodeVersion
+	case errors.Is(err, ErrFrameTooLarge):
+		return errCodeFrame
+	case errors.Is(err, ErrUnknownFrame):
+		return errCodeUnknown
+	default:
+		return errCodeGeneric
+	}
+}
+
+// sentinelFor maps a wire error code back to its sentinel (nil for generic).
+func sentinelFor(code byte) error {
+	switch code {
+	case errCodeVersion:
+		return ErrProtocolVersion
+	case errCodeFrame:
+		return ErrFrameTooLarge
+	case errCodeUnknown:
+		return ErrUnknownFrame
+	default:
+		return nil
+	}
+}

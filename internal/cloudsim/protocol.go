@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -9,26 +10,42 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"amalgam/internal/serialize"
 	"amalgam/internal/tensor"
 )
 
 // Wire protocol: each message is a 1-byte type, a uint32 length, and a
-// payload. A job is four client messages (spec JSON, hyper JSON, labels,
-// images[, init state dict]) followed by one server response (result JSON +
-// state dict) or an error message.
+// payload. A job is a sequence of client messages (spec, hyper, labels,
+// payload tensors/tokens[, eval split][, init state dict]) terminated by
+// msgDone, followed by the server's response. Protocol v2 spec frames lead
+// with a version byte (v1 frames started with the '{' of bare JSON, which
+// is how the two are told apart); v2 servers stream msgProgress frames per
+// epoch, push msgCheckpoint frames on request, and honour a client
+// msgCancel sent mid-job.
 const (
-	msgSpec   byte = 1
-	msgHyper  byte = 2
-	msgLabels byte = 3
-	msgImages byte = 4
-	msgInit   byte = 5
-	msgDone   byte = 6 // end of request
-	msgResult byte = 7
-	msgState  byte = 8
-	msgError  byte = 9
+	msgSpec       byte = 1
+	msgHyper      byte = 2
+	msgLabels     byte = 3
+	msgImages     byte = 4
+	msgInit       byte = 5
+	msgDone       byte = 6 // end of request
+	msgResult     byte = 7
+	msgState      byte = 8
+	msgError      byte = 9
+	msgProgress   byte = 10 // server→client: per-epoch EpochMetric JSON
+	msgCancel     byte = 11 // client→server: stop at the next epoch boundary
+	msgCheckpoint byte = 12 // server→client: uint32 epoch + state dict
+	msgTokens     byte = 13 // client→server: flattened text samples
+	msgEvalImages byte = 14
+	msgEvalLabels byte = 15
+	msgEvalTokens byte = 16
 )
+
+// protocolVersion is the version this binary speaks. Servers accept v1
+// (legacy, blocking) and v2; anything else is ErrProtocolVersion.
+const protocolVersion byte = 2
 
 // maxFrame bounds a single frame's payload. It is a variable only so the
 // protocol tests can lower it without allocating gigabyte payloads; both
@@ -42,7 +59,8 @@ var maxFrame = 1 << 30
 // writes nothing.
 func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("cloudsim: frame type %d payload of %d bytes exceeds the %d-byte frame limit", kind, len(payload), maxFrame)
+		return fmt.Errorf("cloudsim: frame type %d payload of %d bytes exceeds the %d-byte frame limit: %w",
+			kind, len(payload), maxFrame, ErrFrameTooLarge)
 	}
 	hdr := [5]byte{kind}
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -60,13 +78,75 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if uint64(n) > uint64(maxFrame) {
-		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected", n)
+		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected: %w", n, ErrFrameTooLarge)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return hdr[0], payload, nil
+}
+
+// encodeSpecFrame builds a v2 spec payload: version byte + JSON.
+func encodeSpecFrame(spec ModelSpec) ([]byte, error) {
+	js, err := specJSON(spec)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{protocolVersion}, js...), nil
+}
+
+// decodeSpecFrame accepts both v1 (bare JSON, first byte '{') and v2
+// (version byte + JSON) spec payloads, returning the negotiated version.
+func decodeSpecFrame(payload []byte) (ModelSpec, byte, error) {
+	if len(payload) == 0 {
+		return ModelSpec{}, 0, fmt.Errorf("cloudsim: empty spec frame")
+	}
+	if payload[0] == '{' {
+		spec, err := specFromJSON(payload)
+		return spec, 1, err
+	}
+	if payload[0] != protocolVersion {
+		return ModelSpec{}, 0, fmt.Errorf("cloudsim: peer speaks protocol v%d, this binary speaks v%d: %w",
+			payload[0], protocolVersion, ErrProtocolVersion)
+	}
+	spec, err := specFromJSON(payload[1:])
+	return spec, protocolVersion, err
+}
+
+// resultMeta is the msgResult JSON body.
+type resultMeta struct {
+	Metrics         []EpochMetric `json:"metrics"`
+	Seconds         float64       `json:"seconds"`
+	Cancelled       bool          `json:"cancelled,omitempty"`
+	CompletedEpochs int           `json:"completed_epochs,omitempty"`
+}
+
+// flattenSamples encodes [][]int token samples row-major for the wire; the
+// receiver reshapes with the spec's aug_len.
+func flattenSamples(samples [][]int) []int {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(samples)*len(samples[0]))
+	for _, s := range samples {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func reshapeSamples(flat []int, seqLen int) ([][]int, error) {
+	if seqLen <= 0 {
+		return nil, fmt.Errorf("cloudsim: token frame needs a positive aug_len in the spec, got %d", seqLen)
+	}
+	if len(flat)%seqLen != 0 {
+		return nil, fmt.Errorf("cloudsim: %d tokens not divisible by sequence length %d", len(flat), seqLen)
+	}
+	out := make([][]int, len(flat)/seqLen)
+	for i := range out {
+		out[i] = flat[i*seqLen : (i+1)*seqLen]
+	}
+	return out, nil
 }
 
 // Server is the simulated cloud training service.
@@ -98,9 +178,16 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				// Best effort: report the failure to the client.
-				_ = writeFrame(conn, msgError, []byte(err.Error()))
+			ver, err := s.handle(conn)
+			if err != nil && !errors.Is(err, io.EOF) {
+				// Best effort: report the failure to the client. v2 peers
+				// get a leading error-code byte so sentinels survive the
+				// wire; v1 peers get the bare message they always did.
+				payload := []byte(err.Error())
+				if ver >= 2 {
+					payload = append([]byte{errCodeOf(err)}, payload...)
+				}
+				_ = writeFrame(conn, msgError, payload)
 			}
 		}()
 	}
@@ -116,64 +203,157 @@ func (s *Server) Views() []ProviderView {
 	return append([]ProviderView(nil), s.seen...)
 }
 
-func (s *Server) handle(conn net.Conn) error {
+// handle reads one job off the connection and runs it. It returns the
+// negotiated protocol version (0 until a spec frame arrives) so the accept
+// loop can format error frames the peer understands.
+func (s *Server) handle(conn net.Conn) (byte, error) {
 	req := &TrainRequest{}
+	var ver byte
+	var tokensFlat, evalTokensFlat []int
+	haveTokens, haveEvalTokens := false, false
 	for {
 		kind, payload, err := readFrame(conn)
 		if err != nil {
-			return err
+			return ver, err
 		}
 		switch kind {
 		case msgSpec:
-			spec, err := specFromJSON(payload)
+			spec, v, err := decodeSpecFrame(payload)
 			if err != nil {
-				return fmt.Errorf("cloudsim: bad spec: %w", err)
+				if errors.Is(err, ErrProtocolVersion) {
+					// The peer sent a version byte, so it is version-aware
+					// (>= v2): answer with a coded error frame so its
+					// errors.Is(ErrProtocolVersion) check works.
+					ver = protocolVersion
+				}
+				return ver, fmt.Errorf("cloudsim: bad spec: %w", err)
 			}
-			req.Spec = spec
+			req.Spec, ver = spec, v
 		case msgHyper:
 			if err := json.Unmarshal(payload, &req.Hyper); err != nil {
-				return fmt.Errorf("cloudsim: bad hyper: %w", err)
+				return ver, fmt.Errorf("cloudsim: bad hyper: %w", err)
 			}
 		case msgLabels:
 			labels, err := serialize.ReadIntSlice(bytes.NewReader(payload))
 			if err != nil {
-				return fmt.Errorf("cloudsim: bad labels: %w", err)
+				return ver, fmt.Errorf("cloudsim: bad labels: %w", err)
 			}
 			req.Labels = labels
 		case msgImages:
 			t, err := serialize.ReadTensor(bytes.NewReader(payload))
 			if err != nil {
-				return fmt.Errorf("cloudsim: bad images: %w", err)
+				return ver, fmt.Errorf("cloudsim: bad images: %w", err)
 			}
 			req.Images = t
+		case msgTokens:
+			flat, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad tokens: %w", err)
+			}
+			tokensFlat, haveTokens = flat, true
+		case msgEvalImages:
+			t, err := serialize.ReadTensor(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval images: %w", err)
+			}
+			req.EvalImages = t
+		case msgEvalLabels:
+			labels, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval labels: %w", err)
+			}
+			req.EvalLabels = labels
+		case msgEvalTokens:
+			flat, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval tokens: %w", err)
+			}
+			evalTokensFlat, haveEvalTokens = flat, true
 		case msgInit:
 			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
 			if err != nil {
-				return fmt.Errorf("cloudsim: bad init state: %w", err)
+				return ver, fmt.Errorf("cloudsim: bad init state: %w", err)
 			}
 			req.InitState = dict
+		case msgCancel:
+			// Cancelled before the job even started: nothing to train.
+			return ver, fmt.Errorf("cloudsim: job cancelled before submission")
 		case msgDone:
-			return s.runAndRespond(conn, req)
+			if haveTokens {
+				req.Samples, err = reshapeSamples(tokensFlat, req.Spec.AugLen)
+				if err != nil {
+					return ver, err
+				}
+			}
+			if haveEvalTokens {
+				req.EvalSamples, err = reshapeSamples(evalTokensFlat, req.Spec.AugLen)
+				if err != nil {
+					return ver, err
+				}
+			}
+			return ver, s.runAndRespond(conn, req, ver)
 		default:
-			return fmt.Errorf("cloudsim: unexpected message type %d", kind)
+			return ver, fmt.Errorf("cloudsim: unexpected message type %d: %w", kind, ErrUnknownFrame)
 		}
 	}
 }
 
-func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest) error {
+func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error {
 	s.mu.Lock()
 	s.seen = append(s.seen, CaptureProviderView(req))
 	s.mu.Unlock()
 
-	resp, err := RunLocal(req)
+	ctx := context.Background()
+	var progress func(EpochMetric) error
+	var checkpoint func(int, map[string]*tensor.Tensor) error
+	if ver >= 2 {
+		// Watch the connection for a mid-job msgCancel (or disconnect —
+		// a vanished client also stops the job instead of burning cloud
+		// time on a result nobody will read). The watcher is the only
+		// reader and the training loop the only writer, so no locking.
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = cctx
+		go func() {
+			for {
+				kind, _, err := readFrame(conn)
+				if err != nil || kind == msgCancel {
+					cancel()
+					return
+				}
+			}
+		}()
+		if req.Hyper.Stream {
+			progress = func(m EpochMetric) error {
+				js, err := json.Marshal(m)
+				if err != nil {
+					return err
+				}
+				return writeFrame(conn, msgProgress, js)
+			}
+		}
+		if req.Hyper.CheckpointEvery > 0 {
+			checkpoint = func(epoch int, state map[string]*tensor.Tensor) error {
+				var buf bytes.Buffer
+				if err := binary.Write(&buf, binary.LittleEndian, uint32(epoch)); err != nil {
+					return err
+				}
+				if err := serialize.WriteStateDict(&buf, state); err != nil {
+					return err
+				}
+				return writeFrame(conn, msgCheckpoint, buf.Bytes())
+			}
+		}
+	}
+
+	resp, err := runTraining(ctx, req, progress, checkpoint)
 	if err != nil {
 		return err
 	}
-	meta := struct {
-		Metrics []EpochMetric `json:"metrics"`
-		Seconds float64       `json:"seconds"`
-	}{resp.Metrics, resp.Seconds}
-	metaJSON, err := json.Marshal(meta)
+	metaJSON, err := json.Marshal(resultMeta{
+		Metrics: resp.Metrics, Seconds: resp.Seconds,
+		Cancelled: resp.Cancelled, CompletedEpochs: resp.CompletedEpochs,
+	})
 	if err != nil {
 		return err
 	}
@@ -187,16 +367,42 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest) error {
 	return writeFrame(conn, msgState, buf.Bytes())
 }
 
+// StreamHandlers receives server-pushed frames during TrainContext. Both
+// hooks are optional and are called from the reading goroutine in arrival
+// order.
+type StreamHandlers struct {
+	// Progress receives one EpochMetric per completed epoch when
+	// Hyper.Stream is set.
+	Progress func(EpochMetric)
+	// Checkpoint receives mid-job state snapshots when
+	// Hyper.CheckpointEvery > 0.
+	Checkpoint func(epoch int, state map[string]*tensor.Tensor)
+}
+
+// cancelDrainTimeout bounds how long a cancelled client waits for the
+// server to flush its final (partial) result and state.
+var cancelDrainTimeout = 30 * time.Second
+
 // Train submits a job to a remote service and waits for the result — the
 // user-side upload/train/download loop of Fig. 1.
 func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
+	return TrainContext(context.Background(), addr, req, StreamHandlers{})
+}
+
+// TrainContext submits a job and streams server-pushed progress and
+// checkpoint frames into h while waiting for the result. Cancelling ctx
+// sends msgCancel; the server stops at the next epoch boundary and returns
+// the epoch-aligned partial state, which TrainContext still delivers (with
+// resp.Cancelled set) so the caller can checkpoint it — callers decide
+// whether a cancelled job is an error.
+func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamHandlers) (*TrainResponse, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cloudsim: dial: %w", err)
 	}
 	defer conn.Close()
 
-	specJSONBytes, err := specJSON(req.Spec)
+	specPayload, err := encodeSpecFrame(req.Spec)
 	if err != nil {
 		return nil, err
 	}
@@ -204,22 +410,63 @@ func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	var labelBuf bytes.Buffer
-	if err := serialize.WriteIntSlice(&labelBuf, req.Labels); err != nil {
-		return nil, err
-	}
-	var imgBuf bytes.Buffer
-	if err := serialize.WriteTensor(&imgBuf, req.Images); err != nil {
-		return nil, err
-	}
 	frames := []struct {
 		kind    byte
 		payload []byte
 	}{
-		{msgSpec, specJSONBytes},
+		{msgSpec, specPayload},
 		{msgHyper, hyperJSON},
-		{msgLabels, labelBuf.Bytes()},
-		{msgImages, imgBuf.Bytes()},
+	}
+	addIntSlice := func(kind byte, s []int) error {
+		var buf bytes.Buffer
+		if err := serialize.WriteIntSlice(&buf, s); err != nil {
+			return err
+		}
+		frames = append(frames, struct {
+			kind    byte
+			payload []byte
+		}{kind, buf.Bytes()})
+		return nil
+	}
+	addTensor := func(kind byte, t *tensor.Tensor) error {
+		var buf bytes.Buffer
+		if err := serialize.WriteTensor(&buf, t); err != nil {
+			return err
+		}
+		frames = append(frames, struct {
+			kind    byte
+			payload []byte
+		}{kind, buf.Bytes()})
+		return nil
+	}
+	if err := addIntSlice(msgLabels, req.Labels); err != nil {
+		return nil, err
+	}
+	if req.Images != nil {
+		if err := addTensor(msgImages, req.Images); err != nil {
+			return nil, err
+		}
+	}
+	if len(req.Samples) > 0 {
+		if err := addIntSlice(msgTokens, flattenSamples(req.Samples)); err != nil {
+			return nil, err
+		}
+	}
+	if req.EvalImages != nil {
+		if err := addTensor(msgEvalImages, req.EvalImages); err != nil {
+			return nil, err
+		}
+		if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
+			return nil, err
+		}
+	}
+	if len(req.EvalSamples) > 0 {
+		if err := addIntSlice(msgEvalTokens, flattenSamples(req.EvalSamples)); err != nil {
+			return nil, err
+		}
+		if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
+			return nil, err
+		}
 	}
 	if req.InitState != nil {
 		var initBuf bytes.Buffer
@@ -240,23 +487,60 @@ func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
 		return nil, err
 	}
 
+	// All request frames are on the wire; from here the main goroutine
+	// only reads, so the cancel watcher is the sole writer.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = writeFrame(conn, msgCancel, nil)
+			// Don't wait forever for a wedged server to flush the
+			// partial result.
+			_ = conn.SetReadDeadline(time.Now().Add(cancelDrainTimeout))
+		case <-watcherDone:
+		}
+	}()
+
 	resp := &TrainResponse{}
 	for {
 		kind, payload, err := readFrame(conn)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, err
 		}
 		switch kind {
-		case msgResult:
-			var meta struct {
-				Metrics []EpochMetric `json:"metrics"`
-				Seconds float64       `json:"seconds"`
+		case msgProgress:
+			var m EpochMetric
+			if err := json.Unmarshal(payload, &m); err != nil {
+				return nil, err
 			}
+			if h.Progress != nil {
+				h.Progress(m)
+			}
+		case msgCheckpoint:
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("cloudsim: short checkpoint frame")
+			}
+			epoch := int(binary.LittleEndian.Uint32(payload))
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload[4:]))
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad checkpoint frame: %w", err)
+			}
+			if h.Checkpoint != nil {
+				h.Checkpoint(epoch, dict)
+			}
+		case msgResult:
+			var meta resultMeta
 			if err := json.Unmarshal(payload, &meta); err != nil {
 				return nil, err
 			}
 			resp.Metrics = meta.Metrics
 			resp.Seconds = meta.Seconds
+			resp.Cancelled = meta.Cancelled
+			resp.CompletedEpochs = meta.CompletedEpochs
 		case msgState:
 			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
 			if err != nil {
@@ -265,22 +549,36 @@ func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
 			resp.State = dict
 			return resp, nil
 		case msgError:
-			return nil, fmt.Errorf("cloudsim: server: %s", payload)
+			msg := payload
+			var sentinel error
+			if len(payload) > 0 && payload[0] < ' ' {
+				// v2 error frames lead with a code byte (all codes are
+				// control-range, never printable ASCII).
+				sentinel = sentinelFor(payload[0])
+				msg = payload[1:]
+			}
+			if sentinel != nil {
+				return nil, fmt.Errorf("cloudsim: server: %s: %w", msg, sentinel)
+			}
+			return nil, fmt.Errorf("cloudsim: server: %s", msg)
 		default:
-			return nil, fmt.Errorf("cloudsim: unexpected response type %d", kind)
+			return nil, fmt.Errorf("cloudsim: unexpected response type %d: %w", kind, ErrUnknownFrame)
 		}
 	}
 }
 
 // ProviderView captures everything an honest-but-curious provider observes
-// about a job: dataset geometry, pixel samples, and the sub-network gather
-// sets in randomised order with no labels. §6.3's attacks operate on this
-// view — never on the client-side key.
+// about a job: dataset geometry, pixel/token samples, and the sub-network
+// gather sets in randomised order with no labels. §6.3's attacks operate on
+// this view — never on the client-side key.
 type ProviderView struct {
 	N, C, H, W int
 	// FirstImage is a copy of one training sample as uploaded (augmented
-	// for Amalgam jobs) — the denoising attack's input.
+	// for Amalgam jobs) — the denoising attack's input. Nil for text jobs.
 	FirstImage *tensor.Tensor
+	// FirstSample is the text counterpart: one uploaded (augmented) token
+	// sequence.
+	FirstSample []int
 	// GatherSets are the per-sub-network index sets visible in the shipped
 	// graph, shuffled so position carries no information.
 	GatherSets [][]int
@@ -290,17 +588,22 @@ type ProviderView struct {
 
 // CaptureProviderView derives the provider's observation from a request.
 func CaptureProviderView(req *TrainRequest) ProviderView {
-	v := ProviderView{
-		N: req.Images.Dim(0), C: req.Images.Dim(1), H: req.Images.Dim(2), W: req.Images.Dim(3),
-		AugAmount: req.Spec.AugAmount,
+	v := ProviderView{AugAmount: req.Spec.AugAmount}
+	if req.Images != nil {
+		v.N, v.C, v.H, v.W = req.Images.Dim(0), req.Images.Dim(1), req.Images.Dim(2), req.Images.Dim(3)
+		if v.N > 0 {
+			sz := v.C * v.H * v.W
+			v.FirstImage = tensor.FromSlice(append([]float32(nil), req.Images.Data[:sz]...), v.C, v.H, v.W)
+		}
+	} else {
+		v.N = len(req.Labels)
+		if len(req.Samples) > 0 {
+			v.FirstSample = append([]int(nil), req.Samples[0]...)
+		}
 	}
-	if v.N > 0 {
-		sz := v.C * v.H * v.W
-		v.FirstImage = tensor.FromSlice(append([]float32(nil), req.Images.Data[:sz]...), v.C, v.H, v.W)
-	}
-	if req.Spec.Kind == "augmented-cv" {
+	if req.Spec.Kind == "augmented-cv" || req.Spec.Kind == "augmented-text" {
 		// Rebuild gather sets exactly as the shipped graph exposes them.
-		model, _, err := BuildModel(req.Spec)
+		model, err := BuildModel(req.Spec)
 		if err == nil {
 			if am, ok := model.(interface{ GatherSets() [][]int }); ok {
 				v.GatherSets = am.GatherSets()
@@ -308,7 +611,7 @@ func CaptureProviderView(req *TrainRequest) ProviderView {
 		}
 		// Shuffle deterministically from content so the view never encodes
 		// construction order.
-		rng := tensor.NewRNG(uint64(len(v.GatherSets))*0x9e37 + uint64(v.H))
+		rng := tensor.NewRNG(uint64(len(v.GatherSets))*0x9e37 + uint64(v.H+req.Spec.AugLen))
 		rng.Shuffle(len(v.GatherSets), func(i, j int) {
 			v.GatherSets[i], v.GatherSets[j] = v.GatherSets[j], v.GatherSets[i]
 		})

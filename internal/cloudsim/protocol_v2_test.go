@@ -1,0 +1,273 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"amalgam/internal/core"
+	"amalgam/internal/data"
+	"amalgam/internal/serialize"
+	"amalgam/internal/tensor"
+)
+
+func TestSpecFrameVersionNegotiation(t *testing.T) {
+	spec := ModelSpec{Kind: "plain-cv", Model: "lenet", Classes: 2}
+
+	// v2 round trip.
+	payload, err := encodeSpecFrame(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := decodeSpecFrame(payload)
+	if err != nil || ver != protocolVersion || got.Model != "lenet" {
+		t.Fatalf("v2 decode: ver=%d model=%q err=%v", ver, got.Model, err)
+	}
+
+	// Legacy v1: bare JSON.
+	js, _ := specJSON(spec)
+	got, ver, err = decodeSpecFrame(js)
+	if err != nil || ver != 1 || got.Model != "lenet" {
+		t.Fatalf("v1 decode: ver=%d model=%q err=%v", ver, got.Model, err)
+	}
+
+	// Future version: must surface the sentinel.
+	_, _, err = decodeSpecFrame(append([]byte{99}, js...))
+	if !errors.Is(err, ErrProtocolVersion) {
+		t.Fatalf("want ErrProtocolVersion, got %v", err)
+	}
+}
+
+// TestVersionSkewSentinelCrossesWire pins that a future-version client
+// gets a coded error frame it can match with errors.Is — the server must
+// not fall back to a v1-style bare message just because negotiation never
+// completed.
+func TestVersionSkewSentinelCrossesWire(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	js, _ := specJSON(ModelSpec{Kind: "plain-cv", Model: "lenet"})
+	if err := writeFrame(conn, msgSpec, append([]byte{77}, js...)); err != nil { // "v77" client
+		t.Fatal(err)
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil || kind != msgError {
+		t.Fatalf("want error frame, got kind=%d err=%v", kind, err)
+	}
+	if len(payload) == 0 || sentinelFor(payload[0]) != ErrProtocolVersion {
+		t.Fatalf("error frame not coded as version skew: %q", payload)
+	}
+}
+
+func TestFrameSizeSentinels(t *testing.T) {
+	prev := maxFrame
+	maxFrame = 16
+	defer func() { maxFrame = prev }()
+
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgState, make([]byte, 17)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write side: want ErrFrameTooLarge, got %v", err)
+	}
+	hdr := []byte{msgSpec, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := readFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read side: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestServerSpeaksV1 pins backward compatibility: a legacy client sending
+// a bare-JSON spec frame and expecting a blocking result still gets one,
+// with no v2 frames interleaved.
+func TestServerSpeaksV1(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req, _, _ := tinyJob(t, false)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	js, _ := specJSON(req.Spec)
+	hyperJSON, _ := json.Marshal(req.Hyper)
+	var labelBuf, imgBuf bytes.Buffer
+	if err := serialize.WriteIntSlice(&labelBuf, req.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.WriteTensor(&imgBuf, req.Images); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		kind    byte
+		payload []byte
+	}{
+		{msgSpec, js}, {msgHyper, hyperJSON},
+		{msgLabels, labelBuf.Bytes()}, {msgImages, imgBuf.Bytes()}, {msgDone, nil},
+	} {
+		if err := writeFrame(conn, f.kind, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil || kind != msgResult {
+		t.Fatalf("first response frame: kind=%d err=%v", kind, err)
+	}
+	var meta resultMeta
+	if err := json.Unmarshal(payload, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Metrics) != req.Hyper.Epochs {
+		t.Fatalf("v1 client got %d metrics, want %d", len(meta.Metrics), req.Hyper.Epochs)
+	}
+	kind, payload, err = readFrame(conn)
+	if err != nil || kind != msgState {
+		t.Fatalf("second response frame: kind=%d err=%v", kind, err)
+	}
+	if _, err := serialize.ReadStateDict(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func textJob(t *testing.T) *TrainRequest {
+	t.Helper()
+	const vocab, classes, seqLen = 300, 3, 16
+	ds := data.GenerateClassifiedText(data.ClassTextConfig{
+		Name: "t", N: 24, SeqLen: seqLen, Vocab: vocab, Classes: classes, Seed: 2})
+	aug, err := core.AugmentTextDataset(ds, core.TextAugmentOptions{
+		Amount: 0.5, Noise: core.DefaultTextNoise(vocab), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TrainRequest{
+		Spec: ModelSpec{
+			Kind: "augmented-text", Vocab: vocab, EmbedDim: 8, Classes: classes, ModelSeed: 7,
+			OrigLen: aug.Key.OrigLen, AugLen: aug.Key.AugLen, KeyKeep: aug.Key.Keep,
+			AugAmount: 0.5, SubNets: 2, AugSeed: 3,
+		},
+		Hyper:   Hyper{Epochs: 2, BatchSize: 8, LR: 0.5, Momentum: 0.9, Stream: true, CheckpointEvery: 1},
+		Samples: aug.Dataset.Samples,
+		Labels:  aug.Dataset.Labels,
+	}
+}
+
+// TestTextJobOverWire runs an augmented-text job through the TCP service
+// with streaming and checkpoint frames, and pins wire/local equality.
+func TestTextJobOverWire(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req := textJob(t)
+	var progress []EpochMetric
+	checkpoints := 0
+	resp, err := TrainContext(context.Background(), l.Addr().String(), req, StreamHandlers{
+		Progress:   func(m EpochMetric) { progress = append(progress, m) },
+		Checkpoint: func(epoch int, state map[string]*tensor.Tensor) { checkpoints++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != req.Hyper.Epochs {
+		t.Fatalf("streamed %d progress frames, want %d", len(progress), req.Hyper.Epochs)
+	}
+	if checkpoints != req.Hyper.Epochs {
+		t.Fatalf("streamed %d checkpoint frames, want %d", len(progress), req.Hyper.Epochs)
+	}
+	local, err := RunLocal(textJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tns := range local.State {
+		if !resp.State[name].Equal(tns) {
+			t.Fatalf("wire and local text training diverged at %q", name)
+		}
+	}
+
+	// The provider view captured the text job without an image payload.
+	views := server.Views()
+	if len(views) != 1 {
+		t.Fatalf("%d provider views", len(views))
+	}
+	v := views[0]
+	if v.FirstImage != nil || len(v.FirstSample) != req.Spec.AugLen {
+		t.Fatalf("text provider view: image=%v sample len=%d", v.FirstImage, len(v.FirstSample))
+	}
+	if len(v.GatherSets) != req.Spec.SubNets+1 {
+		t.Fatalf("provider sees %d gather sets, want %d", len(v.GatherSets), req.Spec.SubNets+1)
+	}
+}
+
+// TestRunTrainingResumeMatchesStraightRun pins the per-epoch shuffle
+// derivation: training epochs [0,3) in one go equals training [0,1) then
+// resuming [1,3) from the returned state, batch order included.
+func TestRunTrainingResumeMatchesStraightRun(t *testing.T) {
+	mk := func() *TrainRequest {
+		req := textJob(t)
+		req.Hyper.Stream = false
+		req.Hyper.CheckpointEvery = 0
+		req.Hyper.Shuffle = true
+		req.Hyper.ShuffleSeed = 9
+		req.Hyper.Momentum = 0 // momentum buffers don't survive a resume
+		return req
+	}
+	straight := mk()
+	straight.Hyper.Epochs = 3
+	full, err := RunLocal(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := mk()
+	first.Hyper.Epochs = 1
+	part, err := RunLocal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := mk()
+	second.Hyper.Epochs = 3
+	second.Hyper.StartEpoch = 1
+	second.InitState = part.State
+	rest, err := RunLocal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.CompletedEpochs != 3 || len(rest.Metrics) != 2 || rest.Metrics[0].Epoch != 2 {
+		t.Fatalf("resumed run: completed=%d metrics=%+v", rest.CompletedEpochs, rest.Metrics)
+	}
+	for name, tns := range full.State {
+		if !rest.State[name].Equal(tns) {
+			t.Fatalf("resumed training diverged from straight run at %q", name)
+		}
+	}
+}

@@ -137,6 +137,18 @@ func (m *AugmentedTextClassifier) Params() []nn.Param {
 // SetTraining toggles training mode.
 func (m *AugmentedTextClassifier) SetTraining(t bool) { m.Orig.SetTraining(t) }
 
+// GatherSets returns every sub-network's token gather set (original
+// sub-network first, then decoys) — the text counterpart of
+// AugmentedCVModel.GatherSets, consumed by the cloud simulator's provider
+// view (which shuffles them before exposure).
+func (m *AugmentedTextClassifier) GatherSets() [][]int {
+	out := [][]int{append([]int(nil), m.OrigGather.Idx...)}
+	for _, d := range m.Decoys {
+		out = append(out, append([]int(nil), d.gather.Idx...))
+	}
+	return out
+}
+
 // TotalParams returns the trainable parameter count after augmentation.
 func (m *AugmentedTextClassifier) TotalParams() int {
 	n := nn.NumParams(m.Orig)

@@ -100,6 +100,16 @@ func BatchIter(n, batchSize int, rng *tensor.RNG) [][]int {
 	return batches
 }
 
+// ShuffleRNG derives the batch-shuffle RNG for one epoch from a base seed.
+// The derivation is per-epoch rather than one RNG threaded across epochs so
+// that (a) a resumed run shuffles epoch e exactly as an uninterrupted run
+// does, and (b) local and remote training of the same job visit batches in
+// the same order. Both the amalgam trainers and the cloudsim service must
+// use this one derivation.
+func ShuffleRNG(seed uint64, epoch int) *tensor.RNG {
+	return tensor.NewRNG(seed).Split(uint64(epoch) + 1)
+}
+
 // TokenStream is a tokenised corpus for language modelling (WikiText-2
 // style): one long 1-D sequence of token ids.
 type TokenStream struct {

@@ -1,10 +1,14 @@
 package serialize
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 
 	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
 )
 
 // SaveModel writes a model's full state dict (parameters plus batch-norm
@@ -53,4 +57,75 @@ func LoadModel(path string, m interface{ Params() []nn.Param }) error {
 		}
 	}
 	return nn.LoadStateDict(m, dict)
+}
+
+// ckptMagic heads a training checkpoint: a resumable snapshot pairing a
+// state dict with the number of fully completed epochs. Trainers write one
+// mid-job (every N epochs, and on cancellation) so an interrupted cloud
+// job can be resumed from the last epoch boundary.
+const ckptMagic = 0x414d4331 // "AMC1"
+
+// WriteTrainCheckpoint encodes a training checkpoint: header, completed
+// epoch count, then the full (augmented-model) state dict.
+func WriteTrainCheckpoint(w io.Writer, epoch int, dict map[string]*tensor.Tensor) error {
+	if epoch < 0 {
+		return fmt.Errorf("serialize: checkpoint epoch must be ≥ 0, got %d", epoch)
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(epoch)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return WriteStateDict(w, dict)
+}
+
+// ReadTrainCheckpoint decodes a checkpoint written by WriteTrainCheckpoint.
+func ReadTrainCheckpoint(r io.Reader) (epoch int, dict map[string]*tensor.Tensor, err error) {
+	if err := readHeader(r, ckptMagic); err != nil {
+		return 0, nil, err
+	}
+	var e uint32
+	if err := binary.Read(r, binary.LittleEndian, &e); err != nil {
+		return 0, nil, fmt.Errorf("serialize: read checkpoint epoch: %w", err)
+	}
+	dict, err = ReadStateDict(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(e), dict, nil
+}
+
+// SaveTrainCheckpoint writes a checkpoint to path atomically
+// (write-then-rename), like SaveModel.
+func SaveTrainCheckpoint(path string, epoch int, dict map[string]*tensor.Tensor) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serialize: create checkpoint: %w", err)
+	}
+	if err := WriteTrainCheckpoint(f, epoch, dict); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serialize: write checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTrainCheckpoint reads a checkpoint from path.
+func LoadTrainCheckpoint(path string) (epoch int, dict map[string]*tensor.Tensor, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return ReadTrainCheckpoint(f)
 }

@@ -66,3 +66,56 @@ func TestLoadModelMissingFile(t *testing.T) {
 		t.Fatal("missing checkpoint should error")
 	}
 }
+
+func TestTrainCheckpointRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.amc")
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	dict := nn.StateDict(m)
+	if err := SaveTrainCheckpoint(path, 7, dict); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file must not linger")
+	}
+	epoch, got, err := LoadTrainCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 || len(got) != len(dict) {
+		t.Fatalf("epoch=%d entries=%d, want 7/%d", epoch, len(got), len(dict))
+	}
+	for name, src := range dict {
+		if !got[name].Equal(src) {
+			t.Fatalf("entry %q not restored", name)
+		}
+	}
+}
+
+// TestTrainCheckpointRejectsForeignInput pins magic/format discrimination:
+// a plain state-dict file is not a training checkpoint and vice versa.
+func TestTrainCheckpointRejectsForeignInput(t *testing.T) {
+	dir := t.TempDir()
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+
+	dictPath := filepath.Join(dir, "m.amd")
+	if err := SaveModel(dictPath, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTrainCheckpoint(dictPath); err == nil {
+		t.Fatal("state dict should not load as a training checkpoint")
+	}
+
+	ckptPath := filepath.Join(dir, "m.amc")
+	if err := SaveTrainCheckpoint(ckptPath, 1, nn.StateDict(m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadModel(ckptPath, m); err == nil {
+		t.Fatal("training checkpoint should not load as a bare state dict")
+	}
+}
+
+func TestTrainCheckpointNegativeEpoch(t *testing.T) {
+	if err := SaveTrainCheckpoint(filepath.Join(t.TempDir(), "x.amc"), -1, nil); err == nil {
+		t.Fatal("negative epoch should error")
+	}
+}

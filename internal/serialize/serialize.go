@@ -11,12 +11,21 @@ package serialize
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"amalgam/internal/tensor"
 )
+
+// ErrWrongFormat marks a stream whose magic identifies a DIFFERENT
+// serialize format (e.g. a state dict offered to the checkpoint reader).
+// Callers that probe a file against several formats match on it with
+// errors.Is; any other decode error means the stream claims to be the
+// right format but is corrupt, and must not be silently retried as
+// something else.
+var ErrWrongFormat = errors.New("serialize: wrong format")
 
 const (
 	tensorMagic = 0x414d5431 // "AMT1"
@@ -62,7 +71,7 @@ func readHeader(r io.Reader, magic uint32) error {
 		return fmt.Errorf("serialize: read magic: %w", err)
 	}
 	if m != magic {
-		return fmt.Errorf("serialize: bad magic %#x, want %#x", m, magic)
+		return fmt.Errorf("serialize: bad magic %#x, want %#x: %w", m, magic, ErrWrongFormat)
 	}
 	var v uint16
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {

@@ -1,0 +1,133 @@
+package amalgam
+
+import "fmt"
+
+// Options configures obfuscation (dataset + model augmentation) for both
+// modalities: Obfuscate (images) and ObfuscateText (token sequences).
+type Options struct {
+	// Amount is the augmentation amount α for both the dataset and the
+	// model (the paper uses matched amounts throughout its evaluation).
+	Amount float64
+	// SubNets is the number of decoy sub-networks (0 = random in [2,4]).
+	// Pin it explicitly for jobs that will train remotely, so the service
+	// rebuilds the same graph.
+	SubNets int
+	// Noise overrides the default noise (uniform pixels for images,
+	// uniform vocabulary tokens for text).
+	Noise *NoiseSpec
+	// Seed drives every random choice (key, noise, decoys) and, unless
+	// WithShuffleSeed overrides it, the per-epoch batch shuffle.
+	Seed uint64
+	// ModelName is the zoo name of a CV model; required only for remote
+	// training, which ships a rebuildable spec to the service. Text jobs
+	// carry their geometry in the spec and don't need it.
+	ModelName string
+}
+
+// TrainConfig holds training hyper-parameters.
+type TrainConfig struct {
+	Epochs, BatchSize         int
+	LR, Momentum, WeightDecay float64
+}
+
+// EpochStats reports per-epoch original-sub-network loss and accuracy.
+// Trainer streams deliver one element per completed epoch; a run that
+// fails or is cancelled ends with a terminal element whose Err is non-nil
+// (and whose other fields are zero).
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	Accuracy float64
+	// EvalAccuracy is the held-out accuracy when WithEvalSet is
+	// configured; HasEval distinguishes "no eval set" from 0%.
+	EvalAccuracy float64
+	HasEval      bool
+	// Err terminates a stream: context.Canceled / DeadlineExceeded for
+	// cancelled runs, or the underlying failure. No further elements
+	// follow an element with Err set.
+	Err error
+}
+
+// EvalDataset is a held-out split accepted by WithEvalSet: an
+// *ImageDataset for CV jobs or a *TextDataset for text jobs. The job
+// obfuscates it with its own key before scoring, so augmented-model
+// accuracy is measured the way §5.4 validates cloud-side.
+type EvalDataset interface{ N() int }
+
+// TrainOption customises a single Trainer.Run call.
+type TrainOption func(*runOptions)
+
+type runOptions struct {
+	progress        func(EpochStats)
+	checkpointPath  string
+	checkpointEvery int
+	resumePath      string
+	evalSet         EvalDataset
+	shuffleSeed     uint64
+	shuffleSeedSet  bool
+}
+
+// WithProgress registers a callback invoked synchronously after every
+// completed epoch, in addition to the stats delivered on the Run channel.
+func WithProgress(fn func(EpochStats)) TrainOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithCheckpoint writes a resumable training checkpoint (completed-epoch
+// count + full augmented-model state dict) to path every everyN epochs and
+// whenever the run ends — including cancellation, so an interrupted job
+// always leaves a loadable checkpoint. everyN < 1 means every epoch. For
+// remote training the service streams the snapshots back over the wire.
+func WithCheckpoint(path string, everyN int) TrainOption {
+	if everyN < 1 {
+		everyN = 1
+	}
+	return func(o *runOptions) {
+		o.checkpointPath = path
+		o.checkpointEvery = everyN
+	}
+}
+
+// WithResume continues a run from a checkpoint written by WithCheckpoint:
+// the state dict is loaded into the job's augmented model and training
+// restarts at the recorded epoch. Checkpoints are always epoch-aligned
+// (cancellation stops at an epoch boundary), so no batch is ever trained
+// twice. A missing file is not an error — the run simply starts fresh —
+// so the same option list works for the first run and every retry.
+func WithResume(path string) TrainOption {
+	return func(o *runOptions) { o.resumePath = path }
+}
+
+// WithEvalSet scores a held-out split after every epoch. The split is
+// obfuscated with the job's key (ObfuscateTestSet) before scoring and, for
+// remote runs, shipped alongside the training data so the service reports
+// EvalAccuracy per epoch.
+func WithEvalSet(ds EvalDataset) TrainOption {
+	return func(o *runOptions) { o.evalSet = ds }
+}
+
+// WithShuffleSeed overrides the batch-shuffle seed (default: the job's
+// Options.Seed). The same seed yields the same batch order locally and
+// remotely — the property behind the bit-identical round-trip tests.
+func WithShuffleSeed(seed uint64) TrainOption {
+	return func(o *runOptions) {
+		o.shuffleSeed = seed
+		o.shuffleSeedSet = true
+	}
+}
+
+// resolveRunOptions validates cfg and folds the options, defaulting the
+// shuffle seed from the job.
+func resolveRunOptions(cfg TrainConfig, defaultSeed uint64, opts []TrainOption) (*runOptions, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("amalgam: epochs and batch size must be positive")
+	}
+	o := &runOptions{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	if !o.shuffleSeedSet {
+		o.shuffleSeed = defaultSeed
+	}
+	return o, nil
+}

@@ -1,0 +1,252 @@
+package amalgam
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"amalgam/internal/cloudsim"
+	"amalgam/internal/serialize"
+	"amalgam/internal/tensor"
+)
+
+// Trainer runs an obfuscated job to completion. Run returns immediately
+// with a stream of per-epoch statistics; the channel is buffered for the
+// whole run (trainers never block on a slow consumer) and is closed when
+// training ends. A failed or cancelled run ends the stream with a terminal
+// element whose Err field is set. Implementations honour ctx cancellation
+// by stopping at the next epoch boundary — the in-flight epoch completes,
+// so the state (and any WithCheckpoint file) never contains a partially
+// applied epoch and resuming re-trains no batch twice.
+//
+// LocalTrainer trains in-process; RemoteTrainer ships the job to a
+// cloudsim service and streams progress back over the wire. Both drive
+// cloudsim.TrainLoop over the same per-modality step closures, so they
+// produce bit-identical weights for the same configuration.
+type Trainer interface {
+	Run(ctx context.Context, job TrainableJob, cfg TrainConfig, opts ...TrainOption) (<-chan EpochStats, error)
+}
+
+// Train drives a Trainer to completion and collects the streamed stats —
+// the blocking convenience over Trainer.Run. On failure or cancellation it
+// returns the epochs that did complete alongside the terminal error.
+func Train(ctx context.Context, t Trainer, job TrainableJob, cfg TrainConfig, opts ...TrainOption) ([]EpochStats, error) {
+	ch, err := t.Run(ctx, job, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var stats []EpochStats
+	for st := range ch {
+		if st.Err != nil {
+			return stats, st.Err
+		}
+		stats = append(stats, st)
+	}
+	return stats, nil
+}
+
+// LocalTrainer runs obfuscated training in-process (Algorithm 1): the
+// joint loss over all sub-networks, gradients detached at the
+// original→decoy taps.
+type LocalTrainer struct{}
+
+// Run implements Trainer.
+func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, opts ...TrainOption) (<-chan EpochStats, error) {
+	o := job.ops()
+	ro, start, err := prepareRun(cfg, o, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng := o.engine
+	if ro.evalSet != nil {
+		acc, _, err := o.makeEval(ro.evalSet)
+		if err != nil {
+			return nil, err
+		}
+		eng.EvalAcc = func(batch int) (float64, bool) { return acc(batch), true }
+	}
+	hyper := hyperFor(cfg, ro, start)
+
+	ch := make(chan EpochStats, cfg.Epochs-start+1)
+	go func() {
+		defer close(ch)
+		var checkpoint func(int, map[string]*tensor.Tensor) error
+		if ro.checkpointPath != "" {
+			checkpoint = func(epoch int, state map[string]*tensor.Tensor) error {
+				return serialize.SaveTrainCheckpoint(ro.checkpointPath, epoch, state)
+			}
+		}
+		resp, err := cloudsim.TrainLoop(ctx, eng, hyper, ro.emitProgress(ch), checkpoint)
+		if err != nil {
+			ch <- EpochStats{Err: err}
+			return
+		}
+		finishRun(ctx, ch, ro, resp)
+	}()
+	return ch, nil
+}
+
+// RemoteTrainer ships the augmented artifacts to a cloudsim training
+// service (see cmd/amalgam-train -serve) and streams per-epoch progress
+// back — the full Fig. 1 loop. The service only ever receives augmented
+// data and the augmented graph spec; the key stays local. Cancelling the
+// ctx sends a cancel frame; the service stops at the next epoch boundary
+// and returns the weights so far, which land in the checkpoint path (when
+// configured) before the stream terminates with ctx.Err().
+type RemoteTrainer struct {
+	// Addr is the service's TCP address, e.g. "127.0.0.1:7009".
+	Addr string
+}
+
+// Run implements Trainer.
+func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, opts ...TrainOption) (<-chan EpochStats, error) {
+	o := job.ops()
+	// Resume before request(): the shipped InitState must reflect the
+	// checkpointed weights.
+	ro, start, err := prepareRun(cfg, o, opts)
+	if err != nil {
+		return nil, err
+	}
+	req, err := o.request()
+	if err != nil {
+		return nil, err
+	}
+	if ro.evalSet != nil {
+		_, attach, err := o.makeEval(ro.evalSet)
+		if err != nil {
+			return nil, err
+		}
+		attach(req)
+	}
+	req.Hyper = hyperFor(cfg, ro, start)
+	req.Hyper.Stream = true
+
+	ch := make(chan EpochStats, cfg.Epochs-start+1)
+	go func() {
+		defer close(ch)
+		progress := ro.emitProgress(ch)
+		h := cloudsim.StreamHandlers{
+			Progress: func(m cloudsim.EpochMetric) { _ = progress(m) },
+		}
+		if ro.checkpointPath != "" {
+			h.Checkpoint = func(epoch int, state map[string]*tensor.Tensor) {
+				// Mid-job snapshots are best-effort; the final state below
+				// is written with error checking.
+				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, epoch, state)
+			}
+		}
+		resp, err := cloudsim.TrainContext(ctx, t.Addr, req, h)
+		if err != nil {
+			ch <- EpochStats{Err: err}
+			return
+		}
+		if err := o.loadState(resp.State); err != nil {
+			ch <- EpochStats{Err: err}
+			return
+		}
+		finishRun(ctx, ch, ro, resp)
+	}()
+	return ch, nil
+}
+
+// prepareRun folds the options, validates the config, and applies
+// WithResume, returning the epoch to restart from.
+func prepareRun(cfg TrainConfig, o *jobOps, opts []TrainOption) (*runOptions, int, error) {
+	ro, err := resolveRunOptions(cfg, o.defaultSeed, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	start, err := loadResume(ro, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	if start >= cfg.Epochs {
+		return nil, 0, fmt.Errorf("amalgam: checkpoint already covers %d of %d epochs", start, cfg.Epochs)
+	}
+	return ro, start, nil
+}
+
+// hyperFor maps the public config onto the wire/loop hyper-parameters.
+// Shuffling is always on, seeded per epoch (data.ShuffleRNG) so local,
+// remote, and resumed runs visit batches in the same order.
+func hyperFor(cfg TrainConfig, ro *runOptions, start int) cloudsim.Hyper {
+	return cloudsim.Hyper{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
+		LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
+		Shuffle: true, ShuffleSeed: ro.shuffleSeed,
+		StartEpoch: start, CheckpointEvery: ro.checkpointEvery,
+	}
+}
+
+// emitProgress adapts a wire/loop metric into the stats stream and the
+// WithProgress callback.
+func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetric) error {
+	return func(m cloudsim.EpochMetric) error {
+		st := EpochStats{
+			Epoch: m.Epoch, Loss: m.Loss, Accuracy: m.Accuracy,
+			EvalAccuracy: m.EvalAccuracy, HasEval: m.HasEval,
+		}
+		ch <- st
+		if ro.progress != nil {
+			ro.progress(st)
+		}
+		return nil
+	}
+}
+
+// finishRun writes the final checkpoint and terminates a cancelled stream
+// with the context's error.
+func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, resp *cloudsim.TrainResponse) {
+	if ro.checkpointPath != "" {
+		if err := serialize.SaveTrainCheckpoint(ro.checkpointPath, resp.CompletedEpochs, resp.State); err != nil {
+			ch <- EpochStats{Err: err}
+			return
+		}
+	}
+	if resp.Cancelled {
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		ch <- EpochStats{Err: err}
+	}
+}
+
+// loadResume applies WithResume: loads the checkpoint (if present) into
+// the job model and returns the epoch to restart from.
+func loadResume(ro *runOptions, o *jobOps) (int, error) {
+	if ro.resumePath == "" {
+		return 0, nil
+	}
+	epoch, dict, err := serialize.LoadTrainCheckpoint(ro.resumePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil // first run: nothing to resume
+		}
+		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
+	}
+	if err := o.loadState(dict); err != nil {
+		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
+	}
+	return epoch, nil
+}
+
+// Train runs obfuscated training locally.
+//
+// Deprecated: use LocalTrainer via Train(ctx, LocalTrainer{}, job, cfg) —
+// or Trainer.Run directly for streaming progress, cancellation, and
+// checkpointing. This wrapper remains for source compatibility and now
+// shuffles batches per epoch (seeded from Options.Seed), where it
+// previously visited batches in a fixed order every epoch.
+func (j *Job) Train(cfg TrainConfig) ([]EpochStats, error) {
+	return Train(context.Background(), LocalTrainer{}, j, cfg)
+}
+
+// TrainRemote ships the job to a cloudsim training service and waits.
+//
+// Deprecated: use RemoteTrainer via Train(ctx, RemoteTrainer{Addr: addr},
+// job, cfg) — or Trainer.Run directly for streaming progress,
+// cancellation, and checkpointing.
+func (j *Job) TrainRemote(addr string, cfg TrainConfig) ([]EpochStats, error) {
+	return Train(context.Background(), RemoteTrainer{Addr: addr}, j, cfg)
+}
