@@ -20,11 +20,14 @@
 //	trained, _ := job.Extract("resnet18", 7)                 // fresh original model, trained weights
 //
 // Text classification follows the same shape through ObfuscateText /
-// ExtractText. Everything the cloud sees — the augmented model and the
-// augmented dataset — hides the original architecture and data; the secret
-// key never leaves the job. Training the augmented model updates the
-// original sub-network EXACTLY as un-obfuscated training would
-// (bit-identical weights; see internal/core's property tests).
+// ExtractText, and language modelling through BuildLMModel /
+// ObfuscateTokens / ExtractLM (token streams batched in BPTT windows,
+// per-epoch perplexity in EpochStats). Everything the cloud sees — the
+// augmented model and the augmented dataset — hides the original
+// architecture and data; the secret key never leaves the job. Training
+// the augmented model updates the original sub-network EXACTLY as
+// un-obfuscated training would (bit-identical weights; see
+// internal/core's property tests).
 package amalgam
 
 import (

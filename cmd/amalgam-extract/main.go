@@ -32,12 +32,16 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("need -in and -out")
 	}
-	dict, epoch, isCkpt, err := readDict(*in)
+	dict, ck, err := readDict(*in)
 	if err != nil {
 		return err
 	}
-	if isCkpt {
-		fmt.Printf("input is a training checkpoint at epoch %d\n", epoch)
+	if ck != nil {
+		kind := ck.Kind
+		if kind == "" {
+			kind = "unknown kind (legacy AMC1)"
+		}
+		fmt.Printf("input is a training checkpoint at epoch %d (%s)\n", ck.Epoch, kind)
 	}
 	extracted := map[string]*tensor.Tensor{}
 	var decoyParams, origParams int
@@ -70,20 +74,20 @@ func run() error {
 // the formats are distinguished by magic, so extraction from a mid-job
 // snapshot needs no extra flag. Only a wrong-magic probe falls through to
 // the state-dict reader; a corrupt checkpoint surfaces its own error
-// instead of a misleading state-dict one.
-func readDict(path string) (dict map[string]*tensor.Tensor, epoch int, isCkpt bool, err error) {
-	epoch, dict, err = serialize.LoadTrainCheckpoint(path)
+// instead of a misleading state-dict one. ck is nil for plain dicts.
+func readDict(path string) (dict map[string]*tensor.Tensor, ck *serialize.TrainCheckpoint, err error) {
+	ck, err = serialize.LoadTrainCheckpoint(path)
 	if err == nil {
-		return dict, epoch, true, nil
+		return ck.State, ck, nil
 	}
 	if !errors.Is(err, serialize.ErrWrongFormat) {
-		return nil, 0, true, err
+		return nil, nil, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	dict, err = serialize.ReadStateDict(f)
-	return dict, 0, false, err
+	return dict, nil, err
 }

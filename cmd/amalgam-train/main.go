@@ -8,6 +8,7 @@
 //	amalgam-train -serve :7009                        # cloud side
 //	amalgam-train -submit 127.0.0.1:7009              # user side (CV demo job)
 //	amalgam-train -submit 127.0.0.1:7009 -text        # text-classification job
+//	amalgam-train -submit 127.0.0.1:7009 -lm          # language-model job
 //	amalgam-train -submit ... -checkpoint job.amc     # resumable (Ctrl-C safe)
 package main
 
@@ -34,6 +35,7 @@ func run() error {
 	serve := flag.String("serve", "", "address to serve the training service on")
 	submit := flag.String("submit", "", "address of a training service to submit a demo job to")
 	text := flag.Bool("text", false, "submit a text-classification job instead of a CV job")
+	lm := flag.Bool("lm", false, "submit a language-model job instead of a CV job")
 	amount := flag.Float64("amount", 1.0, "augmentation amount for the demo job")
 	epochs := flag.Int("epochs", 2, "epochs for the demo job")
 	samples := flag.Int("samples", 64, "synthetic samples for the demo job")
@@ -55,10 +57,14 @@ func run() error {
 		// partial state lands on disk and a re-run resumes it.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if *text {
+		switch {
+		case *lm:
+			return submitLMDemo(ctx, *submit, *amount, *epochs, *checkpoint)
+		case *text:
 			return submitTextDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
+		default:
+			return submitCVDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
 		}
-		return submitCVDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
 	default:
 		flag.Usage()
 		return fmt.Errorf("need -serve or -submit")
@@ -69,6 +75,9 @@ func trainOptions(checkpoint string) []amalgam.TrainOption {
 	opts := []amalgam.TrainOption{
 		amalgam.WithProgress(func(s amalgam.EpochStats) {
 			line := fmt.Sprintf("epoch %d: loss=%.4f acc=%.3f", s.Epoch, s.Loss, s.Accuracy)
+			if s.Perplexity > 0 {
+				line += fmt.Sprintf(" ppl=%.1f", s.Perplexity)
+			}
 			if s.HasEval {
 				line += fmt.Sprintf(" eval=%.3f", s.EvalAccuracy)
 			}
@@ -135,5 +144,36 @@ func submitTextDemo(ctx context.Context, addr string, amount float64, epochs, sa
 		return fmt.Errorf("extraction: %w", err)
 	}
 	fmt.Println("extraction ok: original classifier recovered from cloud-trained augmented weights")
+	return nil
+}
+
+func submitLMDemo(ctx context.Context, addr string, amount float64, epochs int, checkpoint string) error {
+	const vocab, bptt = 2000, 20
+	train := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt2-demo", Tokens: 8000, Vocab: vocab, Seed: 1})
+	val := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt2-val", Tokens: 1000, Vocab: vocab, Seed: 2})
+	model := amalgam.BuildLMModel(7, amalgam.TransformerLMConfig{
+		Vocab: vocab, D: 32, Heads: 2, FF: 32, Layers: 1, MaxT: 64, Dropout: 0.1,
+	})
+	// SubNets: 0 — the decoy count resolves from the seed and the remote
+	// rebuild still matches bit for bit.
+	job, err := amalgam.ObfuscateTokens(model, train, bptt, amalgam.Options{Amount: amount, Seed: 42})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitting obfuscated LM job: %d windows, %d → %d tokens each, +%.0f%%\n",
+		len(job.AugmentedStream.Tokens)/job.Key.AugLen, job.Key.OrigLen, job.Key.AugLen, amount*100)
+	opts := append(trainOptions(checkpoint), amalgam.WithEvalSet(val))
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
+		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.1, Momentum: 0.9}, opts...); err != nil {
+		return err
+	}
+	if _, err := job.ExtractLM(7); err != nil {
+		return fmt.Errorf("extraction: %w", err)
+	}
+	pp, err := job.Perplexity(val, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extraction ok: original LM recovered; held-out perplexity %.1f\n", pp)
 	return nil
 }

@@ -42,6 +42,41 @@ func ExampleObfuscateText() {
 	// extraction verified bit-for-bit
 }
 
+// ExampleObfuscateTokens walks the language-model Fig. 1 loop: obfuscate
+// a WikiText-2-style token stream and transformer LM in BPTT windows,
+// train the augmented pair locally (per-epoch perplexity in the stats),
+// and extract the original LM with its trained weights.
+func ExampleObfuscateTokens() {
+	const vocab, bptt = 300, 12
+	train := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt-mini", Tokens: 480, Vocab: vocab, Seed: 1})
+	model := amalgam.BuildLMModel(3, amalgam.TransformerLMConfig{
+		Vocab: vocab, D: 16, Heads: 2, FF: 16, Layers: 1, MaxT: 32, Dropout: 0.1})
+
+	// SubNets: 0 resolves to a seed-determined decoy count; no pinning
+	// needed, even for remote training.
+	job, err := amalgam.ObfuscateTokens(model, train, bptt, amalgam.Options{Amount: 0.5, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tokens per window: %d -> %d\n", job.Key.OrigLen, job.Key.AugLen)
+
+	stats, err := amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.1, Momentum: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epochs trained: %d, perplexity reported: %v\n", len(stats), stats[1].Perplexity > 0)
+
+	if _, err := job.ExtractLM(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extraction verified bit-for-bit")
+	// Output:
+	// tokens per window: 12 -> 18
+	// epochs trained: 2, perplexity reported: true
+	// extraction verified bit-for-bit
+}
+
 // ExampleRemoteTrainer ships an obfuscated job to a cloud training service
 // and streams per-epoch progress back over the wire. The service sees only
 // the augmented artifacts; the key never leaves the job.

@@ -1,8 +1,9 @@
-// NLP example: obfuscated training for both paper NLP workloads — the
-// AG News-style text classifier through the public Job/Trainer API
-// (ObfuscateText → LocalTrainer → ExtractText), and the WikiText-2-style
-// transformer language model through the internal core (LM jobs are not
-// yet first-class in the public API).
+// NLP example: obfuscated training for both paper NLP workloads through
+// the public Job/Trainer API — the AG News-style text classifier
+// (ObfuscateText → LocalTrainer → ExtractText) and the WikiText-2-style
+// transformer language model (ObfuscateTokens → LocalTrainer →
+// ExtractLM; see examples/lm for the fuller LM story with eval splits
+// and checkpoints).
 package main
 
 import (
@@ -11,13 +12,6 @@ import (
 	"log"
 
 	"amalgam"
-	"amalgam/internal/autodiff"
-	"amalgam/internal/core"
-	"amalgam/internal/data"
-	"amalgam/internal/models"
-	"amalgam/internal/nn"
-	"amalgam/internal/optim"
-	"amalgam/internal/tensor"
 )
 
 func main() {
@@ -64,40 +58,25 @@ func textClassification() {
 }
 
 func languageModel() {
-	fmt.Println("== language modelling (WikiText-2-style) ==")
-	vocab := 2000
-	const window = 20
-	stream := data.GenerateTokenStream(data.TextConfig{Name: "wt2", Tokens: 8000, Vocab: vocab, Seed: 5})
-	aug, err := core.AugmentTokenStream(stream, core.TextAugmentOptions{Amount: 0.5, WindowLen: window, Noise: core.DefaultTextNoise(vocab), Seed: 6})
+	fmt.Println("== language modelling (WikiText-2-style, public API) ==")
+	const vocab, window = 2000, 20
+	stream := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt2", Tokens: 8000, Vocab: vocab, Seed: 5})
+	model := amalgam.BuildLMModel(7, amalgam.TransformerLMConfig{
+		Vocab: vocab, D: 64, Heads: 2, FF: 64, Layers: 2, MaxT: 64, Dropout: 0,
+	})
+	job, err := amalgam.ObfuscateTokens(model, stream, window, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := models.TransformerLMConfig{Vocab: vocab, D: 64, Heads: 2, FF: 64, Layers: 2, MaxT: 64, Dropout: 0}
-	orig := models.NewTransformerLM(tensor.NewRNG(7), cfg)
-	am, err := core.AugmentTransformerLM(orig, aug.Key, core.ModelAugmentOptions{Amount: 0.5, SubNets: 2, Seed: 8})
+	_, err = amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.05, Momentum: 0.9},
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("epoch %d: original-subnet LM loss %.4f ppl %.1f\n", s.Epoch, s.Loss, s.Perplexity)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var windows [][]int
-	for lo := 0; lo+aug.Key.AugLen <= len(aug.Stream.Tokens); lo += aug.Key.AugLen {
-		windows = append(windows, aug.Stream.Tokens[lo:lo+aug.Key.AugLen])
-	}
-	opt := optim.NewSGD(am.Params(), 0.05, 0.9, 0)
-	for epoch := 0; epoch < 2; epoch++ {
-		var lossSum float32
-		steps := 0
-		for lo := 0; lo+8 <= len(windows); lo += 8 {
-			nn.ZeroGrads(am)
-			total, origLoss := am.LossWindows(windows[lo : lo+8])
-			autodiff.Backward(total)
-			opt.Step()
-			lossSum += origLoss.Scalar()
-			steps++
-		}
-		fmt.Printf("epoch %d: original-subnet LM loss %.4f\n", epoch+1, lossSum/float32(steps))
-	}
-	fresh := models.NewTransformerLM(tensor.NewRNG(7), cfg)
-	if err := core.Extract(am, fresh); err != nil {
+	if _, err := job.ExtractLM(7); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("extraction ok: language model recovered")

@@ -16,6 +16,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"amalgam/internal/autodiff"
@@ -35,7 +36,7 @@ import (
 // not also derive from TorchScript (see ProviderView for what attacks may
 // use).
 type ModelSpec struct {
-	Kind      string  `json:"kind"`            // "plain-cv", "augmented-cv", or "augmented-text"
+	Kind      string  `json:"kind"`            // "plain-cv", "augmented-cv", "augmented-text", or "augmented-lm"
 	Model     string  `json:"model,omitempty"` // CV registry name, e.g. "lenet"
 	InC       int     `json:"in_c,omitempty"`
 	OrigH     int     `json:"orig_h,omitempty"`
@@ -48,11 +49,22 @@ type ModelSpec struct {
 	KeyKeep   []int   `json:"key_keep,omitempty"` // gather set of sub-network 0
 	AugH      int     `json:"aug_h,omitempty"`
 	AugW      int     `json:"aug_w,omitempty"`
-	// Text-modality geometry ("augmented-text").
+	// Text-modality geometry ("augmented-text" and "augmented-lm";
+	// OrigLen/AugLen are the BPTT window lengths for LM jobs).
 	Vocab    int `json:"vocab,omitempty"`
 	EmbedDim int `json:"embed_dim,omitempty"`
 	OrigLen  int `json:"orig_len,omitempty"`
 	AugLen   int `json:"aug_len,omitempty"`
+	// Language-model architecture ("augmented-lm"): the transformer
+	// configuration needed to rebuild the original sub-network. ModelSeed
+	// doubles as the dropout-stream seed, so a rebuild reproduces the
+	// exact training randomness, not just the graph.
+	LMDim     int     `json:"lm_dim,omitempty"`
+	LMHeads   int     `json:"lm_heads,omitempty"`
+	LMFF      int     `json:"lm_ff,omitempty"`
+	LMLayers  int     `json:"lm_layers,omitempty"`
+	LMMaxT    int     `json:"lm_max_t,omitempty"`
+	LMDropout float64 `json:"lm_dropout,omitempty"`
 }
 
 // Hyper holds the training hyper-parameters of a job.
@@ -72,6 +84,12 @@ type Hyper struct {
 	// CheckpointEvery asks a v2 server to push a msgCheckpoint frame (full
 	// state dict) every N epochs. 0 disables.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// OptState declares that the client understands the optimiser-state
+	// extension: AMC2-format msgCheckpoint payloads and the msgOptState
+	// result frame. Clients that predate the extension never set it, so
+	// the server keeps sending them the legacy checkpoint layout and no
+	// optimiser frames — same-version negotiation without a protocol bump.
+	OptState bool `json:"opt_state,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the
@@ -81,17 +99,22 @@ type TrainRequest struct {
 	Hyper  Hyper
 	Images *tensor.Tensor // [N, C, H, W] (CV modality)
 	Labels []int
-	// Samples holds the augmented token sequences of a text job, each of
-	// length Spec.AugLen.
+	// Samples holds the augmented token sequences of a text job — or the
+	// augmented stream windows of an LM job — each of length Spec.AugLen.
 	Samples [][]int
 	// Eval* hold an optional held-out split (already obfuscated with the
 	// job key) the service scores each epoch, reported as EvalAccuracy.
+	// LM jobs ship eval windows with no labels.
 	EvalImages  *tensor.Tensor
 	EvalLabels  []int
 	EvalSamples [][]int
 	// InitState, when non-nil, overrides the rebuilt model's initial
 	// parameters with the client's (preserving client-side initialisation).
 	InitState map[string]*tensor.Tensor
+	// InitOptState, when non-nil, seeds the optimiser's momentum buffers —
+	// a resumed job continues the velocity trajectory instead of
+	// restarting it from zero.
+	InitOptState map[string]*tensor.Tensor
 }
 
 // EpochMetric records per-epoch training loss/accuracy (of the original
@@ -105,13 +128,20 @@ type EpochMetric struct {
 	// eval split; HasEval distinguishes "no eval set" from 0%.
 	EvalAccuracy float64 `json:"eval_accuracy,omitempty"`
 	HasEval      bool    `json:"has_eval,omitempty"`
+	// Perplexity is exp(Loss), reported for language-model jobs (whose
+	// Loss is the mean per-token cross-entropy). Zero for other kinds.
+	Perplexity float64 `json:"perplexity,omitempty"`
 }
 
 // TrainResponse carries the trained weights and metrics back to the user.
 type TrainResponse struct {
-	State   map[string]*tensor.Tensor
-	Metrics []EpochMetric
-	Seconds float64
+	State map[string]*tensor.Tensor
+	// OptState holds the optimiser's final momentum buffers (nil when the
+	// job used no momentum), so a checkpoint written from the response
+	// resumes bit-identically.
+	OptState map[string]*tensor.Tensor
+	Metrics  []EpochMetric
+	Seconds  float64
 	// Cancelled reports that the job stopped early on a client msgCancel;
 	// State then holds the epoch-aligned weights at interruption and
 	// CompletedEpochs the number of fully finished epochs (the resume
@@ -165,6 +195,31 @@ func BuildModel(spec ModelSpec) (Trainable, error) {
 		return core.AugmentTextClassifier(orig, key, core.ModelAugmentOptions{
 			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
 		})
+	case "augmented-lm":
+		if spec.Vocab <= 0 || spec.LMDim <= 0 || spec.LMHeads <= 0 || spec.LMLayers <= 0 || spec.LMFF <= 0 {
+			return nil, fmt.Errorf("cloudsim: LM spec needs vocab/lm_dim/lm_heads/lm_layers/lm_ff, got %d/%d/%d/%d/%d",
+				spec.Vocab, spec.LMDim, spec.LMHeads, spec.LMLayers, spec.LMFF)
+		}
+		// Training feeds OrigLen−1 tokens per window; a positional table
+		// shorter than that would panic mid-epoch and take the service
+		// down, so reject the spec up front.
+		if spec.LMMaxT < spec.OrigLen-1 {
+			return nil, fmt.Errorf("cloudsim: LM spec positional table lm_max_t %d shorter than window inputs (%d)",
+				spec.LMMaxT, spec.OrigLen-1)
+		}
+		cfg := models.TransformerLMConfig{
+			Vocab: spec.Vocab, D: spec.LMDim, Heads: spec.LMHeads, FF: spec.LMFF,
+			Layers: spec.LMLayers, MaxT: spec.LMMaxT, Dropout: float32(spec.LMDropout),
+		}
+		orig := models.NewTransformerLM(tensor.NewRNG(spec.ModelSeed), cfg)
+		key := &core.TextAugKey{OrigLen: spec.OrigLen, AugLen: spec.AugLen, Keep: spec.KeyKeep}
+		key.Insert = complement(key.Keep, spec.AugLen)
+		if err := key.Validate(); err != nil {
+			return nil, fmt.Errorf("cloudsim: invalid LM key in spec: %w", err)
+		}
+		return core.AugmentTransformerLM(orig, key, core.ModelAugmentOptions{
+			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
+		})
 	default:
 		return nil, fmt.Errorf("cloudsim: unknown model kind %q", spec.Kind)
 	}
@@ -205,6 +260,13 @@ type Engine struct {
 	// EvalAcc scores the held-out split; ok is false when there is none.
 	// Nil means no eval set.
 	EvalAcc func(batch int) (acc float64, ok bool)
+	// Perplexity marks a language-model engine: Loss is the mean
+	// per-token cross-entropy, and TrainLoop reports exp(Loss) as the
+	// epoch's perplexity.
+	Perplexity bool
+	// InitOptState seeds the optimiser's momentum buffers before the
+	// first step (checkpoint resume). Nil starts from zero velocity.
+	InitOptState map[string]*tensor.Tensor
 }
 
 // forwarder is implemented by both plain CV models and AugmentedCVModel.
@@ -281,6 +343,35 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 			eng.EvalAcc = func(batch int) (float64, bool) { return textAccuracy(model, eds, batch), true }
 		}
 		return eng, nil
+	case "augmented-lm":
+		n := len(req.Samples)
+		if n == 0 {
+			return nil, fmt.Errorf("cloudsim: LM job has no token windows")
+		}
+		for i, s := range req.Samples {
+			if len(s) != req.Spec.AugLen {
+				return nil, fmt.Errorf("cloudsim: window %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+			}
+		}
+		ws := &data.WindowSet{Windows: req.Samples, Vocab: req.Spec.Vocab}
+		am := model.(*core.AugmentedTransformerLM)
+		eng := &Engine{
+			Model:      model,
+			N:          n,
+			Step:       LMStep(am, ws),
+			TrainAcc:   func(batch int) float64 { return LMAccuracy(am, ws, batch) },
+			Perplexity: true,
+		}
+		if len(req.EvalSamples) > 0 {
+			for i, s := range req.EvalSamples {
+				if len(s) != req.Spec.AugLen {
+					return nil, fmt.Errorf("cloudsim: eval window %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+				}
+			}
+			ews := &data.WindowSet{Windows: req.EvalSamples, Vocab: req.Spec.Vocab}
+			eng.EvalAcc = func(batch int) (float64, bool) { return LMAccuracy(am, ews, batch), true }
+		}
+		return eng, nil
 	default:
 		return nil, fmt.Errorf("cloudsim: unknown model kind %q", req.Spec.Kind)
 	}
@@ -317,6 +408,58 @@ func TextStep(am *core.AugmentedTextClassifier, ds *data.TextDataset) func(*opti
 	}
 }
 
+// LMStep is CVStep's language-modelling counterpart: one batch of
+// augmented windows through Algorithm 1's joint loss. The returned count
+// is in next-token targets of the ORIGINAL windows, so the loop's mean
+// Loss is per original token and exp(Loss) is the paper's perplexity.
+func LMStep(am *core.AugmentedTransformerLM, ws *data.WindowSet) func(*optim.SGD, []int) (float64, int) {
+	perWindow := len(am.OrigGather.Idx) - 1
+	return func(opt *optim.SGD, idx []int) (float64, int) {
+		wins := ws.Batch(idx)
+		nn.ZeroGrads(am)
+		total, orig := am.LossWindows(wins)
+		autodiff.Backward(total)
+		opt.Step()
+		tokens := len(wins) * perWindow
+		l := float64(orig.Scalar()) * float64(tokens)
+		autodiff.Release(total)
+		return l, tokens
+	}
+}
+
+// LMAccuracy scores the original sub-network's next-token accuracy over
+// a set of augmented windows — the LM counterpart of classification
+// accuracy, shared by the service engine and the public LMJob. Exported
+// (unlike the per-modality accuracy helpers below) because the amalgam
+// package reuses it for local training and eval-set scoring.
+func LMAccuracy(am *core.AugmentedTransformerLM, ws *data.WindowSet, batch int) float64 {
+	am.SetTraining(false)
+	defer am.SetTraining(true)
+	correct, total := 0, 0
+	for _, idx := range data.BatchIter(ws.N(), batch, nil) {
+		gathered := am.OrigGather.Apply(ws.Batch(idx))
+		inputs := make([][]int, len(gathered))
+		targets := make([][]int, len(gathered))
+		for i, w := range gathered {
+			inputs[i] = w[:len(w)-1]
+			targets[i] = w[1:]
+		}
+		logits := am.Orig.ForwardIDs(inputs)
+		pred := tensor.ArgmaxRows(logits.Val)
+		flat := models.FlattenTargets(targets)
+		for i, p := range pred {
+			if p == flat[i] {
+				correct++
+			}
+		}
+		total += len(flat)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
 func imageCount(t *tensor.Tensor) int {
 	if t == nil {
 		return 0
@@ -333,7 +476,7 @@ func RunLocal(req *TrainRequest) (*TrainResponse, error) {
 // runTraining builds the engine from a wire request and drives TrainLoop.
 func runTraining(ctx context.Context, req *TrainRequest,
 	progress func(EpochMetric) error,
-	checkpoint func(epoch int, state map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+	checkpoint func(epoch int, state, optState map[string]*tensor.Tensor) error) (*TrainResponse, error) {
 
 	eng, err := newEngine(req)
 	if err != nil {
@@ -344,6 +487,7 @@ func runTraining(ctx context.Context, req *TrainRequest,
 			return nil, fmt.Errorf("cloudsim: loading client init: %w", err)
 		}
 	}
+	eng.InitOptState = req.InitOptState
 	return TrainLoop(ctx, eng, req.Hyper, progress, checkpoint)
 }
 
@@ -353,7 +497,8 @@ func runTraining(ctx context.Context, req *TrainRequest,
 // drift between the two paths.
 //
 // progress (if non-nil) is called after every epoch; checkpoint (if
-// non-nil, and hyper.CheckpointEvery > 0) receives a state-dict snapshot
+// non-nil, and hyper.CheckpointEvery > 0) receives a model state-dict
+// snapshot plus the optimiser's momentum state (nil without momentum)
 // at checkpoint boundaries. A cancelled ctx stops the loop at the NEXT
 // EPOCH BOUNDARY (the in-flight epoch completes) and returns the state
 // with Cancelled set — not an error, so the caller still gets the
@@ -363,7 +508,7 @@ func runTraining(ctx context.Context, req *TrainRequest,
 // batch twice.
 func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 	progress func(EpochMetric) error,
-	checkpoint func(epoch int, state map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+	checkpoint func(epoch int, state, optState map[string]*tensor.Tensor) error) (*TrainResponse, error) {
 
 	if hyper.Epochs <= 0 || hyper.BatchSize <= 0 {
 		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
@@ -373,6 +518,15 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 	}
 	eng.Model.SetTraining(true)
 	opt := optim.NewSGD(eng.Model.Params(), hyper.LR, hyper.Momentum, hyper.WeightDecay)
+	// A momentum-free run never reads velocity, but a loaded buffer would
+	// still be republished by StateDict as if current — epochs-stale state
+	// that a later momentum resume would silently continue from. Only
+	// restore what this run will actually advance.
+	if hyper.Momentum != 0 && len(eng.InitOptState) > 0 {
+		if err := opt.LoadStateDict(eng.InitOptState); err != nil {
+			return nil, fmt.Errorf("cloudsim: loading optimiser state: %w", err)
+		}
+	}
 	start := time.Now()
 	resp := &TrainResponse{CompletedEpochs: hyper.StartEpoch}
 	for e := hyper.StartEpoch; e < hyper.Epochs; e++ {
@@ -402,6 +556,9 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		if eng.EvalAcc != nil {
 			m.EvalAccuracy, m.HasEval = eng.EvalAcc(hyper.BatchSize)
 		}
+		if eng.Perplexity {
+			m.Perplexity = math.Exp(m.Loss)
+		}
 		resp.Metrics = append(resp.Metrics, m)
 		if progress != nil {
 			if err := progress(m); err != nil {
@@ -409,12 +566,13 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 			}
 		}
 		if checkpoint != nil && hyper.CheckpointEvery > 0 && (e+1)%hyper.CheckpointEvery == 0 {
-			if err := checkpoint(e+1, nn.StateDict(eng.Model)); err != nil {
+			if err := checkpoint(e+1, nn.StateDict(eng.Model), opt.StateDict()); err != nil {
 				return nil, err
 			}
 		}
 	}
 	resp.State = nn.StateDict(eng.Model)
+	resp.OptState = opt.StateDict()
 	resp.Seconds = time.Since(start).Seconds()
 	return resp, nil
 }

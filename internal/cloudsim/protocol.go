@@ -41,6 +41,7 @@ const (
 	msgEvalImages byte = 14
 	msgEvalLabels byte = 15
 	msgEvalTokens byte = 16
+	msgOptState   byte = 17 // both directions: optimiser momentum state dict
 )
 
 // protocolVersion is the version this binary speaks. Servers accept v1
@@ -275,6 +276,12 @@ func (s *Server) handle(conn net.Conn) (byte, error) {
 				return ver, fmt.Errorf("cloudsim: bad init state: %w", err)
 			}
 			req.InitState = dict
+		case msgOptState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad optimiser state: %w", err)
+			}
+			req.InitOptState = dict
 		case msgCancel:
 			// Cancelled before the job even started: nothing to train.
 			return ver, fmt.Errorf("cloudsim: job cancelled before submission")
@@ -305,7 +312,7 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 
 	ctx := context.Background()
 	var progress func(EpochMetric) error
-	var checkpoint func(int, map[string]*tensor.Tensor) error
+	var checkpoint func(int, map[string]*tensor.Tensor, map[string]*tensor.Tensor) error
 	if ver >= 2 {
 		// Watch the connection for a mid-job msgCancel (or disconnect —
 		// a vanished client also stops the job instead of burning cloud
@@ -333,15 +340,34 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 			}
 		}
 		if req.Hyper.CheckpointEvery > 0 {
-			checkpoint = func(epoch int, state map[string]*tensor.Tensor) error {
-				var buf bytes.Buffer
-				if err := binary.Write(&buf, binary.LittleEndian, uint32(epoch)); err != nil {
-					return err
+			if req.Hyper.OptState {
+				// Checkpoint frames carry a full AMC2 training checkpoint —
+				// the same bytes WithCheckpoint writes to disk — so the
+				// client-side snapshot records the job kind and the momentum
+				// buffers alongside the weights.
+				checkpoint = func(epoch int, state, optState map[string]*tensor.Tensor) error {
+					var buf bytes.Buffer
+					ck := &serialize.TrainCheckpoint{
+						Epoch: epoch, Kind: req.Spec.Kind, State: state, OptState: optState,
+					}
+					if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
+						return err
+					}
+					return writeFrame(conn, msgCheckpoint, buf.Bytes())
 				}
-				if err := serialize.WriteStateDict(&buf, state); err != nil {
-					return err
+			} else {
+				// v2 client predating the optimiser-state extension: keep
+				// the legacy layout it parses (uint32 epoch + state dict).
+				checkpoint = func(epoch int, state, _ map[string]*tensor.Tensor) error {
+					var buf bytes.Buffer
+					if err := binary.Write(&buf, binary.LittleEndian, uint32(epoch)); err != nil {
+						return err
+					}
+					if err := serialize.WriteStateDict(&buf, state); err != nil {
+						return err
+					}
+					return writeFrame(conn, msgCheckpoint, buf.Bytes())
 				}
-				return writeFrame(conn, msgCheckpoint, buf.Bytes())
 			}
 		}
 	}
@@ -360,6 +386,19 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 	if err := writeFrame(conn, msgResult, metaJSON); err != nil {
 		return err
 	}
+	// Final momentum state rides its own frame, BEFORE msgState so the
+	// client's read loop (which terminates on msgState) still collects
+	// it. Only clients that declared the extension (Hyper.OptState)
+	// receive it — older peers would abort on the unknown frame type.
+	if ver >= 2 && req.Hyper.OptState && len(resp.OptState) > 0 {
+		var optBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&optBuf, resp.OptState); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgOptState, optBuf.Bytes()); err != nil {
+			return err
+		}
+	}
 	var buf bytes.Buffer
 	if err := serialize.WriteStateDict(&buf, resp.State); err != nil {
 		return err
@@ -374,9 +413,10 @@ type StreamHandlers struct {
 	// Progress receives one EpochMetric per completed epoch when
 	// Hyper.Stream is set.
 	Progress func(EpochMetric)
-	// Checkpoint receives mid-job state snapshots when
-	// Hyper.CheckpointEvery > 0.
-	Checkpoint func(epoch int, state map[string]*tensor.Tensor)
+	// Checkpoint receives mid-job snapshots (weights, job kind, momentum
+	// state) when Hyper.CheckpointEvery > 0 — ready to hand to
+	// serialize.SaveTrainCheckpoint unchanged.
+	Checkpoint func(ck *serialize.TrainCheckpoint)
 }
 
 // cancelDrainTimeout bounds how long a cancelled client waits for the
@@ -406,7 +446,11 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 	if err != nil {
 		return nil, err
 	}
-	hyperJSON, err := json.Marshal(req.Hyper)
+	// This client understands the optimiser-state extension; declare it so
+	// the server sends AMC2 checkpoint frames and the msgOptState result.
+	hyper := req.Hyper
+	hyper.OptState = true
+	hyperJSON, err := json.Marshal(hyper)
 	if err != nil {
 		return nil, err
 	}
@@ -464,8 +508,12 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 		if err := addIntSlice(msgEvalTokens, flattenSamples(req.EvalSamples)); err != nil {
 			return nil, err
 		}
-		if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
-			return nil, err
+		// LM eval splits are unlabelled windows; only classification jobs
+		// have eval labels to ship.
+		if len(req.EvalLabels) > 0 {
+			if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if req.InitState != nil {
@@ -477,6 +525,16 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 			kind    byte
 			payload []byte
 		}{msgInit, initBuf.Bytes()})
+	}
+	if len(req.InitOptState) > 0 {
+		var optBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&optBuf, req.InitOptState); err != nil {
+			return nil, err
+		}
+		frames = append(frames, struct {
+			kind    byte
+			payload []byte
+		}{msgOptState, optBuf.Bytes()})
 	}
 	for _, f := range frames {
 		if err := writeFrame(conn, f.kind, f.payload); err != nil {
@@ -521,17 +579,30 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 				h.Progress(m)
 			}
 		case msgCheckpoint:
-			if len(payload) < 4 {
-				return nil, fmt.Errorf("cloudsim: short checkpoint frame")
+			ck, err := serialize.ReadTrainCheckpoint(bytes.NewReader(payload))
+			if errors.Is(err, serialize.ErrWrongFormat) && len(payload) >= 4 {
+				// Legacy layout from a server predating the extension:
+				// uint32 epoch + bare state dict, no kind or optimiser
+				// state.
+				dict, derr := serialize.ReadStateDict(bytes.NewReader(payload[4:]))
+				if derr == nil {
+					ck, err = &serialize.TrainCheckpoint{
+						Epoch: int(binary.LittleEndian.Uint32(payload)), State: dict,
+					}, nil
+				}
 			}
-			epoch := int(binary.LittleEndian.Uint32(payload))
-			dict, err := serialize.ReadStateDict(bytes.NewReader(payload[4:]))
 			if err != nil {
 				return nil, fmt.Errorf("cloudsim: bad checkpoint frame: %w", err)
 			}
 			if h.Checkpoint != nil {
-				h.Checkpoint(epoch, dict)
+				h.Checkpoint(ck)
 			}
+		case msgOptState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad optimiser state frame: %w", err)
+			}
+			resp.OptState = dict
 		case msgResult:
 			var meta resultMeta
 			if err := json.Unmarshal(payload, &meta); err != nil {
@@ -598,10 +669,15 @@ func CaptureProviderView(req *TrainRequest) ProviderView {
 	} else {
 		v.N = len(req.Labels)
 		if len(req.Samples) > 0 {
+			// LM jobs carry no labels; the provider still sees how many
+			// windows were uploaded.
+			if v.N == 0 {
+				v.N = len(req.Samples)
+			}
 			v.FirstSample = append([]int(nil), req.Samples[0]...)
 		}
 	}
-	if req.Spec.Kind == "augmented-cv" || req.Spec.Kind == "augmented-text" {
+	if req.Spec.Kind == "augmented-cv" || req.Spec.Kind == "augmented-text" || req.Spec.Kind == "augmented-lm" {
 		// Rebuild gather sets exactly as the shipped graph exposes them.
 		model, err := BuildModel(req.Spec)
 		if err == nil {

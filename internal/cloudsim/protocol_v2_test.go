@@ -12,7 +12,6 @@ import (
 	"amalgam/internal/core"
 	"amalgam/internal/data"
 	"amalgam/internal/serialize"
-	"amalgam/internal/tensor"
 )
 
 func TestSpecFrameVersionNegotiation(t *testing.T) {
@@ -192,8 +191,13 @@ func TestTextJobOverWire(t *testing.T) {
 	var progress []EpochMetric
 	checkpoints := 0
 	resp, err := TrainContext(context.Background(), l.Addr().String(), req, StreamHandlers{
-		Progress:   func(m EpochMetric) { progress = append(progress, m) },
-		Checkpoint: func(epoch int, state map[string]*tensor.Tensor) { checkpoints++ },
+		Progress: func(m EpochMetric) { progress = append(progress, m) },
+		Checkpoint: func(ck *serialize.TrainCheckpoint) {
+			checkpoints++
+			if ck.Kind != "augmented-text" {
+				t.Errorf("checkpoint frame records kind %q, want augmented-text", ck.Kind)
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -228,9 +232,233 @@ func TestTextJobOverWire(t *testing.T) {
 	}
 }
 
+func lmJob(t *testing.T) *TrainRequest {
+	t.Helper()
+	const vocab, bptt = 300, 10
+	stream := data.GenerateTokenStream(data.TextConfig{Name: "wt", Tokens: 400, Vocab: vocab, Seed: 2})
+	aug, err := core.AugmentTokenStream(stream, core.TextAugmentOptions{
+		Amount: 0.5, WindowLen: bptt, Noise: core.DefaultTextNoise(vocab), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TrainRequest{
+		Spec: ModelSpec{
+			Kind: "augmented-lm", Vocab: vocab, ModelSeed: 7,
+			LMDim: 16, LMHeads: 2, LMFF: 16, LMLayers: 1, LMMaxT: 32, LMDropout: 0.1,
+			OrigLen: aug.Key.OrigLen, AugLen: aug.Key.AugLen, KeyKeep: aug.Key.Keep,
+			AugAmount: 0.5, SubNets: 2, AugSeed: 3,
+		},
+		Hyper:   Hyper{Epochs: 2, BatchSize: 8, LR: 0.1, Momentum: 0.9, Shuffle: true, ShuffleSeed: 5, Stream: true, CheckpointEvery: 1},
+		Samples: aug.Stream.WindowSet(aug.Key.AugLen).Windows,
+	}
+}
+
+// TestLMJobOverWire runs an augmented-lm job through the TCP service —
+// label-free token windows, streamed perplexity, checkpoint frames — and
+// pins wire/local equality plus the LM provider view.
+func TestLMJobOverWire(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req := lmJob(t)
+	var progress []EpochMetric
+	checkpoints := 0
+	resp, err := TrainContext(context.Background(), l.Addr().String(), req, StreamHandlers{
+		Progress: func(m EpochMetric) { progress = append(progress, m) },
+		Checkpoint: func(ck *serialize.TrainCheckpoint) {
+			checkpoints++
+			if ck.Kind != "augmented-lm" {
+				t.Errorf("checkpoint frame records kind %q, want augmented-lm", ck.Kind)
+			}
+			if len(ck.OptState) == 0 {
+				t.Error("momentum job streamed a checkpoint without optimiser state")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != req.Hyper.Epochs || checkpoints != req.Hyper.Epochs {
+		t.Fatalf("streamed %d progress / %d checkpoint frames, want %d each",
+			len(progress), checkpoints, req.Hyper.Epochs)
+	}
+	for _, m := range progress {
+		if m.Perplexity <= 0 {
+			t.Fatalf("epoch %d progress frame carries no perplexity", m.Epoch)
+		}
+	}
+	if len(resp.OptState) == 0 {
+		t.Fatal("momentum job returned no final optimiser state over the wire")
+	}
+	local, err := RunLocal(lmJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tns := range local.State {
+		if !resp.State[name].Equal(tns) {
+			t.Fatalf("wire and local LM training diverged at %q", name)
+		}
+	}
+
+	// The provider view captured the LM job: window count, a token
+	// sample, gather sets — and no labels anywhere.
+	views := server.Views()
+	if len(views) != 1 {
+		t.Fatalf("%d provider views", len(views))
+	}
+	v := views[0]
+	if v.FirstImage != nil || len(v.FirstSample) != req.Spec.AugLen {
+		t.Fatalf("LM provider view: image=%v sample len=%d", v.FirstImage, len(v.FirstSample))
+	}
+	if v.N != len(req.Samples) {
+		t.Fatalf("provider sees %d windows, want %d", v.N, len(req.Samples))
+	}
+	if len(v.GatherSets) != req.Spec.SubNets+1 {
+		t.Fatalf("provider sees %d gather sets, want %d", len(v.GatherSets), req.Spec.SubNets+1)
+	}
+}
+
+// TestLegacyV2ClientGetsNoOptStateFrames pins same-version negotiation
+// for the optimiser-state extension: a v2 client that does NOT declare
+// Hyper.OptState (one built before the extension existed) must receive
+// legacy-layout checkpoint frames (uint32 epoch + bare state dict) and
+// no msgOptState frame — an unknown frame type would abort its run.
+func TestLegacyV2ClientGetsNoOptStateFrames(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req := textJob(t) // Momentum 0.9, Stream + CheckpointEvery set, OptState NOT set
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	specPayload, err := encodeSpecFrame(req.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyperJSON, _ := json.Marshal(req.Hyper)
+	var labelBuf, tokBuf bytes.Buffer
+	if err := serialize.WriteIntSlice(&labelBuf, req.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.WriteIntSlice(&tokBuf, flattenSamples(req.Samples)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		kind    byte
+		payload []byte
+	}{
+		{msgSpec, specPayload}, {msgHyper, hyperJSON},
+		{msgLabels, labelBuf.Bytes()}, {msgTokens, tokBuf.Bytes()}, {msgDone, nil},
+	} {
+		if err := writeFrame(conn, f.kind, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpoints := 0
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case msgProgress:
+		case msgCheckpoint:
+			checkpoints++
+			if len(payload) < 4 {
+				t.Fatal("short legacy checkpoint frame")
+			}
+			if _, err := serialize.ReadStateDict(bytes.NewReader(payload[4:])); err != nil {
+				t.Fatalf("legacy client cannot parse checkpoint frame: %v", err)
+			}
+		case msgResult:
+		case msgState:
+			if checkpoints != req.Hyper.Epochs {
+				t.Fatalf("got %d legacy checkpoint frames, want %d", checkpoints, req.Hyper.Epochs)
+			}
+			return // no msgOptState seen before the terminal frame: pass
+		case msgOptState:
+			t.Fatal("server sent msgOptState to a client that never declared the extension")
+		default:
+			t.Fatalf("unexpected frame type %d", kind)
+		}
+	}
+}
+
+// TestMomentumFreeResumeIgnoresStaleVelocity pins the InitOptState
+// guard: resuming with Momentum 0 must not adopt (and republish) the
+// checkpoint's old velocity buffers as if they were current.
+func TestMomentumFreeResumeIgnoresStaleVelocity(t *testing.T) {
+	first := textJob(t)
+	first.Hyper.Stream = false
+	first.Hyper.CheckpointEvery = 0
+	first.Hyper.Epochs = 1
+	part, err := RunLocal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.OptState) == 0 {
+		t.Fatal("momentum run returned no optimiser state")
+	}
+	second := textJob(t)
+	second.Hyper.Stream = false
+	second.Hyper.CheckpointEvery = 0
+	second.Hyper.Epochs = 2
+	second.Hyper.StartEpoch = 1
+	second.Hyper.Momentum = 0
+	second.InitState = part.State
+	second.InitOptState = part.OptState
+	rest, err := RunLocal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.OptState) != 0 {
+		t.Fatalf("momentum-free run republished %d stale velocity buffers", len(rest.OptState))
+	}
+}
+
+// TestLMSpecValidation pins that malformed LM specs error out instead of
+// panicking mid-training (a panic would take the whole service down).
+func TestLMSpecValidation(t *testing.T) {
+	good := lmJob(t).Spec
+	bad := good
+	bad.LMMaxT = good.OrigLen - 2 // positional table shorter than window inputs
+	if _, err := BuildModel(bad); err == nil {
+		t.Fatal("undersized lm_max_t must be rejected")
+	}
+	bad = good
+	bad.LMFF = 0
+	if _, err := BuildModel(bad); err == nil {
+		t.Fatal("missing lm_ff must be rejected")
+	}
+	if _, err := BuildModel(good); err != nil {
+		t.Fatalf("valid LM spec rejected: %v", err)
+	}
+}
+
 // TestRunTrainingResumeMatchesStraightRun pins the per-epoch shuffle
-// derivation: training epochs [0,3) in one go equals training [0,1) then
-// resuming [1,3) from the returned state, batch order included.
+// derivation AND the momentum carry-over: training epochs [0,3) in one
+// go equals training [0,1) then resuming [1,3) from the returned state
+// and optimiser state, batch order and velocity trajectory included.
+// (Before optimiser state rode checkpoints, this held only for
+// Momentum == 0.)
 func TestRunTrainingResumeMatchesStraightRun(t *testing.T) {
 	mk := func() *TrainRequest {
 		req := textJob(t)
@@ -238,7 +466,7 @@ func TestRunTrainingResumeMatchesStraightRun(t *testing.T) {
 		req.Hyper.CheckpointEvery = 0
 		req.Hyper.Shuffle = true
 		req.Hyper.ShuffleSeed = 9
-		req.Hyper.Momentum = 0 // momentum buffers don't survive a resume
+		req.Hyper.Momentum = 0.9
 		return req
 	}
 	straight := mk()
@@ -254,10 +482,14 @@ func TestRunTrainingResumeMatchesStraightRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(part.OptState) == 0 {
+		t.Fatal("momentum run returned no optimiser state")
+	}
 	second := mk()
 	second.Hyper.Epochs = 3
 	second.Hyper.StartEpoch = 1
 	second.InitState = part.State
+	second.InitOptState = part.OptState
 	rest, err := RunLocal(second)
 	if err != nil {
 		t.Fatal(err)

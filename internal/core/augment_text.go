@@ -65,6 +65,34 @@ func AugmentTokenStream(s *data.TokenStream, opts TextAugmentOptions) (*Augmente
 	}, nil
 }
 
+// AugmentTokenStreamWithKey reuses an existing key on another stream
+// (e.g. a held-out validation split for an LM job): windows of
+// key.OrigLen tokens grow to key.AugLen with fresh noise at the key's
+// insert positions. A trailing partial window is dropped.
+func AugmentTokenStreamWithKey(s *data.TokenStream, key *TextAugKey, noise NoiseSpec, seed uint64) (*data.TokenStream, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	noiseRNG := tensor.NewRNG(seed).Split(2)
+	nWindows := len(s.Tokens) / key.OrigLen
+	out := make([]int, 0, nWindows*key.AugLen)
+	for wi := 0; wi < nWindows; wi++ {
+		src := s.Tokens[wi*key.OrigLen : (wi+1)*key.OrigLen]
+		window := make([]int, key.AugLen)
+		for pi, pos := range key.Keep {
+			window[pos] = src[pi]
+		}
+		for _, pos := range key.Insert {
+			window[pos] = noise.sampleToken(noiseRNG, s.Vocab)
+		}
+		out = append(out, window...)
+	}
+	return &data.TokenStream{Name: s.Name + "+aug", Tokens: out, Vocab: s.Vocab}, nil
+}
+
 // RecoverTokenStream inverts stream augmentation with the key.
 func RecoverTokenStream(aug *data.TokenStream, key *TextAugKey) (*data.TokenStream, error) {
 	if err := key.Validate(); err != nil {

@@ -156,3 +156,69 @@ func TestAugmentedTextParamBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestResolveSubNetsOutsideAugmentStream pins the SubNets determinism
+// fix: the random decoy-count draw (SubNets 0 ⇒ 2–4) resolves from Seed
+// alone, outside the augmentation RNG stream, so an unpinned job is
+// bit-identical to the same job with the resolved count pinned — which
+// is exactly what the cloud rebuild does with the spec's resolved count.
+func TestResolveSubNetsOutsideAugmentStream(t *testing.T) {
+	key, err := NewTextAugKey(tensor.NewRNG(1), 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpinnedOpts := ModelAugmentOptions{Amount: 0.5, SubNets: 0, Seed: 21}
+	n := unpinnedOpts.ResolveSubNets()
+	if n < 2 || n > 4 {
+		t.Fatalf("resolved decoy count %d outside [2,4]", n)
+	}
+	if again := unpinnedOpts.ResolveSubNets(); again != n {
+		t.Fatalf("resolution is not deterministic: %d then %d", n, again)
+	}
+
+	build := func() *models.TextClassifier { return models.NewTextClassifier(tensor.NewRNG(2), 400, 8, 3) }
+	unpinned, err := AugmentTextClassifier(build(), key, unpinnedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := AugmentTextClassifier(build(), key, ModelAugmentOptions{Amount: 0.5, SubNets: n, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unpinned.Decoys) != n || len(pinned.Decoys) != n {
+		t.Fatalf("decoy counts %d/%d, want %d", len(unpinned.Decoys), len(pinned.Decoys), n)
+	}
+	du, dp := nn.StateDict(unpinned), nn.StateDict(pinned)
+	if len(du) != len(dp) {
+		t.Fatalf("state dicts differ in size: %d vs %d", len(du), len(dp))
+	}
+	for name, src := range du {
+		if !dp[name].Equal(src) {
+			t.Fatalf("unpinned vs pinned augmentation diverged at %q", name)
+		}
+	}
+
+	// The LM augmenter resolves through the same path.
+	lmKey, err := NewTextAugKey(tensor.NewRNG(3), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmCfg := models.TransformerLMConfig{Vocab: 300, D: 16, Heads: 2, FF: 16, Layers: 1, MaxT: 32}
+	lmU, err := AugmentTransformerLM(models.NewTransformerLM(tensor.NewRNG(4), lmCfg), lmKey,
+		ModelAugmentOptions{Amount: 0.5, SubNets: 0, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLM := ModelAugmentOptions{Amount: 0.5, SubNets: 0, Seed: 33}.ResolveSubNets()
+	lmP, err := AugmentTransformerLM(models.NewTransformerLM(tensor.NewRNG(4), lmCfg), lmKey,
+		ModelAugmentOptions{Amount: 0.5, SubNets: nLM, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	duLM, dpLM := nn.StateDict(lmU), nn.StateDict(lmP)
+	for name, src := range duLM {
+		if !dpLM[name].Equal(src) {
+			t.Fatalf("unpinned vs pinned LM augmentation diverged at %q", name)
+		}
+	}
+}

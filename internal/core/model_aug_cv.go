@@ -35,11 +35,23 @@ type ModelAugmentOptions struct {
 	DecoyGathers [][]int
 }
 
-func (o ModelAugmentOptions) subNets(rng *tensor.RNG) int {
+// subNetsSalt decorrelates the decoy-count draw from every other
+// seed-derived stream.
+const subNetsSalt = 0x5ab7e75
+
+// ResolveSubNets returns the effective decoy count: SubNets when pinned
+// (> 0), otherwise a deterministic draw in [2,4] from Seed alone (the
+// paper's default is a random number). The draw deliberately does NOT
+// consume the augmentation RNG stream: augmenting with {SubNets: 0,
+// Seed: s} is bit-identical to augmenting with the resolved count pinned
+// explicitly. That is what lets a remote rebuild — which always sees the
+// resolved count in the wire spec — match an unpinned client job without
+// the client having to pin SubNets itself.
+func (o ModelAugmentOptions) ResolveSubNets() int {
 	if o.SubNets > 0 {
 		return o.SubNets
 	}
-	return 2 + rng.IntN(3)
+	return 2 + tensor.NewRNG(o.Seed^subNetsSalt).IntN(3)
 }
 
 // cvDecoy is one synthetic sub-network: a secret (random) input gather, a
@@ -117,7 +129,7 @@ func AugmentCVModel(orig models.CVModel, key *ImageAugKey, inC, classes int, opt
 	}
 
 	total := nn.NumParams(orig)
-	ns := opts.subNets(rng)
+	ns := opts.ResolveSubNets()
 	budget := int(float64(total) * opts.Amount)
 	per := budget / ns
 	for i := 0; i < ns; i++ {

@@ -56,7 +56,7 @@ func AugmentTextClassifier(orig *models.TextClassifier, key *TextAugKey, opts Mo
 		return m, nil
 	}
 	total := nn.NumParams(orig)
-	ns := opts.subNets(rng)
+	ns := opts.ResolveSubNets()
 	budget := int(float64(total) * opts.Amount)
 	per := budget / ns
 	for i := 0; i < ns; i++ {
@@ -193,7 +193,7 @@ func AugmentTransformerLM(orig *models.TransformerLM, key *TextAugKey, opts Mode
 		return m, nil
 	}
 	total := nn.NumParams(orig)
-	ns := opts.subNets(rng)
+	ns := opts.ResolveSubNets()
 	budget := int(float64(total) * opts.Amount)
 	per := budget / ns
 	for i := 0; i < ns; i++ {
@@ -273,6 +273,17 @@ func (m *AugmentedTransformerLM) Params() []nn.Param {
 
 // SetTraining toggles training mode.
 func (m *AugmentedTransformerLM) SetTraining(t bool) { m.Orig.SetTraining(t) }
+
+// GatherSets returns every sub-network's token gather set (original
+// sub-network first, then decoys) — consumed by the cloud simulator's
+// provider view, which shuffles them before exposure.
+func (m *AugmentedTransformerLM) GatherSets() [][]int {
+	out := [][]int{append([]int(nil), m.OrigGather.Idx...)}
+	for _, d := range m.Decoys {
+		out = append(out, append([]int(nil), d.gather.Idx...))
+	}
+	return out
+}
 
 // TotalParams returns the trainable parameter count after augmentation.
 func (m *AugmentedTransformerLM) TotalParams() int {

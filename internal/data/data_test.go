@@ -233,3 +233,27 @@ func TestPaperScaleConstants(t *testing.T) {
 		t.Fatalf("WikiText2 paper size %.1f MB, want ≈16.4", mb)
 	}
 }
+
+// TestWindowSetBatching pins the BPTT-style window view LM trainers
+// batch over: non-overlapping windows, trailing remainder dropped,
+// batches gathering by index.
+func TestWindowSetBatching(t *testing.T) {
+	s := &TokenStream{Name: "w", Tokens: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, Vocab: 11}
+	ws := s.WindowSet(4)
+	if ws.N() != 2 || ws.SeqLen() != 4 {
+		t.Fatalf("11 tokens at window 4: N=%d SeqLen=%d, want 2/4 (remainder dropped)", ws.N(), ws.SeqLen())
+	}
+	b := ws.Batch([]int{1, 0})
+	if b[0][0] != 4 || b[1][0] != 0 {
+		t.Fatalf("batch gathered %v", b)
+	}
+	if s.N() != 11 {
+		t.Fatalf("TokenStream.N = %d, want 11", s.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window length must panic")
+		}
+	}()
+	s.WindowSet(0)
+}

@@ -118,8 +118,57 @@ type TokenStream struct {
 	Vocab  int
 }
 
+// N returns the token count. It also satisfies the public API's
+// EvalDataset interface, so a held-out stream can ride WithEvalSet.
+func (s *TokenStream) N() int { return len(s.Tokens) }
+
 // SizeBytes reports the int64-token payload size (Table 2 accounting).
 func (s *TokenStream) SizeBytes() int64 { return int64(len(s.Tokens)) * 8 }
+
+// WindowSet slices the stream into its non-overlapping windows of
+// windowLen tokens, dropping a trailing partial window (standard
+// batchify behaviour). The windows view the stream's backing array.
+func (s *TokenStream) WindowSet(windowLen int) *WindowSet {
+	if windowLen <= 0 {
+		panic(fmt.Sprintf("data: WindowSet window length must be positive, got %d", windowLen))
+	}
+	n := len(s.Tokens) / windowLen
+	wins := make([][]int, n)
+	for i := range wins {
+		wins[i] = s.Tokens[i*windowLen : (i+1)*windowLen]
+	}
+	return &WindowSet{Windows: wins, Vocab: s.Vocab}
+}
+
+// WindowSet is a fixed-length window view over a token stream — the unit
+// LM trainers batch over (BPTT-style batching: each window of L tokens
+// yields L−1 next-token training pairs). It plays the role ImageDataset
+// and TextDataset play for the other modalities: N/Batch feed the shared
+// epoch loop.
+type WindowSet struct {
+	Windows [][]int
+	Vocab   int
+}
+
+// N returns the window count.
+func (ws *WindowSet) N() int { return len(ws.Windows) }
+
+// SeqLen returns the (uniform) window length.
+func (ws *WindowSet) SeqLen() int {
+	if len(ws.Windows) == 0 {
+		return 0
+	}
+	return len(ws.Windows[0])
+}
+
+// Batch gathers the windows at the given indices.
+func (ws *WindowSet) Batch(indices []int) [][]int {
+	out := make([][]int, len(indices))
+	for bi, i := range indices {
+		out[bi] = ws.Windows[i]
+	}
+	return out
+}
 
 // Batchify reshapes the stream into [batchSize] parallel columns of equal
 // length, dropping the remainder — the standard PyTorch LM pipeline the

@@ -65,6 +65,15 @@ type TransformerLM struct {
 	Drop                    *nn.Dropout
 	pe                      *tensor.Tensor
 	maxT                    int
+
+	// Cfg is the configuration the model was built from, retained so a
+	// remote job spec can rebuild the identical architecture.
+	Cfg TransformerLMConfig
+	// BuildSeed records the RNG seed a seed-taking builder (the public
+	// BuildLMModel) used, so a rebuild reproduces not just the
+	// architecture but the dropout streams — required for bit-identical
+	// local/remote training when Dropout > 0.
+	BuildSeed uint64
 }
 
 // TransformerLMConfig mirrors the PyTorch tutorial hyper-parameters.
@@ -87,6 +96,7 @@ func NewTransformerLM(rng *tensor.RNG, cfg TransformerLMConfig) *TransformerLM {
 		Drop:    nn.NewDropout(rng.Split(3), cfg.Dropout),
 		pe:      nn.PositionalEncoding(cfg.MaxT, cfg.D),
 		maxT:    cfg.MaxT,
+		Cfg:     cfg,
 	}
 	for i := 0; i < cfg.Layers; i++ {
 		m.Blocks = append(m.Blocks, nn.NewTransformerEncoderLayer(rng.Split(uint64(10+i)), cfg.D, cfg.Heads, cfg.FF, cfg.Dropout))

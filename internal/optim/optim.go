@@ -5,6 +5,7 @@
 package optim
 
 import (
+	"fmt"
 	"math"
 
 	"amalgam/internal/nn"
@@ -78,6 +79,54 @@ func (s *SGD) SetLR(lr float64) { s.lr = lr }
 
 // LR returns the learning rate.
 func (s *SGD) LR() float64 { return s.lr }
+
+// StateDict returns the optimiser's per-parameter state — the momentum
+// buffers, keyed by parameter name. Nil when momentum is disabled or no
+// step has run yet. The returned tensors are the live buffers (like
+// nn.StateDict); serialise before stepping again if a frozen snapshot is
+// needed.
+func (s *SGD) StateDict() map[string]*tensor.Tensor {
+	if len(s.velocity) == 0 {
+		return nil
+	}
+	out := make(map[string]*tensor.Tensor, len(s.velocity))
+	for name, v := range s.velocity {
+		out[name] = v
+	}
+	return out
+}
+
+// LoadStateDict restores momentum buffers saved by StateDict, so a
+// resumed run continues the velocity trajectory instead of restarting it
+// from zero (the gap that made checkpoint resume merely convergent, not
+// bit-identical, when Momentum > 0). Every entry must name a parameter
+// of this optimiser with a matching shape; an unknown name means the
+// checkpoint belongs to a different model and fails the load before any
+// state is touched.
+func (s *SGD) LoadStateDict(dict map[string]*tensor.Tensor) error {
+	staged := make(map[string]*tensor.Tensor, len(dict))
+	byName := make(map[string]nn.Param, len(s.params))
+	for _, p := range s.params {
+		byName[p.Name] = p
+	}
+	for name, src := range dict {
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("optim: momentum state for unknown parameter %q", name)
+		}
+		if !src.SameShape(p.Node.Val) {
+			return fmt.Errorf("optim: momentum state shape mismatch for %q: %v vs %v",
+				name, src.Shape(), p.Node.Val.Shape())
+		}
+		v := tensor.New(src.Shape()...)
+		v.CopyFrom(src)
+		staged[name] = v
+	}
+	for name, v := range staged {
+		s.velocity[name] = v
+	}
+	return nil
+}
 
 var _ Optimizer = (*SGD)(nil)
 

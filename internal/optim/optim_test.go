@@ -108,3 +108,100 @@ func TestSGDDeterministicAcrossRuns(t *testing.T) {
 		t.Fatal("training is not deterministic")
 	}
 }
+
+// TestSGDStateDictResumeBitIdentical pins the momentum-checkpoint
+// contract at the optimiser level: save the velocity after k steps, load
+// it into a fresh optimiser over an identically-positioned model, and
+// the continued trajectories coincide bit-for-bit.
+func TestSGDStateDictResumeBitIdentical(t *testing.T) {
+	build := func() (*nn.Linear, *tensor.Tensor) {
+		rng := tensor.NewRNG(1)
+		l := nn.NewLinear(rng, 4, 2)
+		x := tensor.New(3, 4)
+		rng.FillNormal(x, 0, 1)
+		return l, x
+	}
+	step := func(l *nn.Linear, o *SGD, x *tensor.Tensor) {
+		nn.ZeroGrads(l)
+		logits := l.Forward(autodiff.Constant(x))
+		autodiff.Backward(autodiff.SoftmaxCrossEntropy(logits, []int{0, 1, 0}))
+		o.Step()
+	}
+
+	// Straight run: 10 steps.
+	la, xa := build()
+	oa := NewSGD(la.Params(), 0.05, 0.9, 1e-4)
+	for i := 0; i < 10; i++ {
+		step(la, oa, xa)
+	}
+
+	// Split run: 5 steps, serialise weights+velocity, rebuild, 5 more.
+	lb, xb := build()
+	ob := NewSGD(lb.Params(), 0.05, 0.9, 1e-4)
+	for i := 0; i < 5; i++ {
+		step(lb, ob, xb)
+	}
+	weights := nn.StateDict(lb)
+	vel := ob.StateDict()
+	if len(vel) == 0 {
+		t.Fatal("momentum run produced no velocity state")
+	}
+
+	lc, xc := build()
+	if err := nn.LoadStateDict(lc, weights); err != nil {
+		t.Fatal(err)
+	}
+	oc := NewSGD(lc.Params(), 0.05, 0.9, 1e-4)
+	if err := oc.LoadStateDict(vel); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		step(lc, oc, xc)
+	}
+
+	da, dc := nn.StateDict(la), nn.StateDict(lc)
+	for name, src := range da {
+		if !dc[name].Equal(src) {
+			t.Fatalf("resumed optimiser diverged at %q", name)
+		}
+	}
+
+	// Without restoring velocity the trajectories must differ — the
+	// regression this API closes.
+	ld, xd := build()
+	if err := nn.LoadStateDict(ld, weights); err != nil {
+		t.Fatal(err)
+	}
+	od := NewSGD(ld.Params(), 0.05, 0.9, 1e-4)
+	for i := 0; i < 5; i++ {
+		step(ld, od, xd)
+	}
+	same := true
+	for name, src := range da {
+		if !nn.StateDict(ld)[name].Equal(src) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("zero-velocity resume unexpectedly matched the straight run; the test is vacuous")
+	}
+}
+
+// TestSGDLoadStateDictRejectsForeignState pins the guard that catches a
+// checkpoint from a different model: unknown names and mis-shaped
+// buffers fail without mutating existing state.
+func TestSGDLoadStateDictRejectsForeignState(t *testing.T) {
+	l := nn.NewLinear(tensor.NewRNG(1), 4, 2)
+	o := NewSGD(l.Params(), 0.05, 0.9, 0)
+	if err := o.LoadStateDict(map[string]*tensor.Tensor{"nope": tensor.New(1)}); err == nil {
+		t.Fatal("unknown parameter name should fail the load")
+	}
+	var wName string
+	for _, p := range l.Params() {
+		wName = p.Name
+		break
+	}
+	if err := o.LoadStateDict(map[string]*tensor.Tensor{wName: tensor.New(1, 1)}); err == nil {
+		t.Fatal("mis-shaped momentum buffer should fail the load")
+	}
+}

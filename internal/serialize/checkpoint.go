@@ -59,56 +59,136 @@ func LoadModel(path string, m interface{ Params() []nn.Param }) error {
 	return nn.LoadStateDict(m, dict)
 }
 
-// ckptMagic heads a training checkpoint: a resumable snapshot pairing a
-// state dict with the number of fully completed epochs. Trainers write one
-// mid-job (every N epochs, and on cancellation) so an interrupted cloud
-// job can be resumed from the last epoch boundary.
-const ckptMagic = 0x414d4331 // "AMC1"
+// Training-checkpoint magics: a resumable snapshot pairing a state dict
+// with the number of fully completed epochs. Trainers write one mid-job
+// (every N epochs, and on cancellation) so an interrupted cloud job can
+// be resumed from the last epoch boundary.
+//
+// AMC1 (legacy) is epoch + model state dict. AMC2 adds the job's spec
+// kind (so a checkpoint can be matched against the job it is loaded
+// into) and the optimiser state dict (SGD momentum buffers), which is
+// what makes a resumed run with Momentum > 0 bit-identical to an
+// uninterrupted one. AMC1 files remain loadable: they surface with an
+// empty Kind and no OptState.
+const (
+	ckptMagicV1 = 0x414d4331 // "AMC1"
+	ckptMagicV2 = 0x414d4332 // "AMC2"
+)
 
-// WriteTrainCheckpoint encodes a training checkpoint: header, completed
-// epoch count, then the full (augmented-model) state dict.
-func WriteTrainCheckpoint(w io.Writer, epoch int, dict map[string]*tensor.Tensor) error {
-	if epoch < 0 {
-		return fmt.Errorf("serialize: checkpoint epoch must be ≥ 0, got %d", epoch)
+// TrainCheckpoint is a resumable training snapshot.
+type TrainCheckpoint struct {
+	// Epoch counts fully completed epochs (the resume point).
+	Epoch int
+	// Kind is the job's wire spec kind ("augmented-cv", "augmented-text",
+	// "augmented-lm", ...). Empty for legacy AMC1 files.
+	Kind string
+	// State is the full (augmented-model) state dict.
+	State map[string]*tensor.Tensor
+	// OptState holds the optimiser's per-parameter state (SGD momentum
+	// buffers), keyed like State. Nil when the run used no momentum or
+	// the file predates AMC2.
+	OptState map[string]*tensor.Tensor
+}
+
+// WriteTrainCheckpoint encodes a training checkpoint in the AMC2 layout:
+// header, completed epoch count, spec kind, model state dict, and — when
+// present — the optimiser state dict.
+func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
+	if ck.Epoch < 0 {
+		return fmt.Errorf("serialize: checkpoint epoch must be ≥ 0, got %d", ck.Epoch)
 	}
 	bw := bufio.NewWriter(w)
-	if err := writeHeader(bw, ckptMagic); err != nil {
+	if err := writeHeader(bw, ckptMagicV2); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(epoch)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ck.Epoch)); err != nil {
+		return err
+	}
+	if err := writeString(bw, ck.Kind); err != nil {
+		return err
+	}
+	hasOpt := uint8(0)
+	if len(ck.OptState) > 0 {
+		hasOpt = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasOpt); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return WriteStateDict(w, dict)
+	if err := WriteStateDict(w, ck.State); err != nil {
+		return err
+	}
+	if hasOpt == 1 {
+		return WriteStateDict(w, ck.OptState)
+	}
+	return nil
 }
 
-// ReadTrainCheckpoint decodes a checkpoint written by WriteTrainCheckpoint.
-func ReadTrainCheckpoint(r io.Reader) (epoch int, dict map[string]*tensor.Tensor, err error) {
-	if err := readHeader(r, ckptMagic); err != nil {
-		return 0, nil, err
+// ReadTrainCheckpoint decodes an AMC2 checkpoint, or a legacy AMC1 one
+// (Kind empty, OptState nil).
+func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
+	// One buffered reader for the whole stream: the dict sections are
+	// decoded with the non-wrapping reader so the model dict cannot
+	// read ahead into the optimiser dict.
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("serialize: read magic: %w", err)
 	}
+	if magic != ckptMagicV1 && magic != ckptMagicV2 {
+		return nil, fmt.Errorf("serialize: bad magic %#x, want %#x or %#x: %w",
+			magic, ckptMagicV1, ckptMagicV2, ErrWrongFormat)
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, fmt.Errorf("serialize: read version: %w", err)
+	}
+	if v != version {
+		return nil, fmt.Errorf("serialize: unsupported version %d", v)
+	}
+	ck := &TrainCheckpoint{}
 	var e uint32
-	if err := binary.Read(r, binary.LittleEndian, &e); err != nil {
-		return 0, nil, fmt.Errorf("serialize: read checkpoint epoch: %w", err)
+	if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+		return nil, fmt.Errorf("serialize: read checkpoint epoch: %w", err)
 	}
-	dict, err = ReadStateDict(r)
+	ck.Epoch = int(e)
+	hasOpt := uint8(0)
+	if magic == ckptMagicV2 {
+		kind, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: read checkpoint kind: %w", err)
+		}
+		ck.Kind = kind
+		if err := binary.Read(br, binary.LittleEndian, &hasOpt); err != nil {
+			return nil, fmt.Errorf("serialize: read checkpoint flags: %w", err)
+		}
+	}
+	state, err := readStateDictFrom(br)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	return int(e), dict, nil
+	ck.State = state
+	if hasOpt == 1 {
+		opt, err := readStateDictFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: optimiser state: %w", err)
+		}
+		ck.OptState = opt
+	}
+	return ck, nil
 }
 
 // SaveTrainCheckpoint writes a checkpoint to path atomically
 // (write-then-rename), like SaveModel.
-func SaveTrainCheckpoint(path string, epoch int, dict map[string]*tensor.Tensor) error {
+func SaveTrainCheckpoint(path string, ck *TrainCheckpoint) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("serialize: create checkpoint: %w", err)
 	}
-	if err := WriteTrainCheckpoint(f, epoch, dict); err != nil {
+	if err := WriteTrainCheckpoint(f, ck); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("serialize: write checkpoint: %w", err)
@@ -121,10 +201,10 @@ func SaveTrainCheckpoint(path string, epoch int, dict map[string]*tensor.Tensor)
 }
 
 // LoadTrainCheckpoint reads a checkpoint from path.
-func LoadTrainCheckpoint(path string) (epoch int, dict map[string]*tensor.Tensor, err error) {
+func LoadTrainCheckpoint(path string) (*TrainCheckpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	return ReadTrainCheckpoint(f)

@@ -1,6 +1,8 @@
 package serialize
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -71,22 +73,85 @@ func TestTrainCheckpointRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "job.amc")
 	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
 	dict := nn.StateDict(m)
-	if err := SaveTrainCheckpoint(path, 7, dict); err != nil {
+	opt := map[string]*tensor.Tensor{}
+	for name, src := range dict {
+		v := tensor.New(src.Shape()...)
+		tensor.NewRNG(9).FillUniform(v, -1, 1)
+		opt[name] = v
+	}
+	in := &TrainCheckpoint{Epoch: 7, Kind: "augmented-cv", State: dict, OptState: opt}
+	if err := SaveTrainCheckpoint(path, in); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatal("temporary file must not linger")
 	}
-	epoch, got, err := LoadTrainCheckpoint(path)
+	ck, err := LoadTrainCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if epoch != 7 || len(got) != len(dict) {
-		t.Fatalf("epoch=%d entries=%d, want 7/%d", epoch, len(got), len(dict))
+	if ck.Epoch != 7 || ck.Kind != "augmented-cv" || len(ck.State) != len(dict) || len(ck.OptState) != len(opt) {
+		t.Fatalf("round trip mangled the checkpoint: %d %q %d/%d", ck.Epoch, ck.Kind, len(ck.State), len(ck.OptState))
 	}
 	for name, src := range dict {
-		if !got[name].Equal(src) {
+		if !ck.State[name].Equal(src) {
 			t.Fatalf("entry %q not restored", name)
+		}
+	}
+	for name, src := range opt {
+		if !ck.OptState[name].Equal(src) {
+			t.Fatalf("optimiser entry %q not restored", name)
+		}
+	}
+}
+
+// TestTrainCheckpointNoOptState pins the momentum-free layout: no
+// optimiser dict on disk, nil OptState back.
+func TestTrainCheckpointNoOptState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.amc")
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	in := &TrainCheckpoint{Epoch: 2, Kind: "augmented-text", State: nn.StateDict(m)}
+	if err := SaveTrainCheckpoint(path, in); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadTrainCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.OptState != nil {
+		t.Fatalf("momentum-free checkpoint returned %d optimiser entries", len(ck.OptState))
+	}
+	if ck.Epoch != 2 || ck.Kind != "augmented-text" {
+		t.Fatalf("epoch/kind mangled: %d %q", ck.Epoch, ck.Kind)
+	}
+}
+
+// TestTrainCheckpointReadsLegacyAMC1 pins backwards compatibility: a
+// checkpoint in the PR 3 layout (AMC1: epoch + state dict, no kind, no
+// optimiser state) still loads, surfacing an empty Kind and nil OptState.
+func TestTrainCheckpointReadsLegacyAMC1(t *testing.T) {
+	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
+	dict := nn.StateDict(m)
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, ckptMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStateDict(&buf, dict); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadTrainCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("legacy AMC1 checkpoint no longer loads: %v", err)
+	}
+	if ck.Epoch != 5 || ck.Kind != "" || ck.OptState != nil {
+		t.Fatalf("legacy read got epoch=%d kind=%q optState=%v", ck.Epoch, ck.Kind, ck.OptState)
+	}
+	for name, src := range dict {
+		if !ck.State[name].Equal(src) {
+			t.Fatalf("legacy entry %q not restored", name)
 		}
 	}
 }
@@ -101,12 +166,12 @@ func TestTrainCheckpointRejectsForeignInput(t *testing.T) {
 	if err := SaveModel(dictPath, m); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadTrainCheckpoint(dictPath); err == nil {
+	if _, err := LoadTrainCheckpoint(dictPath); err == nil {
 		t.Fatal("state dict should not load as a training checkpoint")
 	}
 
 	ckptPath := filepath.Join(dir, "m.amc")
-	if err := SaveTrainCheckpoint(ckptPath, 1, nn.StateDict(m)); err != nil {
+	if err := SaveTrainCheckpoint(ckptPath, &TrainCheckpoint{Epoch: 1, State: nn.StateDict(m)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := LoadModel(ckptPath, m); err == nil {
@@ -115,7 +180,7 @@ func TestTrainCheckpointRejectsForeignInput(t *testing.T) {
 }
 
 func TestTrainCheckpointNegativeEpoch(t *testing.T) {
-	if err := SaveTrainCheckpoint(filepath.Join(t.TempDir(), "x.amc"), -1, nil); err == nil {
+	if err := SaveTrainCheckpoint(filepath.Join(t.TempDir(), "x.amc"), &TrainCheckpoint{Epoch: -1}); err == nil {
 		t.Fatal("negative epoch should error")
 	}
 }

@@ -160,12 +160,20 @@ func WriteStateDict(w io.Writer, dict map[string]*tensor.Tensor) error {
 
 // ReadStateDict decodes a map written by WriteStateDict.
 func ReadStateDict(r io.Reader) (map[string]*tensor.Tensor, error) {
-	br := bufio.NewReader(r)
-	if err := readHeader(br, dictMagic); err != nil {
+	return readStateDictFrom(bufio.NewReader(r))
+}
+
+// readStateDictFrom decodes a state dict without adding its own
+// buffering, reading exactly the dict's bytes — callers that decode
+// several sections from one stream (the AMC2 checkpoint reader) share a
+// single buffered reader across sections instead of letting a nested
+// bufio.Reader read ahead past the section boundary.
+func readStateDictFrom(r io.Reader) (map[string]*tensor.Tensor, error) {
+	if err := readHeader(r, dictMagic); err != nil {
 		return nil, err
 	}
 	var n uint32
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
 	if n > maxDictSize {
@@ -173,11 +181,11 @@ func ReadStateDict(r io.Reader) (map[string]*tensor.Tensor, error) {
 	}
 	out := make(map[string]*tensor.Tensor, n)
 	for i := uint32(0); i < n; i++ {
-		name, err := readString(br)
+		name, err := readString(r)
 		if err != nil {
 			return nil, err
 		}
-		t, err := readTensorBody(br)
+		t, err := readTensorBody(r)
 		if err != nil {
 			return nil, fmt.Errorf("serialize: entry %q: %w", name, err)
 		}

@@ -32,6 +32,11 @@ type TrainableJob interface {
 // an ops value is as stateful as the job itself and must not be shared
 // across concurrent runs.
 type jobOps struct {
+	// kind is the job's wire spec kind ("augmented-cv", "augmented-text",
+	// "augmented-lm"). Checkpoints record it, and WithResume refuses a
+	// checkpoint whose recorded kind differs (ErrCheckpointKind) instead
+	// of failing deep in the state-dict load.
+	kind string
 	// engine drives cloudsim.TrainLoop over the job's live augmented
 	// model and dataset — the same loop the cloud service runs, which is
 	// what keeps local and remote training bit-identical.
@@ -81,6 +86,7 @@ func Obfuscate(model CVModel, ds *ImageDataset, opts Options) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("amalgam: model augmentation: %w", err)
 	}
+	opts.SubNets = len(am.Decoys) // record the resolved decoy count
 	return &Job{
 		Augmented:        am,
 		AugmentedDataset: aug.Dataset,
@@ -104,6 +110,7 @@ func (j *Job) ObfuscateTestSet(ds *ImageDataset, seed uint64) (*ImageDataset, er
 func (j *Job) ops() *jobOps {
 	am, ds := j.Augmented, j.AugmentedDataset
 	return &jobOps{
+		kind: "augmented-cv",
 		engine: &cloudsim.Engine{
 			Model:    am,
 			N:        ds.N(),
@@ -131,7 +138,9 @@ func (j *Job) ops() *jobOps {
 			if j.opts.ModelName == "" {
 				return nil, fmt.Errorf("amalgam: remote CV training requires Options.ModelName")
 			}
-			// SubNets must be pinned for the server-side rebuild to match.
+			// The spec carries the RESOLVED decoy count (the random
+			// SubNets draw happens outside the augmentation RNG stream),
+			// so the server rebuild matches even unpinned jobs.
 			spec := cloudsim.ModelSpec{
 				Kind: "augmented-cv", Model: j.opts.ModelName,
 				InC: j.origCfg.InC, OrigH: j.origCfg.InH, OrigW: j.origCfg.InW, Classes: j.origCfg.Classes,

@@ -1,6 +1,10 @@
 package amalgam
 
-import "fmt"
+import (
+	"fmt"
+
+	"amalgam/internal/tensor"
+)
 
 // Options configures obfuscation (dataset + model augmentation) for both
 // modalities: Obfuscate (images) and ObfuscateText (token sequences).
@@ -8,9 +12,11 @@ type Options struct {
 	// Amount is the augmentation amount α for both the dataset and the
 	// model (the paper uses matched amounts throughout its evaluation).
 	Amount float64
-	// SubNets is the number of decoy sub-networks (0 = random in [2,4]).
-	// Pin it explicitly for jobs that will train remotely, so the service
-	// rebuilds the same graph.
+	// SubNets is the number of decoy sub-networks (0 = random in [2,4],
+	// drawn deterministically from Seed). The draw is resolved before
+	// augmentation and recorded back into the job, so remote jobs need NOT
+	// pin it: the wire spec always carries the resolved count and the
+	// service rebuilds the identical graph.
 	SubNets int
 	// Noise overrides the default noise (uniform pixels for images,
 	// uniform vocabulary tokens for text).
@@ -39,9 +45,13 @@ type EpochStats struct {
 	Loss     float64
 	Accuracy float64
 	// EvalAccuracy is the held-out accuracy when WithEvalSet is
-	// configured; HasEval distinguishes "no eval set" from 0%.
+	// configured; HasEval distinguishes "no eval set" from 0%. For LM
+	// jobs both accuracies are next-token accuracies.
 	EvalAccuracy float64
 	HasEval      bool
+	// Perplexity is exp(Loss), reported for LM jobs (whose Loss is the
+	// mean per-token cross-entropy). Zero for other modalities.
+	Perplexity float64
 	// Err terminates a stream: context.Canceled / DeadlineExceeded for
 	// cancelled runs, or the underlying failure. No further elements
 	// follow an element with Err set.
@@ -49,9 +59,10 @@ type EpochStats struct {
 }
 
 // EvalDataset is a held-out split accepted by WithEvalSet: an
-// *ImageDataset for CV jobs or a *TextDataset for text jobs. The job
-// obfuscates it with its own key before scoring, so augmented-model
-// accuracy is measured the way §5.4 validates cloud-side.
+// *ImageDataset for CV jobs, a *TextDataset for text jobs, or a
+// *TokenStream for LM jobs. The job obfuscates it with its own key
+// before scoring, so augmented-model accuracy is measured the way §5.4
+// validates cloud-side.
 type EvalDataset interface{ N() int }
 
 // TrainOption customises a single Trainer.Run call.
@@ -62,9 +73,13 @@ type runOptions struct {
 	checkpointPath  string
 	checkpointEvery int
 	resumePath      string
-	evalSet         EvalDataset
-	shuffleSeed     uint64
-	shuffleSeedSet  bool
+	// resumeOptState holds the momentum buffers recovered from the resume
+	// checkpoint; trainers seed the optimiser with it so a resumed run is
+	// bit-identical to an uninterrupted one, not merely convergent.
+	resumeOptState map[string]*tensor.Tensor
+	evalSet        EvalDataset
+	shuffleSeed    uint64
+	shuffleSeedSet bool
 }
 
 // WithProgress registers a callback invoked synchronously after every
@@ -74,10 +89,13 @@ func WithProgress(fn func(EpochStats)) TrainOption {
 }
 
 // WithCheckpoint writes a resumable training checkpoint (completed-epoch
-// count + full augmented-model state dict) to path every everyN epochs and
-// whenever the run ends — including cancellation, so an interrupted job
-// always leaves a loadable checkpoint. everyN < 1 means every epoch. For
-// remote training the service streams the snapshots back over the wire.
+// count, job kind, full augmented-model state dict, and the optimiser's
+// momentum buffers) to path every everyN epochs and whenever the run
+// ends — including cancellation, so an interrupted job always leaves a
+// loadable checkpoint. Because momentum state is checkpointed alongside
+// the weights, a resumed run with Momentum > 0 is bit-identical to an
+// uninterrupted one. everyN < 1 means every epoch. For remote training
+// the service streams the snapshots back over the wire.
 func WithCheckpoint(path string, everyN int) TrainOption {
 	if everyN < 1 {
 		everyN = 1

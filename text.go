@@ -85,6 +85,7 @@ func ObfuscateText(model *TextClassifier, ds *TextDataset, opts Options) (*TextJ
 	if err != nil {
 		return nil, fmt.Errorf("amalgam: model augmentation: %w", err)
 	}
+	opts.SubNets = len(am.Decoys) // record the resolved decoy count
 	return &TextJob{
 		Augmented:        am,
 		AugmentedDataset: aug.Dataset,
@@ -107,6 +108,7 @@ func (j *TextJob) ObfuscateTestSet(ds *TextDataset, seed uint64) (*TextDataset, 
 func (j *TextJob) ops() *jobOps {
 	am, ds := j.Augmented, j.AugmentedDataset
 	return &jobOps{
+		kind: "augmented-text",
 		engine: &cloudsim.Engine{
 			Model:    am,
 			N:        ds.N(),
@@ -132,7 +134,8 @@ func (j *TextJob) ops() *jobOps {
 		},
 		request: func() (*cloudsim.TrainRequest, error) {
 			orig := am.Orig
-			// SubNets must be pinned for the server-side rebuild to match.
+			// The spec carries the RESOLVED decoy count, so the server
+			// rebuild matches even unpinned jobs.
 			spec := cloudsim.ModelSpec{
 				Kind:  "augmented-text",
 				Vocab: orig.Vocab, EmbedDim: orig.EmbedDim, Classes: orig.Classes,

@@ -2,6 +2,7 @@ package amalgam
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -9,6 +10,13 @@ import (
 	"amalgam/internal/serialize"
 	"amalgam/internal/tensor"
 )
+
+// ErrCheckpointKind marks a checkpoint written by a job of a different
+// modality than the one it is being loaded into (e.g. a CV checkpoint
+// resumed into a text job). Checkpoints record their job's spec kind, so
+// the mismatch is detected up front with errors.Is instead of surfacing
+// as a confusing state-dict shape failure deep in the load.
+var ErrCheckpointKind = errors.New("amalgam: checkpoint job kind mismatch")
 
 // Trainer runs an obfuscated job to completion. Run returns immediately
 // with a stream of per-epoch statistics; the channel is buffered for the
@@ -58,6 +66,7 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 		return nil, err
 	}
 	eng := o.engine
+	eng.InitOptState = ro.resumeOptState
 	if ro.evalSet != nil {
 		acc, _, err := o.makeEval(ro.evalSet)
 		if err != nil {
@@ -70,10 +79,12 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 	ch := make(chan EpochStats, cfg.Epochs-start+1)
 	go func() {
 		defer close(ch)
-		var checkpoint func(int, map[string]*tensor.Tensor) error
+		var checkpoint func(int, map[string]*tensor.Tensor, map[string]*tensor.Tensor) error
 		if ro.checkpointPath != "" {
-			checkpoint = func(epoch int, state map[string]*tensor.Tensor) error {
-				return serialize.SaveTrainCheckpoint(ro.checkpointPath, epoch, state)
+			checkpoint = func(epoch int, state, optState map[string]*tensor.Tensor) error {
+				return serialize.SaveTrainCheckpoint(ro.checkpointPath, &serialize.TrainCheckpoint{
+					Epoch: epoch, Kind: o.kind, State: state, OptState: optState,
+				})
 			}
 		}
 		resp, err := cloudsim.TrainLoop(ctx, eng, hyper, ro.emitProgress(ch), checkpoint)
@@ -81,7 +92,7 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 			ch <- EpochStats{Err: err}
 			return
 		}
-		finishRun(ctx, ch, ro, resp)
+		finishRun(ctx, ch, ro, o.kind, resp)
 	}()
 	return ch, nil
 }
@@ -111,6 +122,7 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 	if err != nil {
 		return nil, err
 	}
+	req.InitOptState = ro.resumeOptState
 	if ro.evalSet != nil {
 		_, attach, err := o.makeEval(ro.evalSet)
 		if err != nil {
@@ -129,10 +141,10 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 			Progress: func(m cloudsim.EpochMetric) { _ = progress(m) },
 		}
 		if ro.checkpointPath != "" {
-			h.Checkpoint = func(epoch int, state map[string]*tensor.Tensor) {
+			h.Checkpoint = func(ck *serialize.TrainCheckpoint) {
 				// Mid-job snapshots are best-effort; the final state below
 				// is written with error checking.
-				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, epoch, state)
+				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, ck)
 			}
 		}
 		resp, err := cloudsim.TrainContext(ctx, t.Addr, req, h)
@@ -144,7 +156,7 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 			ch <- EpochStats{Err: err}
 			return
 		}
-		finishRun(ctx, ch, ro, resp)
+		finishRun(ctx, ch, ro, o.kind, resp)
 	}()
 	return ch, nil
 }
@@ -185,6 +197,7 @@ func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetr
 		st := EpochStats{
 			Epoch: m.Epoch, Loss: m.Loss, Accuracy: m.Accuracy,
 			EvalAccuracy: m.EvalAccuracy, HasEval: m.HasEval,
+			Perplexity: m.Perplexity,
 		}
 		ch <- st
 		if ro.progress != nil {
@@ -196,9 +209,13 @@ func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetr
 
 // finishRun writes the final checkpoint and terminates a cancelled stream
 // with the context's error.
-func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, resp *cloudsim.TrainResponse) {
+func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, kind string, resp *cloudsim.TrainResponse) {
 	if ro.checkpointPath != "" {
-		if err := serialize.SaveTrainCheckpoint(ro.checkpointPath, resp.CompletedEpochs, resp.State); err != nil {
+		err := serialize.SaveTrainCheckpoint(ro.checkpointPath, &serialize.TrainCheckpoint{
+			Epoch: resp.CompletedEpochs, Kind: kind,
+			State: resp.State, OptState: resp.OptState,
+		})
+		if err != nil {
 			ch <- EpochStats{Err: err}
 			return
 		}
@@ -213,22 +230,59 @@ func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, resp *
 }
 
 // loadResume applies WithResume: loads the checkpoint (if present) into
-// the job model and returns the epoch to restart from.
+// the job model, stages the optimiser state for the run, and returns the
+// epoch to restart from. A checkpoint recording a different job kind is
+// rejected with ErrCheckpointKind before any state is touched.
 func loadResume(ro *runOptions, o *jobOps) (int, error) {
 	if ro.resumePath == "" {
 		return 0, nil
 	}
-	epoch, dict, err := serialize.LoadTrainCheckpoint(ro.resumePath)
+	ck, err := serialize.LoadTrainCheckpoint(ro.resumePath)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil // first run: nothing to resume
 		}
 		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
 	}
-	if err := o.loadState(dict); err != nil {
+	if err := checkpointMatchesJob(ck, o); err != nil {
 		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
 	}
-	return epoch, nil
+	if err := o.loadState(ck.State); err != nil {
+		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
+	}
+	ro.resumeOptState = ck.OptState
+	return ck.Epoch, nil
+}
+
+// checkpointMatchesJob verifies a checkpoint's recorded kind against the
+// job it is being loaded into. Legacy AMC1 checkpoints carry no kind and
+// pass (the state-dict load still validates names and shapes).
+func checkpointMatchesJob(ck *serialize.TrainCheckpoint, o *jobOps) error {
+	if ck.Kind != "" && ck.Kind != o.kind {
+		return fmt.Errorf("checkpoint holds a %q job, this job is %q: %w", ck.Kind, o.kind, ErrCheckpointKind)
+	}
+	return nil
+}
+
+// LoadCheckpoint loads a WithCheckpoint file back into a job's augmented
+// model outside a training run — e.g. to Extract/ExtractText/ExtractLM
+// from an interrupted job without training further. It returns the
+// number of completed epochs the checkpoint records. Loading a
+// checkpoint written by a job of another modality fails with
+// ErrCheckpointKind.
+func LoadCheckpoint(job TrainableJob, path string) (epoch int, err error) {
+	o := job.ops()
+	ck, err := serialize.LoadTrainCheckpoint(path)
+	if err != nil {
+		return 0, fmt.Errorf("amalgam: load checkpoint %s: %w", path, err)
+	}
+	if err := checkpointMatchesJob(ck, o); err != nil {
+		return 0, fmt.Errorf("amalgam: load checkpoint %s: %w", path, err)
+	}
+	if err := o.loadState(ck.State); err != nil {
+		return 0, fmt.Errorf("amalgam: load checkpoint %s: %w", path, err)
+	}
+	return ck.Epoch, nil
 }
 
 // Train runs obfuscated training locally.

@@ -220,15 +220,22 @@ func TestLocalCancellationLeavesResumableCheckpoint(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	epoch, dict, err := serialize.LoadTrainCheckpoint(ckpt)
+	ck, err := serialize.LoadTrainCheckpoint(ckpt)
 	if err != nil {
 		t.Fatalf("cancelled run left no loadable checkpoint: %v", err)
 	}
+	epoch := ck.Epoch
 	if epoch < 2 || epoch >= cfg.Epochs {
 		t.Fatalf("checkpoint epoch %d outside (2, %d)", epoch, cfg.Epochs)
 	}
-	if len(dict) == 0 {
+	if len(ck.State) == 0 {
 		t.Fatal("empty checkpoint state")
+	}
+	if ck.Kind != "augmented-text" {
+		t.Fatalf("checkpoint records kind %q, want augmented-text", ck.Kind)
+	}
+	if len(ck.OptState) == 0 {
+		t.Fatal("momentum run left no optimiser state in the checkpoint")
 	}
 
 	// Resume to a nearby horizon and finish.
@@ -274,15 +281,19 @@ func TestRemoteCancellationLeavesResumableCheckpoint(t *testing.T) {
 	if progressed < 2 {
 		t.Fatalf("only %d progress frames before cancellation", progressed)
 	}
-	epoch, dict, err := serialize.LoadTrainCheckpoint(ckpt)
+	ck, err := serialize.LoadTrainCheckpoint(ckpt)
 	if err != nil {
 		t.Fatalf("cancelled remote run left no loadable checkpoint: %v", err)
 	}
+	epoch := ck.Epoch
 	if epoch >= cfg.Epochs {
 		t.Fatalf("checkpoint claims %d epochs; the job was cancelled", epoch)
 	}
-	if len(dict) == 0 {
+	if len(ck.State) == 0 {
 		t.Fatal("empty checkpoint state")
+	}
+	if len(ck.OptState) == 0 {
+		t.Fatal("momentum run streamed no optimiser state into the checkpoint")
 	}
 
 	// Resume remotely from the streamed checkpoint state and finish.
