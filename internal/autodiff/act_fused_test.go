@@ -1,0 +1,258 @@
+package autodiff
+
+import (
+	"testing"
+
+	"amalgam/internal/tensor"
+)
+
+// PR 5 activation-round pins: fused epilogues must match their unfused
+// compositions bit for bit, the streamed conv backward must accumulate
+// exactly like per-image backwards, and the whole family must hold the
+// zero-alloc steady-state contract.
+
+// TestFusedActivationsMatchUnfused pins full equivalence of the new fused
+// ops against their unfused compositions — forward values AND every
+// gradient, bit for bit. Widths are multiples of the SIMD width so the
+// fused per-row runs and the unfused flat runs partition into identical
+// 8-lane groups on both dispatch backends.
+func TestFusedActivationsMatchUnfused(t *testing.T) {
+	rng := tensor.NewRNG(71)
+	x := tensor.New(4, 8)
+	w := tensor.New(8, 16)
+	b := tensor.New(16)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.5)
+	rng.FillNormal(b, 0, 0.5)
+
+	t.Run("LinearTanh", func(t *testing.T) {
+		xF, wF, bF := Leaf(x.Clone()), Leaf(w.Clone()), Leaf(b.Clone())
+		fused := LinearTanh(xF, wF, bF)
+		xP, wP, bP := Leaf(x.Clone()), Leaf(w.Clone()), Leaf(b.Clone())
+		plain := Tanh(AddRowBias(MatMul(xP, wP), bP))
+		if !fused.Val.Equal(plain.Val) {
+			t.Fatal("LinearTanh forward differs from Tanh(AddRowBias(MatMul))")
+		}
+		Backward(Mean(fused))
+		Backward(Mean(plain))
+		if !xF.Grad.Equal(xP.Grad) || !wF.Grad.Equal(wP.Grad) || !bF.Grad.Equal(bP.Grad) {
+			t.Fatal("LinearTanh gradients differ from Tanh(AddRowBias(MatMul))")
+		}
+	})
+
+	t.Run("LinearGELU", func(t *testing.T) {
+		xF, wF, bF := Leaf(x.Clone()), Leaf(w.Clone()), Leaf(b.Clone())
+		fused := LinearGELU(xF, wF, bF)
+		xP, wP, bP := Leaf(x.Clone()), Leaf(w.Clone()), Leaf(b.Clone())
+		plain := GELU(AddRowBias(MatMul(xP, wP), bP))
+		if !fused.Val.Equal(plain.Val) {
+			t.Fatal("LinearGELU forward differs from GELU(AddRowBias(MatMul))")
+		}
+		Backward(Mean(fused))
+		Backward(Mean(plain))
+		if !xF.Grad.Equal(xP.Grad) || !wF.Grad.Equal(wP.Grad) || !bF.Grad.Equal(bP.Grad) {
+			t.Fatal("LinearGELU gradients differ from GELU(AddRowBias(MatMul))")
+		}
+	})
+
+	t.Run("AddRowBiasTanh", func(t *testing.T) {
+		xr := tensor.New(5, 24)
+		br := tensor.New(24)
+		rng.FillNormal(xr, 0, 1)
+		rng.FillNormal(br, 0, 0.5)
+		xF, bF := Leaf(xr.Clone()), Leaf(br.Clone())
+		fused := AddRowBiasTanh(xF, bF)
+		xP, bP := Leaf(xr.Clone()), Leaf(br.Clone())
+		plain := Tanh(AddRowBias(xP, bP))
+		if !fused.Val.Equal(plain.Val) {
+			t.Fatal("AddRowBiasTanh forward differs from Tanh(AddRowBias)")
+		}
+		Backward(Mean(fused))
+		Backward(Mean(plain))
+		if !xF.Grad.Equal(xP.Grad) || !bF.Grad.Equal(bP.Grad) {
+			t.Fatal("AddRowBiasTanh gradients differ from Tanh(AddRowBias)")
+		}
+	})
+
+	t.Run("AddChanBiasSigmoid", func(t *testing.T) {
+		xc := tensor.New(2, 3, 4, 4) // hw = 16, SIMD-width multiple
+		bc := tensor.New(3)
+		rng.FillNormal(xc, 0, 1)
+		rng.FillNormal(bc, 0, 0.5)
+		xF, bF := Leaf(xc.Clone()), Leaf(bc.Clone())
+		fused := AddChanBiasSigmoid(xF, bF)
+		xP, bP := Leaf(xc.Clone()), Leaf(bc.Clone())
+		plain := Sigmoid(AddChanBias(xP, bP))
+		if !fused.Val.Equal(plain.Val) {
+			t.Fatal("AddChanBiasSigmoid forward differs from Sigmoid(AddChanBias)")
+		}
+		Backward(Mean(fused))
+		Backward(Mean(plain))
+		if !xF.Grad.Equal(xP.Grad) || !bF.Grad.Equal(bP.Grad) {
+			t.Fatal("AddChanBiasSigmoid gradients differ from Sigmoid(AddChanBias)")
+		}
+	})
+}
+
+// TestConvStreamedBackwardMatchesPerImage pins the streaming dW
+// accumulation: the batched backward re-lowers one image at a time into a
+// single scratch buffer and accumulates in ascending batch order, so its
+// dW must equal the sum of per-image dWs taken in the same order, bit for
+// bit. (This is the invariant that made dropping the retained column
+// matrices a pure memory win.)
+func TestConvStreamedBackwardMatchesPerImage(t *testing.T) {
+	const batch, inC, outC, h, wdt, k = 6, 2, 3, 7, 7, 3
+	rng := tensor.NewRNG(72)
+	x := tensor.New(batch, inC, h, wdt)
+	w := tensor.New(outC, inC, k, k)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.5)
+
+	wN := Leaf(w.Clone())
+	full := Conv2d(Constant(x.Clone()), wN, nil, 1, 1)
+	Backward(Sum(full))
+	dwFull := wN.Grad.Clone()
+
+	imgIn := inC * h * wdt
+	dwSum := tensor.New(w.Shape()...)
+	for b := 0; b < batch; b++ {
+		xb := tensor.New(1, inC, h, wdt)
+		copy(xb.Data, x.Data[b*imgIn:(b+1)*imgIn])
+		wb := Leaf(w.Clone())
+		one := Conv2d(Constant(xb), wb, nil, 1, 1)
+		Backward(Sum(one))
+		for i, g := range wb.Grad.Data {
+			dwSum.Data[i] += g
+		}
+	}
+	if !dwFull.Equal(dwSum) {
+		t.Fatal("streamed batch dW is not the ascending-order sum of per-image dWs")
+	}
+}
+
+// TestActivationStepAllocs pins the steady-state allocation class of the
+// new activation ops: a full forward+backward+Release step allocates only
+// the constant graph skeleton (see graphAllocBudget).
+func TestActivationStepAllocs(t *testing.T) {
+	ops := map[string]func(*Node) *Node{
+		"tanh":    Tanh,
+		"sigmoid": Sigmoid,
+		"gelu":    GELU,
+	}
+	for name, op := range ops {
+		t.Run(name, func(t *testing.T) {
+			rng := tensor.NewRNG(73)
+			x := tensor.New(64, 96)
+			rng.FillNormal(x, 0, 1)
+			xN := Leaf(x)
+			allocs := stepAllocs(t, func() {
+				xN.ZeroGrad()
+				loss := Mean(op(xN))
+				Backward(loss)
+				Release(loss)
+			})
+			if allocs > graphAllocBudget {
+				t.Fatalf("%s fwd+bwd step allocates %v/op, budget %d", name, allocs, graphAllocBudget)
+			}
+		})
+	}
+	t.Run("LinearTanh", func(t *testing.T) {
+		rng := tensor.NewRNG(74)
+		x := tensor.New(32, 64)
+		w := tensor.New(64, 48)
+		b := tensor.New(48)
+		rng.FillNormal(x, 0, 1)
+		rng.FillNormal(w, 0, 0.3)
+		rng.FillNormal(b, 0, 0.3)
+		xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+		allocs := stepAllocs(t, func() {
+			xN.ZeroGrad()
+			wN.ZeroGrad()
+			bN.ZeroGrad()
+			loss := Mean(LinearTanh(xN, wN, bN))
+			Backward(loss)
+			Release(loss)
+		})
+		if allocs > graphAllocBudget {
+			t.Fatalf("LinearTanh step allocates %v/op, budget %d", allocs, graphAllocBudget)
+		}
+	})
+	t.Run("LinearGELU", func(t *testing.T) {
+		rng := tensor.NewRNG(75)
+		x := tensor.New(32, 64)
+		w := tensor.New(64, 48)
+		b := tensor.New(48)
+		rng.FillNormal(x, 0, 1)
+		rng.FillNormal(w, 0, 0.3)
+		rng.FillNormal(b, 0, 0.3)
+		xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+		allocs := stepAllocs(t, func() {
+			xN.ZeroGrad()
+			wN.ZeroGrad()
+			bN.ZeroGrad()
+			loss := Mean(LinearGELU(xN, wN, bN))
+			Backward(loss)
+			Release(loss)
+		})
+		if allocs > graphAllocBudget {
+			t.Fatalf("LinearGELU step allocates %v/op, budget %d", allocs, graphAllocBudget)
+		}
+	})
+}
+
+// TestConvBackwardStepAllocs pins the streamed conv forward+backward at
+// the constant-graph-skeleton class — the path PR 1's zero-alloc contract
+// previously exempted (it retained one pooled column matrix per image;
+// those still came from the pool, but the per-image bookkeeping slice and
+// its registration scaled with the batch).
+func TestConvBackwardStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; pool-hit alloc counts are meaningless")
+	}
+	rng := tensor.NewRNG(76)
+	x := tensor.New(16, 2, 12, 12)
+	w := tensor.New(8, 2, 3, 3)
+	b := tensor.New(8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.3)
+	rng.FillNormal(b, 0, 0.3)
+	wN, bN := Leaf(w), Leaf(b)
+	allocs := stepAllocs(t, func() {
+		wN.ZeroGrad()
+		bN.ZeroGrad()
+		loss := Mean(Conv2d(Constant(x), wN, bN, 1, 1))
+		Backward(loss)
+		Release(loss)
+	})
+	if allocs > graphAllocBudget {
+		t.Fatalf("streamed conv fwd+bwd step allocates %v/op, budget %d", allocs, graphAllocBudget)
+	}
+}
+
+// TestConvBackwardAllocsIndependentOfBatch is the regression test for the
+// streaming rewrite: step allocations must not scale with the batch size
+// (the retained-columns design kept a []*Tensor of length n plus n live
+// pool buffers across the backward).
+func TestConvBackwardAllocsIndependentOfBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; pool-hit alloc counts are meaningless")
+	}
+	measure := func(batch int) float64 {
+		rng := tensor.NewRNG(77)
+		x := tensor.New(batch, 1, 10, 10)
+		rng.FillNormal(x, 0, 1)
+		w := tensor.New(4, 1, 3, 3)
+		rng.FillNormal(w, 0, 0.3)
+		wN := Leaf(w)
+		return stepAllocs(t, func() {
+			wN.ZeroGrad()
+			loss := Mean(Conv2d(Constant(x), wN, nil, 1, 1))
+			Backward(loss)
+			Release(loss)
+		})
+	}
+	small, large := measure(2), measure(32)
+	if large > small+4 {
+		t.Fatalf("conv step allocs grew with batch: %v at 2 vs %v at 32", small, large)
+	}
+}

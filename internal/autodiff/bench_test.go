@@ -2,6 +2,7 @@ package autodiff
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"amalgam/internal/tensor"
@@ -340,4 +341,258 @@ func BenchmarkLinearTrainStep(b *testing.B) {
 		Backward(loss)
 		Release(loss)
 	}
+}
+
+// tanhNaive is a frozen copy of the PR 2-era Tanh op (per-element float64
+// math.Tanh round-trip). BenchmarkTanhStepNaive vs BenchmarkTanhStep in
+// the same run is the PR 5 activation-kernel speedup.
+func tanhNaive(a *Node) *Node {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
+		return float32(math.Tanh(float64(v)))
+	})
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, th := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * (1 - th*th)
+			}
+		}
+	}
+	return out
+}
+
+// geluNaive is a frozen copy of the PR 2-era GELU op (float64 math.Tanh in
+// the forward AND the backward).
+func geluNaive(a *Node) *Node {
+	const c = 0.7978845608028654
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
+		x := float64(v)
+		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	})
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, v := range a.Val.Data {
+				x := float64(v)
+				t := math.Tanh(c * (x + 0.044715*x*x*x))
+				dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+				d := 0.5*(1+t) + 0.5*x*dt
+				g.Data[i] += out.Grad.Data[i] * float32(d)
+			}
+		}
+	}
+	return out
+}
+
+// sigmoidNaive is a frozen copy of the PR 2-era Sigmoid op.
+func sigmoidNaive(a *Node) *Node {
+	val := tensor.Get(a.Val.Shape()...)
+	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+	out := newPooledNode(val, []*Node{a}, nil)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, s := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+			}
+		}
+	}
+	return out
+}
+
+// benchActStep measures one activation forward+backward at transformer
+// scale ([N*T, D] = [256, 256]).
+func benchActStep(b *testing.B, op func(*Node) *Node) {
+	rng := tensor.NewRNG(15)
+	x := tensor.New(256, 256)
+	rng.FillNormal(x, 0, 2)
+	xN := Leaf(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xN.ZeroGrad()
+		loss := Mean(op(xN))
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkTanhStep(b *testing.B)         { benchActStep(b, Tanh) }
+func BenchmarkTanhStepNaive(b *testing.B)    { benchActStep(b, tanhNaive) }
+func BenchmarkSigmoidStep(b *testing.B)      { benchActStep(b, Sigmoid) }
+func BenchmarkSigmoidStepNaive(b *testing.B) { benchActStep(b, sigmoidNaive) }
+func BenchmarkGELUStep(b *testing.B)         { benchActStep(b, GELU) }
+func BenchmarkGELUStepNaive(b *testing.B)    { benchActStep(b, geluNaive) }
+
+// benchGELUFFStep measures a GELU transformer feed-forward half-block
+// ([N*T, D]·[D, FF] + bias + GELU, forward+backward) — fused LinearGELU vs
+// the frozen float64 GELU over the unfused composition.
+func benchGELUFFStep(b *testing.B, fused bool) {
+	rng := tensor.NewRNG(16)
+	x := tensor.New(256, 200)
+	w := tensor.New(200, 200)
+	bias := tensor.New(200)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.05)
+	rng.FillNormal(bias, 0, 0.05)
+	xN, wN, bN := Leaf(x), Leaf(w), Leaf(bias)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xN.ZeroGrad()
+		wN.ZeroGrad()
+		bN.ZeroGrad()
+		var h *Node
+		if fused {
+			h = LinearGELU(xN, wN, bN)
+		} else {
+			h = geluNaive(AddRowBias(MatMul(xN, wN), bN))
+		}
+		loss := Mean(h)
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkGELUFFStep(b *testing.B)      { benchGELUFFStep(b, true) }
+func BenchmarkGELUFFStepNaive(b *testing.B) { benchGELUFFStep(b, false) }
+
+// conv2dRetained is a frozen copy of the PR 1/2 conv core that keeps every
+// per-image column matrix alive from forward through backward. It exists
+// only to measure what the streaming rewrite saves: same arithmetic, same
+// determinism, n× the column memory.
+func conv2dRetained(x, w *Node, stride, pad int) *Node {
+	xs, ws := x.Val.Shape(), w.Val.Shape()
+	n, oc := xs[0], ws[0]
+	g := &tensor.ConvGeom{
+		InC: xs[1], InH: xs[2], InW: xs[3],
+		KH: ws[2], KW: ws[3],
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	kdim := g.InC * g.KH * g.KW
+	ncols := g.OutH * g.OutW
+	imgIn := g.InC * g.InH * g.InW
+	imgOut := oc * ncols
+
+	val := tensor.Get(n, oc, g.OutH, g.OutW)
+	colsPer := make([]*tensor.Tensor, n)
+	forEachImage(n, func(b int) {
+		cols := tensor.Get(kdim, ncols)
+		tensor.Im2Col(cols, x.Val.Data[b*imgIn:(b+1)*imgIn], g)
+		tensor.MatMulRawInto(val.Data[b*imgOut:(b+1)*imgOut], w.Val.Data, cols.Data, oc, kdim, ncols)
+		colsPer[b] = cols
+	})
+	conv := newPooledNode(val, []*Node{x, w}, nil)
+	conv.scratch = colsPer
+	conv.backward = func() {
+		if w.requiresGrad {
+			wd := w.ensureGrad().Data
+			tmp := tensor.Get(oc, kdim)
+			for b := 0; b < n; b++ {
+				tensor.MatMulBTRawInto(tmp.Data, conv.Grad.Data[b*imgOut:(b+1)*imgOut], colsPer[b].Data, oc, ncols, kdim)
+				tensor.AddRawInto(wd, tmp.Data)
+			}
+			tensor.Put(tmp)
+		}
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			forEachImage(n, func(b int) {
+				dcols := tensor.Get(kdim, ncols)
+				tensor.MatMulATRawInto(dcols.Data, w.Val.Data, conv.Grad.Data[b*imgOut:(b+1)*imgOut], kdim, oc, ncols)
+				tensor.Col2Im(xg.Data[b*imgIn:(b+1)*imgIn], dcols, g)
+				tensor.Put(dcols)
+			})
+		}
+		for b, cols := range colsPer {
+			tensor.Put(cols)
+			colsPer[b] = nil
+		}
+	}
+	return conv
+}
+
+// benchConvBackward runs one conv training step (forward+backward) at
+// batch 32 on either conv core with a warm pool — the throughput view of
+// the streaming rewrite, at a shallow (im2col-heavy) and a deep
+// (matmul-heavy) channel shape. The streamed backward pays one extra
+// im2col per image; these sub-benches record that cost next to the
+// cold-pool benches' memory win.
+func benchConvBackward(b *testing.B, core func(x, w *Node, stride, pad int) *Node) {
+	shapes := []struct {
+		name             string
+		inC, outC, h, wd int
+	}{
+		{"shallow-3ch", 3, 8, 16, 16},
+		{"deep-16ch", 16, 32, 12, 12},
+	}
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			rng := tensor.NewRNG(17)
+			x := tensor.New(32, s.inC, s.h, s.wd)
+			rng.FillNormal(x, 0, 1)
+			w := tensor.New(s.outC, s.inC, 3, 3)
+			rng.FillNormal(w, 0, 0.3)
+			xN, wN := Leaf(x), Leaf(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				xN.ZeroGrad()
+				wN.ZeroGrad()
+				loss := Mean(core(xN, wN, 1, 1))
+				Backward(loss)
+				Release(loss)
+			}
+		})
+	}
+}
+
+func convStreamedCore(x, w *Node, stride, pad int) *Node { return Conv2d(x, w, nil, stride, pad) }
+
+func BenchmarkConvBackwardStreamed(b *testing.B) { benchConvBackward(b, convStreamedCore) }
+func BenchmarkConvBackwardRetained(b *testing.B) { benchConvBackward(b, conv2dRetained) }
+
+// benchConvBackwardColdPool is the peak-memory view: two GC cycles before
+// each step empty the scratch pool (sync.Pool's victim cache survives one
+// GC), so bytes/op ≈ the step's whole working set — which is where keeping
+// n column matrices alive shows up against streaming one.
+func benchConvBackwardColdPool(b *testing.B, batch int, core func(x, w *Node, stride, pad int) *Node) {
+	prev := tensor.SetMaxWorkers(1) // one in-flight column buffer when streaming
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(18)
+	x := tensor.New(batch, 3, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	w := tensor.New(8, 3, 3, 3)
+	rng.FillNormal(w, 0, 0.3)
+	xN, wN := Leaf(x), Leaf(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		runtime.GC()
+		b.StartTimer()
+		xN.ZeroGrad()
+		wN.ZeroGrad()
+		loss := Mean(core(xN, wN, 1, 1))
+		Backward(loss)
+		Release(loss)
+	}
+}
+
+func BenchmarkConvBackwardColdPoolStreamed(b *testing.B) {
+	benchConvBackwardColdPool(b, 64, convStreamedCore)
+}
+
+func BenchmarkConvBackwardColdPoolRetained(b *testing.B) {
+	benchConvBackwardColdPool(b, 64, conv2dRetained)
 }

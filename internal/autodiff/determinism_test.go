@@ -173,6 +173,104 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		}
 	})
 
+	// The PR 5 fused activation family (Tanh32/Sigmoid32/GELU32 kernels and
+	// their Linear/Conv epilogues), run through autodiff on the persistent
+	// worker pool.
+	actCases := map[string]func() (out, dx *tensor.Tensor){
+		"Tanh": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(23)
+			x := tensor.New(37, 96)
+			rng.FillNormal(x, 0, 3)
+			xN := Leaf(x)
+			loss := Mean(Tanh(xN))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), xN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+		"Sigmoid": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(24)
+			x := tensor.New(37, 96)
+			rng.FillNormal(x, 0, 3)
+			xN := Leaf(x)
+			loss := Mean(Sigmoid(xN))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), xN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+		"GELU": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(25)
+			x := tensor.New(37, 96)
+			rng.FillNormal(x, 0, 3)
+			xN := Leaf(x)
+			loss := Mean(GELU(xN))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), xN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+		"LinearTanh": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(26)
+			x := tensor.New(33, 64)
+			w := tensor.New(64, 48)
+			b := tensor.New(48)
+			rng.FillNormal(x, 0, 1)
+			rng.FillNormal(w, 0, 0.3)
+			rng.FillNormal(b, 0, 0.3)
+			xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+			loss := Mean(LinearTanh(xN, wN, bN))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), wN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+		"LinearGELU": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(27)
+			x := tensor.New(33, 64)
+			w := tensor.New(64, 48)
+			b := tensor.New(48)
+			rng.FillNormal(x, 0, 1)
+			rng.FillNormal(w, 0, 0.3)
+			rng.FillNormal(b, 0, 0.3)
+			xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+			loss := Mean(LinearGELU(xN, wN, bN))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), wN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+		"Conv2dSigmoid": func() (out, dx *tensor.Tensor) {
+			rng := tensor.NewRNG(28)
+			x := tensor.New(5, 2, 9, 9)
+			w := tensor.New(4, 2, 3, 3)
+			b := tensor.New(4)
+			rng.FillNormal(x, 0, 1)
+			rng.FillNormal(w, 0, 0.3)
+			rng.FillNormal(b, 0, 0.3)
+			xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+			loss := Mean(Conv2dSigmoid(xN, wN, bN, 1, 1))
+			Backward(loss)
+			out, dx = loss.Val.Clone(), xN.Grad.Clone()
+			Release(loss)
+			return out, dx
+		},
+	}
+	for name, run := range actCases {
+		t.Run("Act/"+name, func(t *testing.T) {
+			prev := tensor.SetMaxWorkers(1)
+			defer tensor.SetMaxWorkers(prev)
+			refOut, refDx := run()
+			for _, wk := range workerCounts {
+				tensor.SetMaxWorkers(wk)
+				out, dx := run()
+				if !out.Equal(refOut) || !dx.Equal(refDx) {
+					t.Errorf("workers=%d: %s fwd/bwd not bit-identical to workers=1", wk, name)
+				}
+			}
+		})
+	}
+
 	convCases := []struct {
 		name                                        string
 		batch, inC, outC, h, w, kernel, stride, pad int
@@ -181,6 +279,9 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		{"vgg-like", 3, 3, 8, 16, 16, 3, 1, 1},
 		{"strided", 2, 2, 4, 15, 15, 3, 2, 1},
 		{"odd-batch", 5, 1, 3, 9, 9, 3, 1, 0},
+		// Batch large enough that the streamed backward re-lowers many
+		// images through its single scratch column buffer.
+		{"streamed-batch32", 32, 1, 4, 10, 10, 3, 1, 1},
 	}
 	for _, tc := range convCases {
 		t.Run(fmt.Sprintf("Conv2d/%s", tc.name), func(t *testing.T) {

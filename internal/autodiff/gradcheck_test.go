@@ -1,6 +1,7 @@
 package autodiff
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -67,16 +68,127 @@ func TestGradActivations(t *testing.T) {
 		"tanh":    Tanh,
 		"gelu":    GELU,
 	}
+	// Several shapes, deliberately including sizes that are not multiples
+	// of the 8-wide SIMD width so the fused kernels' scalar tails get
+	// gradient coverage too.
+	shapes := [][]int{{12}, {13}, {3, 13}, {2, 5, 7}, {40}}
 	for name, act := range acts {
-		t.Run(name, func(t *testing.T) {
-			rng := tensor.NewRNG(2)
-			x := tensor.New(12)
-			rng.FillNormal(x, 0.3, 1) // offset so few elements sit at ReLU kink
-			xN := Leaf(x)
-			target := tensor.New(12)
+		for _, shape := range shapes {
+			t.Run(fmt.Sprintf("%s/%v", name, shape), func(t *testing.T) {
+				rng := tensor.NewRNG(2)
+				x := tensor.New(shape...)
+				rng.FillNormal(x, 0.3, 1) // offset so few elements sit at ReLU kink
+				xN := Leaf(x)
+				target := tensor.New(shape...)
+				rng.FillNormal(target, 0, 1)
+				loss := func() *Node { return MSE(act(xN), target) }
+				gradCheck(t, []*Node{xN}, loss, 3e-2)
+			})
+		}
+	}
+}
+
+// TestGradFusedActivationEpilogues covers the PR 5 fused bias+activation
+// family: Linear→Tanh / Linear→GELU epilogues, the standalone bias+tanh
+// row op, and the conv-shaped bias+sigmoid gate. Widths avoid multiples of
+// the SIMD width so both dispatch paths contribute.
+func TestGradFusedActivationEpilogues(t *testing.T) {
+	t.Run("AddRowBiasTanh", func(t *testing.T) {
+		rng := tensor.NewRNG(61)
+		x := tensor.New(3, 13)
+		b := tensor.New(13)
+		rng.FillNormal(x, 0.2, 1)
+		rng.FillNormal(b, 0, 0.5)
+		target := tensor.New(3, 13)
+		rng.FillNormal(target, 0, 1)
+		xN, bN := Leaf(x), Leaf(b)
+		loss := func() *Node { return MSE(AddRowBiasTanh(xN, bN), target) }
+		gradCheck(t, []*Node{xN, bN}, loss, 3e-2)
+	})
+	t.Run("AddChanBiasSigmoid", func(t *testing.T) {
+		rng := tensor.NewRNG(62)
+		x := tensor.New(2, 3, 3, 3)
+		b := tensor.New(3)
+		rng.FillNormal(x, 0, 1)
+		rng.FillNormal(b, 0, 0.5)
+		target := tensor.New(2, 3, 3, 3)
+		rng.FillNormal(target, 0, 1)
+		xN, bN := Leaf(x), Leaf(b)
+		loss := func() *Node { return MSE(AddChanBiasSigmoid(xN, bN), target) }
+		gradCheck(t, []*Node{xN, bN}, loss, 3e-2)
+	})
+	t.Run("LinearTanh", func(t *testing.T) {
+		rng := tensor.NewRNG(63)
+		x := tensor.New(3, 4)
+		w := tensor.New(4, 5)
+		b := tensor.New(5)
+		rng.FillNormal(x, 0.3, 1)
+		rng.FillNormal(w, 0, 0.5)
+		rng.FillNormal(b, 0.2, 0.3)
+		target := tensor.New(3, 5)
+		rng.FillNormal(target, 0, 1)
+		xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+		loss := func() *Node { return MSE(LinearTanh(xN, wN, bN), target) }
+		gradCheck(t, []*Node{xN, wN, bN}, loss, 3e-2)
+	})
+	t.Run("LinearGELU", func(t *testing.T) {
+		rng := tensor.NewRNG(64)
+		x := tensor.New(3, 4)
+		w := tensor.New(4, 5)
+		b := tensor.New(5)
+		rng.FillNormal(x, 0.3, 1)
+		rng.FillNormal(w, 0, 0.5)
+		rng.FillNormal(b, 0.2, 0.3)
+		target := tensor.New(3, 5)
+		rng.FillNormal(target, 0, 1)
+		xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+		loss := func() *Node { return MSE(LinearGELU(xN, wN, bN), target) }
+		gradCheck(t, []*Node{xN, wN, bN}, loss, 3e-2)
+	})
+	t.Run("Conv2dSigmoid", func(t *testing.T) {
+		rng := tensor.NewRNG(65)
+		x := tensor.New(2, 2, 5, 5)
+		w := tensor.New(3, 2, 3, 3)
+		b := tensor.New(3)
+		rng.FillNormal(x, 0, 1)
+		rng.FillNormal(w, 0, 0.3)
+		rng.FillNormal(b, 0, 0.3)
+		target := tensor.New(2, 3, 5, 5)
+		rng.FillNormal(target, 0, 1)
+		xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+		loss := func() *Node { return MSE(Conv2dSigmoid(xN, wN, bN, 1, 1), target) }
+		gradCheck(t, []*Node{wN, bN, xN}, loss, 2e-2)
+	})
+}
+
+// TestGradConv2dStreamedShapes re-runs the conv gradient check (dX, dW,
+// db) on the streaming backward at shapes that stress it: batches large
+// enough that several column re-lowerings happen, spatial sizes that are
+// not SIMD-width multiples, and a 1×1 kernel.
+func TestGradConv2dStreamedShapes(t *testing.T) {
+	cases := []struct {
+		name                                        string
+		batch, inC, outC, h, w, kernel, stride, pad int
+	}{
+		{"batch5-7x9", 5, 3, 4, 7, 9, 3, 2, 1},
+		{"batch8-odd", 8, 1, 2, 5, 5, 3, 1, 1},
+		{"1x1-kernel", 3, 2, 3, 4, 4, 1, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := tensor.NewRNG(66)
+			x := tensor.New(tc.batch, tc.inC, tc.h, tc.w)
+			w := tensor.New(tc.outC, tc.inC, tc.kernel, tc.kernel)
+			b := tensor.New(tc.outC)
+			rng.FillNormal(x, 0, 1)
+			rng.FillNormal(w, 0, 0.3)
+			rng.FillNormal(b, 0, 0.3)
+			xN, wN, bN := Leaf(x), Leaf(w), Leaf(b)
+			probe := Conv2d(xN, wN, bN, tc.stride, tc.pad)
+			target := tensor.New(probe.Val.Shape()...)
 			rng.FillNormal(target, 0, 1)
-			loss := func() *Node { return MSE(act(xN), target) }
-			gradCheck(t, []*Node{xN}, loss, 3e-2)
+			loss := func() *Node { return MSE(Conv2d(xN, wN, bN, tc.stride, tc.pad), target) }
+			gradCheck(t, []*Node{wN, bN, xN}, loss, 2e-2)
 		})
 	}
 }

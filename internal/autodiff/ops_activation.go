@@ -2,7 +2,6 @@ package autodiff
 
 import (
 	"fmt"
-	"math"
 
 	"amalgam/internal/tensor"
 )
@@ -56,61 +55,48 @@ func ReLU6(a *Node) *Node {
 	return out
 }
 
-// Sigmoid returns 1/(1+exp(-a)) element-wise.
+// Sigmoid returns 1/(1+exp(-a)) element-wise on the fused float32 kernel
+// family (Sigmoid32 rows, AVX2 bulk); the backward needs only the forward
+// output: dx += dy·y·(1−y).
 func Sigmoid(a *Node) *Node {
 	val := tensor.Get(a.Val.Shape()...)
-	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
-		return float32(1 / (1 + math.Exp(-float64(v))))
-	})
+	tensor.SigmoidInto(val.Data, a.Val.Data)
 	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
-			g := a.ensureGrad()
-			for i, s := range val.Data {
-				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
-			}
+			tensor.SigmoidBwdInto(a.ensureGrad().Data, out.Grad.Data, val.Data)
 		}
 	}
 	return out
 }
 
-// Tanh returns tanh(a) element-wise.
+// Tanh returns tanh(a) element-wise on the fused float32 kernel family
+// (Tanh32 rows, AVX2 bulk); the backward needs only the forward output:
+// dx += dy·(1−tanh²).
 func Tanh(a *Node) *Node {
 	val := tensor.Get(a.Val.Shape()...)
-	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
-		return float32(math.Tanh(float64(v)))
-	})
+	tensor.TanhInto(val.Data, a.Val.Data)
 	out := newPooledNode(val, []*Node{a}, nil)
 	out.backward = func() {
 		if a.requiresGrad {
-			g := a.ensureGrad()
-			for i, th := range val.Data {
-				g.Data[i] += out.Grad.Data[i] * (1 - th*th)
-			}
+			tensor.TanhBwdInto(a.ensureGrad().Data, out.Grad.Data, val.Data)
 		}
 	}
 	return out
 }
 
-// GELU returns the Gaussian error linear unit (tanh approximation).
+// GELU returns the Gaussian error linear unit (tanh approximation) on the
+// fused float32 kernels. The forward retains the inner tanh in pooled node
+// scratch so the backward evaluates no transcendental at all.
 func GELU(a *Node) *Node {
-	const c = 0.7978845608028654 // sqrt(2/pi)
 	val := tensor.Get(a.Val.Shape()...)
-	tensor.ApplyInto(val, a.Val, func(v float32) float32 {
-		x := float64(v)
-		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
-	})
+	t := tensor.Get(a.Val.Shape()...) // registered as node scratch below
+	tensor.GELUFwdInto(val.Data, t.Data, a.Val.Data)
 	out := newPooledNode(val, []*Node{a}, nil)
+	out.scratch = []*tensor.Tensor{t}
 	out.backward = func() {
 		if a.requiresGrad {
-			g := a.ensureGrad()
-			for i, v := range a.Val.Data {
-				x := float64(v)
-				t := math.Tanh(c * (x + 0.044715*x*x*x))
-				dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
-				d := 0.5*(1+t) + 0.5*x*dt
-				g.Data[i] += out.Grad.Data[i] * float32(d)
-			}
+			tensor.GELUBwdInto(a.ensureGrad().Data, out.Grad.Data, a.Val.Data, t.Data)
 		}
 	}
 	return out

@@ -33,6 +33,18 @@ func Conv2dReLU(x, w, bias *Node, stride, pad int) *Node {
 	return ReLU(pre)
 }
 
+// Conv2dSigmoid computes sigmoid(Conv2d(x, w, bias)) with the
+// bias+activation epilogue fused (see AddChanBiasSigmoid) — the shape of
+// a convolutional attention gate (CBAM's spatial attention uses it through
+// nn.Conv2d.ForwardSigmoid).
+func Conv2dSigmoid(x, w, bias *Node, stride, pad int) *Node {
+	pre := conv2dCore(x, w, stride, pad)
+	if bias != nil {
+		return AddChanBiasSigmoid(pre, bias)
+	}
+	return Sigmoid(pre)
+}
+
 // conv2dCore builds the bias-free convolution node shared by Conv2d and
 // Conv2dReLU.
 func conv2dCore(x, w *Node, stride, pad int) *Node {
@@ -56,40 +68,45 @@ func conv2dCore(x, w *Node, stride, pad int) *Node {
 	imgOut := oc * ncols
 
 	val := tensor.Get(n, oc, g.OutH, g.OutW)
-	// Keep the per-image column matrices for the backward pass: dW needs
-	// them, and recomputing costs more than the memory at our scales. They
-	// come from the tensor pool and are registered as node scratch, so the
-	// backward pass returns them after use — and Release returns them for
-	// eval-mode graphs where backward never runs.
-	colsPer := make([]*tensor.Tensor, n)
+	// Streaming im2col: each image's column matrix lives only as long as
+	// its own matmul — nothing is retained for the backward, which
+	// re-lowers the image when it needs the columns again. Peak column
+	// memory is one buffer per active worker instead of one per image
+	// (PR 1/2 kept all n alive from forward through backward), and the
+	// re-lowering is a pure copy pass, far cheaper than the dW matmul it
+	// feeds.
 	forEachImage(n, func(b int) {
 		cols := tensor.Get(kdim, ncols)
 		tensor.Im2Col(cols, x.Val.Data[b*imgIn:(b+1)*imgIn], g)
 		// Raw matmul: w.Val viewed as [oc, kdim] and the image's output
 		// slab as [oc, ncols], with no per-image view headers.
 		tensor.MatMulRawInto(val.Data[b*imgOut:(b+1)*imgOut], w.Val.Data, cols.Data, oc, kdim, ncols)
-		colsPer[b] = cols
+		tensor.Put(cols)
 	})
 	conv := newPooledNode(val, []*Node{x, w}, nil)
-	conv.scratch = colsPer
-	attachConvBackward(conv, x, w, g, colsPer, oc, kdim, ncols, imgIn, imgOut)
+	attachConvBackward(conv, x, w, g, n, oc, kdim, ncols, imgIn, imgOut)
 	return conv
 }
 
-func attachConvBackward(out, x, w *Node, g *tensor.ConvGeom, colsPer []*tensor.Tensor, oc, kdim, ncols, imgIn, imgOut int) {
-	n := len(colsPer)
+func attachConvBackward(out, x, w *Node, g *tensor.ConvGeom, n, oc, kdim, ncols, imgIn, imgOut int) {
 	out.backward = func() {
 		if w.requiresGrad {
-			// dW = Σ_b dY_b · cols_bᵀ. Accumulate sequentially over the batch
-			// for determinism (parallelising the reduction would reorder
-			// float additions). One pooled scratch matrix serves all images.
+			// dW = Σ_b dY_b · cols_bᵀ, streamed: the loop already runs
+			// sequentially in ascending batch order for determinism
+			// (parallelising the reduction would reorder float additions),
+			// so one pooled column buffer re-lowered per image serves the
+			// whole batch. Im2Col is a pure assignment from x, so the
+			// recomputed columns are bit-identical to the forward's.
 			wd := w.ensureGrad().Data // [oc, kdim] viewed flat
+			cols := tensor.Get(kdim, ncols)
 			tmp := tensor.Get(oc, kdim)
 			for b := 0; b < n; b++ {
-				tensor.MatMulBTRawInto(tmp.Data, out.Grad.Data[b*imgOut:(b+1)*imgOut], colsPer[b].Data, oc, ncols, kdim)
+				tensor.Im2Col(cols, x.Val.Data[b*imgIn:(b+1)*imgIn], g)
+				tensor.MatMulBTRawInto(tmp.Data, out.Grad.Data[b*imgOut:(b+1)*imgOut], cols.Data, oc, ncols, kdim)
 				tensor.AddRawInto(wd, tmp.Data)
 			}
 			tensor.Put(tmp)
+			tensor.Put(cols)
 		}
 		if x.requiresGrad {
 			xg := x.ensureGrad()
@@ -99,14 +116,6 @@ func attachConvBackward(out, x, w *Node, g *tensor.ConvGeom, colsPer []*tensor.T
 				tensor.Col2Im(xg.Data[b*imgIn:(b+1)*imgIn], dcols, g)
 				tensor.Put(dcols)
 			})
-		}
-		// The column matrices are no longer needed once both gradients are
-		// scattered; recycle them now rather than waiting for Release.
-		// Entries are nil'd so Release (which also sees them via the node's
-		// scratch list) does not double-put.
-		for b, cols := range colsPer {
-			tensor.Put(cols)
-			colsPer[b] = nil
 		}
 	}
 }

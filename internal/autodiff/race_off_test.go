@@ -1,0 +1,5 @@
+//go:build !race
+
+package autodiff
+
+const raceEnabled = false

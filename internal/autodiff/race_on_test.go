@@ -1,0 +1,8 @@
+//go:build race
+
+package autodiff
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// where sync.Pool deliberately drops puts at random (to shake out races)
+// and pool-hit allocation counts become meaningless.
+const raceEnabled = true

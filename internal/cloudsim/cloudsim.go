@@ -65,6 +65,9 @@ type ModelSpec struct {
 	LMLayers  int     `json:"lm_layers,omitempty"`
 	LMMaxT    int     `json:"lm_max_t,omitempty"`
 	LMDropout float64 `json:"lm_dropout,omitempty"`
+	// LMGELUFF selects the GELU feed-forward variant; absent/false keeps
+	// the default ReLU, so pre-extension specs rebuild identically.
+	LMGELUFF bool `json:"lm_gelu_ff,omitempty"`
 }
 
 // Hyper holds the training hyper-parameters of a job.
@@ -210,6 +213,7 @@ func BuildModel(spec ModelSpec) (Trainable, error) {
 		cfg := models.TransformerLMConfig{
 			Vocab: spec.Vocab, D: spec.LMDim, Heads: spec.LMHeads, FF: spec.LMFF,
 			Layers: spec.LMLayers, MaxT: spec.LMMaxT, Dropout: float32(spec.LMDropout),
+			GELUFF: spec.LMGELUFF,
 		}
 		orig := models.NewTransformerLM(tensor.NewRNG(spec.ModelSeed), cfg)
 		key := &core.TextAugKey{OrigLen: spec.OrigLen, AugLen: spec.AugLen, Keep: spec.KeyKeep}

@@ -242,7 +242,17 @@ func (m *AugmentedCVModel) ForwardAll(x *autodiff.Node) (*autodiff.Node, []*auto
 				// and their training is unaffected).
 				tap = autodiff.Detach(tap)
 			}
-			tv := d.tapFC.ForwardReLU(autodiff.GlobalAvgPool(tap))
+			// The tap projection runs on the fused Linear→Tanh epilogue:
+			// tanh bounds the injected feature to [-1, 1], so a decoy's
+			// head sees tap activations on the same scale as its own
+			// pooled features regardless of how hot the original's feature
+			// maps run. Tap layers exist only inside decoys, so the
+			// activation choice adds no fingerprint beyond the cross-
+			// sub-network edge itself. Decoy internals are code-versioned,
+			// not spec-versioned: the local/remote bit-identity contract
+			// assumes both sides run the same build (as with every kernel
+			// round, which changes numerics the spec cannot describe).
+			tv := d.tapFC.ForwardTanh(autodiff.GlobalAvgPool(tap))
 			g = autodiff.ConcatFeatures(g, tv)
 		}
 		decoyLogits = append(decoyLogits, d.head.Forward(g))

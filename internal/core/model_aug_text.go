@@ -99,7 +99,9 @@ func (m *AugmentedTextClassifier) ForwardAll(ids [][]int) (*autodiff.Node, []*au
 			if !m.opts.UndetachedTaps {
 				tap = autodiff.Detach(tap)
 			}
-			h = autodiff.ConcatFeatures(h, d.tapFC.ForwardReLU(tap))
+			// Fused Linear→Tanh tap projection: bounded tap features keep
+			// the concat on the embedding's scale (see the CV decoy).
+			h = autodiff.ConcatFeatures(h, d.tapFC.ForwardTanh(tap))
 		}
 		decoyLogits = append(decoyLogits, d.head.Forward(h))
 	}

@@ -77,9 +77,13 @@ type TransformerLM struct {
 }
 
 // TransformerLMConfig mirrors the PyTorch tutorial hyper-parameters.
+// GELUFF switches the encoder feed-forward activation from the tutorial's
+// ReLU to GELU (fused LinearGELU epilogue); the default stays ReLU for
+// paper parity.
 type TransformerLMConfig struct {
 	Vocab, D, Heads, FF, Layers, MaxT int
 	Dropout                           float32
+	GELUFF                            bool
 }
 
 // DefaultTransformerLMConfig returns the paper-scale configuration.
@@ -99,7 +103,9 @@ func NewTransformerLM(rng *tensor.RNG, cfg TransformerLMConfig) *TransformerLM {
 		Cfg:     cfg,
 	}
 	for i := 0; i < cfg.Layers; i++ {
-		m.Blocks = append(m.Blocks, nn.NewTransformerEncoderLayer(rng.Split(uint64(10+i)), cfg.D, cfg.Heads, cfg.FF, cfg.Dropout))
+		blk := nn.NewTransformerEncoderLayer(rng.Split(uint64(10+i)), cfg.D, cfg.Heads, cfg.FF, cfg.Dropout)
+		blk.GELUFF = cfg.GELUFF
+		m.Blocks = append(m.Blocks, blk)
 	}
 	return m
 }

@@ -87,6 +87,10 @@ type TransformerEncoderLayer struct {
 	Norm1    *LayerNorm
 	Norm2    *LayerNorm
 	Drop     *Dropout
+	// GELUFF switches the feed-forward activation from the default ReLU to
+	// GELU; both run as fused Linear epilogues (LinearReLU / LinearGELU),
+	// so either choice costs one pass over the hidden activations.
+	GELUFF bool
 }
 
 // NewTransformerEncoderLayer builds a block with the given model dimension,
@@ -110,7 +114,13 @@ func (l *TransformerEncoderLayer) ForwardSeq(x *autodiff.Node, mask *tensor.Tens
 	att := l.Drop.Forward(l.Attn.ForwardSelf(x, mask))
 	x = l.Norm1.Forward(autodiff.Add(x, att))
 	flat := autodiff.Reshape(x, n*t, l.D)
-	ff := l.FF2.Forward(l.Drop.Forward(l.FF1.ForwardReLU(flat)))
+	var hidden *autodiff.Node
+	if l.GELUFF {
+		hidden = l.FF1.ForwardGELU(flat)
+	} else {
+		hidden = l.FF1.ForwardReLU(flat)
+	}
+	ff := l.FF2.Forward(l.Drop.Forward(hidden))
 	ff3 := autodiff.Reshape(ff, n, t, l.D)
 	return l.Norm2.Forward(autodiff.Add(x, ff3))
 }
@@ -180,8 +190,9 @@ func (m *CBAM) Forward(x *autodiff.Node) *autodiff.Node {
 		m.FC2.Forward(m.FC1.ForwardReLU(mx)),
 	))
 	x = autodiff.MulChannelScale(x, att)
-	// Spatial attention: sigmoid(conv7x7([mean;max] over channels)).
-	sp := autodiff.Sigmoid(m.SpatialConv.Forward(autodiff.ChannelMeanMax(x)))
+	// Spatial attention: sigmoid(conv7x7([mean;max] over channels)), with
+	// the bias+sigmoid epilogue fused into the conv output pass.
+	sp := m.SpatialConv.ForwardSigmoid(autodiff.ChannelMeanMax(x))
 	return autodiff.MulSpatialScale(x, sp)
 }
 

@@ -34,6 +34,20 @@ func (l *Linear) ForwardReLU(x *autodiff.Node) *autodiff.Node {
 	return autodiff.LinearReLU(x, l.W, l.B)
 }
 
+// ForwardTanh computes tanh(x·W + b) with the bias+activation epilogue
+// fused (Tanh32 kernel family) — use it wherever a Linear feeds straight
+// into a Tanh.
+func (l *Linear) ForwardTanh(x *autodiff.Node) *autodiff.Node {
+	return autodiff.LinearTanh(x, l.W, l.B)
+}
+
+// ForwardGELU computes gelu(x·W + b) with the bias+activation epilogue
+// fused — use it wherever a Linear feeds straight into a GELU (transformer
+// feed-forward blocks).
+func (l *Linear) ForwardGELU(x *autodiff.Node) *autodiff.Node {
+	return autodiff.LinearGELU(x, l.W, l.B)
+}
+
 // Params returns the weight and bias.
 func (l *Linear) Params() []Param {
 	return []Param{{Name: "weight", Node: l.W}, {Name: "bias", Node: l.B}}
@@ -81,6 +95,13 @@ func (c *Conv2d) Forward(x *autodiff.Node) *autodiff.Node {
 // use it wherever a Conv2d feeds straight into a ReLU.
 func (c *Conv2d) ForwardReLU(x *autodiff.Node) *autodiff.Node {
 	return autodiff.Conv2dReLU(x, c.W, c.B, c.Stride, c.Pad)
+}
+
+// ForwardSigmoid applies the convolution with a fused bias+sigmoid
+// epilogue — the shape of a convolutional attention gate (CBAM spatial
+// attention).
+func (c *Conv2d) ForwardSigmoid(x *autodiff.Node) *autodiff.Node {
+	return autodiff.Conv2dSigmoid(x, c.W, c.B, c.Stride, c.Pad)
 }
 
 // Params returns weight (and bias when present).
@@ -161,6 +182,18 @@ type GELU struct{ stateless }
 
 // Forward applies GELU.
 func (GELU) Forward(x *autodiff.Node) *autodiff.Node { return autodiff.GELU(x) }
+
+// Tanh applies the hyperbolic tangent.
+type Tanh struct{ stateless }
+
+// Forward applies tanh.
+func (Tanh) Forward(x *autodiff.Node) *autodiff.Node { return autodiff.Tanh(x) }
+
+// Sigmoid applies the logistic function.
+type Sigmoid struct{ stateless }
+
+// Forward applies 1/(1+e^{-x}).
+func (Sigmoid) Forward(x *autodiff.Node) *autodiff.Node { return autodiff.Sigmoid(x) }
 
 // MaxPool2d applies square max pooling.
 type MaxPool2d struct {

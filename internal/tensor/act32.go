@@ -1,0 +1,406 @@
+package tensor
+
+import "math"
+
+// Fused float32 activation kernel family (the third kernel round, after
+// matmul/conv and normalization/softmax).
+//
+// The PR 2 profile left GELU/Tanh/Sigmoid as the last per-element float64
+// round-trips on the hot path: every element went through math.Tanh or
+// math.Exp plus two conversions. The kernels below evaluate the
+// activations entirely in float32 — Tanh32 pairs a Cephes-style odd
+// minimax polynomial (|x| < 0.625) with the Exp32 identity
+// tanh(x) = sign(x)·(1 − 2/(e^{2|x|}+1)) elsewhere, Sigmoid32 and GELU32
+// build on the same machinery — with 8-wide AVX2 row kernels on amd64 and
+// the scalar sequence as tail/fallback.
+//
+// Determinism contract: the element-wise drivers split work only at
+// actBlock boundaries (a multiple of the SIMD width), so whether an
+// element takes the SIMD or the scalar-tail path depends solely on its
+// absolute position, never on the worker count — outputs are bit-identical
+// for any SetMaxWorkers value on a given machine/binary. As with the rest
+// of the SIMD backend, AVX2 results may differ from the pure-Go kernels in
+// the last ulp (FMA contraction), which is why the row kernels never split
+// a SIMD run anywhere but a fixed block edge.
+
+// Cephes tanhf constants. The polynomial approximates tanh(x)/x − 1 on
+// x² ∈ [0, 0.625²]; the exp path takes over at |x| = 0.625 and clamps at
+// 10 because every |x| ≥ ~9.01 already rounds to ±1 in float32, keeping
+// 2|x| far inside Exp32's range.
+const (
+	tanh32P0     = -5.70498872745e-3
+	tanh32P1     = 2.06390887954e-2
+	tanh32P2     = -5.37397155531e-2
+	tanh32P3     = 1.33314422036e-1
+	tanh32P4     = -3.33332819422e-1
+	tanh32Switch = 0.625
+	tanh32Clamp  = 10
+)
+
+// GELU tanh-approximation constants (Hendrycks & Gimpel):
+// gelu(x) = 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³))).
+const (
+	gelu32C = 0.7978845608028654 // √(2/π)
+	gelu32A = 0.044715
+)
+
+// Tanh32 is a fast float32 tanh (a few ulp against float64 math.Tanh over
+// the whole range). NaN propagates, ±Inf saturate to ±1, and the
+// polynomial path's x·(1 + x²·P) form preserves ±0 and denormals exactly.
+// Pure float32 ops in a fixed sequence keep it deterministic.
+func Tanh32(x float32) float32 {
+	if x != x {
+		return x
+	}
+	b := math.Float32bits(x)
+	ax := math.Float32frombits(b &^ (1 << 31))
+	if ax < tanh32Switch {
+		s := x * x
+		p := (((tanh32P0*s+tanh32P1)*s+tanh32P2)*s+tanh32P3)*s + tanh32P4
+		return x * (1 + s*p)
+	}
+	if ax > tanh32Clamp {
+		ax = tanh32Clamp
+	}
+	e := exp32Core(2 * ax)
+	t := 1 - 2/(e+1) // e ≥ e^1.25, so 2/(e+1) ∈ (0, 0.46]: no cancellation
+	return math.Float32frombits(math.Float32bits(t) | b&(1<<31))
+}
+
+// Sigmoid32 is a fast float32 logistic function 1/(1+e^{−x}). Exp32's
+// saturation makes the tails exact: x ≥ 88.4 gives exactly 1 and
+// x ≤ −88.4 flushes to 0 (the true value is below the float32 exp
+// underflow threshold). NaN propagates; Sigmoid32(±0) = 0.5 exactly.
+func Sigmoid32(x float32) float32 {
+	return 1 / (1 + Exp32(-x))
+}
+
+// GELU32 is the tanh-form GELU evaluated in float32 on Tanh32. In the
+// negative tail the (1 + tanh) factor cancels, so absolute error grows
+// like |x|·ulp(1) there — inherent to the tanh form in float32, and pinned
+// by the fuzz suite's stated tolerance.
+func GELU32(x float32) float32 {
+	u := gelu32C * (x + gelu32A*x*x*x)
+	return 0.5 * x * (1 + Tanh32(u))
+}
+
+// tanhRow computes dst[i] = Tanh32(src[i]) (dst may alias src). On amd64
+// with AVX2 the bulk runs 8-wide; the tail (and other platforms) use the
+// scalar kernel.
+func tanhRow(dst, src []float32) {
+	dst = dst[:len(src)]
+	i := 0
+	if simdAvailable && len(src) >= 8 {
+		tanhRowSIMD(dst, src)
+		i = len(src) &^ 7
+	}
+	for ; i < len(src); i++ {
+		dst[i] = Tanh32(src[i])
+	}
+}
+
+// sigmoidRow computes dst[i] = Sigmoid32(src[i]) (dst may alias src).
+func sigmoidRow(dst, src []float32) {
+	dst = dst[:len(src)]
+	i := 0
+	if simdAvailable && len(src) >= 8 {
+		sigmoidRowSIMD(dst, src)
+		i = len(src) &^ 7
+	}
+	for ; i < len(src); i++ {
+		dst[i] = Sigmoid32(src[i])
+	}
+}
+
+// actBlock is the fixed element-block granularity of the element-wise
+// activation drivers. Parallel splits happen only at block boundaries, and
+// the block size is a multiple of the 8-wide SIMD width, so each element's
+// SIMD-vs-scalar-tail fate depends only on its absolute position — that is
+// what keeps the kernels bit-identical across worker counts.
+const actBlock = 8192
+
+// actChunks reports how many chunks the block-parallel driver would use
+// for n elements. Kernels use == 1 as the serial fast-path test so they
+// can call their range function directly, skipping the escaping closure —
+// the difference between 0 and 1 allocs/op on the steady-state hot path.
+func actChunks(n int) int {
+	return chunksFor((n+actBlock-1)/actBlock, 1)
+}
+
+// actParallel runs fn over [0, n) split only at actBlock boundaries (a
+// single run and a block-split run agree bit-for-bit because the splits
+// are SIMD-width-aligned). Callers handle the serial case themselves.
+func actParallel(n int, fn func(i0, i1 int)) {
+	parallelFor((n+actBlock-1)/actBlock, 1, func(b0, b1 int) {
+		hi := b1 * actBlock
+		if hi > n {
+			hi = n
+		}
+		fn(b0*actBlock, hi)
+	})
+}
+
+// TanhInto computes dst = tanh(src) element-wise (dst may alias src).
+func TanhInto(dst, src []float32) {
+	dst = dst[:len(src)]
+	if actChunks(len(src)) <= 1 {
+		tanhRow(dst, src)
+		return
+	}
+	actParallel(len(src), func(i0, i1 int) {
+		tanhRow(dst[i0:i1], src[i0:i1])
+	})
+}
+
+// SigmoidInto computes dst = 1/(1+e^{−src}) element-wise (dst may alias
+// src).
+func SigmoidInto(dst, src []float32) {
+	dst = dst[:len(src)]
+	if actChunks(len(src)) <= 1 {
+		sigmoidRow(dst, src)
+		return
+	}
+	actParallel(len(src), func(i0, i1 int) {
+		sigmoidRow(dst[i0:i1], src[i0:i1])
+	})
+}
+
+func tanhBwdRange(dx, dy, y []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		t := y[i]
+		dx[i] += dy[i] * (1 - t*t)
+	}
+}
+
+// TanhBwdInto accumulates dx += dy ⊙ (1 − y²) given the forward output y —
+// the tanh gradient needs only the output, so nothing is staged.
+func TanhBwdInto(dx, dy, y []float32) {
+	dy = dy[:len(dx)]
+	y = y[:len(dx)]
+	if actChunks(len(dx)) <= 1 {
+		tanhBwdRange(dx, dy, y, 0, len(dx))
+		return
+	}
+	actParallel(len(dx), func(i0, i1 int) {
+		tanhBwdRange(dx, dy, y, i0, i1)
+	})
+}
+
+func sigmoidBwdRange(dx, dy, y []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		s := y[i]
+		dx[i] += dy[i] * s * (1 - s)
+	}
+}
+
+// SigmoidBwdInto accumulates dx += dy ⊙ y ⊙ (1 − y) given the forward
+// output y.
+func SigmoidBwdInto(dx, dy, y []float32) {
+	dy = dy[:len(dx)]
+	y = y[:len(dx)]
+	if actChunks(len(dx)) <= 1 {
+		sigmoidBwdRange(dx, dy, y, 0, len(dx))
+		return
+	}
+	actParallel(len(dx), func(i0, i1 int) {
+		sigmoidBwdRange(dx, dy, y, i0, i1)
+	})
+}
+
+func tanhGradRange(dpre, dy, y []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		t := y[i]
+		dpre[i] = dy[i] * (1 - t*t)
+	}
+}
+
+// TanhGradInto writes dpre = dy ⊙ (1 − y²) — the pre-activation gradient
+// of a fused tanh epilogue, staged for the matmul backward.
+func TanhGradInto(dpre, dy, y []float32) {
+	dy = dy[:len(dpre)]
+	y = y[:len(dpre)]
+	if actChunks(len(dpre)) <= 1 {
+		tanhGradRange(dpre, dy, y, 0, len(dpre))
+		return
+	}
+	actParallel(len(dpre), func(i0, i1 int) {
+		tanhGradRange(dpre, dy, y, i0, i1)
+	})
+}
+
+func sigmoidGradRange(dpre, dy, y []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		s := y[i]
+		dpre[i] = dy[i] * s * (1 - s)
+	}
+}
+
+// SigmoidGradInto writes dpre = dy ⊙ y ⊙ (1 − y) — the pre-activation
+// gradient of a fused sigmoid epilogue.
+func SigmoidGradInto(dpre, dy, y []float32) {
+	dy = dy[:len(dpre)]
+	y = y[:len(dpre)]
+	if actChunks(len(dpre)) <= 1 {
+		sigmoidGradRange(dpre, dy, y, 0, len(dpre))
+		return
+	}
+	actParallel(len(dpre), func(i0, i1 int) {
+		sigmoidGradRange(dpre, dy, y, i0, i1)
+	})
+}
+
+func geluFwdRange(dst, t, x []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		v := x[i]
+		t[i] = gelu32C * (v + gelu32A*v*v*v)
+	}
+	tanhRow(t[i0:i1], t[i0:i1])
+	for i := i0; i < i1; i++ {
+		dst[i] = 0.5 * x[i] * (1 + t[i])
+	}
+}
+
+// GELUFwdInto computes dst = 0.5·x·(1 + tanh(u)), u = √(2/π)·(x +
+// 0.044715·x³), and retains t = tanh(u) (same length as x) for the
+// backward pass. The cubic and combine passes are cheap scalar sweeps; the
+// tanh in between is the SIMD row kernel, evaluated in place over t.
+func GELUFwdInto(dst, t, x []float32) {
+	dst = dst[:len(x)]
+	t = t[:len(x)]
+	if actChunks(len(x)) <= 1 {
+		geluFwdRange(dst, t, x, 0, len(x))
+		return
+	}
+	actParallel(len(x), func(i0, i1 int) {
+		geluFwdRange(dst, t, x, i0, i1)
+	})
+}
+
+// geluGrad is the GELU derivative from the input x and retained t =
+// tanh(u): gelu'(x) = 0.5·(1+t) + 0.5·x·(1−t²)·√(2/π)·(1 + 3·0.044715·x²).
+func geluGrad(x, t float32) float32 {
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*gelu32C*(1+3*gelu32A*x*x)
+}
+
+func geluBwdRange(dx, dy, x, t []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		dx[i] += dy[i] * geluGrad(x[i], t[i])
+	}
+}
+
+// GELUBwdInto accumulates dx += dy ⊙ gelu'(x) using the forward's retained
+// inner tanh t, so the backward never re-evaluates a transcendental.
+func GELUBwdInto(dx, dy, x, t []float32) {
+	dy = dy[:len(dx)]
+	x = x[:len(dx)]
+	t = t[:len(dx)]
+	if actChunks(len(dx)) <= 1 {
+		geluBwdRange(dx, dy, x, t, 0, len(dx))
+		return
+	}
+	actParallel(len(dx), func(i0, i1 int) {
+		geluBwdRange(dx, dy, x, t, i0, i1)
+	})
+}
+
+func geluGradRange(dpre, dy, x, t []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		dpre[i] = dy[i] * geluGrad(x[i], t[i])
+	}
+}
+
+// GELUGradInto writes dpre = dy ⊙ gelu'(x) — the staged pre-activation
+// gradient of a fused GELU epilogue.
+func GELUGradInto(dpre, dy, x, t []float32) {
+	dy = dy[:len(dpre)]
+	x = x[:len(dpre)]
+	t = t[:len(dpre)]
+	if actChunks(len(dpre)) <= 1 {
+		geluGradRange(dpre, dy, x, t, 0, len(dpre))
+		return
+	}
+	actParallel(len(dpre), func(i0, i1 int) {
+		geluGradRange(dpre, dy, x, t, i0, i1)
+	})
+}
+
+// AddRowBiasInto writes dst = x + bias broadcast over rows of length d
+// (dst may alias x) — the plain epilogue shared by the fused activation
+// variants below.
+func AddRowBiasInto(dst, x, bias []float32, rows, d int) {
+	rpw := fusedRowsPerWorker(d)
+	if chunksFor(rows, rpw) <= 1 {
+		addRowBiasRange(dst, x, bias, d, 0, rows)
+		return
+	}
+	parallelFor(rows, rpw, func(r0, r1 int) {
+		addRowBiasRange(dst, x, bias, d, r0, r1)
+	})
+}
+
+func addRowBiasRange(dst, x, bias []float32, d, r0, r1 int) {
+	bias = bias[:d]
+	for r := r0; r < r1; r++ {
+		src := x[r*d : (r+1)*d][:d]
+		out := dst[r*d : (r+1)*d][:d]
+		for j := 0; j < d; j++ {
+			out[j] = src[j] + bias[j]
+		}
+	}
+}
+
+// AddRowBiasTanhInto computes dst = tanh(x + bias) for x [rows, d] with
+// bias [d] (dst may alias x) — the fused epilogue of a Linear→Tanh pair.
+// Rows are assigned to workers whole, so the per-row SIMD/tail split never
+// depends on the worker count.
+func AddRowBiasTanhInto(dst, x, bias []float32, rows, d int) {
+	rpw := fusedRowsPerWorker(d)
+	if chunksFor(rows, rpw) <= 1 {
+		addRowBiasTanhRange(dst, x, bias, d, 0, rows)
+		return
+	}
+	parallelFor(rows, rpw, func(r0, r1 int) {
+		addRowBiasTanhRange(dst, x, bias, d, r0, r1)
+	})
+}
+
+func addRowBiasTanhRange(dst, x, bias []float32, d, r0, r1 int) {
+	bias = bias[:d]
+	for r := r0; r < r1; r++ {
+		src := x[r*d : (r+1)*d][:d]
+		out := dst[r*d : (r+1)*d][:d]
+		for j := 0; j < d; j++ {
+			out[j] = src[j] + bias[j]
+		}
+		tanhRow(out, out)
+	}
+}
+
+// AddChanBiasSigmoidInto computes dst = sigmoid(x + bias[ch]) for
+// x [n, c, hw] with bias [c] (dst may alias x) — the fused epilogue of a
+// biased Conv2d→Sigmoid pair (attention gates).
+func AddChanBiasSigmoidInto(dst, x, bias []float32, n, c, hw int) {
+	rpw := fusedRowsPerWorker(c * hw)
+	if chunksFor(n, rpw) <= 1 {
+		addChanBiasSigmoidRange(dst, x, bias, c, hw, 0, n)
+		return
+	}
+	parallelFor(n, rpw, func(n0, n1 int) {
+		addChanBiasSigmoidRange(dst, x, bias, c, hw, n0, n1)
+	})
+}
+
+func addChanBiasSigmoidRange(dst, x, bias []float32, c, hw, n0, n1 int) {
+	for b := n0; b < n1; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			bv := bias[ch]
+			src := x[base : base+hw]
+			out := dst[base : base+hw][:len(src)]
+			for i, v := range src {
+				out[i] = v + bv
+			}
+			sigmoidRow(out, out)
+		}
+	}
+}

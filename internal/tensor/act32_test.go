@@ -1,0 +1,574 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// ulpDiff32 measures the distance between got and the float32 rounding of
+// want in units of the float32 grid, using the ordered-integer
+// reinterpretation (which handles denormals and sign crossings uniformly).
+// Two NaNs are distance 0; NaN vs non-NaN is reported as +Inf.
+func ulpDiff32(got float32, want float64) float64 {
+	w := float32(want)
+	gNaN := got != got
+	wNaN := w != w
+	if gNaN || wNaN {
+		if gNaN && wNaN {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	order := func(f float32) int64 {
+		i := int64(int32(math.Float32bits(f)))
+		if i < 0 {
+			i = math.MinInt32 - i
+		}
+		return i
+	}
+	d := order(got) - order(w)
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// Stated accuracy contracts for the scalar activation kernels, pinned by
+// the sweep tests and the fuzz targets below:
+//
+//	Tanh32:    ≤ 4 ulp vs float64 math.Tanh everywhere (measured max 1)
+//	Sigmoid32: ≤ 4 ulp vs 1/(1+e^{−x}) for x ≥ −88.37 (measured max 2);
+//	           exact 0 below −88.37, Exp32's overflow bound (the true
+//	           value there is a sub-2⁻¹²⁶ denormal)
+//	GELU32:    |err| ≤ 4·(1+|x|)·2⁻²⁴ vs the float64 tanh-form reference
+//	           (measured max 1.4·(1+|x|)·2⁻²⁴). An absolute envelope, not
+//	           ulps: in the negative tail the (1+tanh) factor cancels and
+//	           any float32 evaluation of the tanh form loses relative
+//	           precision there.
+const (
+	tanhULPTol    = 4
+	sigmoidULPTol = 4
+	// sigmoidFlush mirrors exp32Hi: Exp32(-x) saturates to +Inf strictly
+	// below this, making Sigmoid32 exactly 0.
+	sigmoidFlush = -88.37
+	geluEnvelope = 4
+)
+
+func tanhRef(x float32) float64 { return math.Tanh(float64(x)) }
+
+func sigmoidRef(x float32) float64 { return 1 / (1 + math.Exp(-float64(x))) }
+
+func geluRef(x float32) float64 {
+	x64 := float64(x)
+	return 0.5 * x64 * (1 + math.Tanh(gelu32C*(x64+gelu32A*x64*x64*x64)))
+}
+
+func checkTanh32(t *testing.T, x float32) {
+	t.Helper()
+	if u := ulpDiff32(Tanh32(x), tanhRef(x)); u > tanhULPTol {
+		t.Fatalf("Tanh32(%v) = %v, want %v (%v ulp, tol %d)", x, Tanh32(x), tanhRef(x), u, tanhULPTol)
+	}
+}
+
+func checkSigmoid32(t *testing.T, x float32) {
+	t.Helper()
+	got := Sigmoid32(x)
+	if x < sigmoidFlush && x == x {
+		if got != 0 {
+			t.Fatalf("Sigmoid32(%v) = %v, want exact 0 below the flush threshold", x, got)
+		}
+		return
+	}
+	if u := ulpDiff32(got, sigmoidRef(x)); u > sigmoidULPTol {
+		t.Fatalf("Sigmoid32(%v) = %v, want %v (%v ulp, tol %d)", x, got, sigmoidRef(x), u, sigmoidULPTol)
+	}
+}
+
+func checkGELU32(t *testing.T, x float32) {
+	t.Helper()
+	got := float64(GELU32(x))
+	want := geluRef(x)
+	gNaN, wNaN := math.IsNaN(got), math.IsNaN(want)
+	if gNaN || wNaN {
+		if gNaN != wNaN {
+			t.Fatalf("GELU32(%v) = %v, want %v (NaN mismatch)", x, got, want)
+		}
+		return
+	}
+	if math.IsInf(got, 0) || math.IsInf(want, 0) {
+		if (got < 0) != (want < 0) || !math.IsInf(got, 0) || math.Abs(want) < math.MaxFloat32 {
+			t.Fatalf("GELU32(%v) = %v, want %v (Inf mismatch)", x, got, want)
+		}
+		return
+	}
+	env := geluEnvelope * (1 + math.Abs(float64(x))) * math.Exp2(-24)
+	if diff := math.Abs(got - want); diff > env {
+		t.Fatalf("GELU32(%v) = %v, want %v (diff %g > envelope %g)", x, got, want, diff, env)
+	}
+}
+
+// actEdgeCases are the inputs every activation kernel must get right:
+// ±0, denormals, the path-switch neighbourhoods, saturation bounds,
+// large magnitudes, ±Inf, and NaN.
+func actEdgeCases() []float32 {
+	return []float32{
+		0, float32(math.Copysign(0, -1)),
+		math.Float32frombits(1), -math.Float32frombits(1), // smallest denormals
+		1e-40, -1e-40, 1e-38, -1e-38, // denormal / near-denormal
+		1e-20, -1e-20, 2.4e-4, -2.4e-4,
+		0.624, 0.625, 0.626, -0.624, -0.625, -0.626, // tanh path switch
+		1, -1, 4.053438, -5.15847, // worst measured GELU spots
+		9.0, 9.02, -9.0, -9.02, 10, -10, // tanh saturation bound
+		17.46, -17.46, 87.3, -87.3, 88.4, -88.4, 89, -89, // sigmoid/exp bounds
+		-88.37, -88.375, -88.38, // the exact Exp32 overflow / sigmoid flush edge
+		1e4, -1e4, 1e30, -1e30, math.MaxFloat32, -math.MaxFloat32,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+	}
+}
+
+func TestTanh32MatchesFloat64(t *testing.T) {
+	for _, x := range actEdgeCases() {
+		checkTanh32(t, x)
+	}
+	for x := -20.0; x <= 20.0; x += 0.00137 {
+		checkTanh32(t, float32(x))
+	}
+	// Exact special values the contract promises.
+	if v := Tanh32(0); v != 0 || math.Signbit(float64(v)) {
+		t.Fatalf("Tanh32(+0) = %v, want +0", v)
+	}
+	if v := Tanh32(float32(math.Copysign(0, -1))); v != 0 || !math.Signbit(float64(v)) {
+		t.Fatalf("Tanh32(-0) = %v, want -0", v)
+	}
+	den := math.Float32frombits(3)
+	if Tanh32(den) != den {
+		t.Fatalf("Tanh32 must be identity on denormals: %v -> %v", den, Tanh32(den))
+	}
+	if Tanh32(float32(math.Inf(1))) != 1 || Tanh32(float32(math.Inf(-1))) != -1 {
+		t.Fatal("Tanh32(±Inf) must saturate to ±1")
+	}
+	nan := float32(math.NaN())
+	if Tanh32(nan) == Tanh32(nan) {
+		t.Fatal("Tanh32(NaN) must propagate NaN")
+	}
+}
+
+func TestSigmoid32MatchesFloat64(t *testing.T) {
+	for _, x := range actEdgeCases() {
+		checkSigmoid32(t, x)
+	}
+	for x := -87.0; x <= 88.0; x += 0.0213 {
+		checkSigmoid32(t, float32(x))
+	}
+	if Sigmoid32(0) != 0.5 || Sigmoid32(float32(math.Copysign(0, -1))) != 0.5 {
+		t.Fatal("Sigmoid32(±0) must be exactly 0.5")
+	}
+	if Sigmoid32(89) != 1 || Sigmoid32(float32(math.Inf(1))) != 1 {
+		t.Fatal("Sigmoid32 must saturate to 1 for large x")
+	}
+	if Sigmoid32(-89) != 0 || Sigmoid32(float32(math.Inf(-1))) != 0 {
+		t.Fatal("Sigmoid32 must flush to 0 for very negative x")
+	}
+	nan := float32(math.NaN())
+	if Sigmoid32(nan) == Sigmoid32(nan) {
+		t.Fatal("Sigmoid32(NaN) must propagate NaN")
+	}
+}
+
+func TestGELU32MatchesFloat64(t *testing.T) {
+	for _, x := range actEdgeCases() {
+		checkGELU32(t, x)
+	}
+	for x := -30.0; x <= 30.0; x += 0.00317 {
+		checkGELU32(t, float32(x))
+	}
+	if v := GELU32(0); v != 0 || math.Signbit(float64(v)) {
+		t.Fatalf("GELU32(+0) = %v, want +0", v)
+	}
+	if v := GELU32(float32(math.Copysign(0, -1))); v != 0 || !math.Signbit(float64(v)) {
+		t.Fatalf("GELU32(-0) = %v, want -0", v)
+	}
+	if !math.IsInf(float64(GELU32(float32(math.Inf(1)))), 1) {
+		t.Fatal("GELU32(+Inf) must be +Inf")
+	}
+	nan := float32(math.NaN())
+	if GELU32(nan) == GELU32(nan) {
+		t.Fatal("GELU32(NaN) must propagate NaN")
+	}
+}
+
+// Fuzz targets: Go's fuzzer explores the raw bit space of float32, so
+// denormals, NaN payloads, and exponent boundaries all come up. The seed
+// corpus pins the documented edge cases; `go test` replays it on every
+// run.
+
+func fuzzSeeds(f *testing.F) {
+	for _, x := range actEdgeCases() {
+		f.Add(x)
+	}
+}
+
+func FuzzTanh32(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, x float32) {
+		checkTanh32(t, x)
+	})
+}
+
+func FuzzSigmoid32(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, x float32) {
+		checkSigmoid32(t, x)
+	})
+}
+
+func FuzzGELU32(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, x float32) {
+		checkGELU32(t, x)
+	})
+}
+
+// actTestInput builds a value mix that exercises every kernel path:
+// normals at training scale, the polynomial/exp switch, saturation, tiny
+// values, and exact zeros.
+func actTestInput(n int, seed uint64) []float32 {
+	rng := NewRNG(seed)
+	x := New(n)
+	rng.FillNormal(x, 0, 3)
+	edge := actEdgeCases()
+	for i := 0; i < n/7; i++ {
+		v := edge[i%len(edge)]
+		if v == v && v*0 == 0 { // keep rows finite for the row-kernel tests
+			x.Data[(i*7)%n] = v
+		}
+	}
+	return x.Data
+}
+
+// TestActivationRowKernelsMatchFloat64 bounds the row kernels — whichever
+// backend is active — against the float64 references with the same stated
+// tolerances as the scalar kernels, at lengths that exercise the SIMD bulk
+// and the scalar tail.
+func TestActivationRowKernelsMatchFloat64(t *testing.T) {
+	for _, simd := range []bool{false, true} {
+		prev := setSIMD(simd)
+		if simd && !SIMDEnabled() {
+			setSIMD(prev)
+			t.Log("AVX2 not available; SIMD dispatch not exercised")
+			continue
+		}
+		for _, n := range []int{1, 7, 8, 9, 64, 101} {
+			x := actTestInput(n, 7)
+			dst := make([]float32, n)
+			tanh := make([]float32, n)
+			TanhInto(tanh, x)
+			SigmoidInto(dst, x)
+			gelu := make([]float32, n)
+			tt := make([]float32, n)
+			GELUFwdInto(gelu, tt, x)
+			for i, v := range x {
+				if u := ulpDiff32(tanh[i], tanhRef(v)); u > tanhULPTol {
+					t.Fatalf("simd=%v n=%d: TanhInto[%d](%v) off by %v ulp", simd, n, i, v, u)
+				}
+				if v > sigmoidFlush {
+					if u := ulpDiff32(dst[i], sigmoidRef(v)); u > sigmoidULPTol {
+						t.Fatalf("simd=%v n=%d: SigmoidInto[%d](%v) off by %v ulp", simd, n, i, v, u)
+					}
+				} else if dst[i] != 0 {
+					t.Fatalf("simd=%v n=%d: SigmoidInto[%d](%v) = %v, want flush to 0", simd, n, i, v, dst[i])
+				}
+				env := geluEnvelope * (1 + math.Abs(float64(v))) * math.Exp2(-24)
+				if diff := math.Abs(float64(gelu[i]) - geluRef(v)); diff > env {
+					t.Fatalf("simd=%v n=%d: GELU[%d](%v) diff %g > %g", simd, n, i, v, diff, env)
+				}
+				if u := ulpDiff32(tt[i], math.Tanh(gelu32C*(float64(v)+gelu32A*float64(v)*float64(v)*float64(v)))); u > tanhULPTol {
+					t.Fatalf("simd=%v n=%d: retained gelu tanh[%d] off by %v ulp", simd, n, i, u)
+				}
+			}
+		}
+		setSIMD(prev)
+	}
+}
+
+// TestActivationRowKernelsNaN pins NaN propagation through the dispatched
+// row kernels (the SIMD lanes blend the input back in for unordered
+// lanes).
+func TestActivationRowKernelsNaN(t *testing.T) {
+	for _, simd := range []bool{false, true} {
+		prev := setSIMD(simd)
+		if simd && !SIMDEnabled() {
+			setSIMD(prev)
+			continue
+		}
+		x := make([]float32, 16)
+		for i := range x {
+			x[i] = float32(i) - 8
+		}
+		x[3] = float32(math.NaN())
+		x[11] = float32(math.NaN())
+		dst := make([]float32, 16)
+		TanhInto(dst, x)
+		if dst[3] == dst[3] || dst[11] == dst[11] {
+			t.Fatalf("simd=%v: TanhInto must propagate NaN lanes", simd)
+		}
+		if dst[4] != dst[4] || dst[10] != dst[10] {
+			t.Fatalf("simd=%v: TanhInto corrupted neighbours of NaN lanes", simd)
+		}
+		SigmoidInto(dst, x)
+		if dst[3] == dst[3] || dst[11] == dst[11] {
+			t.Fatalf("simd=%v: SigmoidInto must propagate NaN lanes", simd)
+		}
+		setSIMD(prev)
+	}
+}
+
+// TestActivationFusedEpilogueKernels checks the bias+activation epilogues
+// against their unfused composition element by element.
+func TestActivationFusedEpilogueKernels(t *testing.T) {
+	const rows, d = 5, 13 // d deliberately not a multiple of the SIMD width
+	rng := NewRNG(31)
+	x := New(rows, d)
+	bias := New(d)
+	rng.FillNormal(x, 0, 2)
+	rng.FillNormal(bias, 0, 1)
+	dst := make([]float32, rows*d)
+	AddRowBiasTanhInto(dst, x.Data, bias.Data, rows, d)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < d; j++ {
+			want := Tanh32(x.Data[r*d+j] + bias.Data[j])
+			if got := dst[r*d+j]; got != want && ulpDiff32(got, float64(want)) > 1 {
+				t.Fatalf("AddRowBiasTanh (%d,%d) = %v, want %v", r, j, got, want)
+			}
+		}
+	}
+
+	const n, c, hw = 2, 3, 9 // hw not a multiple of the SIMD width
+	xc := New(n, c, hw)
+	cb := New(c)
+	rng.FillNormal(xc, 0, 2)
+	rng.FillNormal(cb, 0, 1)
+	dc := make([]float32, n*c*hw)
+	AddChanBiasSigmoidInto(dc, xc.Data, cb.Data, n, c, hw)
+	for idx := range dc {
+		ch := (idx / hw) % c
+		want := Sigmoid32(xc.Data[idx] + cb.Data[ch])
+		if got := dc[idx]; got != want && ulpDiff32(got, float64(want)) > 1 {
+			t.Fatalf("AddChanBiasSigmoid idx %d = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+// TestActivationBackwardKernels checks the gradient kernels against their
+// scalar definitions, including that Bwd accumulates and Grad assigns.
+func TestActivationBackwardKernels(t *testing.T) {
+	const n = 41
+	x := actTestInput(n, 13)
+	dy := actTestInput(n, 14)
+	y := make([]float32, n)
+	TanhInto(y, x)
+	dx := make([]float32, n)
+	for i := range dx {
+		dx[i] = 1
+	}
+	TanhBwdInto(dx, dy, y)
+	for i := range dx {
+		want := 1 + dy[i]*(1-y[i]*y[i])
+		if dx[i] != want && math.Abs(float64(dx[i]-want)) > 1e-6 {
+			t.Fatalf("TanhBwdInto[%d] = %v, want %v", i, dx[i], want)
+		}
+	}
+	dpre := make([]float32, n)
+	TanhGradInto(dpre, dy, y)
+	for i := range dpre {
+		if want := dy[i] * (1 - y[i]*y[i]); dpre[i] != want {
+			t.Fatalf("TanhGradInto[%d] = %v, want %v", i, dpre[i], want)
+		}
+	}
+
+	SigmoidInto(y, x)
+	SigmoidGradInto(dpre, dy, y)
+	for i := range dpre {
+		if want := dy[i] * y[i] * (1 - y[i]); dpre[i] != want {
+			t.Fatalf("SigmoidGradInto[%d] = %v, want %v", i, dpre[i], want)
+		}
+	}
+
+	tt := make([]float32, n)
+	GELUFwdInto(y, tt, x)
+	GELUGradInto(dpre, dy, x, tt)
+	for i := range dpre {
+		if want := dy[i] * geluGrad(x[i], tt[i]); dpre[i] != want {
+			t.Fatalf("GELUGradInto[%d] = %v, want %v", i, dpre[i], want)
+		}
+	}
+}
+
+// TestActivationKernelsDeterministicAcrossWorkers pins the repo's
+// determinism contract for the new family: bit-identical outputs for any
+// SetMaxWorkers value, on both dispatch backends, at sizes spanning
+// several parallel blocks with a ragged tail.
+func TestActivationKernelsDeterministicAcrossWorkers(t *testing.T) {
+	const n = 3*actBlock + 123
+	const rows, d = 67, 96
+	const bn, bc, bhw = 3, 13, 40
+	x := actTestInput(n, 21)
+	dy := actTestInput(n, 22)
+	xr := actTestInput(rows*d, 23)
+	bias := actTestInput(d, 24)
+	xc := actTestInput(bn*bc*bhw, 25)
+	cbias := actTestInput(bc, 26)
+
+	type result struct {
+		tanh, sig, gelu, geluT, dxT, dxS, dxG, rowTanh, chanSig []float32
+	}
+	run := func() result {
+		var r result
+		r.tanh = make([]float32, n)
+		TanhInto(r.tanh, x)
+		r.sig = make([]float32, n)
+		SigmoidInto(r.sig, x)
+		r.gelu = make([]float32, n)
+		r.geluT = make([]float32, n)
+		GELUFwdInto(r.gelu, r.geluT, x)
+		r.dxT = make([]float32, n)
+		TanhBwdInto(r.dxT, dy, r.tanh)
+		r.dxS = make([]float32, n)
+		SigmoidBwdInto(r.dxS, dy, r.sig)
+		r.dxG = make([]float32, n)
+		GELUBwdInto(r.dxG, dy, x, r.geluT)
+		r.rowTanh = make([]float32, rows*d)
+		AddRowBiasTanhInto(r.rowTanh, xr, bias, rows, d)
+		r.chanSig = make([]float32, bn*bc*bhw)
+		AddChanBiasSigmoidInto(r.chanSig, xc, cbias, bn, bc, bhw)
+		return r
+	}
+	equal := func(a, b []float32) bool {
+		for i := range a {
+			if a[i] != b[i] && !(a[i] != a[i] && b[i] != b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, simd := range []bool{false, true} {
+		prevSIMD := setSIMD(simd)
+		if simd && !SIMDEnabled() {
+			setSIMD(prevSIMD)
+			continue
+		}
+		prev := SetMaxWorkers(1)
+		ref := run()
+		for _, wk := range []int{2, 3, 8} {
+			SetMaxWorkers(wk)
+			got := run()
+			for name, pair := range map[string][2][]float32{
+				"tanh":             {got.tanh, ref.tanh},
+				"sigmoid":          {got.sig, ref.sig},
+				"gelu":             {got.gelu, ref.gelu},
+				"gelu-t":           {got.geluT, ref.geluT},
+				"tanh-bwd":         {got.dxT, ref.dxT},
+				"sigmoid-bwd":      {got.dxS, ref.dxS},
+				"gelu-bwd":         {got.dxG, ref.dxG},
+				"rowbias-tanh":     {got.rowTanh, ref.rowTanh},
+				"chanbias-sigmoid": {got.chanSig, ref.chanSig},
+			} {
+				if !equal(pair[0], pair[1]) {
+					t.Errorf("simd=%v workers=%d: %s not bit-identical", simd, wk, name)
+				}
+			}
+		}
+		SetMaxWorkers(prev)
+		setSIMD(prevSIMD)
+	}
+}
+
+// TestActivationKernelZeroAllocs pins the tensor-level activation kernels
+// at exactly zero allocations on the serial path.
+func TestActivationKernelZeroAllocs(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	const rows, d = 32, 48
+	n := rows * d
+	x := actTestInput(n, 41)
+	dy := actTestInput(n, 42)
+	bias := actTestInput(d, 43)
+	y := make([]float32, n)
+	tt := make([]float32, n)
+	dx := make([]float32, n)
+	if a := testing.AllocsPerRun(10, func() {
+		TanhInto(y, x)
+		TanhBwdInto(dx, dy, y)
+		TanhGradInto(dx, dy, y)
+		SigmoidInto(y, x)
+		SigmoidBwdInto(dx, dy, y)
+		SigmoidGradInto(dx, dy, y)
+		GELUFwdInto(y, tt, x)
+		GELUBwdInto(dx, dy, x, tt)
+		GELUGradInto(dx, dy, x, tt)
+		AddRowBiasTanhInto(y, x, bias, rows, d)
+		AddRowBiasInto(y, x, bias, rows, d)
+		AddChanBiasSigmoidInto(y, x, bias[:8], 4, 8, n/32)
+	}); a != 0 {
+		t.Fatalf("activation kernels allocate %v/op on the serial path, want 0", a)
+	}
+}
+
+func BenchmarkTanh32Row(bb *testing.B) {
+	for _, n := range []int{256, 4096} {
+		bb.Run(fmt.Sprintf("n%d", n), func(bb *testing.B) {
+			x := actTestInput(n, 51)
+			dst := make([]float32, n)
+			bb.SetBytes(int64(n) * 4)
+			bb.ReportAllocs()
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				tanhRow(dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkTanh32RowNaive is the frozen PR 2-era per-element float64 path
+// (math.Tanh round-trip); the ratio to BenchmarkTanh32Row in the same run
+// is the recorded kernel speedup.
+func BenchmarkTanh32RowNaive(bb *testing.B) {
+	const n = 4096
+	x := actTestInput(n, 51)
+	dst := make([]float32, n)
+	bb.SetBytes(int64(n) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		for j, v := range x {
+			dst[j] = float32(math.Tanh(float64(v)))
+		}
+	}
+}
+
+func BenchmarkSigmoid32Row(bb *testing.B) {
+	const n = 4096
+	x := actTestInput(n, 52)
+	dst := make([]float32, n)
+	bb.SetBytes(int64(n) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		sigmoidRow(dst, x)
+	}
+}
+
+func BenchmarkGELU32Fwd(bb *testing.B) {
+	const n = 4096
+	x := actTestInput(n, 53)
+	dst := make([]float32, n)
+	tt := make([]float32, n)
+	bb.SetBytes(int64(n) * 4)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		GELUFwdInto(dst, tt, x)
+	}
+}

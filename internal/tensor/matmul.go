@@ -76,7 +76,16 @@ func MatMulRawInto(dst, a, b []float32, m, k, n int) {
 	if m == 0 || n == 0 {
 		return
 	}
-	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
+	rpw := matmulRowsPerWorker(k, n)
+	if chunksFor(m, rpw) <= 1 {
+		// Serial fast path: calling the range function directly skips the
+		// escaping closure a parallelFor call would construct — one heap
+		// allocation per matmul, which is what made the per-image conv
+		// loops allocate proportionally to the batch.
+		matmulRowRange(dst, a, b, k, n, 0, m)
+		return
+	}
+	parallelFor(m, rpw, func(r0, r1 int) {
 		matmulRowRange(dst, a, b, k, n, r0, r1)
 	})
 }
@@ -177,25 +186,34 @@ func MatMulBTRawInto(dst, a, b []float32, m, k, n int) {
 	if m == 0 || n == 0 {
 		return
 	}
-	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := dst[i*n : i*n+n]
-			j := 0
-			if simdAvailable {
-				var o4 [4]float32
-				for ; j+4 <= n; j += 4 {
-					dot4SIMD(arow,
-						b[j*k:j*k+k], b[(j+1)*k:(j+1)*k+k],
-						b[(j+2)*k:(j+2)*k+k], b[(j+3)*k:(j+3)*k+k], &o4)
-					orow[j], orow[j+1], orow[j+2], orow[j+3] = o4[0], o4[1], o4[2], o4[3]
-				}
-			}
-			for ; j < n; j++ {
-				orow[j] = dot1(arow, b[j*k:j*k+k])
+	rpw := matmulRowsPerWorker(k, n)
+	if chunksFor(m, rpw) <= 1 {
+		matmulBTRowRange(dst, a, b, k, n, 0, m)
+		return
+	}
+	parallelFor(m, rpw, func(r0, r1 int) {
+		matmulBTRowRange(dst, a, b, k, n, r0, r1)
+	})
+}
+
+func matmulBTRowRange(dst, a, b []float32, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : i*n+n]
+		j := 0
+		if simdAvailable {
+			var o4 [4]float32
+			for ; j+4 <= n; j += 4 {
+				dot4SIMD(arow,
+					b[j*k:j*k+k], b[(j+1)*k:(j+1)*k+k],
+					b[(j+2)*k:(j+2)*k+k], b[(j+3)*k:(j+3)*k+k], &o4)
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = o4[0], o4[1], o4[2], o4[3]
 			}
 		}
-	})
+		for ; j < n; j++ {
+			orow[j] = dot1(arow, b[j*k:j*k+k])
+		}
+	}
 }
 
 // MatMulAT returns aᵀ × b for a [k, m] and b [k, n]; used for weight
@@ -225,63 +243,72 @@ func MatMulATRawInto(dst, a, b []float32, m, k, n int) {
 	if m == 0 || n == 0 {
 		return
 	}
-	ad, bd, od := a, b, dst
-	parallelFor(m, matmulRowsPerWorker(k, n), func(r0, r1 int) {
-		i := r0
-		for ; i+2 <= r1; i += 2 {
-			d0 := od[i*n : i*n+n]
-			d1 := od[(i+1)*n : (i+1)*n+n]
-			zeroFloats(d0)
-			zeroFloats(d1)
-			p := 0
-			if simdAvailable {
-				var av [8]float32
-				for ; p+4 <= k; p += 4 {
-					av[0], av[1], av[2], av[3] = ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i]
-					av[4], av[5], av[6], av[7] = ad[p*m+i+1], ad[(p+1)*m+i+1], ad[(p+2)*m+i+1], ad[(p+3)*m+i+1]
-					axpy4x2SIMD(d0, d1,
-						bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
-						bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n], &av)
-				}
-			} else {
-				for ; p+4 <= k; p += 4 {
-					axpy4x2Generic(d0, d1,
-						bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
-						bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n],
-						ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i],
-						ad[p*m+i+1], ad[(p+1)*m+i+1], ad[(p+2)*m+i+1], ad[(p+3)*m+i+1])
-				}
-			}
-			for ; p < k; p++ {
-				axpy1(d0, bd[p*n:p*n+n], ad[p*m+i])
-				axpy1(d1, bd[p*n:p*n+n], ad[p*m+i+1])
-			}
-		}
-		for ; i < r1; i++ {
-			d0 := od[i*n : i*n+n]
-			zeroFloats(d0)
-			p := 0
-			if simdAvailable {
-				var av [4]float32
-				for ; p+4 <= k; p += 4 {
-					av[0], av[1], av[2], av[3] = ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i]
-					axpy4SIMD(d0,
-						bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
-						bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n], &av)
-				}
-			} else {
-				for ; p+4 <= k; p += 4 {
-					axpy4Generic(d0,
-						bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
-						bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n],
-						ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i])
-				}
-			}
-			for ; p < k; p++ {
-				axpy1(d0, bd[p*n:p*n+n], ad[p*m+i])
-			}
-		}
+	rpw := matmulRowsPerWorker(k, n)
+	if chunksFor(m, rpw) <= 1 {
+		matmulATRowRange(dst, a, b, m, k, n, 0, m)
+		return
+	}
+	parallelFor(m, rpw, func(r0, r1 int) {
+		matmulATRowRange(dst, a, b, m, k, n, r0, r1)
 	})
+}
+
+func matmulATRowRange(dst, a, b []float32, m, k, n, r0, r1 int) {
+	ad, bd, od := a, b, dst
+	i := r0
+	for ; i+2 <= r1; i += 2 {
+		d0 := od[i*n : i*n+n]
+		d1 := od[(i+1)*n : (i+1)*n+n]
+		zeroFloats(d0)
+		zeroFloats(d1)
+		p := 0
+		if simdAvailable {
+			var av [8]float32
+			for ; p+4 <= k; p += 4 {
+				av[0], av[1], av[2], av[3] = ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i]
+				av[4], av[5], av[6], av[7] = ad[p*m+i+1], ad[(p+1)*m+i+1], ad[(p+2)*m+i+1], ad[(p+3)*m+i+1]
+				axpy4x2SIMD(d0, d1,
+					bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
+					bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n], &av)
+			}
+		} else {
+			for ; p+4 <= k; p += 4 {
+				axpy4x2Generic(d0, d1,
+					bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
+					bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n],
+					ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i],
+					ad[p*m+i+1], ad[(p+1)*m+i+1], ad[(p+2)*m+i+1], ad[(p+3)*m+i+1])
+			}
+		}
+		for ; p < k; p++ {
+			axpy1(d0, bd[p*n:p*n+n], ad[p*m+i])
+			axpy1(d1, bd[p*n:p*n+n], ad[p*m+i+1])
+		}
+	}
+	for ; i < r1; i++ {
+		d0 := od[i*n : i*n+n]
+		zeroFloats(d0)
+		p := 0
+		if simdAvailable {
+			var av [4]float32
+			for ; p+4 <= k; p += 4 {
+				av[0], av[1], av[2], av[3] = ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i]
+				axpy4SIMD(d0,
+					bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
+					bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n], &av)
+			}
+		} else {
+			for ; p+4 <= k; p += 4 {
+				axpy4Generic(d0,
+					bd[p*n:p*n+n], bd[(p+1)*n:(p+1)*n+n],
+					bd[(p+2)*n:(p+2)*n+n], bd[(p+3)*n:(p+3)*n+n],
+					ad[p*m+i], ad[(p+1)*m+i], ad[(p+2)*m+i], ad[(p+3)*m+i])
+			}
+		}
+		for ; p < k; p++ {
+			axpy1(d0, bd[p*n:p*n+n], ad[p*m+i])
+		}
+	}
 }
 
 func zeroFloats(s []float32) {

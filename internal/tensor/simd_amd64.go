@@ -37,6 +37,12 @@ func normAffineSIMD(dst, xh, src, gamma, beta []float32, mu, is float32)
 //go:noescape
 func lnBwdDxSIMD(dx, dy, gamma, xh []float32, mDy, mDyX, is float32)
 
+//go:noescape
+func tanhRowSIMD(dst, src []float32)
+
+//go:noescape
+func sigmoidRowSIMD(dst, src []float32)
+
 // simdAvailable gates the SIMD dispatch in matmul.go.
 var simdAvailable = detectAVX2FMA()
 

@@ -482,3 +482,248 @@ lloop8:
 ldone:
 	VZEROUPPER
 	RET
+
+// Constants for the activation row kernels (8-lane float32 rows, same
+// memory-operand style as the exp tables above).
+DATA actSignMask<>+0(SB)/4, $0x80000000
+DATA actSignMask<>+4(SB)/4, $0x80000000
+DATA actSignMask<>+8(SB)/4, $0x80000000
+DATA actSignMask<>+12(SB)/4, $0x80000000
+DATA actSignMask<>+16(SB)/4, $0x80000000
+DATA actSignMask<>+20(SB)/4, $0x80000000
+DATA actSignMask<>+24(SB)/4, $0x80000000
+DATA actSignMask<>+28(SB)/4, $0x80000000
+GLOBL actSignMask<>(SB), RODATA, $32
+
+DATA actAbsMask<>+0(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+4(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+8(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+12(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+16(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+20(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+24(SB)/4, $0x7FFFFFFF
+DATA actAbsMask<>+28(SB)/4, $0x7FFFFFFF
+GLOBL actAbsMask<>(SB), RODATA, $32
+
+DATA actTwo<>+0(SB)/4, $0x40000000
+DATA actTwo<>+4(SB)/4, $0x40000000
+DATA actTwo<>+8(SB)/4, $0x40000000
+DATA actTwo<>+12(SB)/4, $0x40000000
+DATA actTwo<>+16(SB)/4, $0x40000000
+DATA actTwo<>+20(SB)/4, $0x40000000
+DATA actTwo<>+24(SB)/4, $0x40000000
+DATA actTwo<>+28(SB)/4, $0x40000000
+GLOBL actTwo<>(SB), RODATA, $32
+
+// 0.625 — crossover between the tanh polynomial and exp paths.
+DATA tanhSwitch<>+0(SB)/4, $0x3F200000
+DATA tanhSwitch<>+4(SB)/4, $0x3F200000
+DATA tanhSwitch<>+8(SB)/4, $0x3F200000
+DATA tanhSwitch<>+12(SB)/4, $0x3F200000
+DATA tanhSwitch<>+16(SB)/4, $0x3F200000
+DATA tanhSwitch<>+20(SB)/4, $0x3F200000
+DATA tanhSwitch<>+24(SB)/4, $0x3F200000
+DATA tanhSwitch<>+28(SB)/4, $0x3F200000
+GLOBL tanhSwitch<>(SB), RODATA, $32
+
+// 10.0 — exp-path clamp (tanh rounds to ±1 beyond ~9.01 anyway).
+DATA tanhClamp<>+0(SB)/4, $0x41200000
+DATA tanhClamp<>+4(SB)/4, $0x41200000
+DATA tanhClamp<>+8(SB)/4, $0x41200000
+DATA tanhClamp<>+12(SB)/4, $0x41200000
+DATA tanhClamp<>+16(SB)/4, $0x41200000
+DATA tanhClamp<>+20(SB)/4, $0x41200000
+DATA tanhClamp<>+24(SB)/4, $0x41200000
+DATA tanhClamp<>+28(SB)/4, $0x41200000
+GLOBL tanhClamp<>(SB), RODATA, $32
+
+// Cephes tanhf minimax polynomial, ascending Horner order P0..P4.
+DATA tanhP0<>+0(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+4(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+8(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+12(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+16(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+20(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+24(SB)/4, $0xBBBAF0EA
+DATA tanhP0<>+28(SB)/4, $0xBBBAF0EA
+GLOBL tanhP0<>(SB), RODATA, $32
+
+DATA tanhP1<>+0(SB)/4, $0x3CA9134E
+DATA tanhP1<>+4(SB)/4, $0x3CA9134E
+DATA tanhP1<>+8(SB)/4, $0x3CA9134E
+DATA tanhP1<>+12(SB)/4, $0x3CA9134E
+DATA tanhP1<>+16(SB)/4, $0x3CA9134E
+DATA tanhP1<>+20(SB)/4, $0x3CA9134E
+DATA tanhP1<>+24(SB)/4, $0x3CA9134E
+DATA tanhP1<>+28(SB)/4, $0x3CA9134E
+GLOBL tanhP1<>(SB), RODATA, $32
+
+DATA tanhP2<>+0(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+4(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+8(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+12(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+16(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+20(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+24(SB)/4, $0xBD5C1E2D
+DATA tanhP2<>+28(SB)/4, $0xBD5C1E2D
+GLOBL tanhP2<>(SB), RODATA, $32
+
+DATA tanhP3<>+0(SB)/4, $0x3E088393
+DATA tanhP3<>+4(SB)/4, $0x3E088393
+DATA tanhP3<>+8(SB)/4, $0x3E088393
+DATA tanhP3<>+12(SB)/4, $0x3E088393
+DATA tanhP3<>+16(SB)/4, $0x3E088393
+DATA tanhP3<>+20(SB)/4, $0x3E088393
+DATA tanhP3<>+24(SB)/4, $0x3E088393
+DATA tanhP3<>+28(SB)/4, $0x3E088393
+GLOBL tanhP3<>(SB), RODATA, $32
+
+DATA tanhP4<>+0(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+4(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+8(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+12(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+16(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+20(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+24(SB)/4, $0xBEAAAA99
+DATA tanhP4<>+28(SB)/4, $0xBEAAAA99
+GLOBL tanhP4<>(SB), RODATA, $32
+
+// 88.37 — above this e^z exceeds the float32 exponent range (same bound
+// as the scalar exp32Hi); the sigmoid kernel forces its output to 0 there.
+DATA sigHi<>+0(SB)/4, $0x42B0BD71
+DATA sigHi<>+4(SB)/4, $0x42B0BD71
+DATA sigHi<>+8(SB)/4, $0x42B0BD71
+DATA sigHi<>+12(SB)/4, $0x42B0BD71
+DATA sigHi<>+16(SB)/4, $0x42B0BD71
+DATA sigHi<>+20(SB)/4, $0x42B0BD71
+DATA sigHi<>+24(SB)/4, $0x42B0BD71
+DATA sigHi<>+28(SB)/4, $0x42B0BD71
+GLOBL sigHi<>(SB), RODATA, $32
+
+// func tanhRowSIMD(dst, src []float32)
+//
+// For j in [0, len&^7): dst[j] = Tanh32(src[j]). Both Tanh32 paths are
+// evaluated branch-free and blended: the Cephes polynomial x·(1+x²·P(x²))
+// where |x| < 0.625, sign(x)·(1 − 2/(e^{2·min(|x|,10)}+1)) on the exp core
+// elsewhere; NaN lanes pass the input through. The tail is the caller's
+// job. FMA contraction differs from the scalar kernel in the last ulp —
+// consistent per machine/binary like the rest of the SIMD backend.
+TEXT ·tanhRowSIMD(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  tdone
+tloop8:
+	VMOVUPS (SI)(AX*4), Y9           // x
+	VANDPS actSignMask<>(SB), Y9, Y10 // sign(x)
+	VANDPS actAbsMask<>(SB), Y9, Y11  // |x|
+	VMINPS tanhClamp<>(SB), Y11, Y11 // min(|x|, 10); NaN lanes -> 10
+	VADDPS Y11, Y11, Y0              // arg = 2*min(|x|, 10)
+	// e = exp32 core (same sequence as expRowSumSIMD; arg in [0, 20], so
+	// no under/overflow guards are needed).
+	VMOVUPS expMagic<>(SB), Y1
+	VFMADD231PS expLog2e<>(SB), Y0, Y1
+	VSUBPS expMagic<>(SB), Y1, Y1
+	VCVTTPS2DQ Y1, Y2
+	VMOVAPS Y0, Y3
+	VFNMADD231PS expC1<>(SB), Y1, Y3
+	VFNMADD231PS expC2<>(SB), Y1, Y3
+	VMOVUPS expP0<>(SB), Y4
+	VFMADD213PS expP1<>(SB), Y3, Y4
+	VFMADD213PS expP2<>(SB), Y3, Y4
+	VFMADD213PS expP3<>(SB), Y3, Y4
+	VFMADD213PS expP4<>(SB), Y3, Y4
+	VFMADD213PS expP5<>(SB), Y3, Y4
+	VMULPS Y3, Y3, Y5
+	VADDPS expOne<>(SB), Y3, Y6
+	VFMADD231PS Y4, Y5, Y6
+	VPSLLD $23, Y2, Y2
+	VPADDD expOne<>(SB), Y2, Y2
+	VMULPS Y2, Y6, Y6                // e = e^arg
+	VADDPS expOne<>(SB), Y6, Y6      // e + 1
+	VMOVUPS actTwo<>(SB), Y1
+	VDIVPS Y6, Y1, Y7                // 2/(e+1)
+	VMOVUPS expOne<>(SB), Y1
+	VSUBPS Y7, Y1, Y7                // tb = 1 - 2/(e+1)
+	VORPS Y10, Y7, Y7                // tb |= sign(x)
+	// Polynomial path: ts = x*(1 + s*P(s)), s = x².
+	VMULPS Y9, Y9, Y5                // s
+	VMOVUPS tanhP0<>(SB), Y4
+	VFMADD213PS tanhP1<>(SB), Y5, Y4
+	VFMADD213PS tanhP2<>(SB), Y5, Y4
+	VFMADD213PS tanhP3<>(SB), Y5, Y4
+	VFMADD213PS tanhP4<>(SB), Y5, Y4 // P(s)
+	VMOVUPS expOne<>(SB), Y3
+	VFMADD231PS Y4, Y5, Y3           // 1 + s*P(s)
+	VMULPS Y9, Y3, Y3                // ts
+	VCMPPS $1, tanhSwitch<>(SB), Y11, Y2 // |x| < 0.625 (NaN lanes false)
+	VBLENDVPS Y2, Y3, Y7, Y8         // res = small ? ts : tb
+	VCMPPS $3, Y9, Y9, Y2            // unordered: NaN lanes
+	VBLENDVPS Y2, Y9, Y8, Y8         // res = NaN ? x : res
+	VMOVUPS Y8, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  tloop8
+tdone:
+	VZEROUPPER
+	RET
+
+// func sigmoidRowSIMD(dst, src []float32)
+//
+// For j in [0, len&^7): dst[j] = Sigmoid32(src[j]) = 1/(1+e^{-x}).
+// z = -x is clamped below at the exp underflow threshold (the result
+// rounds to 1 there regardless) and lanes with z above the overflow
+// threshold are forced to 0 — matching the scalar kernel's Exp32
+// saturation exactly. NaN lanes pass the input through. Tail is the
+// caller's job.
+TEXT ·sigmoidRowSIMD(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+	CMPQ BX, $0
+	JEQ  sdone
+sloop8:
+	VMOVUPS (SI)(AX*4), Y9           // x
+	VXORPS actSignMask<>(SB), Y9, Y0 // z = -x
+	VMAXPS expLo<>(SB), Y0, Y0       // clamp z at the underflow threshold
+	VCMPPS $14, sigHi<>(SB), Y0, Y8  // overflow lanes: z > 88.37
+	// e = exp32 core on z.
+	VMOVUPS expMagic<>(SB), Y1
+	VFMADD231PS expLog2e<>(SB), Y0, Y1
+	VSUBPS expMagic<>(SB), Y1, Y1
+	VCVTTPS2DQ Y1, Y2
+	VMOVAPS Y0, Y3
+	VFNMADD231PS expC1<>(SB), Y1, Y3
+	VFNMADD231PS expC2<>(SB), Y1, Y3
+	VMOVUPS expP0<>(SB), Y4
+	VFMADD213PS expP1<>(SB), Y3, Y4
+	VFMADD213PS expP2<>(SB), Y3, Y4
+	VFMADD213PS expP3<>(SB), Y3, Y4
+	VFMADD213PS expP4<>(SB), Y3, Y4
+	VFMADD213PS expP5<>(SB), Y3, Y4
+	VMULPS Y3, Y3, Y5
+	VADDPS expOne<>(SB), Y3, Y6
+	VFMADD231PS Y4, Y5, Y6
+	VPSLLD $23, Y2, Y2
+	VPADDD expOne<>(SB), Y2, Y2
+	VMULPS Y2, Y6, Y6                // e = e^z (garbage on overflow lanes)
+	VADDPS expOne<>(SB), Y6, Y6      // 1 + e
+	VMOVUPS expOne<>(SB), Y1
+	VDIVPS Y6, Y1, Y7                // 1/(1+e)
+	VANDNPS Y7, Y8, Y7               // force overflow lanes to 0
+	VCMPPS $3, Y9, Y9, Y2            // unordered: NaN lanes
+	VBLENDVPS Y2, Y9, Y7, Y7         // res = NaN ? x : res
+	VMOVUPS Y7, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  sloop8
+sdone:
+	VZEROUPPER
+	RET

@@ -39,3 +39,11 @@ func normAffineSIMD(dst, xh, src, gamma, beta []float32, mu, is float32) {
 func lnBwdDxSIMD(dx, dy, gamma, xh []float32, mDy, mDyX, is float32) {
 	panic("tensor: SIMD kernel called on non-amd64 build")
 }
+
+func tanhRowSIMD(dst, src []float32) {
+	panic("tensor: SIMD kernel called on non-amd64 build")
+}
+
+func sigmoidRowSIMD(dst, src []float32) {
+	panic("tensor: SIMD kernel called on non-amd64 build")
+}

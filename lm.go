@@ -169,7 +169,8 @@ func (j *LMJob) ops() *jobOps {
 				Vocab: cfg.Vocab, ModelSeed: am.Orig.BuildSeed,
 				LMDim: cfg.D, LMHeads: cfg.Heads, LMFF: cfg.FF,
 				LMLayers: cfg.Layers, LMMaxT: cfg.MaxT, LMDropout: float64(cfg.Dropout),
-				OrigLen: j.Key.OrigLen, AugLen: j.Key.AugLen, KeyKeep: j.Key.Keep,
+				LMGELUFF: cfg.GELUFF,
+				OrigLen:  j.Key.OrigLen, AugLen: j.Key.AugLen, KeyKeep: j.Key.Keep,
 				AugAmount: j.opts.Amount, SubNets: len(am.Decoys), AugSeed: j.opts.Seed,
 			}
 			return &cloudsim.TrainRequest{
