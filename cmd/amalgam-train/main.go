@@ -10,25 +10,56 @@
 //	amalgam-train -submit 127.0.0.1:7009 -text        # text-classification job
 //	amalgam-train -submit 127.0.0.1:7009 -lm          # language-model job
 //	amalgam-train -submit ... -checkpoint job.amc     # resumable (Ctrl-C safe)
+//	amalgam-train -submit ... -retries 5              # survive server faults
+//
+// A served instance drains gracefully on Ctrl-C: in-flight jobs stop at
+// their next epoch boundary and failover-aware clients receive an
+// epoch-aligned checkpoint plus a retryable error, so a -retries submit
+// pointed at a replacement server resumes without losing an epoch.
+//
+// Exit codes: 0 success, 1 fatal error, 3 retry budget exhausted (every
+// attempt hit a transient fault — worth re-running, unlike a fatal error).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"amalgam"
 	"amalgam/internal/cloudsim"
 )
 
+// exitRetriesExhausted distinguishes "every attempt died of a transient
+// fault" (re-running may succeed) from fatal errors (exit 1, re-running
+// cannot help).
+const exitRetriesExhausted = 3
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "amalgam-train:", err)
-		os.Exit(1)
+	err := run()
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "amalgam-train:", err)
+	if errors.Is(err, amalgam.ErrRetriesExhausted) {
+		os.Exit(exitRetriesExhausted)
+	}
+	os.Exit(1)
+}
+
+// submitConfig carries the demo-job knobs from flags to the submit paths.
+type submitConfig struct {
+	amount     float64
+	epochs     int
+	samples    int
+	checkpoint string
+	retries    int
+	backoff    time.Duration
 }
 
 func run() error {
@@ -40,30 +71,29 @@ func run() error {
 	epochs := flag.Int("epochs", 2, "epochs for the demo job")
 	samples := flag.Int("samples", 64, "synthetic samples for the demo job")
 	checkpoint := flag.String("checkpoint", "", "checkpoint path: writes per-epoch snapshots and resumes from an existing file")
+	retries := flag.Int("retries", 0, "retry budget for transient faults (dropped connections, server shutdown); 0 disables retrying")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay of the capped exponential retry backoff")
 	flag.Parse()
 
 	switch {
 	case *serve != "":
-		l, err := net.Listen("tcp", *serve)
-		if err != nil {
-			return err
-		}
-		fmt.Println("amalgam-train: serving on", l.Addr())
-		server := cloudsim.NewServer(l)
-		server.Wait()
-		return nil
+		return serveService(*serve)
 	case *submit != "":
 		// Ctrl-C cancels the remote job mid-flight; with -checkpoint the
 		// partial state lands on disk and a re-run resumes it.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
+		cfg := submitConfig{
+			amount: *amount, epochs: *epochs, samples: *samples,
+			checkpoint: *checkpoint, retries: *retries, backoff: *retryBackoff,
+		}
 		switch {
 		case *lm:
-			return submitLMDemo(ctx, *submit, *amount, *epochs, *checkpoint)
+			return submitLMDemo(ctx, *submit, cfg)
 		case *text:
-			return submitTextDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
+			return submitTextDemo(ctx, *submit, cfg)
 		default:
-			return submitCVDemo(ctx, *submit, *amount, *epochs, *samples, *checkpoint)
+			return submitCVDemo(ctx, *submit, cfg)
 		}
 	default:
 		flag.Usage()
@@ -71,7 +101,41 @@ func run() error {
 	}
 }
 
-func trainOptions(checkpoint string) []amalgam.TrainOption {
+// serveService runs the training service until Ctrl-C, then drains
+// gracefully: no new connections, in-flight jobs stop at their next epoch
+// boundary (failover-aware clients get an epoch-aligned checkpoint and a
+// retryable error so they can resume elsewhere).
+func serveService(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Println("amalgam-train: serving on", l.Addr())
+	server := cloudsim.NewServer(l)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- server.Wait() }()
+	select {
+	case <-ctx.Done():
+		fmt.Println("amalgam-train: shutting down, draining in-flight jobs at their epoch boundaries")
+		sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := server.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("amalgam-train: drained cleanly")
+		return nil
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("accept loop: %w", err)
+		}
+		return nil
+	}
+}
+
+func trainOptions(cfg submitConfig) []amalgam.TrainOption {
 	opts := []amalgam.TrainOption{
 		amalgam.WithProgress(func(s amalgam.EpochStats) {
 			line := fmt.Sprintf("epoch %d: loss=%.4f acc=%.3f", s.Epoch, s.Loss, s.Accuracy)
@@ -84,17 +148,24 @@ func trainOptions(checkpoint string) []amalgam.TrainOption {
 			fmt.Println(line)
 		}),
 	}
-	if checkpoint != "" {
+	if cfg.checkpoint != "" {
 		opts = append(opts,
-			amalgam.WithCheckpoint(checkpoint, 1),
-			amalgam.WithResume(checkpoint))
+			amalgam.WithCheckpoint(cfg.checkpoint, 1),
+			amalgam.WithResume(cfg.checkpoint))
+	}
+	if cfg.retries > 0 {
+		opts = append(opts, amalgam.WithRetry(amalgam.RetryPolicy{
+			MaxRetries: cfg.retries,
+			BaseDelay:  cfg.backoff,
+			Seed:       42,
+		}))
 	}
 	return opts
 }
 
-func submitCVDemo(ctx context.Context, addr string, amount float64, epochs, samples int, checkpoint string) error {
-	train := amalgam.SyntheticMNIST(samples, 1)
-	testN := samples / 4
+func submitCVDemo(ctx context.Context, addr string, cfg submitConfig) error {
+	train := amalgam.SyntheticMNIST(cfg.samples, 1)
+	testN := cfg.samples / 4
 	if testN < 1 {
 		testN = 1
 	}
@@ -104,16 +175,16 @@ func submitCVDemo(ctx context.Context, addr string, amount float64, epochs, samp
 		return err
 	}
 	job, err := amalgam.Obfuscate(model, train, amalgam.Options{
-		Amount: amount, SubNets: 3, Seed: 42, ModelName: "lenet",
+		Amount: cfg.amount, SubNets: 3, Seed: 42, ModelName: "lenet",
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitting obfuscated CV job: %d augmented samples at %dx%d, lenet +%.0f%%\n",
-		job.AugmentedDataset.N(), job.Key.AugH, job.Key.AugW, amount*100)
-	opts := append(trainOptions(checkpoint), amalgam.WithEvalSet(test))
+		job.AugmentedDataset.N(), job.Key.AugH, job.Key.AugW, cfg.amount*100)
+	opts := append(trainOptions(cfg), amalgam.WithEvalSet(test))
 	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9}, opts...); err != nil {
+		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9}, opts...); err != nil {
 		return err
 	}
 	if _, err := job.Extract("lenet", 7); err != nil {
@@ -123,21 +194,21 @@ func submitCVDemo(ctx context.Context, addr string, amount float64, epochs, samp
 	return nil
 }
 
-func submitTextDemo(ctx context.Context, addr string, amount float64, epochs, samples int, checkpoint string) error {
+func submitTextDemo(ctx context.Context, addr string, cfg submitConfig) error {
 	const vocab, embed, classes = 5000, 32, 4
 	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
-		Name: "agnews-demo", N: samples, SeqLen: 64, Vocab: vocab, Classes: classes, Seed: 1,
+		Name: "agnews-demo", N: cfg.samples, SeqLen: 64, Vocab: vocab, Classes: classes, Seed: 1,
 	})
 	model := amalgam.BuildTextClassifier(7, vocab, embed, classes)
-	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: amount, SubNets: 2, Seed: 42})
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: cfg.amount, SubNets: 2, Seed: 42})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitting obfuscated text job: %d samples, %d → %d tokens each, +%.0f%%\n",
-		job.AugmentedDataset.N(), job.Key.OrigLen, job.Key.AugLen, amount*100)
+		job.AugmentedDataset.N(), job.Key.OrigLen, job.Key.AugLen, cfg.amount*100)
 	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.5, Momentum: 0.9},
-		trainOptions(checkpoint)...); err != nil {
+		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.5, Momentum: 0.9},
+		trainOptions(cfg)...); err != nil {
 		return err
 	}
 	if _, err := job.ExtractText(7); err != nil {
@@ -147,7 +218,7 @@ func submitTextDemo(ctx context.Context, addr string, amount float64, epochs, sa
 	return nil
 }
 
-func submitLMDemo(ctx context.Context, addr string, amount float64, epochs int, checkpoint string) error {
+func submitLMDemo(ctx context.Context, addr string, cfg submitConfig) error {
 	const vocab, bptt = 2000, 20
 	train := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt2-demo", Tokens: 8000, Vocab: vocab, Seed: 1})
 	val := amalgam.GenerateTokenStream(amalgam.TextConfig{Name: "wt2-val", Tokens: 1000, Vocab: vocab, Seed: 2})
@@ -156,15 +227,15 @@ func submitLMDemo(ctx context.Context, addr string, amount float64, epochs int, 
 	})
 	// SubNets: 0 — the decoy count resolves from the seed and the remote
 	// rebuild still matches bit for bit.
-	job, err := amalgam.ObfuscateTokens(model, train, bptt, amalgam.Options{Amount: amount, Seed: 42})
+	job, err := amalgam.ObfuscateTokens(model, train, bptt, amalgam.Options{Amount: cfg.amount, Seed: 42})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitting obfuscated LM job: %d windows, %d → %d tokens each, +%.0f%%\n",
-		len(job.AugmentedStream.Tokens)/job.Key.AugLen, job.Key.OrigLen, job.Key.AugLen, amount*100)
-	opts := append(trainOptions(checkpoint), amalgam.WithEvalSet(val))
+		len(job.AugmentedStream.Tokens)/job.Key.AugLen, job.Key.OrigLen, job.Key.AugLen, cfg.amount*100)
+	opts := append(trainOptions(cfg), amalgam.WithEvalSet(val))
 	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: epochs, BatchSize: 16, LR: 0.1, Momentum: 0.9}, opts...); err != nil {
+		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.1, Momentum: 0.9}, opts...); err != nil {
 		return err
 	}
 	if _, err := job.ExtractLM(7); err != nil {

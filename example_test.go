@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"amalgam"
 	"amalgam/internal/cloudsim"
+	"amalgam/internal/faultnet"
 )
 
 // ExampleObfuscateText walks the text-modality Fig. 1 loop: obfuscate an
@@ -74,6 +76,59 @@ func ExampleObfuscateTokens() {
 	// Output:
 	// tokens per window: 12 -> 18
 	// epochs trained: 2, perplexity reported: true
+	// extraction verified bit-for-bit
+}
+
+// ExampleWithRetry trains through a fault: the service drops the first
+// connection right after the handshake, and the retry policy — capped
+// exponential backoff with deterministic jitter — redials and completes
+// the job. Had the cut landed mid-training instead, the retry would
+// resume from the last epoch-boundary snapshot streamed before the
+// fault, re-training no batch twice.
+func ExampleWithRetry() {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// faultnet scripts faults per accepted connection; here the first
+	// connection dies immediately and the second is transparent.
+	fl := faultnet.Wrap(inner, func(i int) faultnet.ConnPlan {
+		return faultnet.ConnPlan{RefuseConn: i == 0}
+	})
+	server := cloudsim.NewServer(fl)
+	defer func() {
+		fl.Close()
+		server.Wait()
+	}()
+
+	const vocab, classes = 500, 4
+	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "agnews-mini", N: 32, SeqLen: 24, Vocab: vocab, Classes: classes, Seed: 1})
+	model := amalgam.BuildTextClassifier(3, vocab, 16, classes)
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := amalgam.Train(context.Background(), amalgam.RemoteTrainer{Addr: fl.Addr().String()}, job,
+		amalgam.TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.5, Momentum: 0.9},
+		amalgam.WithRetry(amalgam.RetryPolicy{
+			MaxRetries: 3,
+			BaseDelay:  time.Millisecond,
+			MaxDelay:   10 * time.Millisecond,
+			Seed:       7,
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epochs delivered: %d over %d connections\n", len(stats), fl.Accepted())
+
+	if _, err := job.ExtractText(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extraction verified bit-for-bit")
+	// Output:
+	// epochs delivered: 2 over 2 connections
 	// extraction verified bit-for-bit
 }
 

@@ -93,6 +93,13 @@ type Hyper struct {
 	// the server keeps sending them the legacy checkpoint layout and no
 	// optimiser frames — same-version negotiation without a protocol bump.
 	OptState bool `json:"opt_state,omitempty"`
+	// Failover declares that the client understands the fault-tolerance
+	// extension: msgRNGState result frames (dropout-stream cursors) and
+	// the shutdown handoff (epoch-aligned msgCheckpoint followed by a
+	// retryable coded msgError instead of a normal result). Negotiated the
+	// same way as OptState, so pre-extension clients never see the new
+	// frames.
+	Failover bool `json:"failover,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the
@@ -118,6 +125,10 @@ type TrainRequest struct {
 	// a resumed job continues the velocity trajectory instead of
 	// restarting it from zero.
 	InitOptState map[string]*tensor.Tensor
+	// InitRNG, when non-nil, restores per-layer dropout-stream cursors
+	// (captured at a checkpoint) into the rebuilt model, so a resumed
+	// Dropout > 0 job draws the same masks an uninterrupted run would.
+	InitRNG map[string][]byte
 }
 
 // EpochMetric records per-epoch training loss/accuracy (of the original
@@ -145,12 +156,40 @@ type TrainResponse struct {
 	OptState map[string]*tensor.Tensor
 	Metrics  []EpochMetric
 	Seconds  float64
+	// RNG holds the model's dropout-stream cursors at the end of the run
+	// (nil for models without stochastic layers), so a checkpoint written
+	// from the response resumes the mask sequence bit-identically.
+	RNG map[string][]byte
 	// Cancelled reports that the job stopped early on a client msgCancel;
 	// State then holds the epoch-aligned weights at interruption and
 	// CompletedEpochs the number of fully finished epochs (the resume
 	// point — resuming there re-trains no batch twice).
 	Cancelled       bool
 	CompletedEpochs int
+}
+
+// Snapshot is an epoch-aligned training state capture: everything needed
+// to resume the run bit-identically. Checkpoint callbacks receive one per
+// checkpoint boundary.
+type Snapshot struct {
+	// Epoch counts fully completed epochs (the resume point).
+	Epoch int
+	// State is the full model state dict at the boundary.
+	State map[string]*tensor.Tensor
+	// OptState holds the optimiser's momentum buffers (nil without
+	// momentum).
+	OptState map[string]*tensor.Tensor
+	// RNG holds dropout-stream cursors (nil for deterministic models).
+	RNG map[string][]byte
+}
+
+// RNGStateful is implemented by models whose forward pass consumes random
+// streams (dropout): the loop captures the cursors into checkpoints and
+// restores them on resume. Models without the interface are fully
+// deterministic given their weights and need no cursor plumbing.
+type RNGStateful interface {
+	RNGStates() (map[string][]byte, error)
+	LoadRNGStates(map[string][]byte) error
 }
 
 // Trainable is the server-side handle on a rebuilt model: everything the
@@ -271,6 +310,9 @@ type Engine struct {
 	// InitOptState seeds the optimiser's momentum buffers before the
 	// first step (checkpoint resume). Nil starts from zero velocity.
 	InitOptState map[string]*tensor.Tensor
+	// InitRNG restores dropout-stream cursors before the first step
+	// (checkpoint resume). Nil leaves the model's build-time streams.
+	InitRNG map[string][]byte
 }
 
 // forwarder is implemented by both plain CV models and AugmentedCVModel.
@@ -480,7 +522,7 @@ func RunLocal(req *TrainRequest) (*TrainResponse, error) {
 // runTraining builds the engine from a wire request and drives TrainLoop.
 func runTraining(ctx context.Context, req *TrainRequest,
 	progress func(EpochMetric) error,
-	checkpoint func(epoch int, state, optState map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+	checkpoint func(*Snapshot) error) (*TrainResponse, error) {
 
 	eng, err := newEngine(req)
 	if err != nil {
@@ -492,6 +534,7 @@ func runTraining(ctx context.Context, req *TrainRequest,
 		}
 	}
 	eng.InitOptState = req.InitOptState
+	eng.InitRNG = req.InitRNG
 	return TrainLoop(ctx, eng, req.Hyper, progress, checkpoint)
 }
 
@@ -501,9 +544,9 @@ func runTraining(ctx context.Context, req *TrainRequest,
 // drift between the two paths.
 //
 // progress (if non-nil) is called after every epoch; checkpoint (if
-// non-nil, and hyper.CheckpointEvery > 0) receives a model state-dict
-// snapshot plus the optimiser's momentum state (nil without momentum)
-// at checkpoint boundaries. A cancelled ctx stops the loop at the NEXT
+// non-nil, and hyper.CheckpointEvery > 0) receives an epoch-aligned
+// Snapshot (state dict, momentum buffers, dropout-stream cursors) at
+// checkpoint boundaries. A cancelled ctx stops the loop at the NEXT
 // EPOCH BOUNDARY (the in-flight epoch completes) and returns the state
 // with Cancelled set — not an error, so the caller still gets the
 // weights. Epoch granularity keeps the returned state and
@@ -512,7 +555,7 @@ func runTraining(ctx context.Context, req *TrainRequest,
 // batch twice.
 func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 	progress func(EpochMetric) error,
-	checkpoint func(epoch int, state, optState map[string]*tensor.Tensor) error) (*TrainResponse, error) {
+	checkpoint func(*Snapshot) error) (*TrainResponse, error) {
 
 	if hyper.Epochs <= 0 || hyper.BatchSize <= 0 {
 		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
@@ -530,6 +573,24 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		if err := opt.LoadStateDict(eng.InitOptState); err != nil {
 			return nil, fmt.Errorf("cloudsim: loading optimiser state: %w", err)
 		}
+	}
+	stateful, _ := eng.Model.(RNGStateful)
+	if len(eng.InitRNG) > 0 {
+		if stateful == nil {
+			return nil, fmt.Errorf("cloudsim: RNG state shipped for a model without random streams")
+		}
+		if err := stateful.LoadRNGStates(eng.InitRNG); err != nil {
+			return nil, fmt.Errorf("cloudsim: loading RNG state: %w", err)
+		}
+	}
+	// captureRNG snapshots the dropout cursors at an epoch boundary (nil
+	// for deterministic models) — eval paths run with SetTraining(false)
+	// and consume no stream, so boundary captures are exact.
+	captureRNG := func() (map[string][]byte, error) {
+		if stateful == nil {
+			return nil, nil
+		}
+		return stateful.RNGStates()
 	}
 	start := time.Now()
 	resp := &TrainResponse{CompletedEpochs: hyper.StartEpoch}
@@ -570,13 +631,23 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 			}
 		}
 		if checkpoint != nil && hyper.CheckpointEvery > 0 && (e+1)%hyper.CheckpointEvery == 0 {
-			if err := checkpoint(e+1, nn.StateDict(eng.Model), opt.StateDict()); err != nil {
+			rng, err := captureRNG()
+			if err != nil {
+				return nil, err
+			}
+			snap := &Snapshot{Epoch: e + 1, State: nn.StateDict(eng.Model), OptState: opt.StateDict(), RNG: rng}
+			if err := checkpoint(snap); err != nil {
 				return nil, err
 			}
 		}
 	}
 	resp.State = nn.StateDict(eng.Model)
 	resp.OptState = opt.StateDict()
+	rng, err := captureRNG()
+	if err != nil {
+		return nil, err
+	}
+	resp.RNG = rng
 	resp.Seconds = time.Since(start).Seconds()
 	return resp, nil
 }

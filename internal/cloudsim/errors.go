@@ -1,6 +1,12 @@
 package cloudsim
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+)
 
 // Sentinel errors classify protocol failures so clients (RemoteTrainer)
 // can distinguish fatal mismatches from transient transport faults with
@@ -16,15 +22,54 @@ var (
 	// ErrUnknownFrame marks an unrecognised frame type mid-stream — a
 	// corrupted or foreign stream, not retryable.
 	ErrUnknownFrame = errors.New("cloudsim: unknown frame type")
+	// ErrServerShutdown is the wire-borne "server shutting down, retry
+	// elsewhere" signal: the server drained the job at an epoch boundary
+	// (streaming an epoch-aligned checkpoint first when the client
+	// negotiated failover) and refused further work. It is the one
+	// server-reported error that IS retryable.
+	ErrServerShutdown = errors.New("cloudsim: server shutting down")
+	// ErrJobPanic marks a job that crashed server-side. The panic was
+	// recovered and converted to a wire error instead of a torn
+	// connection; retrying the same deterministic job would panic again,
+	// so it is fatal.
+	ErrJobPanic = errors.New("cloudsim: job panicked on server")
 )
+
+// IsTransient reports whether err is worth retrying against the same or
+// another server: transport faults (dial/reset/EOF/deadline) and graceful
+// server shutdown are; protocol mismatches, wire corruption, server-side
+// panics, and the caller's own context cancellation are not.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	// The caller's own cancellation must win over any transport-level
+	// symptom it caused (closed connections surface as net errors).
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrProtocolVersion) || errors.Is(err, ErrFrameTooLarge) ||
+		errors.Is(err, ErrUnknownFrame) || errors.Is(err, ErrJobPanic) {
+		return false
+	}
+	if errors.Is(err, ErrServerShutdown) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // Error codes carried in v2 msgError payloads (first byte) so wire-borne
 // server failures map back onto the sentinels client-side.
 const (
-	errCodeGeneric byte = 0
-	errCodeVersion byte = 1
-	errCodeFrame   byte = 2
-	errCodeUnknown byte = 3
+	errCodeGeneric  byte = 0
+	errCodeVersion  byte = 1
+	errCodeFrame    byte = 2
+	errCodeUnknown  byte = 3
+	errCodeShutdown byte = 4
+	errCodePanic    byte = 5
 )
 
 // errCodeOf classifies an error for the wire.
@@ -36,6 +81,10 @@ func errCodeOf(err error) byte {
 		return errCodeFrame
 	case errors.Is(err, ErrUnknownFrame):
 		return errCodeUnknown
+	case errors.Is(err, ErrServerShutdown):
+		return errCodeShutdown
+	case errors.Is(err, ErrJobPanic):
+		return errCodePanic
 	default:
 		return errCodeGeneric
 	}
@@ -50,6 +99,10 @@ func sentinelFor(code byte) error {
 		return ErrFrameTooLarge
 	case errCodeUnknown:
 		return ErrUnknownFrame
+	case errCodeShutdown:
+		return ErrServerShutdown
+	case errCodePanic:
+		return ErrJobPanic
 	default:
 		return nil
 	}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amalgam/internal/serialize"
@@ -42,6 +43,7 @@ const (
 	msgEvalLabels byte = 15
 	msgEvalTokens byte = 16
 	msgOptState   byte = 17 // both directions: optimiser momentum state dict
+	msgRNGState   byte = 18 // both directions: dropout-stream cursors (bytes dict)
 )
 
 // protocolVersion is the version this binary speaks. Servers accept v1
@@ -52,6 +54,11 @@ const protocolVersion byte = 2
 // protocol tests can lower it without allocating gigabyte payloads; both
 // sides of a connection must agree on it.
 var maxFrame = 1 << 30
+
+// frameAllocChunk bounds how much readFrame allocates up front for one
+// frame: payloads over it grow incrementally as bytes actually arrive, so
+// a forged header cannot reserve a gigabyte before sending a single byte.
+const frameAllocChunk = 1 << 20
 
 // writeFrame emits one frame, failing fast on payloads the peer would
 // reject. Without this check an oversized state dict had its length
@@ -72,6 +79,16 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	return err
 }
 
+// frameEOF classifies an end-of-stream hit while a frame's header had
+// promised more bytes: that is a truncated frame (ErrUnexpectedEOF), not
+// a clean end-of-stream.
+func frameEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -81,11 +98,21 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if uint64(n) > uint64(maxFrame) {
 		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected: %w", n, ErrFrameTooLarge)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	if n <= frameAllocChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, frameEOF(err)
+		}
+		return hdr[0], payload, nil
 	}
-	return hdr[0], payload, nil
+	// Large frame: grow with the bytes that actually arrive instead of
+	// trusting the header's claimed length.
+	var buf bytes.Buffer
+	buf.Grow(frameAllocChunk)
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return 0, nil, frameEOF(err)
+	}
+	return hdr[0], buf.Bytes(), nil
 }
 
 // encodeSpecFrame builds a v2 spec payload: version byte + JSON.
@@ -150,19 +177,132 @@ func reshapeSamples(flat []int, seqLen int) ([][]int, error) {
 	return out, nil
 }
 
+// deadlineConn wraps a net.Conn and refreshes I/O deadlines per
+// Read/Write, so one stalled frame surfaces as os.ErrDeadlineExceeded
+// instead of hanging the peer forever. Zero timeouts disable the
+// corresponding deadline. A hard read deadline (cancel drain) caps the
+// per-read refresh so the refresh cannot extend past it.
+type deadlineConn struct {
+	net.Conn
+
+	mu           sync.Mutex
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	hardRead     time.Time
+}
+
+func newDeadlineConn(c net.Conn, readTimeout, writeTimeout time.Duration) *deadlineConn {
+	return &deadlineConn{Conn: c, readTimeout: readTimeout, writeTimeout: writeTimeout}
+}
+
+// setReadTimeout changes the per-read refresh; 0 disables it (the server
+// does this for the training phase, where a silent client is normal).
+func (c *deadlineConn) setReadTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.readTimeout = d
+	c.mu.Unlock()
+	if d == 0 {
+		_ = c.Conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// setHardReadDeadline bounds ALL further reads, interrupting one already
+// in flight — the cancel-drain bound.
+func (c *deadlineConn) setHardReadDeadline(t time.Time) {
+	c.mu.Lock()
+	c.hardRead = t
+	c.mu.Unlock()
+	_ = c.Conn.SetReadDeadline(t)
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	rt, hard := c.readTimeout, c.hardRead
+	c.mu.Unlock()
+	var d time.Time
+	if rt > 0 {
+		d = time.Now().Add(rt)
+	}
+	if !hard.IsZero() && (d.IsZero() || hard.Before(d)) {
+		d = hard
+	}
+	if !d.IsZero() {
+		if err := c.Conn.SetReadDeadline(d); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	wt := c.writeTimeout
+	c.mu.Unlock()
+	if wt > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// ServerConfig tunes the hardened server.
+type ServerConfig struct {
+	// MaxConns bounds concurrently served connections. Further clients
+	// queue in the kernel accept backlog (backpressure) instead of being
+	// accepted and starved. 0 means the default (256).
+	MaxConns int
+	// FrameTimeout bounds each request-phase frame read and each response
+	// write. It does NOT apply to the server's training-phase cancel
+	// watcher, where a silent client is normal. 0 means the default
+	// (2 minutes); negative disables deadlines entirely.
+	FrameTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = 2 * time.Minute
+	}
+	if c.FrameTimeout < 0 {
+		c.FrameTimeout = 0
+	}
+	return c
+}
+
 // Server is the simulated cloud training service.
 type Server struct {
 	listener net.Listener
+	cfg      ServerConfig
 	wg       sync.WaitGroup
+	sem      chan struct{}
 
-	mu   sync.Mutex
-	seen []ProviderView // provider-side observations, one per job
+	shutdownOnce sync.Once
+	shuttingDown chan struct{}
+
+	mu        sync.Mutex
+	seen      []ProviderView // provider-side observations, one per job
+	acceptErr error
 }
 
-// NewServer starts serving on l. Close the listener to stop; Wait returns
-// when all in-flight jobs finish.
+// NewServer starts serving on l with default hardening (see ServerConfig).
+// Close the listener (or call Shutdown) to stop; Wait returns when all
+// in-flight jobs finish.
 func NewServer(l net.Listener) *Server {
-	s := &Server{listener: l}
+	return NewServerConfig(l, ServerConfig{})
+}
+
+// NewServerConfig starts serving on l with explicit limits.
+func NewServerConfig(l net.Listener, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		listener:     l,
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.MaxConns),
+		shuttingDown: make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -170,32 +310,119 @@ func NewServer(l net.Listener) *Server {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := time.Millisecond
 	for {
+		// Backpressure: take a concurrency slot BEFORE accepting, so at
+		// MaxConns in-flight jobs new clients wait in the kernel backlog
+		// rather than holding an accepted-but-starved connection.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.shuttingDown:
+			return
+		}
 		conn, err := s.listener.Accept()
 		if err != nil {
-			return // listener closed
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			ver, err := s.handle(conn)
-			if err != nil && !errors.Is(err, io.EOF) {
-				// Best effort: report the failure to the client. v2 peers
-				// get a leading error-code byte so sentinels survive the
-				// wire; v1 peers get the bare message they always did.
-				payload := []byte(err.Error())
-				if ver >= 2 {
-					payload = append([]byte{errCodeOf(err)}, payload...)
-				}
-				_ = writeFrame(conn, msgError, payload)
+			<-s.sem
+			if errors.Is(err, net.ErrClosed) {
+				return // clean stop: Shutdown or the owner closed the listener
 			}
-		}()
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				// Transient accept fault (e.g. fd pressure): back off and
+				// keep serving instead of silently dying.
+				select {
+				case <-time.After(backoff):
+				case <-s.shuttingDown:
+					return
+				}
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
+			// Terminal listener failure: surface it via Wait.
+			s.mu.Lock()
+			s.acceptErr = err
+			s.mu.Unlock()
+			return
+		}
+		backoff = time.Millisecond
+		s.wg.Add(1)
+		go s.serveConn(conn)
 	}
 }
 
-// Wait blocks until the accept loop and all handlers exit.
-func (s *Server) Wait() { s.wg.Wait() }
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	defer conn.Close()
+	dc := newDeadlineConn(conn, s.cfg.FrameTimeout, s.cfg.FrameTimeout)
+	ver, err := s.handleRecover(dc)
+	if err != nil && !errors.Is(err, io.EOF) {
+		// Best effort: report the failure to the client. v2 peers get a
+		// leading error-code byte so sentinels survive the wire; v1 peers
+		// get the bare message they always did.
+		payload := []byte(err.Error())
+		if ver >= 2 {
+			payload = append([]byte{errCodeOf(err)}, payload...)
+		}
+		_ = writeFrame(dc, msgError, payload)
+	}
+}
+
+// handleRecover isolates a panicking connection: the crash becomes a wire
+// error frame (fatal — the same deterministic job would crash again)
+// instead of a torn connection taking the whole server down.
+func (s *Server) handleRecover(conn *deadlineConn) (ver byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloudsim: recovered: %v: %w", r, ErrJobPanic)
+		}
+	}()
+	return s.handle(conn)
+}
+
+// Wait blocks until the accept loop and all handlers exit, returning the
+// terminal accept error, if any (nil after a clean close or Shutdown).
+func (s *Server) Wait() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptErr
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// and every in-flight job is signalled to stop at its next epoch
+// boundary. Clients that negotiated failover receive an epoch-aligned
+// checkpoint plus a retryable "server shutting down" error so they can
+// resume elsewhere without losing an epoch; other clients receive the
+// normal cancelled result with their epoch-aligned weights. Shutdown
+// returns once all handlers drain or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		close(s.shuttingDown)
+		_ = s.listener.Close()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) isShuttingDown() bool {
+	select {
+	case <-s.shuttingDown:
+		return true
+	default:
+		return false
+	}
+}
 
 // Views returns the provider-side observations captured so far.
 func (s *Server) Views() []ProviderView {
@@ -207,7 +434,7 @@ func (s *Server) Views() []ProviderView {
 // handle reads one job off the connection and runs it. It returns the
 // negotiated protocol version (0 until a spec frame arrives) so the accept
 // loop can format error frames the peer understands.
-func (s *Server) handle(conn net.Conn) (byte, error) {
+func (s *Server) handle(conn *deadlineConn) (byte, error) {
 	req := &TrainRequest{}
 	var ver byte
 	var tokensFlat, evalTokensFlat []int
@@ -282,6 +509,12 @@ func (s *Server) handle(conn net.Conn) (byte, error) {
 				return ver, fmt.Errorf("cloudsim: bad optimiser state: %w", err)
 			}
 			req.InitOptState = dict
+		case msgRNGState:
+			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad RNG state: %w", err)
+			}
+			req.InitRNG = dict
 		case msgCancel:
 			// Cancelled before the job even started: nothing to train.
 			return ver, fmt.Errorf("cloudsim: job cancelled before submission")
@@ -305,26 +538,53 @@ func (s *Server) handle(conn net.Conn) (byte, error) {
 	}
 }
 
-func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error {
+func (s *Server) runAndRespond(conn *deadlineConn, req *TrainRequest, ver byte) (err error) {
+	// A job that panics (bad spec geometry slipping past validation, a
+	// kernel bug) becomes a classified wire error instead of a torn
+	// connection.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloudsim: job crashed: %v: %w", r, ErrJobPanic)
+		}
+	}()
+
+	// Capture OUTSIDE the lock: a panic on malformed geometry must reach
+	// the recover above with s.mu released, or the whole server deadlocks
+	// on its next Views/Wait/handler.
+	view := CaptureProviderView(req)
 	s.mu.Lock()
-	s.seen = append(s.seen, CaptureProviderView(req))
+	s.seen = append(s.seen, view)
 	s.mu.Unlock()
 
-	ctx := context.Background()
+	// Every job — any protocol version — stops at its next epoch boundary
+	// when the server shuts down.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.shuttingDown:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	// The training phase has no frame cadence the server can bound: a
+	// silent client is normal. Request-phase deadlines come back off.
+	conn.setReadTimeout(0)
+
+	var clientStopped atomic.Bool
 	var progress func(EpochMetric) error
-	var checkpoint func(int, map[string]*tensor.Tensor, map[string]*tensor.Tensor) error
+	var checkpoint func(*Snapshot) error
 	if ver >= 2 {
 		// Watch the connection for a mid-job msgCancel (or disconnect —
 		// a vanished client also stops the job instead of burning cloud
 		// time on a result nobody will read). The watcher is the only
 		// reader and the training loop the only writer, so no locking.
-		cctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		ctx = cctx
 		go func() {
 			for {
 				kind, _, err := readFrame(conn)
 				if err != nil || kind == msgCancel {
+					clientStopped.Store(true)
 					cancel()
 					return
 				}
@@ -343,12 +603,14 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 			if req.Hyper.OptState {
 				// Checkpoint frames carry a full AMC2 training checkpoint —
 				// the same bytes WithCheckpoint writes to disk — so the
-				// client-side snapshot records the job kind and the momentum
-				// buffers alongside the weights.
-				checkpoint = func(epoch int, state, optState map[string]*tensor.Tensor) error {
+				// client-side snapshot records the job kind, the momentum
+				// buffers, and the dropout-stream cursors alongside the
+				// weights.
+				checkpoint = func(snap *Snapshot) error {
 					var buf bytes.Buffer
 					ck := &serialize.TrainCheckpoint{
-						Epoch: epoch, Kind: req.Spec.Kind, State: state, OptState: optState,
+						Epoch: snap.Epoch, Kind: req.Spec.Kind,
+						State: snap.State, OptState: snap.OptState, RNG: snap.RNG,
 					}
 					if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
 						return err
@@ -358,12 +620,12 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 			} else {
 				// v2 client predating the optimiser-state extension: keep
 				// the legacy layout it parses (uint32 epoch + state dict).
-				checkpoint = func(epoch int, state, _ map[string]*tensor.Tensor) error {
+				checkpoint = func(snap *Snapshot) error {
 					var buf bytes.Buffer
-					if err := binary.Write(&buf, binary.LittleEndian, uint32(epoch)); err != nil {
+					if err := binary.Write(&buf, binary.LittleEndian, uint32(snap.Epoch)); err != nil {
 						return err
 					}
-					if err := serialize.WriteStateDict(&buf, state); err != nil {
+					if err := serialize.WriteStateDict(&buf, snap.State); err != nil {
 						return err
 					}
 					return writeFrame(conn, msgCheckpoint, buf.Bytes())
@@ -375,6 +637,25 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 	resp, err := runTraining(ctx, req, progress, checkpoint)
 	if err != nil {
 		return err
+	}
+	if resp.Cancelled && !clientStopped.Load() && s.isShuttingDown() && ver >= 2 && req.Hyper.Failover {
+		// Graceful-shutdown handoff for failover-aware clients: an
+		// epoch-aligned checkpoint (weights + momentum + RNG cursors)
+		// followed by the retryable shutdown error, so the client resumes
+		// on another server without losing an epoch. Legacy clients fall
+		// through to the normal cancelled result below.
+		var buf bytes.Buffer
+		ck := &serialize.TrainCheckpoint{
+			Epoch: resp.CompletedEpochs, Kind: req.Spec.Kind,
+			State: resp.State, OptState: resp.OptState, RNG: resp.RNG,
+		}
+		if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgCheckpoint, buf.Bytes()); err != nil {
+			return err
+		}
+		return fmt.Errorf("cloudsim: job stopped at epoch %d: %w", resp.CompletedEpochs, ErrServerShutdown)
 	}
 	metaJSON, err := json.Marshal(resultMeta{
 		Metrics: resp.Metrics, Seconds: resp.Seconds,
@@ -399,6 +680,16 @@ func (s *Server) runAndRespond(conn net.Conn, req *TrainRequest, ver byte) error
 			return err
 		}
 	}
+	// Dropout-stream cursors likewise, gated by the failover capability.
+	if ver >= 2 && req.Hyper.Failover && len(resp.RNG) > 0 {
+		var rngBuf bytes.Buffer
+		if err := serialize.WriteBytesDict(&rngBuf, resp.RNG); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgRNGState, rngBuf.Bytes()); err != nil {
+			return err
+		}
+	}
 	var buf bytes.Buffer
 	if err := serialize.WriteStateDict(&buf, resp.State); err != nil {
 		return err
@@ -414,9 +705,21 @@ type StreamHandlers struct {
 	// Hyper.Stream is set.
 	Progress func(EpochMetric)
 	// Checkpoint receives mid-job snapshots (weights, job kind, momentum
-	// state) when Hyper.CheckpointEvery > 0 — ready to hand to
-	// serialize.SaveTrainCheckpoint unchanged.
+	// state, RNG cursors) when Hyper.CheckpointEvery > 0 — ready to hand
+	// to serialize.SaveTrainCheckpoint unchanged.
 	Checkpoint func(ck *serialize.TrainCheckpoint)
+}
+
+// NetConfig tunes the client transport.
+type NetConfig struct {
+	// DialTimeout bounds the TCP dial. 0 means unbounded (the ctx still
+	// applies).
+	DialTimeout time.Duration
+	// FrameTimeout bounds each frame-level read/write. It must exceed the
+	// slowest expected epoch: during training the server is silent
+	// between progress frames, so a too-tight bound kills healthy jobs.
+	// 0 disables per-frame deadlines.
+	FrameTimeout time.Duration
 }
 
 // cancelDrainTimeout bounds how long a cancelled client waits for the
@@ -436,20 +739,32 @@ func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
 // resp.Cancelled set) so the caller can checkpoint it — callers decide
 // whether a cancelled job is an error.
 func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamHandlers) (*TrainResponse, error) {
-	conn, err := net.Dial("tcp", addr)
+	return TrainContextNet(ctx, addr, req, h, NetConfig{})
+}
+
+// TrainContextNet is TrainContext with explicit transport bounds (dial
+// and per-frame deadlines) — the building block of RemoteTrainer's retry
+// path, where a hung connection must fail fast enough to be retried.
+func TrainContextNet(ctx context.Context, addr string, req *TrainRequest, h StreamHandlers, net_ NetConfig) (*TrainResponse, error) {
+	d := net.Dialer{Timeout: net_.DialTimeout}
+	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cloudsim: dial: %w", err)
 	}
+	conn := newDeadlineConn(raw, net_.FrameTimeout, net_.FrameTimeout)
 	defer conn.Close()
 
 	specPayload, err := encodeSpecFrame(req.Spec)
 	if err != nil {
 		return nil, err
 	}
-	// This client understands the optimiser-state extension; declare it so
-	// the server sends AMC2 checkpoint frames and the msgOptState result.
+	// This client understands the optimiser-state and failover
+	// extensions; declare them so the server sends AMC2 checkpoint
+	// frames, the msgOptState/msgRNGState result frames, and the
+	// graceful-shutdown handoff.
 	hyper := req.Hyper
 	hyper.OptState = true
+	hyper.Failover = true
 	hyperJSON, err := json.Marshal(hyper)
 	if err != nil {
 		return nil, err
@@ -536,6 +851,16 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 			payload []byte
 		}{msgOptState, optBuf.Bytes()})
 	}
+	if len(req.InitRNG) > 0 {
+		var rngBuf bytes.Buffer
+		if err := serialize.WriteBytesDict(&rngBuf, req.InitRNG); err != nil {
+			return nil, err
+		}
+		frames = append(frames, struct {
+			kind    byte
+			payload []byte
+		}{msgRNGState, rngBuf.Bytes()})
+	}
 	for _, f := range frames {
 		if err := writeFrame(conn, f.kind, f.payload); err != nil {
 			return nil, err
@@ -555,7 +880,7 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 			_ = writeFrame(conn, msgCancel, nil)
 			// Don't wait forever for a wedged server to flush the
 			// partial result.
-			_ = conn.SetReadDeadline(time.Now().Add(cancelDrainTimeout))
+			conn.setHardReadDeadline(time.Now().Add(cancelDrainTimeout))
 		case <-watcherDone:
 		}
 	}()
@@ -603,6 +928,12 @@ func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamH
 				return nil, fmt.Errorf("cloudsim: bad optimiser state frame: %w", err)
 			}
 			resp.OptState = dict
+		case msgRNGState:
+			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad RNG state frame: %w", err)
+			}
+			resp.RNG = dict
 		case msgResult:
 			var meta resultMeta
 			if err := json.Unmarshal(payload, &meta); err != nil {

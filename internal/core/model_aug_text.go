@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"amalgam/internal/autodiff"
 	"amalgam/internal/models"
@@ -275,6 +276,35 @@ func (m *AugmentedTransformerLM) Params() []nn.Param {
 
 // SetTraining toggles training mode.
 func (m *AugmentedTransformerLM) SetTraining(t bool) { m.Orig.SetTraining(t) }
+
+// RNGStates captures the dropout-stream cursors of every stochastic layer
+// (only the original LM has dropout; decoys are embedding+head stacks)
+// under "orig."-prefixed names matching the state-dict convention.
+func (m *AugmentedTransformerLM) RNGStates() (map[string][]byte, error) {
+	inner, err := m.Orig.DropoutStates()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(inner))
+	for name, b := range inner {
+		out["orig."+name] = b
+	}
+	return out, nil
+}
+
+// LoadRNGStates restores cursors captured by RNGStates. Names outside the
+// "orig." namespace are rejected — they cannot belong to this model.
+func (m *AugmentedTransformerLM) LoadRNGStates(states map[string][]byte) error {
+	inner := make(map[string][]byte, len(states))
+	for name, b := range states {
+		rest, ok := strings.CutPrefix(name, "orig.")
+		if !ok {
+			return fmt.Errorf("core: unknown RNG stream %q", name)
+		}
+		inner[rest] = b
+	}
+	return m.Orig.LoadDropoutStates(inner)
+}
 
 // GatherSets returns every sub-network's token gather set (original
 // sub-network first, then decoys) — consumed by the cloud simulator's

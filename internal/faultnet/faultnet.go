@@ -1,0 +1,198 @@
+// Package faultnet provides deterministic fault-injecting net.Listener
+// and net.Conn wrappers for driving every recovery path of the training
+// protocol under test: connections that die after a planned number of
+// bytes (truncating a frame mid-payload), that stall before I/O, that are
+// refused at accept, or that are killed on demand at an epoch boundary.
+//
+// Faults are planned per connection index by a caller-supplied closure,
+// so a test's fault schedule is a pure function of connection order —
+// reproducible under -race and across platforms, with no real-clock or
+// scheduler dependence beyond the delays a plan explicitly requests.
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnPlan scripts the faults of one accepted connection. The zero value
+// is a fully transparent connection.
+type ConnPlan struct {
+	// RefuseConn closes the connection the moment it is accepted: the
+	// peer's dial succeeds (the kernel completed the handshake) but its
+	// first I/O fails — the classic "server died right after connect".
+	RefuseConn bool
+	// CutAfterReadBytes kills the whole connection (both directions)
+	// after this many bytes have been read through it. 0 means no read
+	// cut. Choosing a value inside a frame's payload truncates the frame
+	// mid-read on the peer.
+	CutAfterReadBytes int64
+	// CutAfterWriteBytes is the write-side counterpart.
+	CutAfterWriteBytes int64
+	// ReadDelay stalls every Read, exercising deadline paths.
+	ReadDelay time.Duration
+	// WriteDelay stalls every Write.
+	WriteDelay time.Duration
+}
+
+// Listener wraps an inner listener and applies a per-connection fault
+// plan to everything it accepts.
+type Listener struct {
+	inner net.Listener
+
+	mu    sync.Mutex
+	plan  func(i int) ConnPlan
+	next  int
+	conns []*Conn
+}
+
+// Wrap builds a fault-injecting listener. plan is called with the
+// connection's accept index (0-based) and must be safe for sequential
+// calls; nil plans every connection transparent.
+func Wrap(l net.Listener, plan func(i int) ConnPlan) *Listener {
+	if plan == nil {
+		plan = func(int) ConnPlan { return ConnPlan{} }
+	}
+	return &Listener{inner: l, plan: plan}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	p := l.plan(l.next)
+	l.next++
+	l.mu.Unlock()
+	if p.RefuseConn {
+		_ = c.Close()
+		// Hand the corpse to the server anyway: its handler reads EOF and
+		// moves on, exactly as with a client that vanished post-handshake.
+	}
+	fc := &Conn{Conn: c, plan: p}
+	l.mu.Lock()
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Accepted returns how many connections have been accepted so far.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// KillAll immediately severs every connection accepted so far — the
+// "server host dies at an epoch boundary" fault, triggered from a
+// progress callback at the exact moment under test.
+func (l *Listener) KillAll() {
+	l.mu.Lock()
+	conns := append([]*Conn(nil), l.conns...)
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Kill()
+	}
+}
+
+// Conn is a net.Conn that dies per its plan.
+type Conn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu           sync.Mutex
+	bytesRead    int64
+	bytesWritten int64
+	killed       bool
+}
+
+// Kill severs the connection now, regardless of plan.
+func (c *Conn) Kill() {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) isKilled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// Read implements net.Conn, cutting the connection once the planned read
+// budget is spent. A Read straddling the cut returns the bytes up to it,
+// so a peer mid-frame sees a truncated payload then a dead socket.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.plan.ReadDelay > 0 {
+		time.Sleep(c.plan.ReadDelay)
+	}
+	if c.isKilled() {
+		return 0, io.EOF
+	}
+	if cut := c.plan.CutAfterReadBytes; cut > 0 {
+		c.mu.Lock()
+		left := cut - c.bytesRead
+		c.mu.Unlock()
+		if left <= 0 {
+			c.Kill()
+			return 0, io.ErrUnexpectedEOF
+		}
+		if int64(len(p)) > left {
+			p = p[:left]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.bytesRead += int64(n)
+	spent := c.plan.CutAfterReadBytes > 0 && c.bytesRead >= c.plan.CutAfterReadBytes
+	c.mu.Unlock()
+	if spent {
+		c.Kill()
+	}
+	return n, err
+}
+
+// Write implements net.Conn, cutting after the planned write budget. The
+// straddling Write reports the truncated count with an error, like a
+// socket that died mid-send.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if c.isKilled() {
+		return 0, io.ErrClosedPipe
+	}
+	if cut := c.plan.CutAfterWriteBytes; cut > 0 {
+		c.mu.Lock()
+		left := cut - c.bytesWritten
+		c.mu.Unlock()
+		if left <= 0 {
+			c.Kill()
+			return 0, io.ErrClosedPipe
+		}
+		if int64(len(p)) > left {
+			n, _ := c.Conn.Write(p[:left])
+			c.mu.Lock()
+			c.bytesWritten += int64(n)
+			c.mu.Unlock()
+			c.Kill()
+			return n, io.ErrClosedPipe
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.bytesWritten += int64(n)
+	c.mu.Unlock()
+	return n, err
+}

@@ -1,0 +1,169 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeServer accepts one connection and echoes everything it reads.
+func pipeServer(t *testing.T, l net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func newEchoListener(t *testing.T, plan func(i int) ConnPlan) *Listener {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l := Wrap(inner, plan)
+	t.Cleanup(func() { l.Close() })
+	pipeServer(t, l)
+	return l
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	l := newEchoListener(t, nil)
+	c := dial(t, l.Addr().String())
+	msg := []byte("hello fault-free world")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if l.Accepted() != 1 {
+		t.Fatalf("accepted = %d, want 1", l.Accepted())
+	}
+}
+
+func TestCutAfterReadBytesTruncatesMidMessage(t *testing.T) {
+	// The server-side conn dies after reading 10 bytes: the client's
+	// 16-byte message is truncated and the echo dies with it.
+	l := newEchoListener(t, func(i int) ConnPlan {
+		return ConnPlan{CutAfterReadBytes: 10}
+	})
+	c := dial(t, l.Addr().String())
+	if _, err := c.Write(make([]byte, 16)); err != nil {
+		// A fast cut can surface on the write itself; also acceptable.
+		return
+	}
+	buf := make([]byte, 16)
+	n, err := io.ReadFull(c, buf)
+	if err == nil {
+		t.Fatalf("expected truncated echo, read %d bytes fine", n)
+	}
+	if n > 10 {
+		t.Fatalf("echoed %d bytes through a 10-byte read budget", n)
+	}
+}
+
+func TestCutAfterWriteBytes(t *testing.T) {
+	l := newEchoListener(t, func(i int) ConnPlan {
+		return ConnPlan{CutAfterWriteBytes: 6}
+	})
+	c := dial(t, l.Addr().String())
+	if _, err := c.Write(make([]byte, 64)); err != nil {
+		return // write-side cut surfaced on the client: fine
+	}
+	// The echo dies after 6 bytes.
+	got, _ := io.ReadAll(c)
+	if len(got) > 6 {
+		t.Fatalf("received %d bytes through a 6-byte write budget", len(got))
+	}
+}
+
+func TestRefuseConn(t *testing.T) {
+	l := newEchoListener(t, func(i int) ConnPlan {
+		return ConnPlan{RefuseConn: true}
+	})
+	c := dial(t, l.Addr().String())
+	// Dial succeeds (kernel handshake), but the connection is dead: either
+	// the write or the read must fail quickly.
+	_, werr := c.Write([]byte("ping"))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, rerr := c.Read(make([]byte, 4))
+	if werr == nil && rerr == nil {
+		t.Fatal("refused connection carried traffic")
+	}
+}
+
+func TestKillAllSeversLiveConnections(t *testing.T) {
+	l := newEchoListener(t, nil)
+	c := dial(t, l.Addr().String())
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("pre-kill echo: %v", err)
+	}
+	l.KillAll()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded on a killed connection")
+	}
+	// Server-side reads on the killed conn report EOF, not a timeout.
+	l.mu.Lock()
+	fc := l.conns[0]
+	l.mu.Unlock()
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("killed conn read = %v, want io.EOF", err)
+	}
+}
+
+func TestPlanIndexSelectsConnection(t *testing.T) {
+	// Connection 0 is refused, connection 1 works: a deterministic
+	// "first attempt fails, retry succeeds" schedule.
+	l := newEchoListener(t, func(i int) ConnPlan {
+		if i == 0 {
+			return ConnPlan{RefuseConn: true}
+		}
+		return ConnPlan{}
+	})
+	c0 := dial(t, l.Addr().String())
+	c0.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, werr := c0.Write([]byte("x"))
+	_, rerr := c0.Read(make([]byte, 1))
+	if werr == nil && rerr == nil {
+		t.Fatal("connection 0 should have been refused")
+	}
+	c1 := dial(t, l.Addr().String())
+	if _, err := c1.Write([]byte("y")); err != nil {
+		t.Fatalf("write on retry conn: %v", err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c1, got); err != nil || got[0] != 'y' {
+		t.Fatalf("retry conn echo: %v %q", err, got)
+	}
+}

@@ -153,6 +153,50 @@ func (m *TransformerLM) SetTraining(t bool) {
 	}
 }
 
+// DropoutStates captures every dropout layer's RNG cursor under stable
+// names ("drop" for the embedding path, "block<i>.drop" per encoder
+// layer). Together with the weights and optimiser state these make an
+// interrupted Dropout > 0 run resumable bit-identically: the restored
+// streams continue the mask sequence instead of replaying it from the
+// model's build.
+func (m *TransformerLM) DropoutStates() (map[string][]byte, error) {
+	out := make(map[string][]byte, 1+len(m.Blocks))
+	b, err := m.Drop.RNGState()
+	if err != nil {
+		return nil, err
+	}
+	out["drop"] = b
+	for i, blk := range m.Blocks {
+		if b, err = blk.Drop.RNGState(); err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("block%d.drop", i)] = b
+	}
+	return out, nil
+}
+
+// LoadDropoutStates restores cursors captured by DropoutStates. Missing
+// entries leave the corresponding stream untouched (so old checkpoints
+// without the section still load); unknown names or undecodable bytes are
+// errors, since they signal a checkpoint from a different architecture.
+func (m *TransformerLM) LoadDropoutStates(states map[string][]byte) error {
+	known := make(map[string]*nn.Dropout, 1+len(m.Blocks))
+	known["drop"] = m.Drop
+	for i, blk := range m.Blocks {
+		known[fmt.Sprintf("block%d.drop", i)] = blk.Drop
+	}
+	for name, b := range states {
+		d, ok := known[name]
+		if !ok {
+			return fmt.Errorf("models: unknown dropout stream %q", name)
+		}
+		if err := d.SetRNGState(b); err != nil {
+			return fmt.Errorf("models: dropout stream %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
 var _ TextModel = (*TransformerLM)(nil)
 
 // FlattenTargets turns [N][T] target ids into the flat []int label layout

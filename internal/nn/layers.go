@@ -252,6 +252,13 @@ func (d *Dropout) Params() []Param { return nil }
 // SetTraining toggles dropout on/off.
 func (d *Dropout) SetTraining(training bool) { d.training = training }
 
+// RNGState captures the layer's dropout-stream cursor so a checkpointed
+// run can resume the mask sequence from the interruption point.
+func (d *Dropout) RNGState() ([]byte, error) { return d.rng.MarshalState() }
+
+// SetRNGState restores a cursor captured by RNGState.
+func (d *Dropout) SetRNGState(b []byte) error { return d.rng.UnmarshalState(b) }
+
 var _ Module = (*Dropout)(nil)
 
 // LayerNorm normalises the last dimension.

@@ -88,6 +88,13 @@ type TrainCheckpoint struct {
 	// buffers), keyed like State. Nil when the run used no momentum or
 	// the file predates AMC2.
 	OptState map[string]*tensor.Tensor
+	// RNG holds per-layer random-stream cursors (dropout PCG state) keyed
+	// by stream name ("orig.drop", "orig.block0.drop", ...). It is an
+	// optional trailing AMC2 section: files written before it existed
+	// still load (RNG nil), and old readers ignore the extra bytes. With
+	// it, a resumed Dropout > 0 run replays masks from the interruption
+	// point — the last piece of the bit-identical-resume contract.
+	RNG map[string][]byte
 }
 
 // WriteTrainCheckpoint encodes a training checkpoint in the AMC2 layout:
@@ -121,9 +128,21 @@ func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
 		return err
 	}
 	if hasOpt == 1 {
-		return WriteStateDict(w, ck.OptState)
+		if err := WriteStateDict(w, ck.OptState); err != nil {
+			return err
+		}
 	}
-	return nil
+	// Optional trailing RNG section: a flag byte then a bytes dict. Old
+	// readers stop before it (trailing bytes are never read); new readers
+	// treat EOF at the flag as a file without the section.
+	if len(ck.RNG) == 0 {
+		_, err := w.Write([]byte{0})
+		return err
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return err
+	}
+	return WriteBytesDict(w, ck.RNG)
 }
 
 // ReadTrainCheckpoint decodes an AMC2 checkpoint, or a legacy AMC1 one
@@ -176,6 +195,25 @@ func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
 			return nil, fmt.Errorf("serialize: optimiser state: %w", err)
 		}
 		ck.OptState = opt
+	}
+	if magic == ckptMagicV2 {
+		// Optional trailing RNG section; EOF here means the file predates
+		// it (written before cursors were checkpointed) and is fine.
+		flag, err := br.ReadByte()
+		switch {
+		case err == io.EOF:
+			return ck, nil
+		case err != nil:
+			return nil, fmt.Errorf("serialize: read RNG flag: %w", err)
+		case flag == 1:
+			rng, err := readBytesDictFrom(br)
+			if err != nil {
+				return nil, fmt.Errorf("serialize: RNG state: %w", err)
+			}
+			ck.RNG = rng
+		case flag != 0:
+			return nil, fmt.Errorf("serialize: bad RNG flag %d", flag)
+		}
 	}
 	return ck, nil
 }

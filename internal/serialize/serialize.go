@@ -28,13 +28,15 @@ import (
 var ErrWrongFormat = errors.New("serialize: wrong format")
 
 const (
-	tensorMagic = 0x414d5431 // "AMT1"
-	dictMagic   = 0x414d4431 // "AMD1"
-	version     = 1
-	maxDims     = 8
-	maxNameLen  = 1 << 12
-	maxElements = 1 << 31
-	maxDictSize = 1 << 20
+	tensorMagic  = 0x414d5431 // "AMT1"
+	dictMagic    = 0x414d4431 // "AMD1"
+	bytesMagic   = 0x414d4231 // "AMB1"
+	version      = 1
+	maxDims      = 8
+	maxNameLen   = 1 << 12
+	maxElements  = 1 << 31
+	maxDictSize  = 1 << 20
+	maxBytesItem = 1 << 16
 )
 
 // WriteTensor encodes t.
@@ -190,6 +192,85 @@ func readStateDictFrom(r io.Reader) (map[string]*tensor.Tensor, error) {
 			return nil, fmt.Errorf("serialize: entry %q: %w", name, err)
 		}
 		out[name] = t
+	}
+	return out, nil
+}
+
+// WriteBytesDict encodes a name→opaque-bytes map (RNG stream cursors) in
+// deterministic sorted order. The layout parallels the state dict: magic,
+// version, count, then (name, length-prefixed bytes) entries.
+func WriteBytesDict(w io.Writer, dict map[string][]byte) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, bytesMagic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(dict))
+	for k := range dict {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		b := dict[name]
+		if len(b) > maxBytesItem {
+			return fmt.Errorf("serialize: bytes entry %q length %d exceeds %d", name, len(b), maxBytesItem)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(b))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBytesDict decodes a map written by WriteBytesDict.
+func ReadBytesDict(r io.Reader) (map[string][]byte, error) {
+	return readBytesDictFrom(bufio.NewReader(r))
+}
+
+// readBytesDictFrom decodes a bytes dict without adding buffering — like
+// readStateDictFrom, for callers decoding several sections from one
+// buffered stream.
+func readBytesDictFrom(r io.Reader) (map[string][]byte, error) {
+	if err := readHeader(r, bytesMagic); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxDictSize {
+		return nil, fmt.Errorf("serialize: bytes dict with %d entries rejected", n)
+	}
+	out := make(map[string][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var ln uint32
+		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			return nil, err
+		}
+		if ln > maxBytesItem {
+			return nil, fmt.Errorf("serialize: bytes entry %q length %d rejected", name, ln)
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("serialize: entry %q: %w", name, err)
+		}
+		out[name] = b
 	}
 	return out, nil
 }

@@ -9,12 +9,28 @@ import (
 // synthesis, and noise generation. It wraps math/rand/v2's PCG so streams
 // are reproducible across platforms and Go releases.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src *rand.PCG
 }
 
 // NewRNG returns a deterministic generator seeded from seed.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{r: rand.New(src), src: src}
+}
+
+// MarshalState captures the generator's exact stream position as opaque
+// bytes (the underlying PCG cursor). A generator restored with
+// UnmarshalState continues the identical draw sequence — the mechanism
+// behind checkpointing dropout streams so a resumed run replays randomness
+// from the interruption point rather than from the model's build.
+func (g *RNG) MarshalState() ([]byte, error) {
+	return g.src.MarshalBinary()
+}
+
+// UnmarshalState restores a stream position captured by MarshalState.
+func (g *RNG) UnmarshalState(b []byte) error {
+	return g.src.UnmarshalBinary(b)
 }
 
 // Split derives an independent child stream; the parent is unaffected in a

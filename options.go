@@ -2,6 +2,7 @@ package amalgam
 
 import (
 	"fmt"
+	"time"
 
 	"amalgam/internal/tensor"
 )
@@ -77,9 +78,58 @@ type runOptions struct {
 	// checkpoint; trainers seed the optimiser with it so a resumed run is
 	// bit-identical to an uninterrupted one, not merely convergent.
 	resumeOptState map[string]*tensor.Tensor
+	// resumeRNG holds the dropout-stream cursors recovered from the
+	// resume checkpoint, so a resumed Dropout > 0 run replays masks from
+	// the interruption point.
+	resumeRNG      map[string][]byte
 	evalSet        EvalDataset
 	shuffleSeed    uint64
 	shuffleSeedSet bool
+	retry          *RetryPolicy
+}
+
+// RetryPolicy configures RemoteTrainer's fault tolerance: how many times
+// to retry after a transient failure, how long to back off between
+// attempts, and how tightly to bound each attempt's network I/O.
+type RetryPolicy struct {
+	// MaxRetries is the number of retry attempts AFTER the first try.
+	// 0 with WithRetry still enables per-epoch resume snapshots but never
+	// retries.
+	MaxRetries int
+	// BaseDelay seeds the capped exponential backoff (default 100ms):
+	// attempt k waits about BaseDelay·2^k, jittered, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+	// DialTimeout bounds each attempt's TCP dial. 0 leaves it unbounded
+	// (the run context still applies).
+	DialTimeout time.Duration
+	// FrameTimeout bounds each frame-level read/write. It MUST exceed the
+	// slowest expected epoch — during training the server is silent
+	// between progress frames. 0 disables per-frame deadlines.
+	FrameTimeout time.Duration
+	// Seed drives the backoff jitter deterministically (reproducible
+	// retry schedules in tests). The zero seed is a valid seed.
+	Seed uint64
+}
+
+// WithRetry makes RemoteTrainer survive transient faults: dial failures,
+// dropped connections, I/O deadlines, and graceful server shutdown are
+// retried with capped exponential backoff, resuming from the last
+// epoch-boundary snapshot streamed over the wire (falling back to the
+// WithCheckpoint file when configured), so a killed connection re-trains
+// no batch twice and the final weights are bit-identical to an unbroken
+// run. Fatal errors — protocol version skew, corrupted frames, checkpoint
+// kind mismatches, server-side job panics, the caller's own cancellation —
+// are never retried. LocalTrainer ignores the option.
+func WithRetry(p RetryPolicy) TrainOption {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return func(o *runOptions) { o.retry = &p }
 }
 
 // WithProgress registers a callback invoked synchronously after every

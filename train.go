@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"amalgam/internal/cloudsim"
 	"amalgam/internal/serialize"
@@ -17,6 +18,12 @@ import (
 // the mismatch is detected up front with errors.Is instead of surfacing
 // as a confusing state-dict shape failure deep in the load.
 var ErrCheckpointKind = errors.New("amalgam: checkpoint job kind mismatch")
+
+// ErrRetriesExhausted terminates a WithRetry run whose every attempt hit
+// a transient fault: the policy's budget ran out before a connection
+// survived to completion. The last transport error is wrapped alongside,
+// so errors.Is works against both.
+var ErrRetriesExhausted = errors.New("amalgam: retries exhausted")
 
 // Trainer runs an obfuscated job to completion. Run returns immediately
 // with a stream of per-epoch statistics; the channel is buffered for the
@@ -67,6 +74,7 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 	}
 	eng := o.engine
 	eng.InitOptState = ro.resumeOptState
+	eng.InitRNG = ro.resumeRNG
 	if ro.evalSet != nil {
 		acc, _, err := o.makeEval(ro.evalSet)
 		if err != nil {
@@ -79,11 +87,12 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 	ch := make(chan EpochStats, cfg.Epochs-start+1)
 	go func() {
 		defer close(ch)
-		var checkpoint func(int, map[string]*tensor.Tensor, map[string]*tensor.Tensor) error
+		var checkpoint func(*cloudsim.Snapshot) error
 		if ro.checkpointPath != "" {
-			checkpoint = func(epoch int, state, optState map[string]*tensor.Tensor) error {
+			checkpoint = func(snap *cloudsim.Snapshot) error {
 				return serialize.SaveTrainCheckpoint(ro.checkpointPath, &serialize.TrainCheckpoint{
-					Epoch: epoch, Kind: o.kind, State: state, OptState: optState,
+					Epoch: snap.Epoch, Kind: o.kind,
+					State: snap.State, OptState: snap.OptState, RNG: snap.RNG,
 				})
 			}
 		}
@@ -104,6 +113,11 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 // ctx sends a cancel frame; the service stops at the next epoch boundary
 // and returns the weights so far, which land in the checkpoint path (when
 // configured) before the stream terminates with ctx.Err().
+//
+// With WithRetry, transient transport faults (dropped connections, dial
+// failures, I/O deadlines, graceful server shutdown) are retried with
+// capped exponential backoff, resuming from the last epoch-boundary
+// snapshot — see RetryPolicy.
 type RemoteTrainer struct {
 	// Addr is the service's TCP address, e.g. "127.0.0.1:7009".
 	Addr string
@@ -123,6 +137,7 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 		return nil, err
 	}
 	req.InitOptState = ro.resumeOptState
+	req.InitRNG = ro.resumeRNG
 	if ro.evalSet != nil {
 		_, attach, err := o.makeEval(ro.evalSet)
 		if err != nil {
@@ -136,18 +151,7 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 	ch := make(chan EpochStats, cfg.Epochs-start+1)
 	go func() {
 		defer close(ch)
-		progress := ro.emitProgress(ch)
-		h := cloudsim.StreamHandlers{
-			Progress: func(m cloudsim.EpochMetric) { _ = progress(m) },
-		}
-		if ro.checkpointPath != "" {
-			h.Checkpoint = func(ck *serialize.TrainCheckpoint) {
-				// Mid-job snapshots are best-effort; the final state below
-				// is written with error checking.
-				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, ck)
-			}
-		}
-		resp, err := cloudsim.TrainContext(ctx, t.Addr, req, h)
+		resp, err := t.runRemote(ctx, req, ro, cfg, start, ch)
 		if err != nil {
 			ch <- EpochStats{Err: err}
 			return
@@ -159,6 +163,107 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 		finishRun(ctx, ch, ro, o.kind, resp)
 	}()
 	return ch, nil
+}
+
+// runRemote drives one job over the wire, retrying transient faults under
+// the run's RetryPolicy. Each attempt resumes from the latest
+// epoch-boundary snapshot the client has seen (streamed msgCheckpoint
+// frames held in memory, seeded from the WithResume file on the first
+// attempt), so no batch is ever trained twice and the final weights are
+// bit-identical to an unbroken run.
+func (t RemoteTrainer) runRemote(ctx context.Context, req *cloudsim.TrainRequest, ro *runOptions,
+	cfg TrainConfig, start int, ch chan<- EpochStats) (*cloudsim.TrainResponse, error) {
+
+	progress := ro.emitProgress(ch)
+	if ro.retry == nil {
+		h := cloudsim.StreamHandlers{
+			Progress: func(m cloudsim.EpochMetric) { _ = progress(m) },
+		}
+		if ro.checkpointPath != "" {
+			h.Checkpoint = func(ck *serialize.TrainCheckpoint) {
+				// Mid-job snapshots are best-effort; the final state is
+				// written with error checking by finishRun.
+				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, ck)
+			}
+		}
+		return cloudsim.TrainContext(ctx, t.Addr, req, h)
+	}
+
+	pol := *ro.retry
+	// Per-epoch wire snapshots feed the in-memory resume point; disk
+	// writes keep the user's WithCheckpoint cadence.
+	req.Hyper.CheckpointEvery = 1
+	var snap *serialize.TrainCheckpoint
+	// A retried attempt replays epochs the server already reported;
+	// emit each epoch's stats exactly once.
+	lastEmitted := start
+	h := cloudsim.StreamHandlers{
+		Progress: func(m cloudsim.EpochMetric) {
+			if m.Epoch > lastEmitted {
+				lastEmitted = m.Epoch
+				_ = progress(m)
+			}
+		},
+		Checkpoint: func(ck *serialize.TrainCheckpoint) {
+			snap = ck
+			if ro.checkpointPath != "" && ro.checkpointEvery > 0 && ck.Epoch%ro.checkpointEvery == 0 {
+				_ = serialize.SaveTrainCheckpoint(ro.checkpointPath, ck)
+			}
+		},
+	}
+	netCfg := cloudsim.NetConfig{DialTimeout: pol.DialTimeout, FrameTimeout: pol.FrameTimeout}
+	jitter := tensor.NewRNG(pol.Seed)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := cloudsim.TrainContextNet(ctx, t.Addr, req, h, netCfg)
+		if err == nil {
+			return resp, nil
+		}
+		if !cloudsim.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= pol.MaxRetries {
+			return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, lastErr)
+		}
+		if err := sleepBackoff(ctx, &pol, attempt, jitter); err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			if snap.Epoch >= cfg.Epochs {
+				// The server finished every epoch but the connection died
+				// before the final state frame arrived: the snapshot IS the
+				// final state — complete locally instead of resuming with an
+				// out-of-range start epoch.
+				return &cloudsim.TrainResponse{
+					State: snap.State, OptState: snap.OptState, RNG: snap.RNG,
+					CompletedEpochs: snap.Epoch,
+				}, nil
+			}
+			req.Hyper.StartEpoch = snap.Epoch
+			req.InitState = snap.State
+			req.InitOptState = snap.OptState
+			req.InitRNG = snap.RNG
+		}
+	}
+}
+
+// sleepBackoff waits out attempt's capped exponential backoff with
+// deterministic seeded jitter (half to full delay), honouring ctx.
+func sleepBackoff(ctx context.Context, pol *RetryPolicy, attempt int, jitter *tensor.RNG) error {
+	delay := pol.BaseDelay << uint(attempt)
+	if delay > pol.MaxDelay || delay <= 0 {
+		delay = pol.MaxDelay
+	}
+	delay = delay/2 + time.Duration(jitter.Float64()*float64(delay/2))
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // prepareRun folds the options, validates the config, and applies
@@ -213,7 +318,7 @@ func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, kind s
 	if ro.checkpointPath != "" {
 		err := serialize.SaveTrainCheckpoint(ro.checkpointPath, &serialize.TrainCheckpoint{
 			Epoch: resp.CompletedEpochs, Kind: kind,
-			State: resp.State, OptState: resp.OptState,
+			State: resp.State, OptState: resp.OptState, RNG: resp.RNG,
 		})
 		if err != nil {
 			ch <- EpochStats{Err: err}
@@ -251,6 +356,7 @@ func loadResume(ro *runOptions, o *jobOps) (int, error) {
 		return 0, fmt.Errorf("amalgam: resume from %s: %w", ro.resumePath, err)
 	}
 	ro.resumeOptState = ck.OptState
+	ro.resumeRNG = ck.RNG
 	return ck.Epoch, nil
 }
 
