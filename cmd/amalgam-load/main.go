@@ -1,0 +1,217 @@
+// Command amalgam-load is a load generator for the multi-tenant training
+// service: it submits a burst of small jobs from several tenants through
+// the async submit/attach protocol, drives them to completion, and
+// reports throughput plus submit/end-to-end latency percentiles as JSON.
+//
+//	amalgam-load                                  # self-served in-process service
+//	amalgam-load -jobs 200 -tenants 4 -executors 4
+//	amalgam-load -addr 127.0.0.1:7009             # load an external service
+//	amalgam-load -json bench.json                 # write the report to a file
+//
+// Without -addr it starts its own service on a loopback port (with
+// -executors/-queue-depth applied), so one command measures the whole
+// stack: framing, admission control, fair-share scheduling, executor
+// pool, attach streaming.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"amalgam/internal/cloudsim"
+	"amalgam/internal/data"
+)
+
+type latencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+type report struct {
+	Jobs        int     `json:"jobs"`
+	Tenants     int     `json:"tenants"`
+	Executors   int     `json:"executors"`
+	Concurrency int     `json:"concurrency"`
+	Epochs      int     `json:"epochs"`
+	Samples     int     `json:"samples"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// Submit is the admission round-trip: dial → request frames → ack.
+	Submit latencySummary `json:"submit"`
+	// E2E spans submit start → attach returns the final weights.
+	E2E latencySummary `json:"e2e"`
+	// States counts terminal job states; a clean run is all "done".
+	States map[string]int `json:"states"`
+	// Rejects counts transient admission rejects that were retried.
+	Rejects int `json:"rejects"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amalgam-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "service address; empty self-serves an in-process service")
+	jobs := flag.Int("jobs", 200, "total jobs to submit")
+	tenants := flag.Int("tenants", 4, "tenants to spread the jobs across")
+	executors := flag.Int("executors", 4, "self-served service: executor pool size")
+	queueDepth := flag.Int("queue-depth", 0, "self-served service: admission queue depth (0 = default)")
+	epochs := flag.Int("epochs", 1, "epochs per job")
+	samples := flag.Int("samples", 8, "synthetic samples per job")
+	concurrency := flag.Int("concurrency", 16, "concurrent submitting clients")
+	jsonPath := flag.String("json", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		server := cloudsim.NewServerConfig(l, cloudsim.ServerConfig{
+			Executors: *executors, QueueDepth: *queueDepth,
+		})
+		defer func() {
+			l.Close()
+			_ = server.Wait()
+		}()
+		target = l.Addr().String()
+	}
+
+	ds := data.GenerateImages(data.ImageConfig{
+		Name: "load", N: *samples, C: 1, H: 12, W: 12, Classes: 2, Seed: 9, Noise: 0.05})
+	mkReq := func(tenant string, seed uint64) *cloudsim.TrainRequest {
+		return &cloudsim.TrainRequest{
+			Spec: cloudsim.ModelSpec{
+				Kind: "plain-cv", Model: "lenet", InC: 1, OrigH: 12, OrigW: 12,
+				Classes: 2, ModelSeed: seed, Tenant: tenant,
+			},
+			Hyper: cloudsim.Hyper{
+				Epochs: *epochs, BatchSize: 4, LR: 0.05, Momentum: 0.9,
+				Shuffle: true, ShuffleSeed: seed, Stream: true,
+			},
+			Images: ds.Images,
+			Labels: ds.Labels,
+		}
+	}
+
+	type result struct {
+		submit, e2e time.Duration
+		state       string
+		rejects     int
+		err         error
+	}
+	results := make([]result, *jobs)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				r := &results[i]
+				req := mkReq(fmt.Sprintf("tenant-%d", i%*tenants), uint64(i%8)+1)
+				t0 := time.Now()
+				var id string
+				for {
+					var err error
+					id, err = cloudsim.SubmitContext(ctx, target, req, cloudsim.NetConfig{})
+					if err == nil {
+						break
+					}
+					// Admission rejects are backpressure by contract: back
+					// off briefly and resubmit.
+					if errors.Is(err, cloudsim.ErrQueueFull) || errors.Is(err, cloudsim.ErrTenantQuota) {
+						r.rejects++
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					r.err = err
+					break
+				}
+				if r.err != nil {
+					continue
+				}
+				r.submit = time.Since(t0)
+				resp, err := cloudsim.AttachContext(ctx, target,
+					cloudsim.AttachRequest{JobID: id}, cloudsim.StreamHandlers{}, cloudsim.NetConfig{})
+				if err != nil {
+					r.err = err
+					continue
+				}
+				r.e2e = time.Since(t0)
+				switch {
+				case resp.Cancelled:
+					r.state = "cancelled"
+				default:
+					r.state = "done"
+				}
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Jobs: *jobs, Tenants: *tenants, Executors: *executors,
+		Concurrency: *concurrency, Epochs: *epochs, Samples: *samples,
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(*jobs) / wall.Seconds(),
+		States:      map[string]int{},
+	}
+	var submits, e2es []time.Duration
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return fmt.Errorf("job %d: %w", i, r.err)
+		}
+		rep.States[r.state]++
+		rep.Rejects += r.rejects
+		submits = append(submits, r.submit)
+		e2es = append(e2es, r.e2e)
+	}
+	rep.Submit = summarise(submits)
+	rep.E2E = summarise(e2es)
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	if *jsonPath != "" {
+		return os.WriteFile(*jsonPath, js, 0o644)
+	}
+	_, err = os.Stdout.Write(js)
+	return err
+}
+
+func summarise(ds []time.Duration) latencySummary {
+	if len(ds) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(p float64) float64 {
+		i := int(p * float64(len(ds)-1))
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	return latencySummary{P50Ms: at(0.50), P99Ms: at(0.99), MaxMs: at(1.0)}
+}

@@ -73,11 +73,18 @@ func run() error {
 	checkpoint := flag.String("checkpoint", "", "checkpoint path: writes per-epoch snapshots and resumes from an existing file")
 	retries := flag.Int("retries", 0, "retry budget for transient faults (dropped connections, server shutdown); 0 disables retrying")
 	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay of the capped exponential retry backoff")
+	maxConns := flag.Int("max-conns", 0, "serve: max concurrently served connections (0 = default 256)")
+	frameTimeout := flag.Duration("frame-timeout", 0, "serve: per-frame I/O deadline (0 = default 2m, negative disables)")
+	executors := flag.Int("executors", 0, "serve: concurrent training executors, each on a fair slice of the worker pool (0 = default 4)")
+	queueDepth := flag.Int("queue-depth", 0, "serve: max admitted-but-not-dispatched jobs before submissions are rejected (0 = default 256)")
 	flag.Parse()
 
 	switch {
 	case *serve != "":
-		return serveService(*serve)
+		return serveService(*serve, cloudsim.ServerConfig{
+			MaxConns: *maxConns, FrameTimeout: *frameTimeout,
+			Executors: *executors, QueueDepth: *queueDepth,
+		})
 	case *submit != "":
 		// Ctrl-C cancels the remote job mid-flight; with -checkpoint the
 		// partial state lands on disk and a re-run resumes it.
@@ -105,13 +112,13 @@ func run() error {
 // gracefully: no new connections, in-flight jobs stop at their next epoch
 // boundary (failover-aware clients get an epoch-aligned checkpoint and a
 // retryable error so they can resume elsewhere).
-func serveService(addr string) error {
+func serveService(addr string, cfg cloudsim.ServerConfig) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Println("amalgam-train: serving on", l.Addr())
-	server := cloudsim.NewServer(l)
+	server := cloudsim.NewServerConfig(l, cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -175,3 +175,70 @@ func ExampleRemoteTrainer() {
 	// progress frames streamed: 2
 	// extraction verified bit-for-bit
 }
+
+// ExampleRemoteTrainer_Submit uses the service asynchronously: Submit
+// returns a durable job ID immediately, Poll watches the scheduler's
+// state machine from any connection, and Attach replays the buffered
+// per-epoch stats and loads the trained weights back into the job. The
+// job lives server-side between calls — disconnecting loses nothing.
+func ExampleRemoteTrainer_Submit() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := cloudsim.NewServer(l) // stands in for `amalgam-train -serve`
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+	tr := amalgam.RemoteTrainer{Addr: l.Addr().String(), Tenant: "alice"}
+
+	ds := amalgam.SyntheticMNIST(16, 1)
+	model, err := amalgam.BuildCV("lenet", 7, amalgam.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := amalgam.Obfuscate(model, ds, amalgam.Options{
+		Amount: 0.5, SubNets: 2, Seed: 5, ModelName: "lenet"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	id, err := tr.Submit(context.Background(), job,
+		amalgam.TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.05, Momentum: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	info, err := tr.Poll(context.Background(), id)
+	for err == nil && !info.Done() {
+		time.Sleep(5 * time.Millisecond)
+		info, err = tr.Poll(context.Background(), id)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job reached %q under tenant %q after %d epochs\n", info.State, info.Tenant, info.CompletedEpochs)
+
+	ch, err := tr.Attach(context.Background(), job, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed := 0
+	for st := range ch {
+		if st.Err != nil {
+			log.Fatal(st.Err)
+		}
+		replayed++
+	}
+	fmt.Printf("epoch stats replayed: %d\n", replayed)
+
+	if _, err := job.Extract("lenet", 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extraction verified bit-for-bit")
+	// Output:
+	// job reached "done" under tenant "alice" after 2 epochs
+	// epoch stats replayed: 2
+	// extraction verified bit-for-bit
+}

@@ -1,0 +1,436 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"amalgam/internal/serialize"
+	"amalgam/internal/tensor"
+)
+
+// StreamHandlers receives server-pushed frames during TrainContext or
+// AttachContext. Both hooks are optional and are called from the reading
+// goroutine in arrival order.
+type StreamHandlers struct {
+	// Progress receives one EpochMetric per completed epoch when
+	// Hyper.Stream is set (always on an attach stream).
+	Progress func(EpochMetric)
+	// Checkpoint receives mid-job snapshots (weights, job kind, momentum
+	// state, RNG cursors) when Hyper.CheckpointEvery > 0 — ready to hand
+	// to serialize.SaveTrainCheckpoint unchanged.
+	Checkpoint func(ck *serialize.TrainCheckpoint)
+}
+
+// NetConfig tunes the client transport.
+type NetConfig struct {
+	// DialTimeout bounds the TCP dial. 0 means unbounded (the ctx still
+	// applies).
+	DialTimeout time.Duration
+	// FrameTimeout bounds each frame-level read/write. It must exceed the
+	// slowest expected epoch: during training the server is silent
+	// between progress frames, so a too-tight bound kills healthy jobs.
+	// 0 disables per-frame deadlines.
+	FrameTimeout time.Duration
+}
+
+// cancelDrainTimeout bounds how long a cancelled client waits for the
+// server to flush its final (partial) result and state.
+var cancelDrainTimeout = 30 * time.Second
+
+// Train submits a job to a remote service and waits for the result — the
+// user-side upload/train/download loop of Fig. 1.
+func Train(addr string, req *TrainRequest) (*TrainResponse, error) {
+	return TrainContext(context.Background(), addr, req, StreamHandlers{})
+}
+
+// TrainContext submits a job and streams server-pushed progress and
+// checkpoint frames into h while waiting for the result. Cancelling ctx
+// sends msgCancel; the server stops at the next epoch boundary and returns
+// the epoch-aligned partial state, which TrainContext still delivers (with
+// resp.Cancelled set) so the caller can checkpoint it — callers decide
+// whether a cancelled job is an error.
+func TrainContext(ctx context.Context, addr string, req *TrainRequest, h StreamHandlers) (*TrainResponse, error) {
+	return TrainContextNet(ctx, addr, req, h, NetConfig{})
+}
+
+// dialFrames opens the framed transport to a service.
+func dialFrames(ctx context.Context, addr string, net_ NetConfig) (*deadlineConn, error) {
+	d := net.Dialer{Timeout: net_.DialTimeout}
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloudsim: dial: %w", err)
+	}
+	return newDeadlineConn(raw, net_.FrameTimeout, net_.FrameTimeout), nil
+}
+
+// frame is one staged request frame.
+type frame struct {
+	kind    byte
+	payload []byte
+}
+
+// requestFrames serializes a request (spec through init state) under the
+// given hyper-parameters. The terminator (msgDone or msgSubmit) is the
+// caller's: it decides blocking vs async.
+func requestFrames(req *TrainRequest, hyper Hyper) ([]frame, error) {
+	specPayload, err := encodeSpecFrame(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	hyperJSON, err := json.Marshal(hyper)
+	if err != nil {
+		return nil, err
+	}
+	frames := []frame{
+		{msgSpec, specPayload},
+		{msgHyper, hyperJSON},
+	}
+	addIntSlice := func(kind byte, s []int) error {
+		var buf bytes.Buffer
+		if err := serialize.WriteIntSlice(&buf, s); err != nil {
+			return err
+		}
+		frames = append(frames, frame{kind, buf.Bytes()})
+		return nil
+	}
+	addTensor := func(kind byte, t *tensor.Tensor) error {
+		var buf bytes.Buffer
+		if err := serialize.WriteTensor(&buf, t); err != nil {
+			return err
+		}
+		frames = append(frames, frame{kind, buf.Bytes()})
+		return nil
+	}
+	if err := addIntSlice(msgLabels, req.Labels); err != nil {
+		return nil, err
+	}
+	if req.Images != nil {
+		if err := addTensor(msgImages, req.Images); err != nil {
+			return nil, err
+		}
+	}
+	if len(req.Samples) > 0 {
+		if err := addIntSlice(msgTokens, flattenSamples(req.Samples)); err != nil {
+			return nil, err
+		}
+	}
+	if req.EvalImages != nil {
+		if err := addTensor(msgEvalImages, req.EvalImages); err != nil {
+			return nil, err
+		}
+		if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
+			return nil, err
+		}
+	}
+	if len(req.EvalSamples) > 0 {
+		if err := addIntSlice(msgEvalTokens, flattenSamples(req.EvalSamples)); err != nil {
+			return nil, err
+		}
+		// LM eval splits are unlabelled windows; only classification jobs
+		// have eval labels to ship.
+		if len(req.EvalLabels) > 0 {
+			if err := addIntSlice(msgEvalLabels, req.EvalLabels); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if req.InitState != nil {
+		var initBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&initBuf, req.InitState); err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame{msgInit, initBuf.Bytes()})
+	}
+	if len(req.InitOptState) > 0 {
+		var optBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&optBuf, req.InitOptState); err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame{msgOptState, optBuf.Bytes()})
+	}
+	if len(req.InitRNG) > 0 {
+		var rngBuf bytes.Buffer
+		if err := serialize.WriteBytesDict(&rngBuf, req.InitRNG); err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame{msgRNGState, rngBuf.Bytes()})
+	}
+	return frames, nil
+}
+
+// writeRequest puts a full request on the wire, ending with terminator.
+func writeRequest(conn *deadlineConn, req *TrainRequest, hyper Hyper, terminator byte) error {
+	frames, err := requestFrames(req, hyper)
+	if err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if err := writeFrame(conn, f.kind, f.payload); err != nil {
+			return err
+		}
+	}
+	return writeFrame(conn, terminator, nil)
+}
+
+// decodeErrorFrame maps a msgError payload back to an error, restoring
+// the sentinel from the v2 code byte when present.
+func decodeErrorFrame(payload []byte) error {
+	msg := payload
+	var sentinel error
+	if len(payload) > 0 && payload[0] < ' ' {
+		// v2 error frames lead with a code byte (all codes are
+		// control-range, never printable ASCII).
+		sentinel = sentinelFor(payload[0])
+		msg = payload[1:]
+	}
+	if sentinel != nil {
+		return fmt.Errorf("cloudsim: server: %s: %w", msg, sentinel)
+	}
+	return fmt.Errorf("cloudsim: server: %s", msg)
+}
+
+// readJobStream consumes a server's job output stream — progress,
+// checkpoint, optimiser/RNG state, result, final state — until the
+// terminating msgState (or msgError) frame.
+func readJobStream(ctx context.Context, conn *deadlineConn, h StreamHandlers) (*TrainResponse, error) {
+	resp := &TrainResponse{}
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		switch kind {
+		case msgProgress:
+			var m EpochMetric
+			if err := json.Unmarshal(payload, &m); err != nil {
+				return nil, err
+			}
+			if h.Progress != nil {
+				h.Progress(m)
+			}
+		case msgCheckpoint:
+			ck, err := serialize.ReadTrainCheckpoint(bytes.NewReader(payload))
+			if errors.Is(err, serialize.ErrWrongFormat) && len(payload) >= 4 {
+				// Legacy layout from a server predating the extension:
+				// uint32 epoch + bare state dict, no kind or optimiser
+				// state.
+				dict, derr := serialize.ReadStateDict(bytes.NewReader(payload[4:]))
+				if derr == nil {
+					ck, err = &serialize.TrainCheckpoint{
+						Epoch: int(binary.LittleEndian.Uint32(payload)), State: dict,
+					}, nil
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad checkpoint frame: %w", err)
+			}
+			if h.Checkpoint != nil {
+				h.Checkpoint(ck)
+			}
+		case msgOptState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad optimiser state frame: %w", err)
+			}
+			resp.OptState = dict
+		case msgRNGState:
+			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, fmt.Errorf("cloudsim: bad RNG state frame: %w", err)
+			}
+			resp.RNG = dict
+		case msgResult:
+			var meta resultMeta
+			if err := json.Unmarshal(payload, &meta); err != nil {
+				return nil, err
+			}
+			resp.Metrics = meta.Metrics
+			resp.Seconds = meta.Seconds
+			resp.Cancelled = meta.Cancelled
+			resp.CompletedEpochs = meta.CompletedEpochs
+		case msgState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return nil, err
+			}
+			resp.State = dict
+			return resp, nil
+		case msgError:
+			return nil, decodeErrorFrame(payload)
+		default:
+			return nil, fmt.Errorf("cloudsim: unexpected response type %d: %w", kind, ErrUnknownFrame)
+		}
+	}
+}
+
+// TrainContextNet is TrainContext with explicit transport bounds (dial
+// and per-frame deadlines) — the building block of RemoteTrainer's retry
+// path, where a hung connection must fail fast enough to be retried.
+func TrainContextNet(ctx context.Context, addr string, req *TrainRequest, h StreamHandlers, net_ NetConfig) (*TrainResponse, error) {
+	conn, err := dialFrames(ctx, addr, net_)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	// This client understands the optimiser-state and failover
+	// extensions; declare them so the server sends AMC2 checkpoint
+	// frames, the msgOptState/msgRNGState result frames, and the
+	// graceful-shutdown handoff.
+	hyper := req.Hyper
+	hyper.OptState = true
+	hyper.Failover = true
+	if err := writeRequest(conn, req, hyper, msgDone); err != nil {
+		return nil, err
+	}
+
+	// All request frames are on the wire; from here the main goroutine
+	// only reads, so the cancel watcher is the sole writer.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = writeFrame(conn, msgCancel, nil)
+			// Don't wait forever for a wedged server to flush the
+			// partial result.
+			conn.setHardReadDeadline(time.Now().Add(cancelDrainTimeout))
+		case <-watcherDone:
+		}
+	}()
+
+	return readJobStream(ctx, conn, h)
+}
+
+// SubmitContext submits a job asynchronously and returns its durable job
+// ID without waiting for training: the scheduler queues the job under its
+// spec's tenant and the connection ends at the ack. Retrieve output later
+// with PollContext/AttachContext on fresh connections. Admission rejects
+// are typed and transient (ErrQueueFull, ErrTenantQuota) — backpressure
+// worth retrying, unlike protocol failures.
+func SubmitContext(ctx context.Context, addr string, req *TrainRequest, net_ NetConfig) (string, error) {
+	conn, err := dialFrames(ctx, addr, net_)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+
+	hyper := req.Hyper
+	hyper.OptState = true
+	hyper.Failover = true
+	hyper.Async = true
+	if err := writeRequest(conn, req, hyper, msgSubmit); err != nil {
+		return "", err
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case msgSubmitAck:
+		var ack submitAck
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			return "", fmt.Errorf("cloudsim: bad submit ack: %w", err)
+		}
+		if ack.JobID == "" {
+			return "", fmt.Errorf("cloudsim: submit ack carries no job ID")
+		}
+		return ack.JobID, nil
+	case msgError:
+		return "", decodeErrorFrame(payload)
+	default:
+		return "", fmt.Errorf("cloudsim: unexpected response type %d: %w", kind, ErrUnknownFrame)
+	}
+}
+
+// PollContext asks a service for one job's status.
+func PollContext(ctx context.Context, addr, jobID string, net_ NetConfig) (JobStatus, error) {
+	return pollFrame(ctx, addr, jobID, msgPoll, net_)
+}
+
+// CancelJobContext cancels a scheduled job by ID: a running job stops at
+// its next epoch boundary (its epoch-aligned result stays attachable), a
+// queued job terminates cancelled without training. The returned status
+// is the post-cancel observation.
+func CancelJobContext(ctx context.Context, addr, jobID string, net_ NetConfig) (JobStatus, error) {
+	return pollFrame(ctx, addr, jobID, msgCancel, net_)
+}
+
+func pollFrame(ctx context.Context, addr, jobID string, kind byte, net_ NetConfig) (JobStatus, error) {
+	conn, err := dialFrames(ctx, addr, net_)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer conn.Close()
+	js, err := json.Marshal(jobRef{JobID: jobID})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if err := writeFrame(conn, kind, js); err != nil {
+		return JobStatus{}, err
+	}
+	k, payload, err := readFrame(conn)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	switch k {
+	case msgJobStatus:
+		var st JobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return JobStatus{}, fmt.Errorf("cloudsim: bad job status: %w", err)
+		}
+		return st, nil
+	case msgError:
+		return JobStatus{}, decodeErrorFrame(payload)
+	default:
+		return JobStatus{}, fmt.Errorf("cloudsim: unexpected response type %d: %w", k, ErrUnknownFrame)
+	}
+}
+
+// AttachContext attaches to a scheduled job and waits for its result,
+// streaming buffered-then-live progress and checkpoint frames into h.
+// Buffered epochs at or before areq.FromEpoch are skipped — pass the last
+// epoch already seen so a retried attach re-delivers nothing. Cancelling
+// ctx sends msgCancel, which cancels the JOB (matching TrainContext);
+// dropping the connection without it merely detaches, leaving the job
+// running for a later attach.
+func AttachContext(ctx context.Context, addr string, areq AttachRequest, h StreamHandlers, net_ NetConfig) (*TrainResponse, error) {
+	conn, err := dialFrames(ctx, addr, net_)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	// This binary understands the AMC2 and failover frame formats.
+	areq.OptState = true
+	areq.Failover = true
+	js, err := json.Marshal(areq)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, msgAttach, js); err != nil {
+		return nil, err
+	}
+
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = writeFrame(conn, msgCancel, nil)
+			conn.setHardReadDeadline(time.Now().Add(cancelDrainTimeout))
+		case <-watcherDone:
+		}
+	}()
+
+	return readJobStream(ctx, conn, h)
+}

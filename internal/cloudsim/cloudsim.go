@@ -68,6 +68,10 @@ type ModelSpec struct {
 	// LMGELUFF selects the GELU feed-forward variant; absent/false keeps
 	// the default ReLU, so pre-extension specs rebuild identically.
 	LMGELUFF bool `json:"lm_gelu_ff,omitempty"`
+	// Tenant attributes the job to a fair-share scheduling bucket. Empty
+	// (every pre-extension client) buckets under the default tenant, so
+	// legacy specs decode and schedule unchanged.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Hyper holds the training hyper-parameters of a job.
@@ -100,6 +104,11 @@ type Hyper struct {
 	// same way as OptState, so pre-extension clients never see the new
 	// frames.
 	Failover bool `json:"failover,omitempty"`
+	// Async declares that the client understands the async-service
+	// extension and intends to end its request with msgSubmit instead of
+	// msgDone. Negotiated like OptState/Failover: pre-extension clients
+	// never set it and keep the blocking submit+wait conversation.
+	Async bool `json:"async,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the

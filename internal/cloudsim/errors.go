@@ -33,6 +33,17 @@ var (
 	// connection; retrying the same deterministic job would panic again,
 	// so it is fatal.
 	ErrJobPanic = errors.New("cloudsim: job panicked on server")
+	// ErrUnknownJob marks a poll/attach/cancel aimed at a job ID the
+	// scheduler has never issued (or a different server). Retrying the
+	// same ID at the same server cannot succeed, so it is fatal.
+	ErrUnknownJob = errors.New("cloudsim: unknown job ID")
+	// ErrQueueFull is the scheduler's global admission reject: the bounded
+	// queue is at capacity. Backpressure, not failure — transient.
+	ErrQueueFull = errors.New("cloudsim: scheduler queue full")
+	// ErrTenantQuota is the per-tenant admission reject: this tenant
+	// already holds its fair share of queue slots. Also transient — slots
+	// free as the tenant's jobs drain.
+	ErrTenantQuota = errors.New("cloudsim: tenant queue quota exceeded")
 )
 
 // IsTransient reports whether err is worth retrying against the same or
@@ -49,8 +60,14 @@ func IsTransient(err error) bool {
 		return false
 	}
 	if errors.Is(err, ErrProtocolVersion) || errors.Is(err, ErrFrameTooLarge) ||
-		errors.Is(err, ErrUnknownFrame) || errors.Is(err, ErrJobPanic) {
+		errors.Is(err, ErrUnknownFrame) || errors.Is(err, ErrJobPanic) ||
+		errors.Is(err, ErrUnknownJob) {
 		return false
+	}
+	// Admission rejects are backpressure: the queue drains as executors
+	// finish jobs, so a later retry can succeed.
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQuota) {
+		return true
 	}
 	if errors.Is(err, ErrServerShutdown) ||
 		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
@@ -70,6 +87,9 @@ const (
 	errCodeUnknown  byte = 3
 	errCodeShutdown byte = 4
 	errCodePanic    byte = 5
+	errCodeNoJob    byte = 6
+	errCodeQueue    byte = 7
+	errCodeQuota    byte = 8
 )
 
 // errCodeOf classifies an error for the wire.
@@ -85,6 +105,12 @@ func errCodeOf(err error) byte {
 		return errCodeShutdown
 	case errors.Is(err, ErrJobPanic):
 		return errCodePanic
+	case errors.Is(err, ErrUnknownJob):
+		return errCodeNoJob
+	case errors.Is(err, ErrQueueFull):
+		return errCodeQueue
+	case errors.Is(err, ErrTenantQuota):
+		return errCodeQuota
 	default:
 		return errCodeGeneric
 	}
@@ -103,6 +129,12 @@ func sentinelFor(code byte) error {
 		return ErrServerShutdown
 	case errCodePanic:
 		return ErrJobPanic
+	case errCodeNoJob:
+		return ErrUnknownJob
+	case errCodeQueue:
+		return ErrQueueFull
+	case errCodeQuota:
+		return ErrTenantQuota
 	default:
 		return nil
 	}

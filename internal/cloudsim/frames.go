@@ -1,0 +1,297 @@
+package cloudsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: each message is a 1-byte type, a uint32 length, and a
+// payload. A job is a sequence of client messages (spec, hyper, labels,
+// payload tensors/tokens[, eval split][, init state dict]) terminated by
+// msgDone, followed by the server's response. Protocol v2 spec frames lead
+// with a version byte (v1 frames started with the '{' of bare JSON, which
+// is how the two are told apart); v2 servers stream msgProgress frames per
+// epoch, push msgCheckpoint frames on request, and honour a client
+// msgCancel sent mid-job.
+//
+// The async-service extension (negotiated by Hyper.Async, the same way
+// OptState and Failover are) replaces the terminating msgDone with
+// msgSubmit: the server enqueues the job, answers with msgSubmitAck
+// carrying a durable job ID, and closes the connection. The job's output
+// is retrieved later over fresh connections with msgPoll (status) and
+// msgAttach (stream + result). Legacy v1/v2 clients keep sending msgDone
+// and are served byte-for-byte as before — internally an implicit
+// submit+attach on one connection.
+const (
+	msgSpec       byte = 1
+	msgHyper      byte = 2
+	msgLabels     byte = 3
+	msgImages     byte = 4
+	msgInit       byte = 5
+	msgDone       byte = 6 // end of request
+	msgResult     byte = 7
+	msgState      byte = 8
+	msgError      byte = 9
+	msgProgress   byte = 10 // server→client: per-epoch EpochMetric JSON
+	msgCancel     byte = 11 // client→server: stop at the next epoch boundary
+	msgCheckpoint byte = 12 // server→client: uint32 epoch + state dict
+	msgTokens     byte = 13 // client→server: flattened text samples
+	msgEvalImages byte = 14
+	msgEvalLabels byte = 15
+	msgEvalTokens byte = 16
+	msgOptState   byte = 17 // both directions: optimiser momentum state dict
+	msgRNGState   byte = 18 // both directions: dropout-stream cursors (bytes dict)
+	msgSubmit     byte = 19 // end of request, async: enqueue and ack instead of blocking
+	msgSubmitAck  byte = 20 // server→client: submitAck JSON with the job ID
+	msgPoll       byte = 21 // client→server: jobRef JSON, answered by msgJobStatus
+	msgJobStatus  byte = 22 // server→client: JobStatus JSON
+	msgAttach     byte = 23 // client→server: AttachRequest JSON, answered by a result stream
+)
+
+// protocolVersion is the version this binary speaks. Servers accept v1
+// (legacy, blocking) and v2; anything else is ErrProtocolVersion.
+const protocolVersion byte = 2
+
+// maxFrame bounds a single frame's payload. It is a variable only so the
+// protocol tests can lower it without allocating gigabyte payloads; both
+// sides of a connection must agree on it.
+var maxFrame = 1 << 30
+
+// frameAllocChunk bounds how much readFrame allocates up front for one
+// frame: payloads over it grow incrementally as bytes actually arrive, so
+// a forged header cannot reserve a gigabyte before sending a single byte.
+const frameAllocChunk = 1 << 20
+
+// writeFrame emits one frame, failing fast on payloads the peer would
+// reject. Without this check an oversized state dict had its length
+// silently truncated to uint32 (or accepted here and refused by readFrame),
+// corrupting the stream mid-job; now the sender gets a clear error and
+// writes nothing.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cloudsim: frame type %d payload of %d bytes exceeds the %d-byte frame limit: %w",
+			kind, len(payload), maxFrame, ErrFrameTooLarge)
+	}
+	hdr := [5]byte{kind}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameEOF classifies an end-of-stream hit while a frame's header had
+// promised more bytes: that is a truncated frame (ErrUnexpectedEOF), not
+// a clean end-of-stream.
+func frameEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if uint64(n) > uint64(maxFrame) {
+		return 0, nil, fmt.Errorf("cloudsim: frame of %d bytes rejected: %w", n, ErrFrameTooLarge)
+	}
+	if n <= frameAllocChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, frameEOF(err)
+		}
+		return hdr[0], payload, nil
+	}
+	// Large frame: grow with the bytes that actually arrive instead of
+	// trusting the header's claimed length.
+	var buf bytes.Buffer
+	buf.Grow(frameAllocChunk)
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return 0, nil, frameEOF(err)
+	}
+	return hdr[0], buf.Bytes(), nil
+}
+
+// encodeSpecFrame builds a v2 spec payload: version byte + JSON.
+func encodeSpecFrame(spec ModelSpec) ([]byte, error) {
+	js, err := specJSON(spec)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{protocolVersion}, js...), nil
+}
+
+// decodeSpecFrame accepts both v1 (bare JSON, first byte '{') and v2
+// (version byte + JSON) spec payloads, returning the negotiated version.
+func decodeSpecFrame(payload []byte) (ModelSpec, byte, error) {
+	if len(payload) == 0 {
+		return ModelSpec{}, 0, fmt.Errorf("cloudsim: empty spec frame")
+	}
+	if payload[0] == '{' {
+		spec, err := specFromJSON(payload)
+		return spec, 1, err
+	}
+	if payload[0] != protocolVersion {
+		return ModelSpec{}, 0, fmt.Errorf("cloudsim: peer speaks protocol v%d, this binary speaks v%d: %w",
+			payload[0], protocolVersion, ErrProtocolVersion)
+	}
+	spec, err := specFromJSON(payload[1:])
+	return spec, protocolVersion, err
+}
+
+// resultMeta is the msgResult JSON body.
+type resultMeta struct {
+	Metrics         []EpochMetric `json:"metrics"`
+	Seconds         float64       `json:"seconds"`
+	Cancelled       bool          `json:"cancelled,omitempty"`
+	CompletedEpochs int           `json:"completed_epochs,omitempty"`
+}
+
+// submitAck is the msgSubmitAck JSON body.
+type submitAck struct {
+	JobID string `json:"job_id"`
+}
+
+// jobRef is the msgPoll JSON body and the payload of a cancel-by-ID
+// msgCancel control frame.
+type jobRef struct {
+	JobID string `json:"job_id"`
+}
+
+// AttachRequest is the msgAttach JSON body: which job to attach to and
+// which of its buffered output to replay. FromEpoch is the last epoch the
+// client has already seen — the server replays only newer buffered
+// progress (and a newer parked checkpoint), which is what makes a retried
+// attach deliver each epoch's stats exactly once. OptState/Failover mirror
+// the Hyper capability flags for the attach stream's frame formats.
+type AttachRequest struct {
+	JobID     string `json:"job_id"`
+	FromEpoch int    `json:"from_epoch,omitempty"`
+	OptState  bool   `json:"opt_state,omitempty"`
+	Failover  bool   `json:"failover,omitempty"`
+}
+
+// JobStatus is the msgJobStatus JSON body: a point-in-time observation of
+// one scheduled job.
+type JobStatus struct {
+	JobID  string `json:"job_id"`
+	Tenant string `json:"tenant,omitempty"`
+	// State is the job state machine's current node: "queued", "running",
+	// "done", "cancelled", or "failed".
+	State string `json:"state"`
+	// CompletedEpochs counts fully finished epochs so far (live while
+	// running, final afterwards).
+	CompletedEpochs int `json:"completed_epochs"`
+	// QueuePos is the 1-based position in the job's tenant queue while
+	// queued; 0 otherwise.
+	QueuePos int `json:"queue_pos,omitempty"`
+	// Err carries the failure message of a failed job.
+	Err string `json:"error,omitempty"`
+}
+
+// flattenSamples encodes [][]int token samples row-major for the wire; the
+// receiver reshapes with the spec's aug_len.
+func flattenSamples(samples [][]int) []int {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(samples)*len(samples[0]))
+	for _, s := range samples {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func reshapeSamples(flat []int, seqLen int) ([][]int, error) {
+	if seqLen <= 0 {
+		return nil, fmt.Errorf("cloudsim: token frame needs a positive aug_len in the spec, got %d", seqLen)
+	}
+	if len(flat)%seqLen != 0 {
+		return nil, fmt.Errorf("cloudsim: %d tokens not divisible by sequence length %d", len(flat), seqLen)
+	}
+	out := make([][]int, len(flat)/seqLen)
+	for i := range out {
+		out[i] = flat[i*seqLen : (i+1)*seqLen]
+	}
+	return out, nil
+}
+
+// deadlineConn wraps a net.Conn and refreshes I/O deadlines per
+// Read/Write, so one stalled frame surfaces as os.ErrDeadlineExceeded
+// instead of hanging the peer forever. Zero timeouts disable the
+// corresponding deadline. A hard read deadline (cancel drain) caps the
+// per-read refresh so the refresh cannot extend past it.
+type deadlineConn struct {
+	net.Conn
+
+	mu           sync.Mutex
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	hardRead     time.Time
+}
+
+func newDeadlineConn(c net.Conn, readTimeout, writeTimeout time.Duration) *deadlineConn {
+	return &deadlineConn{Conn: c, readTimeout: readTimeout, writeTimeout: writeTimeout}
+}
+
+// setReadTimeout changes the per-read refresh; 0 disables it (the server
+// does this for the training phase, where a silent client is normal).
+func (c *deadlineConn) setReadTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.readTimeout = d
+	c.mu.Unlock()
+	if d == 0 {
+		_ = c.Conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// setHardReadDeadline bounds ALL further reads, interrupting one already
+// in flight — the cancel-drain bound.
+func (c *deadlineConn) setHardReadDeadline(t time.Time) {
+	c.mu.Lock()
+	c.hardRead = t
+	c.mu.Unlock()
+	_ = c.Conn.SetReadDeadline(t)
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	rt, hard := c.readTimeout, c.hardRead
+	c.mu.Unlock()
+	var d time.Time
+	if rt > 0 {
+		d = time.Now().Add(rt)
+	}
+	if !hard.IsZero() && (d.IsZero() || hard.Before(d)) {
+		d = hard
+	}
+	if !d.IsZero() {
+		if err := c.Conn.SetReadDeadline(d); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	wt := c.writeTimeout
+	c.mu.Unlock()
+	if wt > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}

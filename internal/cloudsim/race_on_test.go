@@ -1,0 +1,7 @@
+//go:build race
+
+package cloudsim
+
+// schedLoadJobs under -race: enough jobs for several full ring rotations
+// per tenant while keeping the instrumented run inside CI budgets.
+const schedLoadJobs = 64

@@ -1,0 +1,537 @@
+package cloudsim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amalgam/internal/tensor"
+)
+
+// JobState is a node of the job state machine:
+//
+//	queued → running → {done, cancelled, failed}
+//
+// A job enters "queued" at admission, "running" when an executor picks it
+// up, and exactly one terminal state afterwards. Cancelling a queued job
+// still routes it through an executor with a pre-cancelled context, so
+// every job — cancelled or not — terminates with an epoch-aligned result
+// the owner can attach to.
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobCancelled
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobCancelled:
+		return "cancelled"
+	case JobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// SchedulerConfig tunes the multi-tenant executor pool. The zero value
+// means defaults.
+type SchedulerConfig struct {
+	// Executors is the number of concurrent training executors. Each holds
+	// a fair 1/N slice of the tensor worker pool for the scheduler's
+	// lifetime (restored when it drains), so N concurrent jobs divide the
+	// machine instead of oversubscribing it N-fold. Worker count never
+	// affects results (kernels split work into disjoint ranges), so the
+	// slicing is purely a throughput decision. Default 4.
+	Executors int
+	// QueueDepth bounds jobs admitted but not yet dispatched, across all
+	// tenants. Submissions beyond it are rejected with ErrQueueFull — a
+	// typed, retryable backpressure signal — instead of queueing without
+	// bound. Default 256.
+	QueueDepth int
+	// TenantQuota bounds one tenant's queued jobs, so a single tenant
+	// cannot occupy the whole admission queue. Submissions beyond it are
+	// rejected with ErrTenantQuota. Default: QueueDepth (no per-tenant
+	// bound beyond the global one).
+	TenantQuota int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.TenantQuota <= 0 {
+		c.TenantQuota = c.QueueDepth
+	}
+	return c
+}
+
+// attachSink receives a job's live output. At most one sink is registered
+// per job (latest attach wins); both hooks are called with the job lock
+// held, in epoch order. A hook returning an error detaches the sink — the
+// job keeps running, its output still buffers for the next attach. Either
+// hook may be nil.
+type attachSink struct {
+	progress   func(EpochMetric) error
+	checkpoint func(*Snapshot) error
+}
+
+// schedJob is one registry entry. The scheduler's mutex guards queue
+// membership; the job's own mutex guards its mutable record (state,
+// buffered output, sink, result) so a slow attached client blocks only
+// its own job's delivery, never the whole scheduler.
+type schedJob struct {
+	id     string
+	tenant string
+	req    *TrainRequest
+	view   ProviderView
+
+	mu        sync.Mutex
+	state     JobState
+	cancelFn  context.CancelFunc // set while running
+	preCancel bool               // cancel arrived before dispatch
+	lastEpoch int                // latest completed epoch seen in progress
+	stats     []EpochMetric      // buffered per-epoch output for attach
+	ckpt      *Snapshot          // latest parked epoch-boundary checkpoint
+	resp      *TrainResponse
+	err       error
+	sink      *attachSink
+	done      chan struct{} // closed on terminal transition
+}
+
+// deliverProgress buffers one epoch's metric and forwards it to the
+// attached sink, detaching a sink whose write fails (dead client — the
+// job itself keeps running).
+func (j *schedJob) deliverProgress(m EpochMetric) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats = append(j.stats, m)
+	j.lastEpoch = m.Epoch
+	if j.sink != nil && j.sink.progress != nil {
+		if err := j.sink.progress(m); err != nil {
+			j.sink = nil
+		}
+	}
+}
+
+// deliverCheckpoint parks the epoch-boundary snapshot (the disconnect
+// survival state a later attach resumes from) and forwards it likewise.
+func (j *schedJob) deliverCheckpoint(snap *Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckpt = snap
+	if j.sink != nil && j.sink.checkpoint != nil {
+		if err := j.sink.checkpoint(snap); err != nil {
+			j.sink = nil
+		}
+	}
+}
+
+// attach replays buffered output newer than fromEpoch into sink and, if
+// the job is still live, registers the sink for live delivery (replacing
+// any previous one — latest attach wins). The replay and the registration
+// happen under one critical section, so an epoch is delivered exactly
+// once: either from the buffer or live, never both, never neither.
+func (j *schedJob) attach(fromEpoch int, sink *attachSink) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if sink.progress != nil {
+		for _, m := range j.stats {
+			if m.Epoch > fromEpoch {
+				if err := sink.progress(m); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if sink.checkpoint != nil && j.ckpt != nil && j.ckpt.Epoch > fromEpoch {
+		if err := sink.checkpoint(j.ckpt); err != nil {
+			return err
+		}
+	}
+	if j.state == JobQueued || j.state == JobRunning {
+		j.sink = sink
+	}
+	return nil
+}
+
+// detach removes sink if it is still the registered one.
+func (j *schedJob) detach(sink *attachSink) {
+	j.mu.Lock()
+	if j.sink == sink {
+		j.sink = nil
+	}
+	j.mu.Unlock()
+}
+
+// result returns the terminal outcome; call only after done is closed.
+func (j *schedJob) result() (*TrainResponse, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resp, j.err
+}
+
+// tenantQueue is one tenant's FIFO backlog.
+type tenantQueue struct {
+	pending []*schedJob
+	inRing  bool
+}
+
+// Scheduler owns the job registry and the executor pool: admission
+// control in Submit, per-tenant fair-share dispatch in next, and the
+// disconnect-surviving job records the attach path reads. It is the
+// server's training backend, but has no transport of its own — tests
+// drive it directly.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*schedJob
+	order     []string // submission order, for Views
+	tenants   map[string]*tenantQueue
+	ring      []string // tenants with a backlog, round-robin order
+	queued    int      // jobs admitted but not yet dispatched
+	seq       uint64
+	finishing bool // no more work is coming: executors exit when idle
+	cancelAll bool // shutdown: every job (present and future) pre-cancelled
+
+	dispatched []string // dispatch order (test observability: fairness)
+	completed  []string // terminal order (test observability: starvation)
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// newScheduler builds a scheduler; start launches the executors. Split so
+// tests can enqueue a full backlog first and observe a deterministic
+// fair-share dispatch order.
+func newScheduler(cfg SchedulerConfig) *Scheduler {
+	sch := &Scheduler{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*schedJob),
+		tenants: make(map[string]*tenantQueue),
+	}
+	sch.cond = sync.NewCond(&sch.mu)
+	return sch
+}
+
+// start launches the executor pool and carves the tensor worker pool into
+// fair per-executor slices, restored when the pool drains.
+func (sch *Scheduler) start() {
+	sch.mu.Lock()
+	if sch.started {
+		sch.mu.Unlock()
+		return
+	}
+	sch.started = true
+	sch.mu.Unlock()
+
+	restore := func() {}
+	if n := sch.cfg.Executors; n > 1 {
+		slice := runtime.NumCPU() / n
+		if slice < 1 {
+			slice = 1
+		}
+		prev := tensor.SetMaxWorkers(slice)
+		restore = func() { tensor.SetMaxWorkers(prev) }
+	}
+	sch.wg.Add(sch.cfg.Executors)
+	for i := 0; i < sch.cfg.Executors; i++ {
+		go sch.executor()
+	}
+	go func() {
+		sch.wg.Wait()
+		restore()
+	}()
+}
+
+// Submit admits one job: provider view captured (the upload has been
+// observed regardless of scheduling), quota and depth checked, job
+// registered and enqueued on its tenant's queue. sink, when non-nil, is
+// registered before the job can be dispatched, so a same-connection
+// attach (the legacy blocking path) sees every epoch live — no replay
+// window. Rejections are typed: ErrTenantQuota, ErrQueueFull.
+func (sch *Scheduler) Submit(req *TrainRequest, sink *attachSink) (*schedJob, error) {
+	// Outside the lock: view capture builds the augmented graph and may
+	// panic on malformed geometry — the connection handler's recover must
+	// see it with no scheduler lock held.
+	view := CaptureProviderView(req)
+
+	tenant := req.Spec.Tenant
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	tq := sch.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		sch.tenants[tenant] = tq
+	}
+	if len(tq.pending) >= sch.cfg.TenantQuota {
+		return nil, fmt.Errorf("cloudsim: tenant %q has %d queued jobs (quota %d): %w",
+			tenant, len(tq.pending), sch.cfg.TenantQuota, ErrTenantQuota)
+	}
+	if sch.queued >= sch.cfg.QueueDepth {
+		return nil, fmt.Errorf("cloudsim: admission queue full at %d jobs: %w", sch.queued, ErrQueueFull)
+	}
+	sch.seq++
+	job := &schedJob{
+		id:        fmt.Sprintf("job-%06d", sch.seq),
+		tenant:    tenant,
+		req:       req,
+		view:      view,
+		state:     JobQueued,
+		lastEpoch: req.Hyper.StartEpoch,
+		preCancel: sch.cancelAll,
+		sink:      sink,
+		done:      make(chan struct{}),
+	}
+	sch.jobs[job.id] = job
+	sch.order = append(sch.order, job.id)
+	tq.pending = append(tq.pending, job)
+	sch.queued++
+	if !tq.inRing {
+		tq.inRing = true
+		sch.ring = append(sch.ring, tenant)
+	}
+	sch.cond.Signal()
+	return job, nil
+}
+
+// next blocks until a job is dispatchable and pops it fairly: the ring
+// rotates over tenants with a backlog, one job per turn, so a tenant
+// submitting 100 jobs and a tenant submitting 1 reach the executors
+// interleaved, not serialised. Returns nil when the scheduler is
+// finishing and the backlog is empty.
+func (sch *Scheduler) next() *schedJob {
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	for {
+		if len(sch.ring) > 0 {
+			tenant := sch.ring[0]
+			sch.ring = sch.ring[1:]
+			tq := sch.tenants[tenant]
+			job := tq.pending[0]
+			tq.pending = tq.pending[1:]
+			sch.queued--
+			if len(tq.pending) > 0 {
+				sch.ring = append(sch.ring, tenant)
+			} else {
+				tq.inRing = false
+			}
+			sch.dispatched = append(sch.dispatched, job.id)
+			return job
+		}
+		if sch.finishing {
+			return nil
+		}
+		sch.cond.Wait()
+	}
+}
+
+func (sch *Scheduler) executor() {
+	defer sch.wg.Done()
+	for {
+		job := sch.next()
+		if job == nil {
+			return
+		}
+		sch.runJob(job)
+	}
+}
+
+// runJob drives one job through the training loop and into a terminal
+// state. A pre-cancelled job (cancelled while queued, or admitted during
+// shutdown) still runs the loop with an already-cancelled context: it
+// performs no training steps and terminates immediately with an
+// epoch-aligned cancelled result, so attach always finds a result.
+func (sch *Scheduler) runJob(job *schedJob) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job.mu.Lock()
+	job.state = JobRunning
+	job.cancelFn = cancel
+	if job.preCancel {
+		cancel()
+	}
+	job.mu.Unlock()
+
+	progress := func(m EpochMetric) error {
+		job.deliverProgress(m)
+		return nil
+	}
+	var checkpoint func(*Snapshot) error
+	if job.req.Hyper.CheckpointEvery > 0 {
+		checkpoint = func(snap *Snapshot) error {
+			job.deliverCheckpoint(snap)
+			return nil
+		}
+	}
+	resp, err := func() (r *TrainResponse, e error) {
+		// A job that panics (bad spec geometry slipping past validation, a
+		// kernel bug) fails that one job; the executor survives to run the
+		// next.
+		defer func() {
+			if p := recover(); p != nil {
+				e = fmt.Errorf("cloudsim: job crashed: %v: %w", p, ErrJobPanic)
+			}
+		}()
+		return runTraining(ctx, job.req, progress, checkpoint)
+	}()
+
+	job.mu.Lock()
+	job.resp, job.err = resp, err
+	job.cancelFn = nil
+	switch {
+	case err != nil:
+		job.state = JobFailed
+	case resp.Cancelled:
+		job.state = JobCancelled
+	default:
+		job.state = JobDone
+	}
+	close(job.done)
+	job.mu.Unlock()
+
+	sch.mu.Lock()
+	sch.completed = append(sch.completed, job.id)
+	sch.mu.Unlock()
+}
+
+// Job looks up a registry entry by ID.
+func (sch *Scheduler) Job(id string) (*schedJob, error) {
+	sch.mu.Lock()
+	job := sch.jobs[id]
+	sch.mu.Unlock()
+	if job == nil {
+		return nil, fmt.Errorf("cloudsim: job %q: %w", id, ErrUnknownJob)
+	}
+	return job, nil
+}
+
+// Cancel requests a job stop at its next epoch boundary. Queued jobs are
+// pre-cancelled (they still pass through an executor to produce their
+// terminal record); terminal jobs are left alone. Cancel is idempotent.
+func (sch *Scheduler) Cancel(id string) error {
+	job, err := sch.Job(id)
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	switch job.state {
+	case JobQueued:
+		job.preCancel = true
+	case JobRunning:
+		if job.cancelFn != nil {
+			job.cancelFn()
+		}
+	}
+	job.mu.Unlock()
+	return nil
+}
+
+// CancelAll pre-cancels every present and future job — the graceful
+// shutdown sweep. Running jobs stop at their next epoch boundary; queued
+// and late-arriving jobs terminate immediately with a cancelled result.
+func (sch *Scheduler) CancelAll() {
+	sch.mu.Lock()
+	sch.cancelAll = true
+	jobs := make([]*schedJob, 0, len(sch.jobs))
+	for _, job := range sch.jobs {
+		jobs = append(jobs, job)
+	}
+	sch.mu.Unlock()
+	for _, job := range jobs {
+		job.mu.Lock()
+		switch job.state {
+		case JobQueued:
+			job.preCancel = true
+		case JobRunning:
+			if job.cancelFn != nil {
+				job.cancelFn()
+			}
+		}
+		job.mu.Unlock()
+	}
+}
+
+// Finish tells the executors no further work is coming: each exits once
+// the backlog is empty. Idempotent.
+func (sch *Scheduler) Finish() {
+	sch.mu.Lock()
+	sch.finishing = true
+	sch.mu.Unlock()
+	sch.cond.Broadcast()
+}
+
+// WaitIdle blocks until every executor has exited (call Finish first).
+func (sch *Scheduler) WaitIdle() {
+	sch.wg.Wait()
+}
+
+// Status reports a point-in-time observation of one job.
+func (sch *Scheduler) Status(id string) (JobStatus, error) {
+	job, err := sch.Job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	st := JobStatus{JobID: job.id, Tenant: job.tenant}
+	job.mu.Lock()
+	st.State = job.state.String()
+	st.CompletedEpochs = job.lastEpoch
+	if job.resp != nil {
+		st.CompletedEpochs = job.resp.CompletedEpochs
+	}
+	if job.err != nil {
+		st.Err = job.err.Error()
+	}
+	queued := job.state == JobQueued
+	job.mu.Unlock()
+	if queued {
+		sch.mu.Lock()
+		if tq := sch.tenants[job.tenant]; tq != nil {
+			for i, p := range tq.pending {
+				if p == job {
+					st.QueuePos = i + 1
+					break
+				}
+			}
+		}
+		sch.mu.Unlock()
+	}
+	return st, nil
+}
+
+// Views returns the provider-side observations in submission order, each
+// stamped with its job's ID and state at call time. Queued jobs are
+// included (their upload has been observed) with State "queued".
+func (sch *Scheduler) Views() []ProviderView {
+	sch.mu.Lock()
+	jobs := make([]*schedJob, 0, len(sch.order))
+	for _, id := range sch.order {
+		jobs = append(jobs, sch.jobs[id])
+	}
+	sch.mu.Unlock()
+	out := make([]ProviderView, len(jobs))
+	for i, job := range jobs {
+		job.mu.Lock()
+		v := job.view
+		v.JobID = job.id
+		v.State = job.state.String()
+		job.mu.Unlock()
+		out[i] = v
+	}
+	return out
+}

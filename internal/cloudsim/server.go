@@ -1,0 +1,677 @@
+package cloudsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amalgam/internal/serialize"
+)
+
+// ServerConfig tunes the hardened server.
+type ServerConfig struct {
+	// MaxConns bounds concurrently served connections. Further clients
+	// queue in the kernel accept backlog (backpressure) instead of being
+	// accepted and starved. 0 means the default (256).
+	MaxConns int
+	// FrameTimeout bounds each request-phase frame read and each response
+	// write. It does NOT apply to the server's training-phase cancel
+	// watcher, where a silent client is normal. 0 means the default
+	// (2 minutes); negative disables deadlines entirely.
+	FrameTimeout time.Duration
+	// Executors is the training-executor pool size: how many jobs train
+	// concurrently, each on a fair slice of the tensor worker pool. 0
+	// means the default (4). See SchedulerConfig.
+	Executors int
+	// QueueDepth bounds admitted-but-not-dispatched jobs across all
+	// tenants; submissions beyond it get ErrQueueFull. 0 means the
+	// default (256).
+	QueueDepth int
+	// TenantQuota bounds one tenant's queued jobs; submissions beyond it
+	// get ErrTenantQuota. 0 means no per-tenant bound beyond QueueDepth.
+	TenantQuota int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = 2 * time.Minute
+	}
+	if c.FrameTimeout < 0 {
+		c.FrameTimeout = 0
+	}
+	return c
+}
+
+// Server is the simulated cloud training service: an accept loop feeding
+// connection handlers, in front of a multi-tenant Scheduler that owns the
+// job registry and the executor pool. Legacy v1/v2 clients are served as
+// an implicit submit+attach on one connection; async clients submit, get
+// a job ID, and poll/attach over later connections.
+type Server struct {
+	listener net.Listener
+	cfg      ServerConfig
+	sched    *Scheduler
+	wg       sync.WaitGroup
+	sem      chan struct{}
+
+	shutdownOnce sync.Once
+	shuttingDown chan struct{}
+	finishOnce   sync.Once
+
+	mu        sync.Mutex
+	acceptErr error
+}
+
+// NewServer starts serving on l with default hardening (see ServerConfig).
+// Close the listener (or call Shutdown) to stop; Wait returns when all
+// in-flight jobs finish.
+func NewServer(l net.Listener) *Server {
+	return NewServerConfig(l, ServerConfig{})
+}
+
+// NewServerConfig starts serving on l with explicit limits.
+func NewServerConfig(l net.Listener, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		listener: l,
+		cfg:      cfg,
+		sched: newScheduler(SchedulerConfig{
+			Executors:   cfg.Executors,
+			QueueDepth:  cfg.QueueDepth,
+			TenantQuota: cfg.TenantQuota,
+		}),
+		sem:          make(chan struct{}, cfg.MaxConns),
+		shuttingDown: make(chan struct{}),
+	}
+	s.sched.start()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := time.Millisecond
+	for {
+		// Backpressure: take a concurrency slot BEFORE accepting, so at
+		// MaxConns in-flight jobs new clients wait in the kernel backlog
+		// rather than holding an accepted-but-starved connection.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.shuttingDown:
+			return
+		}
+		conn, err := s.listener.Accept()
+		if err != nil {
+			<-s.sem
+			if errors.Is(err, net.ErrClosed) {
+				return // clean stop: Shutdown or the owner closed the listener
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				// Transient accept fault (e.g. fd pressure): back off and
+				// keep serving instead of silently dying.
+				select {
+				case <-time.After(backoff):
+				case <-s.shuttingDown:
+					return
+				}
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
+			// Terminal listener failure: surface it via Wait.
+			s.mu.Lock()
+			s.acceptErr = err
+			s.mu.Unlock()
+			return
+		}
+		backoff = time.Millisecond
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	defer conn.Close()
+	dc := newDeadlineConn(conn, s.cfg.FrameTimeout, s.cfg.FrameTimeout)
+	ver, err := s.handleRecover(dc)
+	if err != nil && !errors.Is(err, io.EOF) {
+		// Best effort: report the failure to the client. v2 peers get a
+		// leading error-code byte so sentinels survive the wire; v1 peers
+		// get the bare message they always did.
+		payload := []byte(err.Error())
+		if ver >= 2 {
+			payload = append([]byte{errCodeOf(err)}, payload...)
+		}
+		_ = writeFrame(dc, msgError, payload)
+	}
+}
+
+// handleRecover isolates a panicking connection: the crash becomes a wire
+// error frame (fatal — the same deterministic job would crash again)
+// instead of a torn connection taking the whole server down.
+func (s *Server) handleRecover(conn *deadlineConn) (ver byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloudsim: recovered: %v: %w", r, ErrJobPanic)
+		}
+	}()
+	return s.handle(conn)
+}
+
+// Wait blocks until the accept loop and all handlers exit, then drains
+// the executor pool, returning the terminal accept error, if any (nil
+// after a clean close or Shutdown). With the listener closed no new
+// submissions can arrive, so the backlog the executors drain is final.
+func (s *Server) Wait() error {
+	s.wg.Wait()
+	s.finishOnce.Do(s.sched.Finish)
+	s.sched.WaitIdle()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptErr
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// and every job — running, queued, or parked — is signalled to stop at
+// its next epoch boundary. Clients that negotiated failover receive an
+// epoch-aligned checkpoint plus a retryable "server shutting down" error
+// so they can resume elsewhere; other clients receive the normal
+// cancelled result with their epoch-aligned weights. Shutdown returns
+// once all handlers and executors drain or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		close(s.shuttingDown)
+		_ = s.listener.Close()
+		s.sched.CancelAll()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.finishOnce.Do(s.sched.Finish)
+		s.sched.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) isShuttingDown() bool {
+	select {
+	case <-s.shuttingDown:
+		return true
+	default:
+		return false
+	}
+}
+
+// Views returns the provider-side observations captured so far, in
+// submission order — including queued jobs (present-but-pending, State
+// "queued": the provider has observed the upload even before training
+// starts).
+func (s *Server) Views() []ProviderView {
+	return s.sched.Views()
+}
+
+// handle reads one job off the connection and runs it. It returns the
+// negotiated protocol version (0 until a spec frame arrives) so the accept
+// loop can format error frames the peer understands.
+func (s *Server) handle(conn *deadlineConn) (byte, error) {
+	req := &TrainRequest{}
+	var ver byte
+	var tokensFlat, evalTokensFlat []int
+	haveTokens, haveEvalTokens := false, false
+	// finishTokens reshapes the flat token frames once the request is
+	// complete — shared by the blocking (msgDone) and async (msgSubmit)
+	// terminators.
+	finishTokens := func() error {
+		var err error
+		if haveTokens {
+			if req.Samples, err = reshapeSamples(tokensFlat, req.Spec.AugLen); err != nil {
+				return err
+			}
+		}
+		if haveEvalTokens {
+			if req.EvalSamples, err = reshapeSamples(evalTokensFlat, req.Spec.AugLen); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			return ver, err
+		}
+		switch kind {
+		case msgSpec:
+			spec, v, err := decodeSpecFrame(payload)
+			if err != nil {
+				if errors.Is(err, ErrProtocolVersion) {
+					// The peer sent a version byte, so it is version-aware
+					// (>= v2): answer with a coded error frame so its
+					// errors.Is(ErrProtocolVersion) check works.
+					ver = protocolVersion
+				}
+				return ver, fmt.Errorf("cloudsim: bad spec: %w", err)
+			}
+			req.Spec, ver = spec, v
+		case msgHyper:
+			if err := json.Unmarshal(payload, &req.Hyper); err != nil {
+				return ver, fmt.Errorf("cloudsim: bad hyper: %w", err)
+			}
+		case msgLabels:
+			labels, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad labels: %w", err)
+			}
+			req.Labels = labels
+		case msgImages:
+			t, err := serialize.ReadTensor(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad images: %w", err)
+			}
+			req.Images = t
+		case msgTokens:
+			flat, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad tokens: %w", err)
+			}
+			tokensFlat, haveTokens = flat, true
+		case msgEvalImages:
+			t, err := serialize.ReadTensor(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval images: %w", err)
+			}
+			req.EvalImages = t
+		case msgEvalLabels:
+			labels, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval labels: %w", err)
+			}
+			req.EvalLabels = labels
+		case msgEvalTokens:
+			flat, err := serialize.ReadIntSlice(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad eval tokens: %w", err)
+			}
+			evalTokensFlat, haveEvalTokens = flat, true
+		case msgInit:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad init state: %w", err)
+			}
+			req.InitState = dict
+		case msgOptState:
+			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad optimiser state: %w", err)
+			}
+			req.InitOptState = dict
+		case msgRNGState:
+			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
+			if err != nil {
+				return ver, fmt.Errorf("cloudsim: bad RNG state: %w", err)
+			}
+			req.InitRNG = dict
+		case msgCancel:
+			if len(payload) > 0 {
+				// Cancel-by-ID control frame (async extension): the
+				// payload names a scheduled job on a fresh connection.
+				ver = protocolVersion
+				if err := s.cancelByID(conn, payload); err != nil {
+					return ver, err
+				}
+				continue
+			}
+			// Cancelled before the job even started: nothing to train.
+			return ver, fmt.Errorf("cloudsim: job cancelled before submission")
+		case msgPoll:
+			// Status query — valid any time, repeatable on one connection.
+			ver = protocolVersion
+			if err := s.poll(conn, payload); err != nil {
+				return ver, err
+			}
+			continue
+		case msgAttach:
+			ver = protocolVersion
+			var areq AttachRequest
+			if err := json.Unmarshal(payload, &areq); err != nil {
+				return ver, fmt.Errorf("cloudsim: bad attach request: %w", err)
+			}
+			return ver, s.attach(conn, areq)
+		case msgSubmit:
+			if ver < 2 {
+				return ver, fmt.Errorf("cloudsim: async submit requires protocol v2")
+			}
+			if !req.Hyper.Async {
+				return ver, fmt.Errorf("cloudsim: async submit without the Hyper.Async capability")
+			}
+			if err := finishTokens(); err != nil {
+				return ver, err
+			}
+			return ver, s.submitAsync(conn, req)
+		case msgDone:
+			if err := finishTokens(); err != nil {
+				return ver, err
+			}
+			return ver, s.runAndRespond(conn, req, ver)
+		default:
+			return ver, fmt.Errorf("cloudsim: unexpected message type %d: %w", kind, ErrUnknownFrame)
+		}
+	}
+}
+
+// progressWriter streams EpochMetric frames to one connection.
+func progressWriter(conn *deadlineConn) func(EpochMetric) error {
+	return func(m EpochMetric) error {
+		js, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		return writeFrame(conn, msgProgress, js)
+	}
+}
+
+// checkpointWriter streams epoch-boundary snapshots to one connection.
+// Clients that negotiated the optimiser-state extension get full AMC2
+// training checkpoints — the same bytes WithCheckpoint writes to disk —
+// recording the job kind, the momentum buffers, and the dropout-stream
+// cursors alongside the weights. Pre-extension v2 clients keep the legacy
+// layout they parse (uint32 epoch + state dict).
+func checkpointWriter(conn *deadlineConn, amc2 bool, kind string) func(*Snapshot) error {
+	if amc2 {
+		return func(snap *Snapshot) error {
+			var buf bytes.Buffer
+			ck := &serialize.TrainCheckpoint{
+				Epoch: snap.Epoch, Kind: kind,
+				State: snap.State, OptState: snap.OptState, RNG: snap.RNG,
+			}
+			if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
+				return err
+			}
+			return writeFrame(conn, msgCheckpoint, buf.Bytes())
+		}
+	}
+	return func(snap *Snapshot) error {
+		var buf bytes.Buffer
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(snap.Epoch)); err != nil {
+			return err
+		}
+		if err := serialize.WriteStateDict(&buf, snap.State); err != nil {
+			return err
+		}
+		return writeFrame(conn, msgCheckpoint, buf.Bytes())
+	}
+}
+
+// outcomeCaps carries the negotiated capabilities a terminal result is
+// formatted under — from the request's Hyper on the blocking path, from
+// the AttachRequest on the async path.
+type outcomeCaps struct {
+	optState      bool
+	failover      bool
+	kind          string
+	clientStopped bool // the cancel came from this client, not a shutdown
+}
+
+// writeOutcome sends a finished job's terminal frames: the failover
+// handoff (epoch-aligned AMC2 checkpoint + retryable shutdown error)
+// when the server is draining under a failover-aware client, or the
+// normal result/opt-state/RNG/state sequence.
+func (s *Server) writeOutcome(conn *deadlineConn, ver byte, caps outcomeCaps, resp *TrainResponse) error {
+	if resp.Cancelled && !caps.clientStopped && s.isShuttingDown() && ver >= 2 && caps.failover {
+		// Graceful-shutdown handoff for failover-aware clients: an
+		// epoch-aligned checkpoint (weights + momentum + RNG cursors)
+		// followed by the retryable shutdown error, so the client resumes
+		// on another server without losing an epoch. Legacy clients fall
+		// through to the normal cancelled result below.
+		var buf bytes.Buffer
+		ck := &serialize.TrainCheckpoint{
+			Epoch: resp.CompletedEpochs, Kind: caps.kind,
+			State: resp.State, OptState: resp.OptState, RNG: resp.RNG,
+		}
+		if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgCheckpoint, buf.Bytes()); err != nil {
+			return err
+		}
+		return fmt.Errorf("cloudsim: job stopped at epoch %d: %w", resp.CompletedEpochs, ErrServerShutdown)
+	}
+	metaJSON, err := json.Marshal(resultMeta{
+		Metrics: resp.Metrics, Seconds: resp.Seconds,
+		Cancelled: resp.Cancelled, CompletedEpochs: resp.CompletedEpochs,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msgResult, metaJSON); err != nil {
+		return err
+	}
+	// Final momentum state rides its own frame, BEFORE msgState so the
+	// client's read loop (which terminates on msgState) still collects
+	// it. Only clients that declared the extension (Hyper.OptState)
+	// receive it — older peers would abort on the unknown frame type.
+	if ver >= 2 && caps.optState && len(resp.OptState) > 0 {
+		var optBuf bytes.Buffer
+		if err := serialize.WriteStateDict(&optBuf, resp.OptState); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgOptState, optBuf.Bytes()); err != nil {
+			return err
+		}
+	}
+	// Dropout-stream cursors likewise, gated by the failover capability.
+	if ver >= 2 && caps.failover && len(resp.RNG) > 0 {
+		var rngBuf bytes.Buffer
+		if err := serialize.WriteBytesDict(&rngBuf, resp.RNG); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, msgRNGState, rngBuf.Bytes()); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteStateDict(&buf, resp.State); err != nil {
+		return err
+	}
+	return writeFrame(conn, msgState, buf.Bytes())
+}
+
+// runAndRespond serves a legacy blocking client: an implicit submit (with
+// this connection registered as the job's sink from birth, so every epoch
+// streams live) followed by an implicit attach that waits for the
+// terminal result on the same connection.
+func (s *Server) runAndRespond(conn *deadlineConn, req *TrainRequest, ver byte) (err error) {
+	// A provider-view capture that panics on malformed geometry must
+	// become a classified wire error, not a torn connection.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloudsim: job crashed: %v: %w", r, ErrJobPanic)
+		}
+	}()
+
+	// The connection is the job's sink from admission, so the pinned
+	// frame cadence (one progress + one checkpoint frame per epoch) holds
+	// exactly — there is no replay window to coalesce checkpoints in.
+	sink := &attachSink{}
+	if ver >= 2 && req.Hyper.Stream {
+		sink.progress = progressWriter(conn)
+	}
+	if ver >= 2 && req.Hyper.CheckpointEvery > 0 {
+		sink.checkpoint = checkpointWriter(conn, req.Hyper.OptState, req.Spec.Kind)
+	}
+	job, err := s.sched.Submit(req, sink)
+	if err != nil {
+		return err
+	}
+
+	// The training phase has no frame cadence the server can bound: a
+	// silent client is normal. Request-phase deadlines come back off.
+	conn.setReadTimeout(0)
+
+	var clientStopped atomic.Bool
+	if ver >= 2 {
+		// Watch the connection for a mid-job msgCancel (or disconnect — a
+		// vanished blocking client also stops the job instead of burning
+		// cloud time on a result nobody will read; disconnect survival is
+		// the async path's contract, where the client asked for a job ID).
+		go func() {
+			for {
+				kind, _, err := readFrame(conn)
+				if err != nil || kind == msgCancel {
+					clientStopped.Store(true)
+					_ = s.sched.Cancel(job.id)
+					return
+				}
+			}
+		}()
+	}
+
+	<-job.done
+	resp, jerr := job.result()
+	if jerr != nil {
+		return jerr
+	}
+	return s.writeOutcome(conn, ver, outcomeCaps{
+		optState: req.Hyper.OptState, failover: req.Hyper.Failover,
+		kind: req.Spec.Kind, clientStopped: clientStopped.Load(),
+	}, resp)
+}
+
+// submitAsync admits the job and answers with its ID; the connection is
+// then done. The job runs with no sink parked until someone attaches.
+func (s *Server) submitAsync(conn *deadlineConn, req *TrainRequest) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloudsim: job crashed: %v: %w", r, ErrJobPanic)
+		}
+	}()
+	job, err := s.sched.Submit(req, nil)
+	if err != nil {
+		return err
+	}
+	js, err := json.Marshal(submitAck{JobID: job.id})
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, msgSubmitAck, js)
+}
+
+// poll answers one msgPoll with the job's status.
+func (s *Server) poll(conn *deadlineConn, payload []byte) error {
+	var ref jobRef
+	if err := json.Unmarshal(payload, &ref); err != nil {
+		return fmt.Errorf("cloudsim: bad poll request: %w", err)
+	}
+	st, err := s.sched.Status(ref.JobID)
+	if err != nil {
+		return err
+	}
+	js, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, msgJobStatus, js)
+}
+
+// cancelByID cancels a scheduled job named by a control msgCancel and
+// answers with its post-cancel status.
+func (s *Server) cancelByID(conn *deadlineConn, payload []byte) error {
+	var ref jobRef
+	if err := json.Unmarshal(payload, &ref); err != nil {
+		return fmt.Errorf("cloudsim: bad cancel request: %w", err)
+	}
+	if err := s.sched.Cancel(ref.JobID); err != nil {
+		return err
+	}
+	st, err := s.sched.Status(ref.JobID)
+	if err != nil {
+		return err
+	}
+	js, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, msgJobStatus, js)
+}
+
+// attach streams a scheduled job's output to this connection: buffered
+// epochs past FromEpoch replay first (exactly once — the replay and the
+// live-sink registration are one atomic step), then live frames, then the
+// terminal result. The client disconnecting DETACHES the stream without
+// cancelling the job — disconnect survival is the point of the async
+// path; an explicit msgCancel on this connection cancels the job.
+func (s *Server) attach(conn *deadlineConn, areq AttachRequest) error {
+	job, err := s.sched.Job(areq.JobID)
+	if err != nil {
+		return err
+	}
+
+	// Like the blocking path's training phase: a silent client is normal
+	// while the job trains.
+	conn.setReadTimeout(0)
+
+	connDead := make(chan struct{})
+	var clientStopped atomic.Bool
+	go func() {
+		for {
+			kind, _, err := readFrame(conn)
+			if err != nil {
+				close(connDead)
+				return
+			}
+			if kind == msgCancel {
+				clientStopped.Store(true)
+				_ = s.sched.Cancel(job.id)
+			}
+		}
+	}()
+
+	sink := &attachSink{progress: progressWriter(conn)}
+	if job.req.Hyper.CheckpointEvery > 0 {
+		sink.checkpoint = checkpointWriter(conn, areq.OptState, job.req.Spec.Kind)
+	}
+	if err := job.attach(areq.FromEpoch, sink); err != nil {
+		return err
+	}
+	defer job.detach(sink)
+	select {
+	case <-job.done:
+	default:
+		select {
+		case <-job.done:
+		case <-connDead:
+			// Detached, not cancelled: the job keeps running and its
+			// output keeps buffering for the next attach.
+			return io.EOF
+		}
+	}
+	resp, jerr := job.result()
+	if jerr != nil {
+		return jerr
+	}
+	return s.writeOutcome(conn, protocolVersion, outcomeCaps{
+		optState: areq.OptState, failover: areq.Failover,
+		kind: job.req.Spec.Kind, clientStopped: clientStopped.Load(),
+	}, resp)
+}

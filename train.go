@@ -121,6 +121,10 @@ func (LocalTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfig, 
 type RemoteTrainer struct {
 	// Addr is the service's TCP address, e.g. "127.0.0.1:7009".
 	Addr string
+	// Tenant names the fair-share scheduling bucket this trainer's jobs
+	// are billed to on a multi-tenant service (see Submit). Empty uses
+	// the service's default bucket.
+	Tenant string
 }
 
 // Run implements Trainer.
@@ -147,6 +151,7 @@ func (t RemoteTrainer) Run(ctx context.Context, job TrainableJob, cfg TrainConfi
 	}
 	req.Hyper = hyperFor(cfg, ro, start)
 	req.Hyper.Stream = true
+	req.Spec.Tenant = t.Tenant
 
 	ch := make(chan EpochStats, cfg.Epochs-start+1)
 	go func() {
@@ -295,16 +300,16 @@ func hyperFor(cfg TrainConfig, ro *runOptions, start int) cloudsim.Hyper {
 	}
 }
 
-// emitProgress adapts a wire/loop metric into the stats stream and the
+// emitTo adapts a wire/loop metric into an EpochStats emitter and the
 // WithProgress callback.
-func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetric) error {
+func (ro *runOptions) emitTo(emit func(EpochStats)) func(cloudsim.EpochMetric) error {
 	return func(m cloudsim.EpochMetric) error {
 		st := EpochStats{
 			Epoch: m.Epoch, Loss: m.Loss, Accuracy: m.Accuracy,
 			EvalAccuracy: m.EvalAccuracy, HasEval: m.HasEval,
 			Perplexity: m.Perplexity,
 		}
-		ch <- st
+		emit(st)
 		if ro.progress != nil {
 			ro.progress(st)
 		}
@@ -312,16 +317,25 @@ func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetr
 	}
 }
 
+// emitProgress is emitTo over a stats channel.
+func (ro *runOptions) emitProgress(ch chan<- EpochStats) func(cloudsim.EpochMetric) error {
+	return ro.emitTo(func(st EpochStats) { ch <- st })
+}
+
 // finishRun writes the final checkpoint and terminates a cancelled stream
 // with the context's error.
 func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, kind string, resp *cloudsim.TrainResponse) {
+	finishRunEmit(ctx, func(st EpochStats) { ch <- st }, ro, kind, resp)
+}
+
+func finishRunEmit(ctx context.Context, emit func(EpochStats), ro *runOptions, kind string, resp *cloudsim.TrainResponse) {
 	if ro.checkpointPath != "" {
 		err := serialize.SaveTrainCheckpoint(ro.checkpointPath, &serialize.TrainCheckpoint{
 			Epoch: resp.CompletedEpochs, Kind: kind,
 			State: resp.State, OptState: resp.OptState, RNG: resp.RNG,
 		})
 		if err != nil {
-			ch <- EpochStats{Err: err}
+			emit(EpochStats{Err: err})
 			return
 		}
 	}
@@ -330,7 +344,7 @@ func finishRun(ctx context.Context, ch chan<- EpochStats, ro *runOptions, kind s
 		if err == nil {
 			err = context.Canceled
 		}
-		ch <- EpochStats{Err: err}
+		emit(EpochStats{Err: err})
 	}
 }
 

@@ -1,0 +1,312 @@
+package amalgam_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"amalgam"
+	"amalgam/internal/cloudsim"
+	"amalgam/internal/faultnet"
+)
+
+// pollJob polls until cond accepts the job's status.
+func pollJob(t *testing.T, tr amalgam.RemoteTrainer, id amalgam.JobID, cond func(amalgam.JobInfo) bool) amalgam.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, err := tr.Poll(context.Background(), id)
+		if err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		if cond(info) {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poll %s: stuck at %+v", id, info)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubmitPollAttachLifecycle drives the public async API end to end:
+// Submit returns a durable ID under the trainer's tenant, Poll observes
+// the state machine, Attach streams the stats like Run and loads the
+// final weights back — bit-identical to the same job trained locally.
+func TestSubmitPollAttachLifecycle(t *testing.T) {
+	tr := amalgam.RemoteTrainer{Addr: startServer(t), Tenant: "alice"}
+	cfg := amalgam.TrainConfig{Epochs: 3, BatchSize: 8, LR: 0.5, Momentum: 0.9}
+
+	job := mkTextJob(t)
+	id, err := tr.Submit(context.Background(), job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("Submit returned an empty job ID")
+	}
+
+	info := pollJob(t, tr, id, func(i amalgam.JobInfo) bool { return i.Done() })
+	if info.State != "done" || info.Tenant != "alice" || info.CompletedEpochs != cfg.Epochs {
+		t.Fatalf("terminal info %+v, want done under tenant alice with %d epochs", info, cfg.Epochs)
+	}
+
+	ch, err := tr.Attach(context.Background(), job, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []int
+	for st := range ch {
+		if st.Err != nil {
+			t.Fatalf("attach stream failed: %v", st.Err)
+		}
+		epochs = append(epochs, st.Epoch)
+	}
+	if len(epochs) != cfg.Epochs {
+		t.Fatalf("attach delivered %d epochs, want %d", len(epochs), cfg.Epochs)
+	}
+	for i, e := range epochs {
+		if e != i+1 {
+			t.Fatalf("epochs %v: replay must be ordered and complete", epochs)
+		}
+	}
+
+	local := mkTextJob(t)
+	if _, err := amalgam.Train(context.Background(), amalgam.LocalTrainer{}, local, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := extractedState(t, local)
+	got := extractedState(t, job)
+	for name, w := range want {
+		if !got[name].Equal(w) {
+			t.Fatalf("scheduled job diverged from local run at %q", name)
+		}
+	}
+}
+
+// TestAttachSurvivesDisconnect is the disconnect/re-attach satellite: the
+// attached connection is killed mid-stream, the job keeps training
+// server-side, WithRetry re-attaches, and the combined stream delivers
+// every epoch's stats exactly once with final weights bit-identical to an
+// uninterrupted run. The LM case trains with dropout AND momentum, so the
+// identity also covers the RNG-cursor state held server-side. Run under
+// -race in CI.
+func TestAttachSurvivesDisconnect(t *testing.T) {
+	cases := []struct {
+		name  string
+		mk    func(t *testing.T) amalgam.TrainableJob
+		cfg   amalgam.TrainConfig
+		delay time.Duration
+	}{
+		{"cv", func(t *testing.T) amalgam.TrainableJob { return mkCVJob(t, 5) },
+			amalgam.TrainConfig{Epochs: 8, BatchSize: 8, LR: 0.05, Momentum: 0.9}, 15 * time.Millisecond},
+		{"lm-dropout", func(t *testing.T) amalgam.TrainableJob { return mkLMJob(t) },
+			amalgam.TrainConfig{Epochs: 8, BatchSize: 8, LR: 0.1, Momentum: 0.9}, 20 * time.Millisecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Connection 0 is the submit; connection 1 is the first attach,
+			// throttled so the kill provably lands mid-stream; connection 2
+			// is the retried attach.
+			fl := startFaultServer(t, func(i int) faultnet.ConnPlan {
+				if i == 1 {
+					return faultnet.ConnPlan{WriteDelay: c.delay}
+				}
+				return faultnet.ConnPlan{}
+			})
+			tr := amalgam.RemoteTrainer{Addr: fl.Addr().String()}
+
+			job := c.mk(t)
+			id, err := tr.Submit(context.Background(), job, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var once sync.Once
+			ch, err := tr.Attach(context.Background(), job, id,
+				amalgam.WithRetry(amalgam.RetryPolicy{
+					MaxRetries: 3,
+					BaseDelay:  time.Millisecond,
+					MaxDelay:   10 * time.Millisecond,
+					Seed:       7,
+				}),
+				amalgam.WithProgress(func(s amalgam.EpochStats) {
+					if s.Epoch >= 2 {
+						once.Do(fl.KillAll)
+					}
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var epochs []int
+			for st := range ch {
+				if st.Err != nil {
+					t.Fatalf("attach stream failed: %v", st.Err)
+				}
+				epochs = append(epochs, st.Epoch)
+			}
+			if len(epochs) != c.cfg.Epochs {
+				t.Fatalf("delivered %d epoch stats, want %d exactly once", len(epochs), c.cfg.Epochs)
+			}
+			for i, e := range epochs {
+				if e != i+1 {
+					t.Fatalf("epochs[%d] = %d: re-attach re-delivered or dropped an epoch", i, e)
+				}
+			}
+			if fl.Accepted() < 3 {
+				t.Fatalf("only %d connections; the kill never forced a re-attach", fl.Accepted())
+			}
+
+			local := c.mk(t)
+			if _, err := amalgam.Train(context.Background(), amalgam.LocalTrainer{}, local, c.cfg); err != nil {
+				t.Fatal(err)
+			}
+			want := extractedState(t, local)
+			got := extractedState(t, job)
+			for name, w := range want {
+				if !got[name].Equal(w) {
+					t.Fatalf("disconnected-and-reattached job diverged from unbroken run at %q", name)
+				}
+			}
+		})
+	}
+}
+
+// TestDetachedJobCompletes pins the survival contract without retry: the
+// only attached client dies mid-stream, the job still runs to "done"
+// server-side (observed by Poll, no client attached), and a later fresh
+// Attach replays the full buffered stream and loads the final weights.
+func TestDetachedJobCompletes(t *testing.T) {
+	fl := startFaultServer(t, func(i int) faultnet.ConnPlan {
+		if i == 1 {
+			return faultnet.ConnPlan{WriteDelay: 10 * time.Millisecond}
+		}
+		return faultnet.ConnPlan{}
+	})
+	tr := amalgam.RemoteTrainer{Addr: fl.Addr().String()}
+	cfg := amalgam.TrainConfig{Epochs: 6, BatchSize: 8, LR: 0.5, Momentum: 0.9}
+
+	job := mkTextJob(t)
+	id, err := tr.Submit(context.Background(), job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attach, no retry: the kill surfaces as a terminal transient
+	// error after at least one epoch arrived.
+	var once sync.Once
+	ch, err := tr.Attach(context.Background(), job, id,
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			if s.Epoch >= 1 {
+				once.Do(fl.KillAll)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for st := range ch {
+		if st.Err != nil {
+			sawErr = st.Err
+		}
+	}
+	if sawErr == nil {
+		t.Fatal("killed attach must end its stream with an error")
+	}
+	if !cloudsim.IsTransient(sawErr) {
+		t.Fatalf("killed attach ended with %v, want a transient transport error", sawErr)
+	}
+
+	// Nobody is attached now; the job must still finish.
+	pollJob(t, tr, id, func(i amalgam.JobInfo) bool { return i.State == "done" })
+
+	ch, err = tr.Attach(context.Background(), job, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []int
+	for st := range ch {
+		if st.Err != nil {
+			t.Fatalf("post-completion attach failed: %v", st.Err)
+		}
+		epochs = append(epochs, st.Epoch)
+	}
+	if len(epochs) != cfg.Epochs {
+		t.Fatalf("post-completion attach replayed %d epochs, want the full %d", len(epochs), cfg.Epochs)
+	}
+
+	local := mkTextJob(t)
+	if _, err := amalgam.Train(context.Background(), amalgam.LocalTrainer{}, local, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := extractedState(t, local)
+	got := extractedState(t, job)
+	for name, w := range want {
+		if !got[name].Equal(w) {
+			t.Fatalf("detached job diverged from unbroken run at %q", name)
+		}
+	}
+}
+
+// TestCancelScheduledJob: Cancel stops a scheduled job at an epoch
+// boundary; the attach stream then terminates with context.Canceled after
+// delivering the partial epochs, mirroring Run's cancellation shape.
+func TestCancelScheduledJob(t *testing.T) {
+	tr := amalgam.RemoteTrainer{Addr: startServer(t)}
+	job := mkTextJob(t)
+	id, err := tr.Submit(context.Background(), job, amalgam.TrainConfig{Epochs: 2000, BatchSize: 8, LR: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, tr, id, func(i amalgam.JobInfo) bool { return i.State == "running" && i.CompletedEpochs >= 1 })
+	if _, err := tr.Cancel(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	info := pollJob(t, tr, id, func(i amalgam.JobInfo) bool { return i.Done() })
+	if info.State != "cancelled" || info.CompletedEpochs < 1 || info.CompletedEpochs >= 2000 {
+		t.Fatalf("post-cancel info %+v, want an epoch-aligned cancelled job", info)
+	}
+
+	ch, err := tr.Attach(context.Background(), job, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs int
+	var terminal error
+	for st := range ch {
+		if st.Err != nil {
+			terminal = st.Err
+			continue
+		}
+		epochs++
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Fatalf("cancelled job's attach ended with %v, want context.Canceled", terminal)
+	}
+	if epochs != info.CompletedEpochs {
+		t.Fatalf("attach delivered %d epochs, want the %d completed before cancel", epochs, info.CompletedEpochs)
+	}
+}
+
+// TestAsyncUnknownJobPublic: by-ID operations against IDs the service
+// never issued fail fast with the fatal sentinel.
+func TestAsyncUnknownJobPublic(t *testing.T) {
+	tr := amalgam.RemoteTrainer{Addr: startServer(t)}
+	if _, err := tr.Poll(context.Background(), "job-424242"); !errors.Is(err, cloudsim.ErrUnknownJob) {
+		t.Fatalf("poll: got %v, want cloudsim.ErrUnknownJob", err)
+	}
+	job := mkTextJob(t)
+	ch, err := tr.Attach(context.Background(), job, "job-424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var terminal error
+	for st := range ch {
+		terminal = st.Err
+	}
+	if !errors.Is(terminal, cloudsim.ErrUnknownJob) {
+		t.Fatalf("attach: got %v, want cloudsim.ErrUnknownJob", terminal)
+	}
+}
