@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,6 +19,21 @@ import (
 	"amalgam/internal/data"
 	"amalgam/internal/serialize"
 )
+
+// writeArtifact creates path, streams write into it, and propagates the
+// Close error: a flush that fails at Close (disk full, quota) must not let
+// the command report success for an artifact the user will ship.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -84,21 +100,15 @@ func run() error {
 		return err
 	}
 	imgPath := filepath.Join(*out, "augmented_images.amt")
-	f, err := os.Create(imgPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := serialize.WriteTensor(f, aug.Dataset.Images); err != nil {
+	if err := writeArtifact(imgPath, func(w io.Writer) error {
+		return serialize.WriteTensor(w, aug.Dataset.Images)
+	}); err != nil {
 		return err
 	}
 	keyPath := filepath.Join(*out, "key.amk")
-	kf, err := os.Create(keyPath)
-	if err != nil {
-		return err
-	}
-	defer kf.Close()
-	if err := serialize.WriteIntSlice(kf, aug.Key.Keep); err != nil {
+	if err := writeArtifact(keyPath, func(w io.Writer) error {
+		return serialize.WriteIntSlice(w, aug.Key.Keep)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("artifacts  : %s (ship to cloud), %s (KEEP SECRET)\n", imgPath, keyPath)
@@ -134,21 +144,15 @@ func runText(n int, amount float64, seed uint64, out string) error {
 		flat = append(flat, s...)
 	}
 	tokPath := filepath.Join(out, "augmented_tokens.ami")
-	f, err := os.Create(tokPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := serialize.WriteIntSlice(f, flat); err != nil {
+	if err := writeArtifact(tokPath, func(w io.Writer) error {
+		return serialize.WriteIntSlice(w, flat)
+	}); err != nil {
 		return err
 	}
 	keyPath := filepath.Join(out, "key.amk")
-	kf, err := os.Create(keyPath)
-	if err != nil {
-		return err
-	}
-	defer kf.Close()
-	if err := serialize.WriteIntSlice(kf, aug.Key.Keep); err != nil {
+	if err := writeArtifact(keyPath, func(w io.Writer) error {
+		return serialize.WriteIntSlice(w, aug.Key.Keep)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("artifacts  : %s (ship to cloud), %s (KEEP SECRET)\n", tokPath, keyPath)

@@ -60,9 +60,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer of.Close()
-	if err := serialize.WriteStateDict(of, extracted); err != nil {
-		return err
+	// Close explicitly and check it: a flush that fails at Close must not
+	// let the command print "wrote ..." for a truncated dict.
+	werr := serialize.WriteStateDict(of, extracted)
+	if cerr := of.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
 	}
 	fmt.Printf("extracted %d tensors (%d params); discarded %d decoy params\n", len(extracted), origParams, decoyParams)
 	fmt.Printf("wrote %s\n", *out)

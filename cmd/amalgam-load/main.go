@@ -84,7 +84,7 @@ func run() error {
 			Executors: *executors, QueueDepth: *queueDepth,
 		})
 		defer func() {
-			l.Close()
+			_ = l.Close() // best-effort teardown; the report is already out
 			_ = server.Wait()
 		}()
 		target = l.Addr().String()

@@ -1,0 +1,150 @@
+// Command amalgam-vet runs the repo's invariant-contract analyzers
+// (poolcheck, detcheck, lockcheck, errtaxcheck) over Go packages.
+//
+// It supports two modes:
+//
+//   - Standalone: `amalgam-vet ./...` loads and typechecks packages from
+//     source (offline; no build cache required) and prints findings.
+//
+//   - Vet tool: `go vet -vettool=$(pwd)/bin/amalgam-vet ./...` — cmd/go
+//     drives the tool through the unitchecker protocol (-V=full, -flags,
+//     then one JSON .cfg per package with pre-built export data).
+//
+// Exit status: 0 for no findings, 2 when diagnostics were reported,
+// 1 on operational errors — mirroring go vet's convention.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"amalgam/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Unitchecker handshake: cmd/go probes the tool's identity and flags
+	// before dispatching per-package .cfg files.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// Content-derived version string so `go vet` re-runs the tool
+			// when its binary changes.
+			exe, err := os.Executable()
+			sum := "unknown"
+			if err == nil {
+				if data, rerr := os.ReadFile(exe); rerr == nil {
+					sum = fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+				}
+			}
+			fmt.Printf("amalgam-vet version devel buildID=%s\n", sum)
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVet(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("amalgam-vet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: amalgam-vet [-json] [-only a,b] packages...\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=/path/to/amalgam-vet packages...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var sel []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			found := false
+			for _, a := range analyzers {
+				if a.Name == strings.TrimSpace(name) {
+					sel = append(sel, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "amalgam-vet: unknown analyzer %q (see -list)\n", name)
+				return 1
+			}
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	return runStandalone(patterns, analyzers, *jsonOut)
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	loader, err := analysis.NewLoader(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amalgam-vet: %v\n", err)
+		return 1
+	}
+	pkgs, err := loader.LoadTargets()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amalgam-vet: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amalgam-vet: %v\n", err)
+		return 1
+	}
+	return report(diags, jsonOut)
+}
+
+func runVet(cfgPath string) int {
+	diags, err := analysis.RunVetTool(cfgPath, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amalgam-vet: %v\n", err)
+		return 1
+	}
+	return report(diags, false)
+}
+
+func report(diags []analysis.Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "amalgam-vet: %v\n", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+//	//amalgam:allow <analyzer> <reason>
+//
+// Written trailing a statement, the directive silences the named
+// analyzer's findings on that line; written on a line of its own, it
+// silences them on the immediately following line. Nothing else: the
+// directive never widens to a block or a file, so every accepted
+// exception is visible at the exact site it excuses.
+
+// directive is one parsed //amalgam:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // "" when malformed
+	reason   string
+	target   int // line whose findings this directive suppresses
+	used     bool
+}
+
+const directivePrefix = "amalgam:allow"
+
+// collectDirectives parses every //amalgam:allow comment in the package.
+func collectDirectives(pkg *Package) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &directive{pos: pos, target: pos.Line}
+				if standaloneComment(pkg.Src[pos.Filename], pos) {
+					d.target = pos.Line + 1
+				}
+				fields := strings.Fields(rest)
+				if len(fields) >= 1 {
+					d.analyzer = fields[0]
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// on its line — i.e. the directive governs the NEXT line, not its own.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	lineStart := bytes.LastIndexByte(src[:pos.Offset], '\n') + 1
+	return len(bytes.TrimSpace(src[lineStart:pos.Offset])) == 0
+}
+
+// applyDirectives filters diags through the package's //amalgam:allow
+// directives and appends directive-hygiene findings: malformed directives,
+// directives naming an unknown analyzer, and stale directives whose named
+// analyzer ran but reported nothing on the governed line.
+func applyDirectives(pkg *Package, ran []*Analyzer, diags []Diagnostic) []Diagnostic {
+	dirs := collectDirectives(pkg)
+	if len(dirs) == 0 {
+		return diags
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	running := make(map[string]bool)
+	for _, a := range ran {
+		running[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer == d.Analyzer && dir.reason != "" &&
+				dir.pos.Filename == d.Pos.Filename && dir.target == d.Pos.Line {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	for _, dir := range dirs {
+		switch {
+		case dir.analyzer == "" || dir.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: AllowName, Pos: dir.pos,
+				Message: "malformed directive: want //amalgam:allow <analyzer> <reason>",
+			})
+		case !known[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName, Pos: dir.pos,
+				Message: "directive names unknown analyzer " + dir.analyzer,
+			})
+		case running[dir.analyzer] && !dir.used:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName, Pos: dir.pos,
+				Message: "stale directive: " + dir.analyzer + " reports nothing on the governed line",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader typechecks packages from source using only the standard
+// library: `go list -deps -json` enumerates every package (module-local
+// and standard) with its build-tag-resolved file list, and a memoized
+// importer typechecks dependencies on demand — declarations only, the way
+// x/tools' srcimporter works — so the analyzers get full go/types
+// information without the go/packages dependency the container lacks.
+
+// pkgMeta is the subset of `go list -json` output the loader needs.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Package is one fully typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Src maps filename to source bytes, for suppression-directive and
+	// golden-test line handling.
+	Src map[string][]byte
+	// Dep resolves an import path anywhere in this package's dependency
+	// closure to its typechecked form (nil if absent). Analyzers use it to
+	// reach well-known types such as net.Conn.
+	Dep func(path string) *types.Package
+}
+
+// typedPkg memoizes one typecheck result.
+type typedPkg struct {
+	once sync.Once
+	pkg  *types.Package
+	full *Package // non-nil when typechecked as an analysis target
+	err  error
+}
+
+// Loader loads and typechecks packages of the module rooted at Dir.
+type Loader struct {
+	Dir  string
+	fset *token.FileSet
+
+	mu    sync.Mutex
+	metas map[string]*pkgMeta
+	typed map[string]*typedPkg // key: overlayRoot + "\x00" + importPath
+}
+
+// NewLoader builds a loader for the module at dir, resolving the given
+// `go list` patterns (plus their full dependency closure, including the
+// standard library).
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	l := &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		metas: make(map[string]*pkgMeta),
+		typed: make(map[string]*typedPkg),
+	}
+	if err := l.list(patterns); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Loader) list(patterns []string) error {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Standard,DepOnly,ImportMap,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	// Resolve the dependency closure without cgo so std packages (net,
+	// os/user, …) come back in their pure-Go build configuration — the only
+	// one a source-level typechecker can consume.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		m := &pkgMeta{}
+		if err := dec.Decode(m); err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return fmt.Errorf("analysis: go list: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		l.metas[m.ImportPath] = m
+	}
+	return nil
+}
+
+// Targets returns the import paths of the named (non-dependency,
+// non-standard) packages, sorted.
+func (l *Loader) Targets() []string {
+	var out []string
+	for p, m := range l.metas {
+		if !m.DepOnly && !m.Standard && len(m.GoFiles) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadTargets typechecks every target package for analysis.
+func (l *Loader) LoadTargets() ([]*Package, error) {
+	var pkgs []*Package
+	for _, path := range l.Targets() {
+		p, err := l.load("", path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadOverlay typechecks the golden-test package tree under srcRoot: every
+// directory below it holding .go files becomes a package whose import path
+// is its path relative to srcRoot. Overlay packages shadow same-named real
+// packages for imports resolved within this overlay — exactly how
+// analysistest's testdata/src convention works.
+func (l *Loader) LoadOverlay(srcRoot string) ([]*Package, error) {
+	srcRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	err = filepath.Walk(srcRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, ".go") {
+			rel, _ := filepath.Rel(srcRoot, filepath.Dir(path))
+			paths = append(paths, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	paths = dedup(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(srcRoot, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func dedup(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// load typechecks one package as an analysis target (bodies included).
+func (l *Loader) load(overlay, path string) (*Package, error) {
+	e := l.entry(overlay, path)
+	e.once.Do(func() { l.typecheck(overlay, path, e, true) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.full == nil {
+		// Already memoized declarations-only (it was imported before being
+		// requested as a target); re-do it fully under a distinct key.
+		e2 := l.entry(overlay, path+"\x00full")
+		e2.once.Do(func() { l.typecheck(overlay, path, e2, true) })
+		if e2.err != nil {
+			return nil, e2.err
+		}
+		return e2.full, nil
+	}
+	return e.full, nil
+}
+
+func (l *Loader) entry(overlay, path string) *typedPkg {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := overlay + "\x00" + path
+	e := l.typed[key]
+	if e == nil {
+		e = &typedPkg{}
+		l.typed[key] = e
+	}
+	return e
+}
+
+// importFor resolves an import from within overlay context: overlay
+// packages shadow real ones; everything else falls back to the go list
+// table (declarations only).
+func (l *Loader) importFor(overlay, path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if overlay != "" {
+		if dir := filepath.Join(overlay, filepath.FromSlash(path)); hasGoFiles(dir) {
+			e := l.entry(overlay, path)
+			e.once.Do(func() { l.typecheck(overlay, path, e, false) })
+			return e.pkg, e.err
+		}
+	}
+	e := l.entry("", path)
+	e.once.Do(func() { l.typecheck("", path, e, false) })
+	return e.pkg, e.err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// files returns the source file list for path under the given overlay.
+func (l *Loader) files(overlay, path string) (dir string, names []string, importMap map[string]string, err error) {
+	if overlay != "" {
+		dir = filepath.Join(overlay, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				return "", nil, nil, err
+			}
+			for _, ent := range ents {
+				if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+					names = append(names, ent.Name())
+				}
+			}
+			sort.Strings(names)
+			return dir, names, nil, nil
+		}
+	}
+	m := l.meta(path)
+	if m == nil {
+		return "", nil, nil, fmt.Errorf("analysis: package %q is outside the loaded dependency closure", path)
+	}
+	if len(m.CgoFiles) > 0 {
+		return "", nil, nil, fmt.Errorf("analysis: package %q uses cgo, which this loader cannot typecheck", path)
+	}
+	return m.Dir, m.GoFiles, m.ImportMap, nil
+}
+
+func (l *Loader) meta(path string) *pkgMeta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.metas[path]
+}
+
+// typecheck parses and typechecks one package. Dependencies are checked
+// declarations-only (fast, and immune to compiler-intrinsic function
+// bodies deep in the standard library); targets keep bodies and carry
+// full type info for the analyzers.
+func (l *Loader) typecheck(overlay, path string, e *typedPkg, target bool) {
+	realPath := strings.TrimSuffix(path, "\x00full")
+	dir, names, importMap, err := l.files(overlay, realPath)
+	if err != nil {
+		e.err = err
+		return
+	}
+	var files []*ast.File
+	src := make(map[string][]byte)
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	for _, name := range names {
+		fn := filepath.Join(dir, name)
+		b, err := os.ReadFile(fn)
+		if err != nil {
+			e.err = err
+			return
+		}
+		f, err := parser.ParseFile(l.fset, fn, b, mode)
+		if err != nil {
+			e.err = fmt.Errorf("analysis: parsing %s: %v", fn, err)
+			return
+		}
+		files = append(files, f)
+		src[fn] = b
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if mapped, ok := importMap[p]; ok {
+			p = mapped
+		}
+		return l.importFor(overlay, p)
+	})
+	cfg := &types.Config{
+		Importer:         imp,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC:      true,
+		IgnoreFuncBodies: !target,
+		Error: func(err error) {
+			if e.err == nil {
+				e.err = err
+			}
+		},
+	}
+	tinfo := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, cerr := cfg.Check(realPath, l.fset, files, tinfo)
+	if e.err == nil {
+		e.err = cerr
+	}
+	if e.err != nil {
+		e.err = fmt.Errorf("analysis: typechecking %s: %v", realPath, e.err)
+		return
+	}
+	e.pkg = pkg
+	if target {
+		e.full = &Package{
+			Path:  realPath,
+			Fset:  l.fset,
+			Files: files,
+			Types: pkg,
+			Info:  tinfo,
+			Src:   src,
+			Dep: func(p string) *types.Package {
+				tp, err := l.importFor(overlay, p)
+				if err != nil {
+					return nil
+				}
+				return tp
+			},
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

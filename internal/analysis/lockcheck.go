@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockcheck mechanizes the PR 6 deadlock postmortem: while a
+// sync.Mutex/RWMutex FIELD of a struct (the scheduler's, the server's,
+// a connection's) is held, the critical section must not perform work
+// that can block indefinitely or re-enter user code —
+//
+//   - channel sends, receives, and range-over-channel;
+//   - select statements without a default (every arm can block);
+//   - net.Conn I/O (Read/Write/Close/Set*Deadline on anything
+//     implementing net.Conn);
+//   - invoking a function value stored in a struct field or variable
+//     (a user callback that may block or re-enter and deadlock) —
+//     context.CancelFunc values are exempt, being non-blocking by
+//     contract;
+//   - time.Sleep and sync.WaitGroup.Wait.
+//
+// sync.Cond.Wait is exempt: it releases the mutex while parked — that is
+// its contract.
+//
+// The analysis is intra-procedural: a critical section is tracked from a
+// `x.mu.Lock()` statement to the matching Unlock in the same function
+// (a deferred Unlock extends it to the function's end). Calls into other
+// functions of the package are not followed; the repo convention that
+// locked helpers say so in their doc comment ("…with mu held") remains a
+// reviewer's contract.
+
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "no channel operations, net.Conn I/O, callbacks, or other blocking calls while holding a mutex field",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, body := range funcBodies(f) {
+			scanLocked(pass, body.List, make(map[*types.Var]bool))
+		}
+	}
+	return nil
+}
+
+// mutexField resolves call to a (Lock|RLock|Unlock|RUnlock) method call on
+// a sync.Mutex/RWMutex struct field, returning the field and method name.
+func mutexField(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	field := fieldVar(info, sel.X)
+	if field == nil {
+		return nil, ""
+	}
+	switch namedPath(field.Type()) {
+	case "sync.Mutex", "sync.RWMutex":
+		return field, sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// scanLocked walks a statement list tracking which mutex fields are held,
+// flagging blocking work inside critical sections. Nested blocks get a
+// copy of the held set, so a branch-local Unlock (the early-return idiom)
+// stays branch-local.
+func scanLocked(pass *Pass, stmts []ast.Stmt, held map[*types.Var]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if field, method := mutexField(pass.Info, call); field != nil {
+					switch method {
+					case "Lock", "RLock":
+						held = copyHeld(held)
+						held[field] = true
+					case "Unlock", "RUnlock":
+						held = copyHeld(held)
+						delete(held, field)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// `defer x.mu.Unlock()` holds the lock to function exit: the
+			// held set simply stays as-is for the rest of this list. The
+			// deferred call itself is exempt from checking (it runs after
+			// the body, where only the Unlock happens).
+			if field, _ := mutexField(pass.Info, s.Call); field != nil {
+				continue
+			}
+		}
+		if anyHeld(held) {
+			checkCriticalSection(pass, stmt, held)
+		}
+		// Recurse into compound statements with a branch-local copy.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanLocked(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			scanLocked(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				scanLocked(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			scanLocked(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			scanLocked(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			scanLocked(pass, []ast.Stmt{s.Stmt}, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func anyHeld(held map[*types.Var]bool) bool { return len(held) > 0 }
+
+// checkCriticalSection flags blocking constructs in the top level of one
+// statement. Nested blocks are handled by scanLocked's recursion (they
+// need their own held-set copies); nested expressions are inspected here.
+// Function literals are skipped: a goroutine or deferred closure does not
+// run while the lock is held at this point.
+func checkCriticalSection(pass *Pass, stmt ast.Stmt, held map[*types.Var]bool) {
+	// Only inspect the statement's own expressions, not nested statement
+	// blocks (scanLocked recurses into those separately).
+	inspectStack(stmt, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if n != stmt {
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding a mutex can block the critical section indefinitely")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "channel receive while holding a mutex can block the critical section indefinitely")
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "range over a channel while holding a mutex can block the critical section indefinitely")
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				pass.Reportf(n.Pos(), "select without a default while holding a mutex can block the critical section indefinitely")
+			}
+		case *ast.CallExpr:
+			checkLockedCall(pass, n)
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// connIOMethods are the net.Conn methods that perform (potentially
+// blocking or panicking) I/O.
+var connIOMethods = map[string]bool{
+	"Read": true, "Write": true, "Close": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func checkLockedCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+
+	// Known-blocking standard library calls.
+	if isPkgFunc(fn, "time", "Sleep") {
+		pass.Reportf(call.Pos(), "time.Sleep while holding a mutex stalls every contender")
+		return
+	}
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			switch namedPath(recv.Type()) + "." + fn.Name() {
+			case "sync.WaitGroup.Wait":
+				pass.Reportf(call.Pos(), "sync.WaitGroup.Wait while holding a mutex can block the critical section indefinitely")
+				return
+			case "sync.Cond.Wait":
+				return // releases the mutex while parked: its contract
+			}
+		}
+	}
+
+	// net.Conn I/O: a method from the I/O set on anything that is (or
+	// implements) net.Conn.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && connIOMethods[sel.Sel.Name] {
+		if recvT := pass.Info.TypeOf(sel.X); recvT != nil && implementsNetConn(pass, recvT) {
+			pass.Reportf(call.Pos(), "net.Conn %s while holding a mutex ties the critical section to peer and network pacing", sel.Sel.Name)
+			return
+		}
+	}
+
+	// Dynamic calls through function-typed variables and fields: user
+	// callbacks that may block or re-enter the lock.
+	if fn == nil {
+		switch target := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[target].(*types.Var); ok && isCallbackType(v.Type()) {
+				pass.Reportf(call.Pos(), "calling function value %s while holding a mutex re-enters user code inside the critical section", target.Name)
+			}
+		case *ast.SelectorExpr:
+			if v, ok := pass.Info.Uses[target.Sel].(*types.Var); ok && isCallbackType(v.Type()) {
+				pass.Reportf(call.Pos(), "calling callback %s while holding a mutex re-enters user code inside the critical section", target.Sel.Name)
+			}
+		}
+	}
+}
+
+// isCallbackType reports whether t is a function type other than the
+// non-blocking-by-contract context.CancelFunc.
+func isCallbackType(t types.Type) bool {
+	if namedPath(t) == "context.CancelFunc" {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// implementsNetConn reports whether t (or *t) satisfies net.Conn, when the
+// net package is in this package's dependency closure.
+func implementsNetConn(pass *Pass, t types.Type) bool {
+	netPkg := pass.Dep("net")
+	if netPkg == nil {
+		return false
+	}
+	connObj := netPkg.Scope().Lookup("Conn")
+	if connObj == nil {
+		return false
+	}
+	iface, ok := connObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolcheck mechanizes the scratch-pool ownership contract from
+// internal/tensor/pool.go: every buffer acquired with tensor.Get or
+// tensor.GetZero must, within its acquiring function, either reach
+// tensor.Put (directly or from a deferred closure, which also covers
+// panic unwinding) or be handed off — returned, stored into a longer-lived
+// structure, or passed to another function that assumes ownership (the
+// autodiff graph constructors and autodiff.Release are the usual sinks).
+//
+// The analysis is intra-procedural and errs toward silence: any hand-off
+// ends tracking, so it reports only buffers that provably cannot be
+// released —
+//
+//  1. a buffer used purely locally (element reads/writes, method calls)
+//     with no Put on any path, and
+//  2. a return statement lexically between the acquisition and the first
+//     release/hand-off — the early-error-return leak class — unless a
+//     deferred Put covers the exit.
+
+const (
+	tensorPkg   = "amalgam/internal/tensor"
+	autodiffPkg = "amalgam/internal/autodiff"
+)
+
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled tensors from tensor.Get/GetZero must reach tensor.Put or an ownership hand-off on every return path",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, body := range funcBodies(f) {
+			checkPoolBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// acquisition tracks one Get/GetZero result bound to a local variable.
+type acquisition struct {
+	obj  *types.Var
+	pos  token.Pos // the Get call
+	name string
+
+	released     bool      // tensor.Put(x) seen (any path)
+	deferredPut  bool      // Put runs from a defer: covers every exit
+	transferred  bool      // ownership handed off (call arg, return, store, …)
+	firstHandoff token.Pos // earliest release/transfer position
+}
+
+func (a *acquisition) handoff(pos token.Pos) {
+	if a.firstHandoff == token.NoPos || pos < a.firstHandoff {
+		a.firstHandoff = pos
+	}
+}
+
+func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Pass 1: find acquisitions in THIS body (not nested literals — those
+	// are their own scopes and checked separately).
+	var acqs []*acquisition
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := calleeFunc(info, call)
+			if !isPkgFunc(callee, tensorPkg, "Get") && !isPkgFunc(callee, tensorPkg, "GetZero") {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue // stored straight into a field/element: a hand-off
+			}
+			var obj *types.Var
+			if assign.Tok == token.DEFINE {
+				obj, _ = info.Defs[id].(*types.Var)
+			} else {
+				obj, _ = info.Uses[id].(*types.Var)
+			}
+			if obj == nil {
+				continue // blank identifier: immediately lost, but harmless in practice
+			}
+			acqs = append(acqs, &acquisition{obj: obj, pos: call.Pos(), name: id.Name})
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+	// A variable rebound to a second Get shares its object with the first
+	// acquisition; classify every use against all of them (trading a
+	// little recall for zero false positives from the sharing).
+	byObj := make(map[*types.Var][]*acquisition, len(acqs))
+	for _, a := range acqs {
+		byObj[a.obj] = append(byObj[a.obj], a)
+	}
+
+	// Pass 2: classify every use of each tracked variable, including uses
+	// inside nested function literals (a deferred closure's Put releases;
+	// any other capture is an escape that ends tracking).
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		for _, acq := range byObj[obj] {
+			classifyPoolUse(info, acq, id, stack)
+		}
+		return true
+	})
+
+	// Rule 1: never released, never handed off.
+	for _, acq := range acqs {
+		if !acq.released && !acq.transferred {
+			pass.Reportf(acq.pos, "pooled tensor %s is never released: no tensor.Put and no ownership hand-off in this function", acq.name)
+		}
+	}
+
+	// Rule 2: a return between the acquisition and the first hand-off
+	// leaks the buffer on that path, unless a deferred Put covers it.
+	for _, acq := range acqs {
+		if acq.deferredPut || acq.firstHandoff == token.NoPos {
+			continue
+		}
+		acq := acq
+		inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			// A return that itself mentions x (returns it, or passes it to
+			// a call in its results) is a hand-off on that very path.
+			mentions := false
+			ast.Inspect(ret, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == acq.obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if !mentions && ret.Pos() > acq.pos && ret.Pos() < acq.firstHandoff {
+				pass.Reportf(ret.Pos(), "return leaks pooled tensor %s (acquired at %s, first released at %s): add tensor.Put on this path or defer it",
+					acq.name, pass.Fset.Position(acq.pos), pass.Fset.Position(acq.firstHandoff))
+			}
+			return true
+		})
+	}
+}
+
+// classifyPoolUse decides what one mention of a tracked pooled tensor
+// means for its ownership.
+func classifyPoolUse(info *types.Info, acq *acquisition, id *ast.Ident, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// Unwrap parens: treat the parenthesized expression's parent instead.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) != id {
+				continue
+			}
+			callee := calleeFunc(info, p)
+			if isPkgFunc(callee, tensorPkg, "Put") {
+				acq.released = true
+				acq.handoff(p.Pos())
+				if underDefer(stack) {
+					acq.deferredPut = true
+				}
+				return
+			}
+			// Any other call taking x may assume ownership
+			// (autodiff.NewPooledNode, append into a scratch list, …).
+			acq.transferred = true
+			acq.handoff(p.Pos())
+			return
+		}
+		// x is the Fun (method value) — a local use.
+	case *ast.ReturnStmt:
+		acq.transferred = true
+		acq.handoff(p.Pos())
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == id {
+				// Aliased into another variable, a field, an element…
+				// tracking ends; the alias is the owner now.
+				acq.transferred = true
+				acq.handoff(p.Pos())
+				return
+			}
+		}
+		// x on the LHS: rebinding. The old buffer becomes untracked;
+		// stay quiet (flow-insensitive analysis cannot pair it).
+		acq.transferred = true
+		acq.handoff(p.Pos())
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		acq.transferred = true
+		acq.handoff(parent.Pos())
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			acq.transferred = true
+			acq.handoff(p.Pos())
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.RangeStmt, *ast.BinaryExpr,
+		*ast.IfStmt, *ast.SwitchStmt, *ast.CaseClause, *ast.ForStmt:
+		// Local read/compute: x.Data, x.Shape(), comparisons, conditions.
+	default:
+		// Unknown context: assume a hand-off rather than risk a false
+		// positive. The analyzer's contract is "reports are definite".
+		acq.transferred = true
+		acq.handoff(parent.Pos())
+	}
+
+	// A capture inside a non-deferred function literal escapes the
+	// intra-procedural model entirely.
+	if fl := enclosingFuncLit(stack); fl != nil && !acq.released {
+		if !funcLitDeferred(stack, fl) {
+			acq.transferred = true
+			acq.handoff(fl.Pos())
+		}
+	}
+}
+
+// underDefer reports whether the innermost call context in stack is a
+// defer statement — either `defer tensor.Put(x)` directly or a Put inside
+// a deferred closure.
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			return funcLitDeferred(stack[:i], stack[i].(*ast.FuncLit))
+		}
+	}
+	return false
+}
+
+// funcLitDeferred reports whether fl is the function of a defer statement
+// (defer func(){ … }()).
+func funcLitDeferred(outer []ast.Node, fl *ast.FuncLit) bool {
+	for i := len(outer) - 1; i >= 0; i-- {
+		switch s := outer[i].(type) {
+		case *ast.DeferStmt:
+			return ast.Unparen(s.Call.Fun) == fl
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// Package cloudsim's determinism contract covers only its train path:
+// this file (cloudsim.go) is checked, transport.go is not.
+package cloudsim
+
+import "time"
+
+func trainEpoch() int64 {
+	return time.Now().Unix() // want "detcheck: wall clock leaks into a determinism-contracted package: time.Now"
+}

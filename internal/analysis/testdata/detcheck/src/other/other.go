@@ -1,0 +1,15 @@
+// Package other is outside every determinism-contracted path: the same
+// constructs that detcheck flags elsewhere are silent here.
+package other
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+func mapKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

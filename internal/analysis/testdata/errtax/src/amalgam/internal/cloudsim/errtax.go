@@ -1,0 +1,65 @@
+// Package cloudsim (overlay) exercises errtaxcheck: the sentinel taxonomy
+// must stay in sync with its three classifiers, and every error built
+// inside a function must wrap a classified cause.
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrAlpha = errors.New("cloudsim: alpha")
+	ErrBeta  = errors.New("cloudsim: beta") // want "errtaxcheck: sentinel ErrBeta is not handled by sentinelFor"
+)
+
+func errCodeOf(err error) byte {
+	switch {
+	case errors.Is(err, ErrAlpha):
+		return 1
+	case errors.Is(err, ErrBeta):
+		return 2
+	}
+	return 0
+}
+
+// sentinelFor forgot ErrBeta: a wire code 2 would decode to nothing.
+func sentinelFor(code byte) error {
+	if code == 1 {
+		return ErrAlpha
+	}
+	return nil
+}
+
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrAlpha) || errors.Is(err, ErrBeta)
+}
+
+// Wrapping the causal error preserves its classification; silent.
+func wrapped(err error) error {
+	return fmt.Errorf("cloudsim: op failed: %w", err)
+}
+
+func bare() error {
+	return fmt.Errorf("cloudsim: op failed") // want "errtaxcheck: fmt.Errorf without %w"
+}
+
+func construct() error {
+	return errors.New("cloudsim: fresh") // want "errtaxcheck: errors.New inside a function"
+}
+
+func dynamic(format string) error {
+	return fmt.Errorf(format) // want "errtaxcheck: fmt.Errorf with a non-constant format"
+}
+
+// Regression: a %w at the end of a long constant format must be seen —
+// go/constant's abbreviated String() once truncated it away.
+func longWrapped(a, b, c int) error {
+	return fmt.Errorf("cloudsim: a very long diagnostic message carrying lots of context %d/%d/%d so the verb sits past the abbreviation horizon: %w",
+		a, b, c, ErrAlpha)
+}
+
+// A reasoned allow for deliberate generic errors (v1 interop).
+func allowedBare() error {
+	return fmt.Errorf("cloudsim: deliberately generic") //amalgam:allow errtaxcheck v1 peers carry no classification byte to map
+}

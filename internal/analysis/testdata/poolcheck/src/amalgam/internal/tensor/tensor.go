@@ -1,0 +1,16 @@
+// Package tensor is a golden-test stub shadowing the real scratch pool:
+// just enough surface for poolcheck to resolve tensor.Get/GetZero/Put.
+package tensor
+
+type Tensor struct {
+	Data []float32
+	dims []int
+}
+
+func (t *Tensor) Dim(i int) int    { return t.dims[i] }
+func (t *Tensor) Fill(v float32)   {}
+func (t *Tensor) Sum() (s float32) { return }
+
+func Get(shape ...int) *Tensor     { return &Tensor{} }
+func GetZero(shape ...int) *Tensor { return &Tensor{} }
+func Put(t *Tensor)                {}

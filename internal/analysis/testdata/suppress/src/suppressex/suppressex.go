@@ -1,0 +1,66 @@
+// Package suppressex pins the //amalgam:allow directive contract, driven
+// by lockcheck findings: a directive silences exactly the named analyzer
+// on exactly the annotated line, the reason is mandatory, and directives
+// that suppress nothing are themselves reported.
+package suppressex
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// A trailing directive silences its own line.
+func suppressed(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 //amalgam:allow lockcheck send is into a buffered harness channel that never fills
+	s.mu.Unlock()
+}
+
+// A standalone directive silences the immediately following line.
+func standalone(s *S) {
+	s.mu.Lock()
+	//amalgam:allow lockcheck send is into a buffered harness channel that never fills
+	s.ch <- 1
+	s.mu.Unlock()
+}
+
+// The directive governs one line only: the next statement still reports.
+func lineScoped(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 //amalgam:allow lockcheck send is into a buffered harness channel that never fills
+	s.ch <- 2 // want "lockcheck: channel send while holding a mutex"
+	s.mu.Unlock()
+}
+
+// A directive naming a different analyzer suppresses nothing here; the
+// lockcheck finding survives. (poolcheck is not in this run, so the
+// directive is not stale either — its analyzer simply did not run.)
+func wrongAnalyzer(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 /* want "lockcheck: channel send while holding a mutex" */ //amalgam:allow poolcheck wrong analyzer named on purpose
+	s.mu.Unlock()
+}
+
+// A directive whose analyzer ran but reported nothing on the governed
+// line has rotted; it is reported so it gets cleaned up.
+func stale(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 /* want "allow: stale directive: lockcheck reports nothing" */ //amalgam:allow lockcheck the lock is already dropped here
+}
+
+// A directive without a reason is malformed and suppresses nothing.
+func malformed(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 /* want "lockcheck: channel send while holding a mutex" "allow: malformed directive" */ //amalgam:allow lockcheck
+	s.mu.Unlock()
+}
+
+// A directive naming an analyzer outside the suite is a typo, reported.
+func unknown(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 /* want "lockcheck: channel send while holding a mutex" "allow: directive names unknown analyzer" */ //amalgam:allow lockchk reasons abound
+	s.mu.Unlock()
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call's statically-known callee, or nil for
+// dynamic calls (function values, method values through interfaces still
+// resolve — go/types tracks the interface method object).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath &&
+		f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// inspectStack walks n, calling fn with each node and the stack of its
+// ancestors (outermost first, not including n). Returning false prunes
+// the subtree.
+func inspectStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — so each can be analyzed as its own scope.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFuncLit returns the innermost function literal in stack that is
+// inside limit (or nil if the node is in limit's own scope).
+func enclosingFuncLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return nil
+}
+
+// fieldVar resolves expr to the struct-field variable it selects, or nil.
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// namedPath reports the full path.Name of t's core named type (pointers
+// dereferenced), or "".
+func namedPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

@@ -192,7 +192,9 @@ func decodeErrorFrame(payload []byte) error {
 	if sentinel != nil {
 		return fmt.Errorf("cloudsim: server: %s: %w", msg, sentinel)
 	}
-	return fmt.Errorf("cloudsim: server: %s", msg)
+	// v1 servers and errCodeGeneric frames carry no classification byte;
+	// reconstructing one here would be guessing.
+	return fmt.Errorf("cloudsim: server: %s", msg) //amalgam:allow errtaxcheck v1/generic error frames carry no code to map onto a sentinel
 }
 
 // readJobStream consumes a server's job output stream — progress,
@@ -342,7 +344,7 @@ func SubmitContext(ctx context.Context, addr string, req *TrainRequest, net_ Net
 			return "", fmt.Errorf("cloudsim: bad submit ack: %w", err)
 		}
 		if ack.JobID == "" {
-			return "", fmt.Errorf("cloudsim: submit ack carries no job ID")
+			return "", fmt.Errorf("cloudsim: submit ack carries no job ID: %w", ErrUnknownFrame)
 		}
 		return ack.JobID, nil
 	case msgError:

@@ -234,8 +234,8 @@ func BuildModel(spec ModelSpec) (Trainable, error) {
 		})
 	case "augmented-text":
 		if spec.Vocab <= 0 || spec.EmbedDim <= 0 || spec.Classes <= 0 {
-			return nil, fmt.Errorf("cloudsim: text spec needs vocab/embed_dim/classes, got %d/%d/%d",
-				spec.Vocab, spec.EmbedDim, spec.Classes)
+			return nil, fmt.Errorf("cloudsim: text spec needs vocab/embed_dim/classes, got %d/%d/%d: %w",
+				spec.Vocab, spec.EmbedDim, spec.Classes, ErrBadRequest)
 		}
 		orig := models.NewTextClassifier(tensor.NewRNG(spec.ModelSeed), spec.Vocab, spec.EmbedDim, spec.Classes)
 		key := &core.TextAugKey{OrigLen: spec.OrigLen, AugLen: spec.AugLen, Keep: spec.KeyKeep}
@@ -248,15 +248,15 @@ func BuildModel(spec ModelSpec) (Trainable, error) {
 		})
 	case "augmented-lm":
 		if spec.Vocab <= 0 || spec.LMDim <= 0 || spec.LMHeads <= 0 || spec.LMLayers <= 0 || spec.LMFF <= 0 {
-			return nil, fmt.Errorf("cloudsim: LM spec needs vocab/lm_dim/lm_heads/lm_layers/lm_ff, got %d/%d/%d/%d/%d",
-				spec.Vocab, spec.LMDim, spec.LMHeads, spec.LMLayers, spec.LMFF)
+			return nil, fmt.Errorf("cloudsim: LM spec needs vocab/lm_dim/lm_heads/lm_layers/lm_ff, got %d/%d/%d/%d/%d: %w",
+				spec.Vocab, spec.LMDim, spec.LMHeads, spec.LMLayers, spec.LMFF, ErrBadRequest)
 		}
 		// Training feeds OrigLen−1 tokens per window; a positional table
 		// shorter than that would panic mid-epoch and take the service
 		// down, so reject the spec up front.
 		if spec.LMMaxT < spec.OrigLen-1 {
-			return nil, fmt.Errorf("cloudsim: LM spec positional table lm_max_t %d shorter than window inputs (%d)",
-				spec.LMMaxT, spec.OrigLen-1)
+			return nil, fmt.Errorf("cloudsim: LM spec positional table lm_max_t %d shorter than window inputs (%d): %w",
+				spec.LMMaxT, spec.OrigLen-1, ErrBadRequest)
 		}
 		cfg := models.TransformerLMConfig{
 			Vocab: spec.Vocab, D: spec.LMDim, Heads: spec.LMHeads, FF: spec.LMFF,
@@ -273,7 +273,7 @@ func BuildModel(spec ModelSpec) (Trainable, error) {
 			Amount: spec.AugAmount, SubNets: spec.SubNets, Seed: spec.AugSeed,
 		})
 	default:
-		return nil, fmt.Errorf("cloudsim: unknown model kind %q", spec.Kind)
+		return nil, fmt.Errorf("cloudsim: unknown model kind %q: %w", spec.Kind, ErrBadRequest)
 	}
 }
 
@@ -343,7 +343,7 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 	case "plain-cv", "augmented-cv":
 		n := len(req.Labels)
 		if req.Images == nil || n == 0 || req.Images.Dim(0) != n {
-			return nil, fmt.Errorf("cloudsim: dataset has %d images for %d labels", imageCount(req.Images), n)
+			return nil, fmt.Errorf("cloudsim: dataset has %d images for %d labels: %w", imageCount(req.Images), n, ErrBadRequest)
 		}
 		ds := &data.ImageDataset{Images: req.Images, Labels: req.Labels, Classes: req.Spec.Classes}
 		var lossFn func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node)
@@ -364,8 +364,8 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 		}
 		if req.EvalImages != nil {
 			if len(req.EvalLabels) == 0 || req.EvalImages.Dim(0) != len(req.EvalLabels) {
-				return nil, fmt.Errorf("cloudsim: eval split has %d images for %d labels",
-					req.EvalImages.Dim(0), len(req.EvalLabels))
+				return nil, fmt.Errorf("cloudsim: eval split has %d images for %d labels: %w",
+					req.EvalImages.Dim(0), len(req.EvalLabels), ErrBadRequest)
 			}
 			eds := &data.ImageDataset{Images: req.EvalImages, Labels: req.EvalLabels, Classes: req.Spec.Classes}
 			eng.EvalAcc = func(batch int) (float64, bool) { return imageAccuracy(model, eds, batch), true }
@@ -374,11 +374,11 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 	case "augmented-text":
 		n := len(req.Labels)
 		if len(req.Samples) != n || n == 0 {
-			return nil, fmt.Errorf("cloudsim: dataset has %d samples for %d labels", len(req.Samples), n)
+			return nil, fmt.Errorf("cloudsim: dataset has %d samples for %d labels: %w", len(req.Samples), n, ErrBadRequest)
 		}
 		for i, s := range req.Samples {
 			if len(s) != req.Spec.AugLen {
-				return nil, fmt.Errorf("cloudsim: sample %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+				return nil, fmt.Errorf("cloudsim: sample %d has %d tokens, want aug_len %d: %w", i, len(s), req.Spec.AugLen, ErrBadRequest)
 			}
 		}
 		ds := &data.TextDataset{Samples: req.Samples, Labels: req.Labels, Vocab: req.Spec.Vocab, Classes: req.Spec.Classes}
@@ -391,8 +391,8 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 		}
 		if len(req.EvalSamples) > 0 {
 			if len(req.EvalSamples) != len(req.EvalLabels) {
-				return nil, fmt.Errorf("cloudsim: eval split has %d samples for %d labels",
-					len(req.EvalSamples), len(req.EvalLabels))
+				return nil, fmt.Errorf("cloudsim: eval split has %d samples for %d labels: %w",
+					len(req.EvalSamples), len(req.EvalLabels), ErrBadRequest)
 			}
 			eds := &data.TextDataset{Samples: req.EvalSamples, Labels: req.EvalLabels, Vocab: req.Spec.Vocab, Classes: req.Spec.Classes}
 			eng.EvalAcc = func(batch int) (float64, bool) { return textAccuracy(model, eds, batch), true }
@@ -401,11 +401,11 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 	case "augmented-lm":
 		n := len(req.Samples)
 		if n == 0 {
-			return nil, fmt.Errorf("cloudsim: LM job has no token windows")
+			return nil, fmt.Errorf("cloudsim: LM job has no token windows: %w", ErrBadRequest)
 		}
 		for i, s := range req.Samples {
 			if len(s) != req.Spec.AugLen {
-				return nil, fmt.Errorf("cloudsim: window %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+				return nil, fmt.Errorf("cloudsim: window %d has %d tokens, want aug_len %d: %w", i, len(s), req.Spec.AugLen, ErrBadRequest)
 			}
 		}
 		ws := &data.WindowSet{Windows: req.Samples, Vocab: req.Spec.Vocab}
@@ -420,7 +420,7 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 		if len(req.EvalSamples) > 0 {
 			for i, s := range req.EvalSamples {
 				if len(s) != req.Spec.AugLen {
-					return nil, fmt.Errorf("cloudsim: eval window %d has %d tokens, want aug_len %d", i, len(s), req.Spec.AugLen)
+					return nil, fmt.Errorf("cloudsim: eval window %d has %d tokens, want aug_len %d: %w", i, len(s), req.Spec.AugLen, ErrBadRequest)
 				}
 			}
 			ews := &data.WindowSet{Windows: req.EvalSamples, Vocab: req.Spec.Vocab}
@@ -428,7 +428,7 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 		}
 		return eng, nil
 	default:
-		return nil, fmt.Errorf("cloudsim: unknown model kind %q", req.Spec.Kind)
+		return nil, fmt.Errorf("cloudsim: unknown model kind %q: %w", req.Spec.Kind, ErrBadRequest)
 	}
 }
 
@@ -567,10 +567,10 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 	checkpoint func(*Snapshot) error) (*TrainResponse, error) {
 
 	if hyper.Epochs <= 0 || hyper.BatchSize <= 0 {
-		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive")
+		return nil, fmt.Errorf("cloudsim: epochs and batch size must be positive: %w", ErrBadRequest)
 	}
 	if hyper.StartEpoch < 0 || hyper.StartEpoch >= hyper.Epochs {
-		return nil, fmt.Errorf("cloudsim: start epoch %d out of range [0,%d)", hyper.StartEpoch, hyper.Epochs)
+		return nil, fmt.Errorf("cloudsim: start epoch %d out of range [0,%d): %w", hyper.StartEpoch, hyper.Epochs, ErrBadRequest)
 	}
 	eng.Model.SetTraining(true)
 	opt := optim.NewSGD(eng.Model.Params(), hyper.LR, hyper.Momentum, hyper.WeightDecay)
@@ -586,7 +586,7 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 	stateful, _ := eng.Model.(RNGStateful)
 	if len(eng.InitRNG) > 0 {
 		if stateful == nil {
-			return nil, fmt.Errorf("cloudsim: RNG state shipped for a model without random streams")
+			return nil, fmt.Errorf("cloudsim: RNG state shipped for a model without random streams: %w", ErrBadRequest)
 		}
 		if err := stateful.LoadRNGStates(eng.InitRNG); err != nil {
 			return nil, fmt.Errorf("cloudsim: loading RNG state: %w", err)
@@ -601,14 +601,14 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		}
 		return stateful.RNGStates()
 	}
-	start := time.Now()
+	start := time.Now() //amalgam:allow detcheck wall-clock Seconds is a reported latency metric, never an input to training
 	resp := &TrainResponse{CompletedEpochs: hyper.StartEpoch}
 	for e := hyper.StartEpoch; e < hyper.Epochs; e++ {
 		if ctx.Err() != nil {
 			resp.Cancelled = true
 			break
 		}
-		epochStart := time.Now()
+		epochStart := time.Now() //amalgam:allow detcheck per-epoch wall time is a reported metric, never an input to training
 		var shuffleRNG *tensor.RNG
 		if hyper.Shuffle {
 			shuffleRNG = data.ShuffleRNG(hyper.ShuffleSeed, e)
@@ -625,7 +625,7 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 			Epoch:    e + 1,
 			Loss:     lossSum / float64(seen),
 			Accuracy: eng.TrainAcc(hyper.BatchSize),
-			Seconds:  time.Since(epochStart).Seconds(),
+			Seconds:  time.Since(epochStart).Seconds(), //amalgam:allow detcheck metric field on the progress report, not training state
 		}
 		if eng.EvalAcc != nil {
 			m.EvalAccuracy, m.HasEval = eng.EvalAcc(hyper.BatchSize)
@@ -657,7 +657,7 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		return nil, err
 	}
 	resp.RNG = rng
-	resp.Seconds = time.Since(start).Seconds()
+	resp.Seconds = time.Since(start).Seconds() //amalgam:allow detcheck total wall time is a reported metric, not training state
 	return resp, nil
 }
 

@@ -44,6 +44,11 @@ var (
 	// already holds its fair share of queue slots. Also transient — slots
 	// free as the tenant's jobs drain.
 	ErrTenantQuota = errors.New("cloudsim: tenant queue quota exceeded")
+	// ErrBadRequest marks a request the server validated and refused:
+	// inconsistent model spec, mismatched dataset shapes, out-of-range
+	// hyperparameters. The request itself is wrong, so resending the same
+	// bytes cannot succeed — fatal.
+	ErrBadRequest = errors.New("cloudsim: invalid job request")
 )
 
 // IsTransient reports whether err is worth retrying against the same or
@@ -61,7 +66,7 @@ func IsTransient(err error) bool {
 	}
 	if errors.Is(err, ErrProtocolVersion) || errors.Is(err, ErrFrameTooLarge) ||
 		errors.Is(err, ErrUnknownFrame) || errors.Is(err, ErrJobPanic) ||
-		errors.Is(err, ErrUnknownJob) {
+		errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrBadRequest) {
 		return false
 	}
 	// Admission rejects are backpressure: the queue drains as executors
@@ -90,6 +95,7 @@ const (
 	errCodeNoJob    byte = 6
 	errCodeQueue    byte = 7
 	errCodeQuota    byte = 8
+	errCodeBadReq   byte = 9
 )
 
 // errCodeOf classifies an error for the wire.
@@ -111,6 +117,8 @@ func errCodeOf(err error) byte {
 		return errCodeQueue
 	case errors.Is(err, ErrTenantQuota):
 		return errCodeQuota
+	case errors.Is(err, ErrBadRequest):
+		return errCodeBadReq
 	default:
 		return errCodeGeneric
 	}
@@ -135,6 +143,8 @@ func sentinelFor(code byte) error {
 		return ErrQueueFull
 	case errCodeQuota:
 		return ErrTenantQuota
+	case errCodeBadReq:
+		return ErrBadRequest
 	default:
 		return nil
 	}

@@ -136,7 +136,7 @@ func encodeSpecFrame(spec ModelSpec) ([]byte, error) {
 // (version byte + JSON) spec payloads, returning the negotiated version.
 func decodeSpecFrame(payload []byte) (ModelSpec, byte, error) {
 	if len(payload) == 0 {
-		return ModelSpec{}, 0, fmt.Errorf("cloudsim: empty spec frame")
+		return ModelSpec{}, 0, fmt.Errorf("cloudsim: empty spec frame: %w", ErrBadRequest)
 	}
 	if payload[0] == '{' {
 		spec, err := specFromJSON(payload)
@@ -215,10 +215,10 @@ func flattenSamples(samples [][]int) []int {
 
 func reshapeSamples(flat []int, seqLen int) ([][]int, error) {
 	if seqLen <= 0 {
-		return nil, fmt.Errorf("cloudsim: token frame needs a positive aug_len in the spec, got %d", seqLen)
+		return nil, fmt.Errorf("cloudsim: token frame needs a positive aug_len in the spec, got %d: %w", seqLen, ErrBadRequest)
 	}
 	if len(flat)%seqLen != 0 {
-		return nil, fmt.Errorf("cloudsim: %d tokens not divisible by sequence length %d", len(flat), seqLen)
+		return nil, fmt.Errorf("cloudsim: %d tokens not divisible by sequence length %d: %w", len(flat), seqLen, ErrBadRequest)
 	}
 	out := make([][]int, len(flat)/seqLen)
 	for i := range out {

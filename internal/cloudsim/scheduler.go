@@ -121,7 +121,10 @@ func (j *schedJob) deliverProgress(m EpochMetric) {
 	j.stats = append(j.stats, m)
 	j.lastEpoch = m.Epoch
 	if j.sink != nil && j.sink.progress != nil {
-		if err := j.sink.progress(m); err != nil {
+		// Calling the sink under j.mu is deliberate: it serialises replay
+		// (attach) against live delivery so an epoch is never delivered
+		// twice. The sink writes to a deadlineConn, bounding the stall.
+		if err := j.sink.progress(m); err != nil { //amalgam:allow lockcheck delivery-under-lock is the exactly-once design; sink writes are deadline-bounded
 			j.sink = nil
 		}
 	}
@@ -134,7 +137,8 @@ func (j *schedJob) deliverCheckpoint(snap *Snapshot) {
 	defer j.mu.Unlock()
 	j.ckpt = snap
 	if j.sink != nil && j.sink.checkpoint != nil {
-		if err := j.sink.checkpoint(snap); err != nil {
+		// Same exactly-once rationale as deliverProgress.
+		if err := j.sink.checkpoint(snap); err != nil { //amalgam:allow lockcheck delivery-under-lock is the exactly-once design; sink writes are deadline-bounded
 			j.sink = nil
 		}
 	}
@@ -151,14 +155,16 @@ func (j *schedJob) attach(fromEpoch int, sink *attachSink) error {
 	if sink.progress != nil {
 		for _, m := range j.stats {
 			if m.Epoch > fromEpoch {
-				if err := sink.progress(m); err != nil {
+				// Replay must stay inside the critical section: that is
+				// the exactly-once guarantee documented above.
+				if err := sink.progress(m); err != nil { //amalgam:allow lockcheck replay-under-lock is the exactly-once design; sink writes are deadline-bounded
 					return err
 				}
 			}
 		}
 	}
 	if sink.checkpoint != nil && j.ckpt != nil && j.ckpt.Epoch > fromEpoch {
-		if err := sink.checkpoint(j.ckpt); err != nil {
+		if err := sink.checkpoint(j.ckpt); err != nil { //amalgam:allow lockcheck replay-under-lock is the exactly-once design; sink writes are deadline-bounded
 			return err
 		}
 	}

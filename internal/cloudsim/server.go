@@ -343,7 +343,10 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 				continue
 			}
 			// Cancelled before the job even started: nothing to train.
-			return ver, fmt.Errorf("cloudsim: job cancelled before submission")
+			// The generic wire code is deliberate: the client asked for
+			// this cancellation and will not retry it, so no sentinel
+			// class applies.
+			return ver, fmt.Errorf("cloudsim: job cancelled before submission") //amalgam:allow errtaxcheck client-initiated cancel; intentionally generic, never retried
 		case msgPoll:
 			// Status query — valid any time, repeatable on one connection.
 			ver = protocolVersion
@@ -360,10 +363,10 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 			return ver, s.attach(conn, areq)
 		case msgSubmit:
 			if ver < 2 {
-				return ver, fmt.Errorf("cloudsim: async submit requires protocol v2")
+				return ver, fmt.Errorf("cloudsim: async submit requires protocol v2: %w", ErrProtocolVersion)
 			}
 			if !req.Hyper.Async {
-				return ver, fmt.Errorf("cloudsim: async submit without the Hyper.Async capability")
+				return ver, fmt.Errorf("cloudsim: async submit without the Hyper.Async capability: %w", ErrBadRequest)
 			}
 			if err := finishTokens(); err != nil {
 				return ver, err

@@ -286,6 +286,7 @@ func (m *AugmentedTransformerLM) RNGStates() (map[string][]byte, error) {
 		return nil, err
 	}
 	out := make(map[string][]byte, len(inner))
+	//amalgam:allow detcheck pure map-to-map rekeying; result is independent of iteration order
 	for name, b := range inner {
 		out["orig."+name] = b
 	}
@@ -296,6 +297,7 @@ func (m *AugmentedTransformerLM) RNGStates() (map[string][]byte, error) {
 // "orig." namespace are rejected — they cannot belong to this model.
 func (m *AugmentedTransformerLM) LoadRNGStates(states map[string][]byte) error {
 	inner := make(map[string][]byte, len(states))
+	//amalgam:allow detcheck pure map-to-map rekeying; result is independent of iteration order
 	for name, b := range states {
 		rest, ok := strings.CutPrefix(name, "orig.")
 		if !ok {

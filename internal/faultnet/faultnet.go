@@ -64,10 +64,15 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Claim the connection index under the lock, but call the
+	// caller-supplied plan closure outside it: a plan that blocks (to
+	// stage a timing fault, say) must not stall concurrent Accepts or
+	// CloseAll. l.plan itself is immutable after Wrap.
 	l.mu.Lock()
-	p := l.plan(l.next)
+	i := l.next
 	l.next++
 	l.mu.Unlock()
+	p := l.plan(i)
 	if p.RefuseConn {
 		_ = c.Close()
 		// Hand the corpse to the server anyway: its handler reads EOF and

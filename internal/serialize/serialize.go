@@ -205,6 +205,7 @@ func WriteBytesDict(w io.Writer, dict map[string][]byte) error {
 		return err
 	}
 	names := make([]string, 0, len(dict))
+	//amalgam:allow detcheck keys are collected then sorted below; wire order never sees map order
 	for k := range dict {
 		names = append(names, k)
 	}
@@ -333,6 +334,7 @@ func ReadIntSlice(r io.Reader) ([]int, error) {
 
 func sortedKeys(m map[string]*tensor.Tensor) []string {
 	keys := make([]string, 0, len(m))
+	//amalgam:allow detcheck keys are collected then sorted below; callers never see map order
 	for k := range m {
 		keys = append(keys, k)
 	}

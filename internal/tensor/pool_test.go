@@ -76,6 +76,7 @@ func TestPoolConcurrent(t *testing.T) {
 				for _, v := range x.Data {
 					if v != float32(seed) {
 						t.Errorf("buffer aliased across goroutines")
+						Put(x)
 						return
 					}
 				}
