@@ -11,6 +11,10 @@
 //	amalgam-train -submit 127.0.0.1:7009 -lm          # language-model job
 //	amalgam-train -submit ... -checkpoint job.amc     # resumable (Ctrl-C safe)
 //	amalgam-train -submit ... -retries 5              # survive server faults
+//	amalgam-train -submit ... -optimizer adam         # train under Adam
+//	amalgam-train -submit ... -optimizer adamw -weight-decay 0.01
+//	amalgam-train -submit ... -lr-schedule step:2:0.5 # halve the LR every 2 epochs
+//	amalgam-train -submit ... -lr-schedule cosine:8:0.001
 //
 // A served instance drains gracefully on Ctrl-C: in-flight jobs stop at
 // their next epoch boundary and failover-aware clients receive an
@@ -29,6 +33,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"amalgam"
@@ -54,12 +60,84 @@ func main() {
 
 // submitConfig carries the demo-job knobs from flags to the submit paths.
 type submitConfig struct {
-	amount     float64
-	epochs     int
-	samples    int
-	checkpoint string
-	retries    int
-	backoff    time.Duration
+	amount      float64
+	epochs      int
+	samples     int
+	checkpoint  string
+	retries     int
+	backoff     time.Duration
+	optimizer   string
+	weightDecay float64
+	schedule    string
+}
+
+// applyOptimFlags folds the -optimizer/-weight-decay/-lr-schedule flags
+// into a demo TrainConfig. The spec's LR is left zero so it inherits the
+// demo's per-modality learning rate.
+func applyOptimFlags(tc amalgam.TrainConfig, cfg submitConfig) (amalgam.TrainConfig, error) {
+	switch cfg.optimizer {
+	case "", "sgd":
+		// Legacy SGD from the flat LR/Momentum fields; -weight-decay
+		// applies through the flat field too.
+		if cfg.weightDecay > 0 {
+			tc.WeightDecay = cfg.weightDecay
+		}
+	case "adam":
+		tc.Optimizer = &amalgam.OptimizerSpec{Kind: "adam"}
+	case "adamw":
+		tc.Optimizer = &amalgam.OptimizerSpec{Kind: "adam", WeightDecay: cfg.weightDecay}
+	default:
+		return tc, fmt.Errorf("unknown -optimizer %q (want sgd, adam, or adamw)", cfg.optimizer)
+	}
+	sched, err := parseSchedule(cfg.schedule)
+	if err != nil {
+		return tc, err
+	}
+	tc.LRSchedule = sched
+	return tc, nil
+}
+
+// parseSchedule parses the -lr-schedule grammar: "step:N:G" multiplies
+// the LR by G every N epochs; "cosine:P[:MIN]" anneals to MIN (default 0)
+// over P epochs. Empty means constant LR.
+func parseSchedule(s string) (*amalgam.LRScheduleSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "step":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-lr-schedule step wants step:N:G, got %q", s)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("-lr-schedule %q: bad step size: %w", s, err)
+		}
+		g, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("-lr-schedule %q: bad gamma: %w", s, err)
+		}
+		return amalgam.StepDecay(n, g), nil
+	case "cosine":
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("-lr-schedule cosine wants cosine:P[:MIN], got %q", s)
+		}
+		p, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("-lr-schedule %q: bad period: %w", s, err)
+		}
+		minLR := 0.0
+		if len(parts) == 3 {
+			minLR, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-lr-schedule %q: bad min LR: %w", s, err)
+			}
+		}
+		return amalgam.CosineDecay(p, minLR), nil
+	default:
+		return nil, fmt.Errorf("unknown -lr-schedule kind %q (want step or cosine)", parts[0])
+	}
 }
 
 func run() error {
@@ -73,6 +151,9 @@ func run() error {
 	checkpoint := flag.String("checkpoint", "", "checkpoint path: writes per-epoch snapshots and resumes from an existing file")
 	retries := flag.Int("retries", 0, "retry budget for transient faults (dropped connections, server shutdown); 0 disables retrying")
 	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base delay of the capped exponential retry backoff")
+	optimizer := flag.String("optimizer", "", "optimiser for the demo job: sgd (default), adam, or adamw")
+	weightDecay := flag.Float64("weight-decay", 0, "weight decay: L2 via the SGD loss for sgd, decoupled (AdamW) for adamw")
+	lrSchedule := flag.String("lr-schedule", "", "LR schedule: step:N:G (multiply by G every N epochs) or cosine:P[:MIN]")
 	maxConns := flag.Int("max-conns", 0, "serve: max concurrently served connections (0 = default 256)")
 	frameTimeout := flag.Duration("frame-timeout", 0, "serve: per-frame I/O deadline (0 = default 2m, negative disables)")
 	executors := flag.Int("executors", 0, "serve: concurrent training executors, each on a fair slice of the worker pool (0 = default 4)")
@@ -93,6 +174,7 @@ func run() error {
 		cfg := submitConfig{
 			amount: *amount, epochs: *epochs, samples: *samples,
 			checkpoint: *checkpoint, retries: *retries, backoff: *retryBackoff,
+			optimizer: *optimizer, weightDecay: *weightDecay, schedule: *lrSchedule,
 		}
 		switch {
 		case *lm:
@@ -146,6 +228,9 @@ func trainOptions(cfg submitConfig) []amalgam.TrainOption {
 	opts := []amalgam.TrainOption{
 		amalgam.WithProgress(func(s amalgam.EpochStats) {
 			line := fmt.Sprintf("epoch %d: loss=%.4f acc=%.3f", s.Epoch, s.Loss, s.Accuracy)
+			if s.LR > 0 {
+				line += fmt.Sprintf(" lr=%.5g", s.LR)
+			}
 			if s.Perplexity > 0 {
 				line += fmt.Sprintf(" ppl=%.1f", s.Perplexity)
 			}
@@ -190,8 +275,11 @@ func submitCVDemo(ctx context.Context, addr string, cfg submitConfig) error {
 	fmt.Printf("submitting obfuscated CV job: %d augmented samples at %dx%d, lenet +%.0f%%\n",
 		job.AugmentedDataset.N(), job.Key.AugH, job.Key.AugW, cfg.amount*100)
 	opts := append(trainOptions(cfg), amalgam.WithEvalSet(test))
-	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9}, opts...); err != nil {
+	tc, err := applyOptimFlags(amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.05, Momentum: 0.9}, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job, tc, opts...); err != nil {
 		return err
 	}
 	if _, err := job.Extract("lenet", 7); err != nil {
@@ -213,8 +301,11 @@ func submitTextDemo(ctx context.Context, addr string, cfg submitConfig) error {
 	}
 	fmt.Printf("submitting obfuscated text job: %d samples, %d → %d tokens each, +%.0f%%\n",
 		job.AugmentedDataset.N(), job.Key.OrigLen, job.Key.AugLen, cfg.amount*100)
-	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.5, Momentum: 0.9},
+	tc, err := applyOptimFlags(amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.5, Momentum: 0.9}, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job, tc,
 		trainOptions(cfg)...); err != nil {
 		return err
 	}
@@ -241,8 +332,11 @@ func submitLMDemo(ctx context.Context, addr string, cfg submitConfig) error {
 	fmt.Printf("submitting obfuscated LM job: %d windows, %d → %d tokens each, +%.0f%%\n",
 		len(job.AugmentedStream.Tokens)/job.Key.AugLen, job.Key.OrigLen, job.Key.AugLen, cfg.amount*100)
 	opts := append(trainOptions(cfg), amalgam.WithEvalSet(val))
-	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job,
-		amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.1, Momentum: 0.9}, opts...); err != nil {
+	tc, err := applyOptimFlags(amalgam.TrainConfig{Epochs: cfg.epochs, BatchSize: 16, LR: 0.1, Momentum: 0.9}, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := amalgam.Train(ctx, amalgam.RemoteTrainer{Addr: addr}, job, tc, opts...); err != nil {
 		return err
 	}
 	if _, err := job.ExtractLM(7); err != nil {

@@ -132,6 +132,37 @@ func ExampleWithRetry() {
 	// extraction verified bit-for-bit
 }
 
+// ExampleWithOptimizer trains an obfuscated job under Adam with a halving
+// step schedule instead of the default SGD. The specs are plain values:
+// the same pair shipped to a RemoteTrainer rebuilds the identical
+// optimiser service-side, and the Adam moment buffers and step counter
+// ride checkpoints, so interrupted runs resume bit-identically.
+func ExampleWithOptimizer() {
+	const vocab, classes = 500, 4
+	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "agnews-mini", N: 32, SeqLen: 24, Vocab: vocab, Classes: classes, Seed: 1})
+	model := amalgam.BuildTextClassifier(3, vocab, 16, classes)
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = amalgam.Train(context.Background(), amalgam.LocalTrainer{}, job,
+		amalgam.TrainConfig{Epochs: 3, BatchSize: 8},
+		amalgam.WithOptimizer(amalgam.Adam(0.01)),
+		amalgam.WithLRSchedule(amalgam.StepDecay(1, 0.5)),
+		amalgam.WithProgress(func(s amalgam.EpochStats) {
+			fmt.Printf("epoch %d trained at lr %g\n", s.Epoch, s.LR)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// epoch 1 trained at lr 0.01
+	// epoch 2 trained at lr 0.005
+	// epoch 3 trained at lr 0.0025
+}
+
 // ExampleRemoteTrainer ships an obfuscated job to a cloud training service
 // and streams per-epoch progress back over the wire. The service sees only
 // the augmented artifacts; the key never leaves the job.

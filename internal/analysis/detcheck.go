@@ -42,6 +42,7 @@ var detPackages = []string{
 	"amalgam/internal/nn",
 	"amalgam/internal/core",
 	"amalgam/internal/serialize",
+	"amalgam/internal/optim",
 }
 
 // cloudsimPkg's determinism contract covers only its train path: the

@@ -147,9 +147,9 @@ func requestFrames(req *TrainRequest, hyper Hyper) ([]frame, error) {
 		}
 		frames = append(frames, frame{msgInit, initBuf.Bytes()})
 	}
-	if len(req.InitOptState) > 0 {
+	if !req.InitOptState.Empty() {
 		var optBuf bytes.Buffer
-		if err := serialize.WriteStateDict(&optBuf, req.InitOptState); err != nil {
+		if err := serialize.WriteOptState(&optBuf, req.InitOptState); err != nil {
 			return nil, err
 		}
 		frames = append(frames, frame{msgOptState, optBuf.Bytes()})
@@ -239,11 +239,11 @@ func readJobStream(ctx context.Context, conn *deadlineConn, h StreamHandlers) (*
 				h.Checkpoint(ck)
 			}
 		case msgOptState:
-			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			st, err := serialize.ReadOptState(bytes.NewReader(payload))
 			if err != nil {
 				return nil, fmt.Errorf("cloudsim: bad optimiser state frame: %w", err)
 			}
-			resp.OptState = dict
+			resp.OptState = st
 		case msgRNGState:
 			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
 			if err != nil {
@@ -284,13 +284,14 @@ func TrainContextNet(ctx context.Context, addr string, req *TrainRequest, h Stre
 	}
 	defer conn.Close()
 
-	// This client understands the optimiser-state and failover
-	// extensions; declare them so the server sends AMC2 checkpoint
-	// frames, the msgOptState/msgRNGState result frames, and the
-	// graceful-shutdown handoff.
+	// This client understands the optimiser-state, failover, and
+	// pluggable-optimiser extensions; declare them so the server sends
+	// AMC2/AMC3 checkpoint frames, the msgOptState/msgRNGState result
+	// frames, and the graceful-shutdown handoff.
 	hyper := req.Hyper
 	hyper.OptState = true
 	hyper.Failover = true
+	hyper.OptimSpec = true
 	if err := writeRequest(conn, req, hyper, msgDone); err != nil {
 		return nil, err
 	}
@@ -329,6 +330,7 @@ func SubmitContext(ctx context.Context, addr string, req *TrainRequest, net_ Net
 	hyper := req.Hyper
 	hyper.OptState = true
 	hyper.Failover = true
+	hyper.OptimSpec = true
 	hyper.Async = true
 	if err := writeRequest(conn, req, hyper, msgSubmit); err != nil {
 		return "", err
@@ -412,9 +414,10 @@ func AttachContext(ctx context.Context, addr string, areq AttachRequest, h Strea
 	}
 	defer conn.Close()
 
-	// This binary understands the AMC2 and failover frame formats.
+	// This binary understands the AMC2/AMC3 and failover frame formats.
 	areq.OptState = true
 	areq.Failover = true
+	areq.OptimSpec = true
 	js, err := json.Marshal(areq)
 	if err != nil {
 		return nil, err

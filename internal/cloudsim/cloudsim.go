@@ -15,6 +15,7 @@ package cloudsim
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -109,6 +110,23 @@ type Hyper struct {
 	// msgDone. Negotiated like OptState/Failover: pre-extension clients
 	// never set it and keep the blocking submit+wait conversation.
 	Async bool `json:"async,omitempty"`
+	// Optimizer selects the job's optimiser by spec (kind + hyperparams).
+	// Nil keeps the historical behaviour: SGD built from the flat
+	// LR/Momentum/WeightDecay fields above, so every pre-extension client
+	// trains exactly as before. A spec with LR 0 inherits Hyper.LR.
+	Optimizer *optim.OptimSpec `json:"optimizer,omitempty"`
+	// Schedule selects an LR schedule applied at epoch boundaries. The
+	// schedule is reconstructed from (spec, completed epochs) on resume,
+	// so the rate never needs to travel in optimiser state.
+	Schedule *optim.ScheduleSpec `json:"lr_schedule,omitempty"`
+	// OptimSpec declares that the client understands the pluggable-
+	// optimiser extension: AMC3 msgCheckpoint payloads and AMO1-framed
+	// msgOptState result frames (generalized optimiser state). Negotiated
+	// like OptState/Failover/Async — pre-extension clients never set it,
+	// keep receiving the legacy SGD encodings byte-for-byte, and a server
+	// refuses Optimizer/Schedule specs from clients that did not declare
+	// it (they could not decode the resulting state frames).
+	OptimSpec bool `json:"optim_spec,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the
@@ -130,10 +148,10 @@ type TrainRequest struct {
 	// InitState, when non-nil, overrides the rebuilt model's initial
 	// parameters with the client's (preserving client-side initialisation).
 	InitState map[string]*tensor.Tensor
-	// InitOptState, when non-nil, seeds the optimiser's momentum buffers —
-	// a resumed job continues the velocity trajectory instead of
-	// restarting it from zero.
-	InitOptState map[string]*tensor.Tensor
+	// InitOptState, when non-nil, seeds the optimiser's resume state
+	// (momentum buffers, Adam moments + step counter) — a resumed job
+	// continues the optimiser trajectory instead of restarting it.
+	InitOptState *optim.State
 	// InitRNG, when non-nil, restores per-layer dropout-stream cursors
 	// (captured at a checkpoint) into the rebuilt model, so a resumed
 	// Dropout > 0 job draws the same masks an uninterrupted run would.
@@ -154,15 +172,19 @@ type EpochMetric struct {
 	// Perplexity is exp(Loss), reported for language-model jobs (whose
 	// Loss is the mean per-token cross-entropy). Zero for other kinds.
 	Perplexity float64 `json:"perplexity,omitempty"`
+	// LR is the learning rate the epoch trained at. Populated only for
+	// jobs that carry an optimiser or schedule spec, so pre-extension
+	// progress frames stay byte-identical.
+	LR float64 `json:"lr,omitempty"`
 }
 
 // TrainResponse carries the trained weights and metrics back to the user.
 type TrainResponse struct {
 	State map[string]*tensor.Tensor
-	// OptState holds the optimiser's final momentum buffers (nil when the
-	// job used no momentum), so a checkpoint written from the response
-	// resumes bit-identically.
-	OptState map[string]*tensor.Tensor
+	// OptState holds the optimiser's final resume state (nil when the job
+	// accumulated none), so a checkpoint written from the response resumes
+	// bit-identically.
+	OptState *optim.State
 	Metrics  []EpochMetric
 	Seconds  float64
 	// RNG holds the model's dropout-stream cursors at the end of the run
@@ -185,9 +207,9 @@ type Snapshot struct {
 	Epoch int
 	// State is the full model state dict at the boundary.
 	State map[string]*tensor.Tensor
-	// OptState holds the optimiser's momentum buffers (nil without
-	// momentum).
-	OptState map[string]*tensor.Tensor
+	// OptState holds the optimiser's resume state (nil when none has
+	// accumulated).
+	OptState *optim.State
 	// RNG holds dropout-stream cursors (nil for deterministic models).
 	RNG map[string][]byte
 }
@@ -306,7 +328,7 @@ type Engine struct {
 	// Step runs one mini-batch: zero grads, forward, backward, optimiser
 	// step, release the graph. Returns the summed original-sub-network
 	// loss and the batch size.
-	Step func(opt *optim.SGD, idx []int) (lossSum float64, count int)
+	Step func(opt optim.Optimizer, idx []int) (lossSum float64, count int)
 	// TrainAcc scores the model on the (augmented) training set.
 	TrainAcc func(batch int) float64
 	// EvalAcc scores the held-out split; ok is false when there is none.
@@ -316,9 +338,9 @@ type Engine struct {
 	// per-token cross-entropy, and TrainLoop reports exp(Loss) as the
 	// epoch's perplexity.
 	Perplexity bool
-	// InitOptState seeds the optimiser's momentum buffers before the
-	// first step (checkpoint resume). Nil starts from zero velocity.
-	InitOptState map[string]*tensor.Tensor
+	// InitOptState seeds the optimiser's resume state before the first
+	// step (checkpoint resume). Nil starts the optimiser fresh.
+	InitOptState *optim.State
 	// InitRNG restores dropout-stream cursors before the first step
 	// (checkpoint resume). Nil leaves the model's build-time streams.
 	InitRNG map[string][]byte
@@ -436,8 +458,8 @@ func newEngine(req *TrainRequest) (*Engine, error) {
 // backward, optimiser step, graph release. Shared by the service and the
 // public LocalTrainer so there is exactly one definition of "a training
 // step" per modality.
-func CVStep(model Trainable, lossFn func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node), ds *data.ImageDataset) func(*optim.SGD, []int) (float64, int) {
-	return func(opt *optim.SGD, idx []int) (float64, int) {
+func CVStep(model Trainable, lossFn func(x *autodiff.Node, labels []int) (total, orig *autodiff.Node), ds *data.ImageDataset) func(optim.Optimizer, []int) (float64, int) {
+	return func(opt optim.Optimizer, idx []int) (float64, int) {
 		x, labels := ds.Batch(idx)
 		nn.ZeroGrads(model)
 		total, orig := lossFn(autodiff.Constant(x), labels)
@@ -450,8 +472,8 @@ func CVStep(model Trainable, lossFn func(x *autodiff.Node, labels []int) (total,
 }
 
 // TextStep is CVStep's text-classification counterpart.
-func TextStep(am *core.AugmentedTextClassifier, ds *data.TextDataset) func(*optim.SGD, []int) (float64, int) {
-	return func(opt *optim.SGD, idx []int) (float64, int) {
+func TextStep(am *core.AugmentedTextClassifier, ds *data.TextDataset) func(optim.Optimizer, []int) (float64, int) {
+	return func(opt optim.Optimizer, idx []int) (float64, int) {
 		ids, labels := ds.Batch(idx)
 		nn.ZeroGrads(am)
 		total, orig := am.Loss(ids, labels)
@@ -467,9 +489,9 @@ func TextStep(am *core.AugmentedTextClassifier, ds *data.TextDataset) func(*opti
 // augmented windows through Algorithm 1's joint loss. The returned count
 // is in next-token targets of the ORIGINAL windows, so the loop's mean
 // Loss is per original token and exp(Loss) is the paper's perplexity.
-func LMStep(am *core.AugmentedTransformerLM, ws *data.WindowSet) func(*optim.SGD, []int) (float64, int) {
+func LMStep(am *core.AugmentedTransformerLM, ws *data.WindowSet) func(optim.Optimizer, []int) (float64, int) {
 	perWindow := len(am.OrigGather.Idx) - 1
-	return func(opt *optim.SGD, idx []int) (float64, int) {
+	return func(opt optim.Optimizer, idx []int) (float64, int) {
 		wins := ws.Batch(idx)
 		nn.ZeroGrads(am)
 		total, orig := am.LossWindows(wins)
@@ -573,15 +595,45 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		return nil, fmt.Errorf("cloudsim: start epoch %d out of range [0,%d): %w", hyper.StartEpoch, hyper.Epochs, ErrBadRequest)
 	}
 	eng.Model.SetTraining(true)
-	opt := optim.NewSGD(eng.Model.Params(), hyper.LR, hyper.Momentum, hyper.WeightDecay)
-	// A momentum-free run never reads velocity, but a loaded buffer would
-	// still be republished by StateDict as if current — epochs-stale state
-	// that a later momentum resume would silently continue from. Only
-	// restore what this run will actually advance.
-	if hyper.Momentum != 0 && len(eng.InitOptState) > 0 {
+	// Resolve the optimiser through the spec registry. Without an explicit
+	// spec the flat Hyper fields reproduce the historical SGD exactly; a
+	// spec with LR 0 inherits Hyper.LR so schedules and flat configs
+	// compose.
+	spec := optim.OptimSpec{Kind: optim.KindSGD, LR: hyper.LR, Momentum: hyper.Momentum, WeightDecay: hyper.WeightDecay}
+	if hyper.Optimizer != nil {
+		spec = *hyper.Optimizer
+		if spec.LR == 0 {
+			spec.LR = hyper.LR
+		}
+	}
+	opt, err := optim.Build(spec, eng.Model.Params())
+	if err != nil {
+		if errors.Is(err, optim.ErrUnknownKind) {
+			return nil, fmt.Errorf("cloudsim: optimiser kind %q: %w", spec.Kind, ErrUnknownOptimizer)
+		}
+		return nil, fmt.Errorf("cloudsim: optimiser spec: %v: %w", err, ErrBadRequest)
+	}
+	var sched optim.Schedule
+	if hyper.Schedule != nil {
+		sched, err = optim.BuildSchedule(*hyper.Schedule, opt)
+		if err != nil {
+			if errors.Is(err, optim.ErrUnknownKind) {
+				return nil, fmt.Errorf("cloudsim: schedule kind %q: %w", hyper.Schedule.Kind, ErrUnknownOptimizer)
+			}
+			return nil, fmt.Errorf("cloudsim: schedule spec: %v: %w", err, ErrBadRequest)
+		}
+	}
+	// State restore before schedule positioning: LoadStateDict restores
+	// buffers and counters, then SetEpoch reconstructs the rate from
+	// (spec, completed epochs) — the rate itself never rides in state, so
+	// resume-vs-straight-run bit-identity holds for any schedule.
+	if !eng.InitOptState.Empty() {
 		if err := opt.LoadStateDict(eng.InitOptState); err != nil {
 			return nil, fmt.Errorf("cloudsim: loading optimiser state: %w", err)
 		}
+	}
+	if sched != nil {
+		sched.SetEpoch(hyper.StartEpoch)
 	}
 	stateful, _ := eng.Model.(RNGStateful)
 	if len(eng.InitRNG) > 0 {
@@ -632,6 +684,18 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 		}
 		if eng.Perplexity {
 			m.Perplexity = math.Exp(m.Loss)
+		}
+		if hyper.Optimizer != nil || hyper.Schedule != nil {
+			// The rate this epoch actually trained at — captured before the
+			// schedule advances. Gated on the specs so pre-extension
+			// progress frames stay byte-identical.
+			m.LR = opt.LR()
+		}
+		// The schedule advances at the epoch boundary, before the
+		// checkpoint is cut: a resume from epoch e+1 re-derives this exact
+		// position via SetEpoch(e+1). Exactly one EpochEnd per epoch.
+		if sched != nil {
+			sched.EpochEnd()
 		}
 		resp.Metrics = append(resp.Metrics, m)
 		if progress != nil {

@@ -49,6 +49,12 @@ var (
 	// hyperparameters. The request itself is wrong, so resending the same
 	// bytes cannot succeed — fatal.
 	ErrBadRequest = errors.New("cloudsim: invalid job request")
+	// ErrUnknownOptimizer marks a job naming an optimiser or schedule kind
+	// this server's registry does not implement. Retrying the same spec at
+	// the same server cannot succeed — fatal, like ErrBadRequest, but
+	// distinguishable so clients can tell "bad hyperparameters" from "this
+	// server is too old for the requested optimiser".
+	ErrUnknownOptimizer = errors.New("cloudsim: unknown optimiser kind")
 )
 
 // IsTransient reports whether err is worth retrying against the same or
@@ -66,7 +72,8 @@ func IsTransient(err error) bool {
 	}
 	if errors.Is(err, ErrProtocolVersion) || errors.Is(err, ErrFrameTooLarge) ||
 		errors.Is(err, ErrUnknownFrame) || errors.Is(err, ErrJobPanic) ||
-		errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrBadRequest) {
+		errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrBadRequest) ||
+		errors.Is(err, ErrUnknownOptimizer) {
 		return false
 	}
 	// Admission rejects are backpressure: the queue drains as executors
@@ -96,6 +103,7 @@ const (
 	errCodeQueue    byte = 7
 	errCodeQuota    byte = 8
 	errCodeBadReq   byte = 9
+	errCodeOptim    byte = 10
 )
 
 // errCodeOf classifies an error for the wire.
@@ -119,6 +127,8 @@ func errCodeOf(err error) byte {
 		return errCodeQuota
 	case errors.Is(err, ErrBadRequest):
 		return errCodeBadReq
+	case errors.Is(err, ErrUnknownOptimizer):
+		return errCodeOptim
 	default:
 		return errCodeGeneric
 	}
@@ -145,6 +155,8 @@ func sentinelFor(code byte) error {
 		return ErrTenantQuota
 	case errCodeBadReq:
 		return ErrBadRequest
+	case errCodeOptim:
+		return ErrUnknownOptimizer
 	default:
 		return nil
 	}

@@ -173,13 +173,15 @@ type jobRef struct {
 // which of its buffered output to replay. FromEpoch is the last epoch the
 // client has already seen — the server replays only newer buffered
 // progress (and a newer parked checkpoint), which is what makes a retried
-// attach deliver each epoch's stats exactly once. OptState/Failover mirror
-// the Hyper capability flags for the attach stream's frame formats.
+// attach deliver each epoch's stats exactly once. OptState/Failover/
+// OptimSpec mirror the Hyper capability flags for the attach stream's
+// frame formats.
 type AttachRequest struct {
 	JobID     string `json:"job_id"`
 	FromEpoch int    `json:"from_epoch,omitempty"`
 	OptState  bool   `json:"opt_state,omitempty"`
 	Failover  bool   `json:"failover,omitempty"`
+	OptimSpec bool   `json:"optim_spec,omitempty"`
 }
 
 // JobStatus is the msgJobStatus JSON body: a point-in-time observation of

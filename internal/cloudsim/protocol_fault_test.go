@@ -72,7 +72,7 @@ func TestShutdownHandsOffFailoverClient(t *testing.T) {
 	if last.Kind != "augmented-lm" {
 		t.Fatalf("handoff checkpoint records kind %q", last.Kind)
 	}
-	if len(last.OptState) == 0 {
+	if last.OptState.Empty() {
 		t.Fatal("handoff checkpoint lost the momentum buffers")
 	}
 	if len(last.RNG) == 0 {

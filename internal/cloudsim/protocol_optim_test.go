@@ -1,0 +1,219 @@
+package cloudsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"amalgam/internal/optim"
+	"amalgam/internal/serialize"
+)
+
+// adamJob is textJob trained under Adam + halving StepLR instead of the
+// flat SGD hyper-parameters.
+func adamJob(t *testing.T) *TrainRequest {
+	t.Helper()
+	req := textJob(t)
+	req.Hyper.Epochs = 3
+	req.Hyper.Optimizer = &optim.OptimSpec{Kind: optim.KindAdam, LR: 0.05}
+	req.Hyper.Schedule = &optim.ScheduleSpec{Kind: optim.SchedStep, StepSize: 1, Gamma: 0.5}
+	req.Hyper.OptimSpec = true
+	return req
+}
+
+// TestTrainLoopAdamStepLRResumeBitIdentical pins the tentpole invariant at
+// the loop level: an Adam + StepLR run interrupted at an epoch boundary
+// and resumed from the returned state (weights, moment buffers, step
+// counter — the LR is re-derived from the schedule, never restored)
+// finishes bit-identical to an uninterrupted run. It also pins the
+// schedule cadence: the streamed LR halves exactly once per epoch, so a
+// double-fired (or skipped) EpochEnd shows up as a golden mismatch.
+func TestTrainLoopAdamStepLRResumeBitIdentical(t *testing.T) {
+	straight := adamJob(t)
+	straight.Hyper.Stream = false
+	straight.Hyper.CheckpointEvery = 0
+	full, err := RunLocal(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLR := []float64{0.05, 0.025, 0.0125}
+	if len(full.Metrics) != len(wantLR) {
+		t.Fatalf("%d metrics, want %d", len(full.Metrics), len(wantLR))
+	}
+	for i, m := range full.Metrics {
+		if m.LR != wantLR[i] {
+			t.Fatalf("epoch %d trained at LR %v, want %v (EpochEnd cadence broken?)", m.Epoch, m.LR, wantLR[i])
+		}
+	}
+	if full.OptState.Kind != optim.KindAdam || full.OptState.Step == 0 {
+		t.Fatalf("final optimiser state: kind=%q step=%d", full.OptState.Kind, full.OptState.Step)
+	}
+
+	first := adamJob(t)
+	first.Hyper.Stream = false
+	first.Hyper.CheckpointEvery = 0
+	first.Hyper.Epochs = 1
+	part, err := RunLocal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := adamJob(t)
+	second.Hyper.Stream = false
+	second.Hyper.CheckpointEvery = 0
+	second.Hyper.StartEpoch = 1
+	second.InitState = part.State
+	second.InitOptState = part.OptState
+	rest, err := RunLocal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tns := range full.State {
+		if !rest.State[name].Equal(tns) {
+			t.Fatalf("resumed Adam run diverged from straight run at %q", name)
+		}
+	}
+	if rest.OptState.Step != full.OptState.Step {
+		t.Fatalf("step counter diverged: resumed %d, straight %d", rest.OptState.Step, full.OptState.Step)
+	}
+	for name, tns := range full.OptState.Buffers {
+		if !rest.OptState.Buffers[name].Equal(tns) {
+			t.Fatalf("moment buffer %q diverged between resumed and straight runs", name)
+		}
+	}
+}
+
+// TestAdamJobOverWireMatchesLocal pins remote/local equality for a
+// spec-driven job: the service rebuilds Adam + StepLR from the wire spec
+// and produces the same weights, streams AMC3 checkpoints carrying the
+// generalized optimiser section, and returns the final Adam state over
+// the msgOptState frame.
+func TestAdamJobOverWireMatchesLocal(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req := adamJob(t)
+	var lrs []float64
+	checkpoints := 0
+	resp, err := TrainContext(context.Background(), l.Addr().String(), req, StreamHandlers{
+		Progress: func(m EpochMetric) { lrs = append(lrs, m.LR) },
+		Checkpoint: func(ck *serialize.TrainCheckpoint) {
+			checkpoints++
+			if ck.OptState.Kind != optim.KindAdam {
+				t.Errorf("checkpoint frame carries optimiser kind %q, want adam", ck.OptState.Kind)
+			}
+			if ck.OptState.Step == 0 || ck.OptState.NumBuffers() == 0 {
+				t.Errorf("checkpoint frame lost the Adam section: step=%d buffers=%d",
+					ck.OptState.Step, ck.OptState.NumBuffers())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checkpoints != req.Hyper.Epochs {
+		t.Fatalf("streamed %d checkpoint frames, want %d", checkpoints, req.Hyper.Epochs)
+	}
+	for i, lr := range lrs {
+		if want := 0.05 / float64(int(1)<<i); lr != want {
+			t.Fatalf("wire epoch %d reports LR %v, want %v", i+1, lr, want)
+		}
+	}
+	if resp.OptState.Kind != optim.KindAdam || resp.OptState.Step == 0 {
+		t.Fatalf("wire run returned optimiser state kind=%q step=%d", resp.OptState.Kind, resp.OptState.Step)
+	}
+	local, err := RunLocal(adamJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tns := range local.State {
+		if !resp.State[name].Equal(tns) {
+			t.Fatalf("wire and local Adam training diverged at %q", name)
+		}
+	}
+}
+
+// TestOptimSpecWithoutCapabilityRejected pins admission: a request naming
+// an optimiser spec without declaring the Hyper.OptimSpec capability is
+// refused as a coded ErrBadRequest before any training runs — such a
+// client could not decode the state frames its own job would produce.
+func TestOptimSpecWithoutCapabilityRejected(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	req := adamJob(t)
+	req.Hyper.OptimSpec = false // spec present, capability withheld
+	specPayload, err := encodeSpecFrame(req.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyperJSON, err := json.Marshal(req.Hyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		kind    byte
+		payload []byte
+	}{
+		{msgSpec, specPayload}, {msgHyper, hyperJSON}, {msgDone, nil},
+	} {
+		if err := writeFrame(conn, f.kind, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil || kind != msgError {
+		t.Fatalf("want error frame, got kind=%d err=%v", kind, err)
+	}
+	if len(payload) == 0 || sentinelFor(payload[0]) != ErrBadRequest {
+		t.Fatalf("error frame not coded as bad request: %q", payload)
+	}
+}
+
+// TestUnknownOptimizerKindOverWire pins the taxonomy end to end: a job
+// naming an optimiser kind the server's registry lacks comes back as
+// ErrUnknownOptimizer via the coded error frame — fatal, so retry loops
+// stop instead of resubmitting a spec that can never run.
+func TestUnknownOptimizerKindOverWire(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(l)
+	defer func() {
+		l.Close()
+		server.Wait()
+	}()
+
+	req := adamJob(t)
+	req.Hyper.Optimizer = &optim.OptimSpec{Kind: "lion", LR: 0.01}
+	_, err = TrainContext(context.Background(), l.Addr().String(), req, StreamHandlers{})
+	if !errors.Is(err, ErrUnknownOptimizer) {
+		t.Fatalf("want ErrUnknownOptimizer over the wire, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("unknown optimiser kind classified transient; retries would spin forever")
+	}
+}

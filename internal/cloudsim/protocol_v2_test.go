@@ -277,7 +277,7 @@ func TestLMJobOverWire(t *testing.T) {
 			if ck.Kind != "augmented-lm" {
 				t.Errorf("checkpoint frame records kind %q, want augmented-lm", ck.Kind)
 			}
-			if len(ck.OptState) == 0 {
+			if ck.OptState.Empty() {
 				t.Error("momentum job streamed a checkpoint without optimiser state")
 			}
 		},
@@ -294,7 +294,7 @@ func TestLMJobOverWire(t *testing.T) {
 			t.Fatalf("epoch %d progress frame carries no perplexity", m.Epoch)
 		}
 	}
-	if len(resp.OptState) == 0 {
+	if resp.OptState.Empty() {
 		t.Fatal("momentum job returned no final optimiser state over the wire")
 	}
 	local, err := RunLocal(lmJob(t))
@@ -414,7 +414,7 @@ func TestMomentumFreeResumeIgnoresStaleVelocity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(part.OptState) == 0 {
+	if part.OptState.Empty() {
 		t.Fatal("momentum run returned no optimiser state")
 	}
 	second := textJob(t)
@@ -429,8 +429,8 @@ func TestMomentumFreeResumeIgnoresStaleVelocity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rest.OptState) != 0 {
-		t.Fatalf("momentum-free run republished %d stale velocity buffers", len(rest.OptState))
+	if !rest.OptState.Empty() {
+		t.Fatalf("momentum-free run republished %d stale velocity buffers", rest.OptState.NumBuffers())
 	}
 }
 
@@ -482,7 +482,7 @@ func TestRunTrainingResumeMatchesStraightRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(part.OptState) == 0 {
+	if part.OptState.Empty() {
 		t.Fatal("momentum run returned no optimiser state")
 	}
 	second := mk()

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amalgam/internal/optim"
 	"amalgam/internal/serialize"
 )
 
@@ -321,11 +322,13 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 			}
 			req.InitState = dict
 		case msgOptState:
-			dict, err := serialize.ReadStateDict(bytes.NewReader(payload))
+			// ReadOptState sniffs the payload: a legacy bare dict surfaces
+			// as SGD momentum state, an AMO1 stream decodes in full.
+			st, err := serialize.ReadOptState(bytes.NewReader(payload))
 			if err != nil {
 				return ver, fmt.Errorf("cloudsim: bad optimiser state: %w", err)
 			}
-			req.InitOptState = dict
+			req.InitOptState = st
 		case msgRNGState:
 			dict, err := serialize.ReadBytesDict(bytes.NewReader(payload))
 			if err != nil {
@@ -368,11 +371,17 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 			if !req.Hyper.Async {
 				return ver, fmt.Errorf("cloudsim: async submit without the Hyper.Async capability: %w", ErrBadRequest)
 			}
+			if err := validateOptimSpecs(&req.Hyper); err != nil {
+				return ver, err
+			}
 			if err := finishTokens(); err != nil {
 				return ver, err
 			}
 			return ver, s.submitAsync(conn, req)
 		case msgDone:
+			if err := validateOptimSpecs(&req.Hyper); err != nil {
+				return ver, err
+			}
 			if err := finishTokens(); err != nil {
 				return ver, err
 			}
@@ -381,6 +390,38 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 			return ver, fmt.Errorf("cloudsim: unexpected message type %d: %w", kind, ErrUnknownFrame)
 		}
 	}
+}
+
+// validateOptimSpecs is the admission check for the pluggable-optimiser
+// extension: a request naming optimiser or schedule specs must also
+// declare the Hyper.OptimSpec capability (otherwise the client could not
+// decode the generalized state frames its own job produces), and the
+// specs themselves must validate — so a bad spec is refused at admission,
+// before any training time is spent on it.
+func validateOptimSpecs(h *Hyper) error {
+	if h.Optimizer == nil && h.Schedule == nil {
+		return nil
+	}
+	if !h.OptimSpec {
+		return fmt.Errorf("cloudsim: optimiser/schedule spec without the Hyper.OptimSpec capability: %w", ErrBadRequest)
+	}
+	if h.Optimizer != nil {
+		if err := h.Optimizer.Validate(); err != nil {
+			if errors.Is(err, optim.ErrUnknownKind) {
+				return fmt.Errorf("cloudsim: optimiser kind %q: %w", h.Optimizer.Kind, ErrUnknownOptimizer)
+			}
+			return fmt.Errorf("cloudsim: optimiser spec: %v: %w", err, ErrBadRequest)
+		}
+	}
+	if h.Schedule != nil {
+		if err := h.Schedule.Validate(); err != nil {
+			if errors.Is(err, optim.ErrUnknownKind) {
+				return fmt.Errorf("cloudsim: schedule kind %q: %w", h.Schedule.Kind, ErrUnknownOptimizer)
+			}
+			return fmt.Errorf("cloudsim: schedule spec: %v: %w", err, ErrBadRequest)
+		}
+	}
+	return nil
 }
 
 // progressWriter streams EpochMetric frames to one connection.
@@ -399,14 +440,21 @@ func progressWriter(conn *deadlineConn) func(EpochMetric) error {
 // training checkpoints — the same bytes WithCheckpoint writes to disk —
 // recording the job kind, the momentum buffers, and the dropout-stream
 // cursors alongside the weights. Pre-extension v2 clients keep the legacy
-// layout they parse (uint32 epoch + state dict).
-func checkpointWriter(conn *deadlineConn, amc2 bool, kind string) func(*Snapshot) error {
+// layout they parse (uint32 epoch + state dict). A peer that negotiated
+// checkpoints but not the OptimSpec capability cannot decode the AMC3
+// layout a generalized optimiser state forces, so its checkpoints ship
+// the weights without that state.
+func checkpointWriter(conn *deadlineConn, amc2, optimSpec bool, kind string) func(*Snapshot) error {
 	if amc2 {
 		return func(snap *Snapshot) error {
 			var buf bytes.Buffer
+			opt := snap.OptState
+			if !optimSpec && !opt.LegacySGD() {
+				opt = nil
+			}
 			ck := &serialize.TrainCheckpoint{
 				Epoch: snap.Epoch, Kind: kind,
-				State: snap.State, OptState: snap.OptState, RNG: snap.RNG,
+				State: snap.State, OptState: opt, RNG: snap.RNG,
 			}
 			if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
 				return err
@@ -432,6 +480,7 @@ func checkpointWriter(conn *deadlineConn, amc2 bool, kind string) func(*Snapshot
 type outcomeCaps struct {
 	optState      bool
 	failover      bool
+	optimSpec     bool
 	kind          string
 	clientStopped bool // the cancel came from this client, not a shutdown
 }
@@ -448,9 +497,13 @@ func (s *Server) writeOutcome(conn *deadlineConn, ver byte, caps outcomeCaps, re
 		// on another server without losing an epoch. Legacy clients fall
 		// through to the normal cancelled result below.
 		var buf bytes.Buffer
+		opt := resp.OptState
+		if !caps.optimSpec && !opt.LegacySGD() {
+			opt = nil
+		}
 		ck := &serialize.TrainCheckpoint{
 			Epoch: resp.CompletedEpochs, Kind: caps.kind,
-			State: resp.State, OptState: resp.OptState, RNG: resp.RNG,
+			State: resp.State, OptState: opt, RNG: resp.RNG,
 		}
 		if err := serialize.WriteTrainCheckpoint(&buf, ck); err != nil {
 			return err
@@ -470,13 +523,17 @@ func (s *Server) writeOutcome(conn *deadlineConn, ver byte, caps outcomeCaps, re
 	if err := writeFrame(conn, msgResult, metaJSON); err != nil {
 		return err
 	}
-	// Final momentum state rides its own frame, BEFORE msgState so the
+	// Final optimiser state rides its own frame, BEFORE msgState so the
 	// client's read loop (which terminates on msgState) still collects
 	// it. Only clients that declared the extension (Hyper.OptState)
-	// receive it — older peers would abort on the unknown frame type.
-	if ver >= 2 && caps.optState && len(resp.OptState) > 0 {
+	// receive it — older peers would abort on the unknown frame type —
+	// and a generalized (non-SGD) state additionally needs the OptimSpec
+	// capability, since its AMO1 payload would look like a corrupt dict
+	// to an OptState-only peer.
+	if ver >= 2 && caps.optState && !resp.OptState.Empty() &&
+		(caps.optimSpec || resp.OptState.LegacySGD()) {
 		var optBuf bytes.Buffer
-		if err := serialize.WriteStateDict(&optBuf, resp.OptState); err != nil {
+		if err := serialize.WriteOptState(&optBuf, resp.OptState); err != nil {
 			return err
 		}
 		if err := writeFrame(conn, msgOptState, optBuf.Bytes()); err != nil {
@@ -521,7 +578,7 @@ func (s *Server) runAndRespond(conn *deadlineConn, req *TrainRequest, ver byte) 
 		sink.progress = progressWriter(conn)
 	}
 	if ver >= 2 && req.Hyper.CheckpointEvery > 0 {
-		sink.checkpoint = checkpointWriter(conn, req.Hyper.OptState, req.Spec.Kind)
+		sink.checkpoint = checkpointWriter(conn, req.Hyper.OptState, req.Hyper.OptimSpec, req.Spec.Kind)
 	}
 	job, err := s.sched.Submit(req, sink)
 	if err != nil {
@@ -557,7 +614,8 @@ func (s *Server) runAndRespond(conn *deadlineConn, req *TrainRequest, ver byte) 
 	}
 	return s.writeOutcome(conn, ver, outcomeCaps{
 		optState: req.Hyper.OptState, failover: req.Hyper.Failover,
-		kind: req.Spec.Kind, clientStopped: clientStopped.Load(),
+		optimSpec: req.Hyper.OptimSpec,
+		kind:      req.Spec.Kind, clientStopped: clientStopped.Load(),
 	}, resp)
 }
 
@@ -652,7 +710,7 @@ func (s *Server) attach(conn *deadlineConn, areq AttachRequest) error {
 
 	sink := &attachSink{progress: progressWriter(conn)}
 	if job.req.Hyper.CheckpointEvery > 0 {
-		sink.checkpoint = checkpointWriter(conn, areq.OptState, job.req.Spec.Kind)
+		sink.checkpoint = checkpointWriter(conn, areq.OptState, areq.OptimSpec, job.req.Spec.Kind)
 	}
 	if err := job.attach(areq.FromEpoch, sink); err != nil {
 		return err
@@ -675,6 +733,7 @@ func (s *Server) attach(conn *deadlineConn, areq AttachRequest) error {
 	}
 	return s.writeOutcome(conn, protocolVersion, outcomeCaps{
 		optState: areq.OptState, failover: areq.Failover,
-		kind: job.req.Spec.Kind, clientStopped: clientStopped.Load(),
+		optimSpec: areq.OptimSpec,
+		kind:      job.req.Spec.Kind, clientStopped: clientStopped.Load(),
 	}, resp)
 }

@@ -1,15 +1,32 @@
 // Package optim implements the optimisers used by the Amalgam evaluation:
-// SGD with momentum/weight decay (Algorithm 1's update rule) and Adam.
-// Optimisers operate on named parameter lists from the nn package, keyed by
-// name so per-parameter state survives graph rebuilds.
+// SGD with momentum/weight decay (Algorithm 1's update rule) and Adam with
+// decoupled weight decay. Optimisers operate on named parameter lists from
+// the nn package, keyed by name so per-parameter state survives graph
+// rebuilds, and capture/restore their full resume state (buffers plus
+// scalar counters) as a State, so checkpointed runs of ANY optimiser
+// continue bit-identically.
+//
+// Optimisers and LR schedules are also constructible from wire-portable
+// specs (OptimSpec, ScheduleSpec) via Build/BuildSchedule, which is how
+// jobs carry their training recipe to the cloud service instead of the
+// recipe living in the provider's source code.
 package optim
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"amalgam/internal/nn"
 	"amalgam/internal/tensor"
+)
+
+// Optimiser kinds understood by the registry, the AMC3 checkpoint layout,
+// and the wire protocol's generalized optimiser state.
+const (
+	KindSGD  = "sgd"
+	KindAdam = "adam"
 )
 
 // Optimizer updates parameters in place from their accumulated gradients.
@@ -21,6 +38,73 @@ type Optimizer interface {
 	SetLR(lr float64)
 	// LR returns the current learning rate.
 	LR() float64
+	// Kind names the optimiser family (KindSGD, KindAdam) — the tag that
+	// travels in specs, checkpoints, and wire frames.
+	Kind() string
+	// StateDict captures the optimiser's resume state: named buffers plus
+	// scalar counters. Nil when there is nothing to resume (no step has
+	// touched any buffer yet). The buffers are the LIVE tensors (like
+	// nn.StateDict); serialise before stepping again if a frozen snapshot
+	// is needed.
+	StateDict() *State
+	// LoadStateDict restores state captured by StateDict on an optimiser
+	// of the same kind over the same parameters, staging and validating
+	// every buffer before any state is touched.
+	LoadStateDict(st *State) error
+}
+
+// State is an optimiser's serialisable resume state — the generalized
+// payload of AMC3 checkpoints and msgOptState wire frames.
+type State struct {
+	// Kind is the optimiser family that produced the state (KindSGD,
+	// KindAdam). Empty on states decoded from legacy AMC2/bare-dict
+	// sources, which only SGD ever wrote.
+	Kind string
+	// Step counts updates applied so far — Adam's bias-correction counter.
+	// Always zero for SGD.
+	Step int
+	// LR is the learning rate at capture time. Informational only: resume
+	// paths reconstruct the rate from (spec, epoch) via Schedule.SetEpoch,
+	// never from state, so schedules stay pure functions of the epoch.
+	LR float64
+	// Buffers holds the named per-parameter tensors: bare parameter names
+	// for SGD velocity, "m/<param>" and "v/<param>" moment pairs for Adam.
+	Buffers map[string]*tensor.Tensor
+}
+
+// NumBuffers reports how many named buffers the state carries (0 for nil).
+func (s *State) NumBuffers() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Buffers)
+}
+
+// Empty reports whether the state carries nothing to resume: no buffers
+// and no step count. Nil is empty.
+func (s *State) Empty() bool {
+	return s == nil || (s.Step == 0 && len(s.Buffers) == 0)
+}
+
+// LegacySGD reports whether the state is expressible in the legacy
+// SGD-momentum encodings (the AMC2 checkpoint section and the bare-dict
+// msgOptState frame): no scalar counters, kind absent or SGD. Writers use
+// it to keep emitting byte-identical legacy bytes for SGD jobs; only
+// states that genuinely need the generalized layout get it.
+func (s *State) LegacySGD() bool {
+	return s == nil || (s.Step == 0 && (s.Kind == "" || s.Kind == KindSGD))
+}
+
+// sortedNames returns m's keys in sorted order, so state validation and
+// serialisation visit buffers deterministically.
+func sortedNames(m map[string]*tensor.Tensor) []string {
+	names := make([]string, 0, len(m))
+	//amalgam:allow detcheck keys are collected then sorted below; callers never observe map order
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // SGD implements stochastic gradient descent with optional momentum and
@@ -80,40 +164,58 @@ func (s *SGD) SetLR(lr float64) { s.lr = lr }
 // LR returns the learning rate.
 func (s *SGD) LR() float64 { return s.lr }
 
-// StateDict returns the optimiser's per-parameter state — the momentum
-// buffers, keyed by parameter name. Nil when momentum is disabled or no
-// step has run yet. The returned tensors are the live buffers (like
-// nn.StateDict); serialise before stepping again if a frozen snapshot is
-// needed.
-func (s *SGD) StateDict() map[string]*tensor.Tensor {
+// Kind identifies SGD state in specs and checkpoints.
+func (s *SGD) Kind() string { return KindSGD }
+
+// StateDict returns the optimiser's resume state — the momentum buffers,
+// keyed by bare parameter name (the legacy-compatible SGD layout). Nil
+// when momentum is disabled or no step has run yet.
+func (s *SGD) StateDict() *State {
 	if len(s.velocity) == 0 {
 		return nil
 	}
 	out := make(map[string]*tensor.Tensor, len(s.velocity))
-	for name, v := range s.velocity {
-		out[name] = v
+	for _, p := range s.params {
+		if v, ok := s.velocity[p.Name]; ok {
+			out[p.Name] = v
+		}
 	}
-	return out
+	return &State{Kind: KindSGD, LR: s.lr, Buffers: out}
 }
 
 // LoadStateDict restores momentum buffers saved by StateDict, so a
 // resumed run continues the velocity trajectory instead of restarting it
 // from zero (the gap that made checkpoint resume merely convergent, not
-// bit-identical, when Momentum > 0). Every entry must name a parameter
+// bit-identical, when Momentum > 0). Every buffer must name a parameter
 // of this optimiser with a matching shape; an unknown name means the
-// checkpoint belongs to a different model and fails the load before any
-// state is touched.
-func (s *SGD) LoadStateDict(dict map[string]*tensor.Tensor) error {
-	staged := make(map[string]*tensor.Tensor, len(dict))
+// checkpoint belongs to a different model (or optimiser) and fails the
+// load before any state is touched. A momentum-free optimiser ignores the
+// buffers entirely: it would never advance them, and republishing them
+// from StateDict would present epochs-stale state as current.
+func (s *SGD) LoadStateDict(st *State) error {
+	if st.Empty() {
+		return nil
+	}
+	if st.Kind != "" && st.Kind != KindSGD {
+		return fmt.Errorf("optim: %s state loaded into an sgd optimiser", st.Kind)
+	}
+	if st.Step != 0 {
+		return fmt.Errorf("optim: sgd has no step counter, state records step %d", st.Step)
+	}
+	if s.momentum == 0 {
+		return nil
+	}
 	byName := make(map[string]nn.Param, len(s.params))
 	for _, p := range s.params {
 		byName[p.Name] = p
 	}
-	for name, src := range dict {
+	staged := make(map[string]*tensor.Tensor, len(st.Buffers))
+	for _, name := range sortedNames(st.Buffers) {
 		p, ok := byName[name]
 		if !ok {
 			return fmt.Errorf("optim: momentum state for unknown parameter %q", name)
 		}
+		src := st.Buffers[name]
 		if !src.SameShape(p.Node.Val) {
 			return fmt.Errorf("optim: momentum state shape mismatch for %q: %v vs %v",
 				name, src.Shape(), p.Node.Val.Shape())
@@ -122,15 +224,20 @@ func (s *SGD) LoadStateDict(dict map[string]*tensor.Tensor) error {
 		v.CopyFrom(src)
 		staged[name] = v
 	}
-	for name, v := range staged {
-		s.velocity[name] = v
+	for _, p := range s.params {
+		if v, ok := staged[p.Name]; ok {
+			s.velocity[p.Name] = v
+		}
 	}
 	return nil
 }
 
 var _ Optimizer = (*SGD)(nil)
 
-// Adam implements the Adam optimiser (Kingma & Ba, 2015).
+// Adam implements the Adam optimiser (Kingma & Ba, 2015), with optional
+// DECOUPLED weight decay (Loshchilov & Hutter's AdamW): the decay shrinks
+// weights directly (θ ← θ − η·λ·θ) instead of entering the adaptive
+// moments, so its effective strength is not divided by √v̂.
 type Adam struct {
 	params       []nn.Param
 	lr           float64
@@ -152,19 +259,31 @@ func NewAdam(params []nn.Param, lr float64) *Adam {
 	}
 }
 
-// Step applies one Adam update with bias correction.
+// NewAdamW builds an Adam optimiser with decoupled weight decay λ.
+func NewAdamW(params []nn.Param, lr, weightDecay float64) *Adam {
+	a := NewAdam(params, lr)
+	a.weightDecay = weightDecay
+	return a
+}
+
+// Step applies one Adam update with bias correction. Per-element work
+// stays in float32 over raw slices — the conversions and map lookups are
+// hoisted out of the inner loop, and steady-state steps allocate only when
+// a parameter's moment buffers are first touched.
 func (a *Adam) Step() {
 	a.step++
 	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
-	lr := a.lr * math.Sqrt(bc2) / bc1
+	lr := float32(a.lr * math.Sqrt(bc2) / bc1)
 	b1 := float32(a.beta1)
 	b2 := float32(a.beta2)
+	eps := float32(a.eps)
+	decay := float32(a.lr * a.weightDecay)
 	for _, p := range a.params {
 		if p.Node.Grad == nil {
 			continue
 		}
-		g := p.Node.Grad
+		g := p.Node.Grad.Data
 		w := p.Node.Val
 		m, ok := a.m[p.Name]
 		if !ok {
@@ -172,15 +291,21 @@ func (a *Adam) Step() {
 			a.m[p.Name] = m
 			a.v[p.Name] = tensor.New(w.Shape()...)
 		}
-		v := a.v[p.Name]
-		for i := range w.Data {
-			gi := g.Data[i]
-			if a.weightDecay != 0 {
-				gi += float32(a.weightDecay) * w.Data[i]
+		md := m.Data
+		vd := a.v[p.Name].Data
+		wd := w.Data
+		if decay != 0 {
+			for i := range wd {
+				wd[i] -= decay * wd[i]
 			}
-			m.Data[i] = b1*m.Data[i] + (1-b1)*gi
-			v.Data[i] = b2*v.Data[i] + (1-b2)*gi*gi
-			w.Data[i] -= float32(lr) * m.Data[i] / (float32(math.Sqrt(float64(v.Data[i]))) + float32(a.eps))
+		}
+		for i := range wd {
+			gi := g[i]
+			mi := b1*md[i] + (1-b1)*gi
+			vi := b2*vd[i] + (1-b2)*gi*gi
+			md[i] = mi
+			vd[i] = vi
+			wd[i] -= lr * mi / (float32(math.Sqrt(float64(vi))) + eps)
 		}
 	}
 }
@@ -191,26 +316,88 @@ func (a *Adam) SetLR(lr float64) { a.lr = lr }
 // LR returns the learning rate.
 func (a *Adam) LR() float64 { return a.lr }
 
+// Kind identifies Adam state in specs and checkpoints.
+func (a *Adam) Kind() string { return KindAdam }
+
+// StateDict returns Adam's full resume state: the first/second moment
+// buffers as "m/<param>"/"v/<param>" pairs plus the bias-correction step
+// counter. Nil before the first step.
+func (a *Adam) StateDict() *State {
+	if a.step == 0 && len(a.m) == 0 {
+		return nil
+	}
+	buffers := make(map[string]*tensor.Tensor, 2*len(a.m))
+	for _, p := range a.params {
+		if m, ok := a.m[p.Name]; ok {
+			buffers["m/"+p.Name] = m
+			buffers["v/"+p.Name] = a.v[p.Name]
+		}
+	}
+	return &State{Kind: KindAdam, Step: a.step, LR: a.lr, Buffers: buffers}
+}
+
+// LoadStateDict restores moments and the step counter saved by StateDict.
+// Every buffer must be an "m/"- or "v/"-prefixed pair naming a parameter
+// of this optimiser with a matching shape, and moments must come in
+// complete pairs; anything else means the state belongs to a different
+// model or optimiser and fails the load before any state is touched.
+func (a *Adam) LoadStateDict(st *State) error {
+	if st.Empty() {
+		return nil
+	}
+	if st.Kind != KindAdam {
+		kind := st.Kind
+		if kind == "" {
+			kind = KindSGD + "-era legacy"
+		}
+		return fmt.Errorf("optim: %s state loaded into an adam optimiser", kind)
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("optim: adam step counter must be ≥ 0, state records %d", st.Step)
+	}
+	byName := make(map[string]nn.Param, len(a.params))
+	for _, p := range a.params {
+		byName[p.Name] = p
+	}
+	stagedM := make(map[string]*tensor.Tensor, len(a.params))
+	stagedV := make(map[string]*tensor.Tensor, len(a.params))
+	for _, name := range sortedNames(st.Buffers) {
+		slot, param, ok := strings.Cut(name, "/")
+		if !ok || (slot != "m" && slot != "v") {
+			return fmt.Errorf("optim: adam state buffer %q is not an m/ or v/ moment", name)
+		}
+		p, ok := byName[param]
+		if !ok {
+			return fmt.Errorf("optim: adam state for unknown parameter %q", param)
+		}
+		src := st.Buffers[name]
+		if !src.SameShape(p.Node.Val) {
+			return fmt.Errorf("optim: adam state shape mismatch for %q: %v vs %v",
+				name, src.Shape(), p.Node.Val.Shape())
+		}
+		dst := tensor.New(src.Shape()...)
+		dst.CopyFrom(src)
+		if slot == "m" {
+			stagedM[param] = dst
+		} else {
+			stagedV[param] = dst
+		}
+	}
+	for _, p := range a.params {
+		_, hasM := stagedM[p.Name]
+		_, hasV := stagedV[p.Name]
+		if hasM != hasV {
+			return fmt.Errorf("optim: adam state for %q carries an unpaired moment buffer", p.Name)
+		}
+	}
+	for _, p := range a.params {
+		if m, ok := stagedM[p.Name]; ok {
+			a.m[p.Name] = m
+			a.v[p.Name] = stagedV[p.Name]
+		}
+	}
+	a.step = st.Step
+	return nil
+}
+
 var _ Optimizer = (*Adam)(nil)
-
-// StepLR decays an optimiser's learning rate by gamma every stepSize
-// epochs, mirroring torch.optim.lr_scheduler.StepLR.
-type StepLR struct {
-	opt      Optimizer
-	baseLR   float64
-	stepSize int
-	gamma    float64
-	epoch    int
-}
-
-// NewStepLR wraps opt with a step decay schedule.
-func NewStepLR(opt Optimizer, stepSize int, gamma float64) *StepLR {
-	return &StepLR{opt: opt, baseLR: opt.LR(), stepSize: stepSize, gamma: gamma}
-}
-
-// EpochEnd advances the schedule by one epoch.
-func (s *StepLR) EpochEnd() {
-	s.epoch++
-	decays := s.epoch / s.stepSize
-	s.opt.SetLR(s.baseLR * math.Pow(s.gamma, float64(decays)))
-}

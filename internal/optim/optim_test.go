@@ -143,8 +143,11 @@ func TestSGDStateDictResumeBitIdentical(t *testing.T) {
 	}
 	weights := nn.StateDict(lb)
 	vel := ob.StateDict()
-	if len(vel) == 0 {
+	if vel.NumBuffers() == 0 {
 		t.Fatal("momentum run produced no velocity state")
+	}
+	if vel.Kind != KindSGD || vel.Step != 0 {
+		t.Fatalf("SGD state should be kind %q with step 0, got kind %q step %d", KindSGD, vel.Kind, vel.Step)
 	}
 
 	lc, xc := build()
@@ -193,7 +196,7 @@ func TestSGDStateDictResumeBitIdentical(t *testing.T) {
 func TestSGDLoadStateDictRejectsForeignState(t *testing.T) {
 	l := nn.NewLinear(tensor.NewRNG(1), 4, 2)
 	o := NewSGD(l.Params(), 0.05, 0.9, 0)
-	if err := o.LoadStateDict(map[string]*tensor.Tensor{"nope": tensor.New(1)}); err == nil {
+	if err := o.LoadStateDict(&State{Kind: KindSGD, Buffers: map[string]*tensor.Tensor{"nope": tensor.New(1)}}); err == nil {
 		t.Fatal("unknown parameter name should fail the load")
 	}
 	var wName string
@@ -201,7 +204,10 @@ func TestSGDLoadStateDictRejectsForeignState(t *testing.T) {
 		wName = p.Name
 		break
 	}
-	if err := o.LoadStateDict(map[string]*tensor.Tensor{wName: tensor.New(1, 1)}); err == nil {
+	if err := o.LoadStateDict(&State{Kind: KindSGD, Buffers: map[string]*tensor.Tensor{wName: tensor.New(1, 1)}}); err == nil {
 		t.Fatal("mis-shaped momentum buffer should fail the load")
+	}
+	if err := o.LoadStateDict(&State{Kind: KindAdam, Step: 3, Buffers: map[string]*tensor.Tensor{"m/" + wName: tensor.New(4, 2)}}); err == nil {
+		t.Fatal("adam state loaded into an SGD optimiser should fail")
 	}
 }

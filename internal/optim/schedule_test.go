@@ -1,0 +1,67 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/nn"
+	"amalgam/internal/tensor"
+)
+
+func schedOpt(lr float64) Optimizer {
+	w := autodiff.Leaf(tensor.FromSlice([]float32{1}, 1))
+	return NewSGD([]nn.Param{{Name: "w", Node: w}}, lr, 0, 0)
+}
+
+// TestCosineLRSchedule is the golden LR-decay table for the cosine
+// schedule: half a cosine from base 1.0 to min 0.1 over 4 epochs, then
+// clamped to the floor.
+func TestCosineLRSchedule(t *testing.T) {
+	o := schedOpt(1.0)
+	sched := NewCosineLR(o, 4, 0.1)
+	var lrs []float64
+	for e := 0; e < 7; e++ {
+		lrs = append(lrs, o.LR())
+		sched.EpochEnd()
+	}
+	want := []float64{
+		1.0,                // e=0: full base rate
+		0.8681980515339464, // e=1: 0.1 + 0.45·(1+cos(π/4))
+		0.55,               // e=2: midpoint
+		0.2318019484660537, // e=3: 0.1 + 0.45·(1−cos(π/4))
+		0.1,                // e=4: floor reached
+		0.1,                // e=5: clamped
+		0.1,                // e=6: clamped
+	}
+	for i := range want {
+		if math.Abs(lrs[i]-want[i]) > 1e-12 {
+			t.Fatalf("CosineLR epoch %d lr = %v, want %v", i, lrs[i], want[i])
+		}
+	}
+}
+
+// TestSetEpochMatchesEpochEnds pins the resume contract for both
+// schedules: SetEpoch(k) must leave the optimiser at exactly the rate k
+// EpochEnd calls produce — bit-equal, since resumed runs rely on it.
+func TestSetEpochMatchesEpochEnds(t *testing.T) {
+	builders := map[string]func(Optimizer) Schedule{
+		"step":   func(o Optimizer) Schedule { return NewStepLR(o, 2, 0.1) },
+		"cosine": func(o Optimizer) Schedule { return NewCosineLR(o, 5, 0.01) },
+	}
+	for name, build := range builders {
+		for k := 0; k <= 8; k++ {
+			oa := schedOpt(1.0)
+			sa := build(oa)
+			for i := 0; i < k; i++ {
+				sa.EpochEnd()
+			}
+			ob := schedOpt(1.0)
+			sb := build(ob)
+			sb.SetEpoch(k)
+			if oa.LR() != ob.LR() {
+				t.Fatalf("%s: SetEpoch(%d) lr %v != %d EpochEnds lr %v", name, k, ob.LR(), k, oa.LR())
+			}
+		}
+	}
+}

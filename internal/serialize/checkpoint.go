@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"amalgam/internal/nn"
+	"amalgam/internal/optim"
 	"amalgam/internal/tensor"
 )
 
@@ -68,11 +70,17 @@ func LoadModel(path string, m interface{ Params() []nn.Param }) error {
 // kind (so a checkpoint can be matched against the job it is loaded
 // into) and the optimiser state dict (SGD momentum buffers), which is
 // what makes a resumed run with Momentum > 0 bit-identical to an
-// uninterrupted one. AMC1 files remain loadable: they surface with an
-// empty Kind and no OptState.
+// uninterrupted one. AMC3 generalizes the optimiser section: it names
+// the optimiser kind and carries scalar state (the step counter, the
+// capture-time LR) ahead of the named buffers, so Adam's bias-correction
+// counter survives a resume. The writer only reaches for AMC3 when the
+// state actually needs it (OptState.LegacySGD is false): SGD-momentum
+// jobs keep producing byte-identical AMC2 files, and AMC1/AMC2 files
+// remain loadable forever.
 const (
 	ckptMagicV1 = 0x414d4331 // "AMC1"
 	ckptMagicV2 = 0x414d4332 // "AMC2"
+	ckptMagicV3 = 0x414d4333 // "AMC3"
 )
 
 // TrainCheckpoint is a resumable training snapshot.
@@ -84,10 +92,12 @@ type TrainCheckpoint struct {
 	Kind string
 	// State is the full (augmented-model) state dict.
 	State map[string]*tensor.Tensor
-	// OptState holds the optimiser's per-parameter state (SGD momentum
-	// buffers), keyed like State. Nil when the run used no momentum or
-	// the file predates AMC2.
-	OptState map[string]*tensor.Tensor
+	// OptState holds the optimiser's resume state: named buffers (SGD
+	// momentum, Adam moments) plus scalar counters. Nil when the run had
+	// no optimiser state or the file predates AMC2. States decoded from
+	// AMC2 files surface with Kind "sgd" and Step 0 — the only shape that
+	// format could carry.
+	OptState *optim.State
 	// RNG holds per-layer random-stream cursors (dropout PCG state) keyed
 	// by stream name ("orig.drop", "orig.block0.drop", ...). It is an
 	// optional trailing AMC2 section: files written before it existed
@@ -97,15 +107,21 @@ type TrainCheckpoint struct {
 	RNG map[string][]byte
 }
 
-// WriteTrainCheckpoint encodes a training checkpoint in the AMC2 layout:
-// header, completed epoch count, spec kind, model state dict, and — when
-// present — the optimiser state dict.
+// WriteTrainCheckpoint encodes a training checkpoint: header, completed
+// epoch count, spec kind, optimiser scalars (AMC3 only), model state
+// dict, and — when present — the optimiser buffer dict. SGD-expressible
+// states take the AMC2 layout byte-for-byte; anything carrying a step
+// counter or a non-SGD kind needs AMC3.
 func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
 	if ck.Epoch < 0 {
 		return fmt.Errorf("serialize: checkpoint epoch must be ≥ 0, got %d", ck.Epoch)
 	}
+	magic := uint32(ckptMagicV2)
+	if !ck.OptState.LegacySGD() {
+		magic = ckptMagicV3
+	}
 	bw := bufio.NewWriter(w)
-	if err := writeHeader(bw, ckptMagicV2); err != nil {
+	if err := writeHeader(bw, magic); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(ck.Epoch)); err != nil {
@@ -114,12 +130,25 @@ func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
 	if err := writeString(bw, ck.Kind); err != nil {
 		return err
 	}
+	// AMC3 always carries the optimiser section (scalars matter even with
+	// no buffers yet); AMC2 keeps the historical buffers-only condition.
 	hasOpt := uint8(0)
-	if len(ck.OptState) > 0 {
+	if magic == ckptMagicV3 || ck.OptState.NumBuffers() > 0 {
 		hasOpt = 1
 	}
 	if err := binary.Write(bw, binary.LittleEndian, hasOpt); err != nil {
 		return err
+	}
+	if magic == ckptMagicV3 {
+		if err := writeString(bw, ck.OptState.Kind); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(ck.OptState.Step)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(ck.OptState.LR)); err != nil {
+			return err
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return err
@@ -128,7 +157,7 @@ func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
 		return err
 	}
 	if hasOpt == 1 {
-		if err := WriteStateDict(w, ck.OptState); err != nil {
+		if err := WriteStateDict(w, ck.OptState.Buffers); err != nil {
 			return err
 		}
 	}
@@ -145,8 +174,9 @@ func WriteTrainCheckpoint(w io.Writer, ck *TrainCheckpoint) error {
 	return WriteBytesDict(w, ck.RNG)
 }
 
-// ReadTrainCheckpoint decodes an AMC2 checkpoint, or a legacy AMC1 one
-// (Kind empty, OptState nil).
+// ReadTrainCheckpoint decodes an AMC3, AMC2, or legacy AMC1 checkpoint
+// (AMC1: Kind empty, OptState nil; AMC2: OptState surfaces as an SGD
+// state with Step 0).
 func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
 	// One buffered reader for the whole stream: the dict sections are
 	// decoded with the non-wrapping reader so the model dict cannot
@@ -156,9 +186,9 @@ func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
 		return nil, fmt.Errorf("serialize: read magic: %w", err)
 	}
-	if magic != ckptMagicV1 && magic != ckptMagicV2 {
-		return nil, fmt.Errorf("serialize: bad magic %#x, want %#x or %#x: %w",
-			magic, ckptMagicV1, ckptMagicV2, ErrWrongFormat)
+	if magic != ckptMagicV1 && magic != ckptMagicV2 && magic != ckptMagicV3 {
+		return nil, fmt.Errorf("serialize: bad magic %#x, want %#x, %#x or %#x: %w",
+			magic, ckptMagicV1, ckptMagicV2, ckptMagicV3, ErrWrongFormat)
 	}
 	var v uint16
 	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
@@ -174,7 +204,8 @@ func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
 	}
 	ck.Epoch = int(e)
 	hasOpt := uint8(0)
-	if magic == ckptMagicV2 {
+	var opt *optim.State
+	if magic != ckptMagicV1 {
 		kind, err := readString(br)
 		if err != nil {
 			return nil, fmt.Errorf("serialize: read checkpoint kind: %w", err)
@@ -184,19 +215,39 @@ func ReadTrainCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
 			return nil, fmt.Errorf("serialize: read checkpoint flags: %w", err)
 		}
 	}
+	if hasOpt == 1 {
+		// AMC2 could only ever hold SGD momentum buffers; AMC3 names the
+		// kind and carries the scalars explicitly.
+		opt = &optim.State{Kind: optim.KindSGD}
+		if magic == ckptMagicV3 {
+			kind, err := readString(br)
+			if err != nil {
+				return nil, fmt.Errorf("serialize: read optimiser kind: %w", err)
+			}
+			var step, lrBits uint64
+			if err := binary.Read(br, binary.LittleEndian, &step); err != nil {
+				return nil, fmt.Errorf("serialize: read optimiser step: %w", err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &lrBits); err != nil {
+				return nil, fmt.Errorf("serialize: read optimiser lr: %w", err)
+			}
+			opt = &optim.State{Kind: kind, Step: int(step), LR: math.Float64frombits(lrBits)}
+		}
+	}
 	state, err := readStateDictFrom(br)
 	if err != nil {
 		return nil, err
 	}
 	ck.State = state
 	if hasOpt == 1 {
-		opt, err := readStateDictFrom(br)
+		buffers, err := readStateDictFrom(br)
 		if err != nil {
 			return nil, fmt.Errorf("serialize: optimiser state: %w", err)
 		}
+		opt.Buffers = buffers
 		ck.OptState = opt
 	}
-	if magic == ckptMagicV2 {
+	if magic != ckptMagicV1 {
 		// Optional trailing RNG section; EOF here means the file predates
 		// it (written before cursors were checkpointed) and is fine.
 		flag, err := br.ReadByte()

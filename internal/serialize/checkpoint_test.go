@@ -9,6 +9,7 @@ import (
 
 	"amalgam/internal/models"
 	"amalgam/internal/nn"
+	"amalgam/internal/optim"
 	"amalgam/internal/tensor"
 )
 
@@ -73,12 +74,13 @@ func TestTrainCheckpointRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "job.amc")
 	m := models.NewLeNet5(tensor.NewRNG(1), models.CVConfig{InC: 1, InH: 12, InW: 12, Classes: 3})
 	dict := nn.StateDict(m)
-	opt := map[string]*tensor.Tensor{}
+	vel := map[string]*tensor.Tensor{}
 	for name, src := range dict {
 		v := tensor.New(src.Shape()...)
 		tensor.NewRNG(9).FillUniform(v, -1, 1)
-		opt[name] = v
+		vel[name] = v
 	}
+	opt := &optim.State{Kind: optim.KindSGD, LR: 0.05, Buffers: vel}
 	in := &TrainCheckpoint{Epoch: 7, Kind: "augmented-cv", State: dict, OptState: opt}
 	if err := SaveTrainCheckpoint(path, in); err != nil {
 		t.Fatal(err)
@@ -90,16 +92,19 @@ func TestTrainCheckpointRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ck.Epoch != 7 || ck.Kind != "augmented-cv" || len(ck.State) != len(dict) || len(ck.OptState) != len(opt) {
-		t.Fatalf("round trip mangled the checkpoint: %d %q %d/%d", ck.Epoch, ck.Kind, len(ck.State), len(ck.OptState))
+	if ck.Epoch != 7 || ck.Kind != "augmented-cv" || len(ck.State) != len(dict) || ck.OptState.NumBuffers() != len(vel) {
+		t.Fatalf("round trip mangled the checkpoint: %d %q %d/%d", ck.Epoch, ck.Kind, len(ck.State), ck.OptState.NumBuffers())
+	}
+	if ck.OptState.Kind != optim.KindSGD || ck.OptState.Step != 0 {
+		t.Fatalf("SGD optimiser state mangled: kind %q step %d", ck.OptState.Kind, ck.OptState.Step)
 	}
 	for name, src := range dict {
 		if !ck.State[name].Equal(src) {
 			t.Fatalf("entry %q not restored", name)
 		}
 	}
-	for name, src := range opt {
-		if !ck.OptState[name].Equal(src) {
+	for name, src := range vel {
+		if !ck.OptState.Buffers[name].Equal(src) {
 			t.Fatalf("optimiser entry %q not restored", name)
 		}
 	}
@@ -119,7 +124,7 @@ func TestTrainCheckpointNoOptState(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ck.OptState != nil {
-		t.Fatalf("momentum-free checkpoint returned %d optimiser entries", len(ck.OptState))
+		t.Fatalf("momentum-free checkpoint returned %d optimiser entries", ck.OptState.NumBuffers())
 	}
 	if ck.Epoch != 2 || ck.Kind != "augmented-text" {
 		t.Fatalf("epoch/kind mangled: %d %q", ck.Epoch, ck.Kind)

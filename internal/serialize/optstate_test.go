@@ -1,0 +1,176 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"amalgam/internal/optim"
+	"amalgam/internal/tensor"
+)
+
+func testBuffers(names ...string) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(names))
+	rng := tensor.NewRNG(11)
+	for _, n := range names {
+		v := tensor.New(3, 2)
+		rng.FillNormal(v, 0, 1)
+		out[n] = v
+	}
+	return out
+}
+
+func statesEqual(t *testing.T, got, want *optim.State) {
+	t.Helper()
+	if got.Kind != want.Kind || got.Step != want.Step || got.LR != want.LR {
+		t.Fatalf("scalars mangled: got %q/%d/%v, want %q/%d/%v",
+			got.Kind, got.Step, got.LR, want.Kind, want.Step, want.LR)
+	}
+	if len(got.Buffers) != len(want.Buffers) {
+		t.Fatalf("buffer count %d, want %d", len(got.Buffers), len(want.Buffers))
+	}
+	for name, src := range want.Buffers {
+		if !got.Buffers[name].Equal(src) {
+			t.Fatalf("buffer %q not restored", name)
+		}
+	}
+}
+
+// TestOptStateAMO1Roundtrip pins the generalized wire encoding: an Adam
+// state (kind, step counter, LR, prefixed moment buffers) survives
+// encode/decode exactly.
+func TestOptStateAMO1Roundtrip(t *testing.T) {
+	in := &optim.State{
+		Kind: optim.KindAdam, Step: 42, LR: 0.003,
+		Buffers: testBuffers("m/w", "v/w", "m/b", "v/b"),
+	}
+	var buf bytes.Buffer
+	if err := WriteOptState(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(buf.Bytes()[:4]); got != optStateMagic {
+		t.Fatalf("adam state wrote magic %#x, want AMO1", got)
+	}
+	out, err := ReadOptState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, out, in)
+}
+
+// TestOptStateSGDWritesLegacyBytes pins the no-flag-day contract on the
+// wire: an SGD-expressible state encodes byte-identically to the legacy
+// bare state dict, and decoding surfaces it as an SGD state.
+func TestOptStateSGDWritesLegacyBytes(t *testing.T) {
+	vel := testBuffers("w", "b")
+	st := &optim.State{Kind: optim.KindSGD, LR: 0.05, Buffers: vel}
+
+	var got, legacy bytes.Buffer
+	if err := WriteOptState(&got, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStateDict(&legacy, vel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), legacy.Bytes()) {
+		t.Fatal("SGD optimiser state no longer encodes as the legacy bare dict")
+	}
+
+	out, err := ReadOptState(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, out, &optim.State{Kind: optim.KindSGD, Buffers: vel})
+}
+
+// TestOptStateRejectsForeignMagic pins format discrimination for the
+// sniffing reader.
+func TestOptStateRejectsForeignMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTensor(&buf, tensor.New(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOptState(&buf); !errors.Is(err, ErrWrongFormat) {
+		t.Fatalf("tensor stream decoded as optimiser state: %v", err)
+	}
+}
+
+// TestTrainCheckpointAMC3Roundtrip pins the generalized checkpoint
+// section: an Adam job's checkpoint selects the AMC3 layout and restores
+// kind, step, LR, buffers, and the RNG section.
+func TestTrainCheckpointAMC3Roundtrip(t *testing.T) {
+	state := testBuffers("w", "b")
+	in := &TrainCheckpoint{
+		Epoch: 3, Kind: "augmented-lm", State: state,
+		OptState: &optim.State{
+			Kind: optim.KindAdam, Step: 17, LR: 0.0005,
+			Buffers: testBuffers("m/w", "v/w"),
+		},
+		RNG: map[string][]byte{"orig.drop": {1, 2, 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrainCheckpoint(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(buf.Bytes()[:4]); got != ckptMagicV3 {
+		t.Fatalf("adam checkpoint wrote magic %#x, want AMC3", got)
+	}
+	ck, err := ReadTrainCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 3 || ck.Kind != "augmented-lm" {
+		t.Fatalf("epoch/kind mangled: %d %q", ck.Epoch, ck.Kind)
+	}
+	statesEqual(t, ck.OptState, in.OptState)
+	if !bytes.Equal(ck.RNG["orig.drop"], []byte{1, 2, 3}) {
+		t.Fatal("RNG section lost through the AMC3 layout")
+	}
+}
+
+// TestTrainCheckpointSGDWritesAMC2Bytes pins the no-flag-day contract on
+// disk: an SGD-momentum checkpoint written through the generalized writer
+// is byte-identical to the historical AMC2 encoding, so pre-extension
+// readers (and file hashes) see nothing change.
+func TestTrainCheckpointSGDWritesAMC2Bytes(t *testing.T) {
+	state := testBuffers("w", "b")
+	vel := testBuffers("w", "b")
+	rng := map[string][]byte{"orig.drop": {9, 8}}
+	ck := &TrainCheckpoint{
+		Epoch: 5, Kind: "augmented-cv", State: state,
+		OptState: &optim.State{Kind: optim.KindSGD, LR: 0.05, Buffers: vel},
+		RNG:      rng,
+	}
+	var got bytes.Buffer
+	if err := WriteTrainCheckpoint(&got, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	// The historical AMC2 layout, written by hand.
+	var want bytes.Buffer
+	if err := writeHeader(&want, ckptMagicV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&want, binary.LittleEndian, uint32(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeString(&want, "augmented-cv"); err != nil {
+		t.Fatal(err)
+	}
+	want.WriteByte(1) // hasOpt
+	if err := WriteStateDict(&want, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStateDict(&want, vel); err != nil {
+		t.Fatal(err)
+	}
+	want.WriteByte(1) // RNG flag
+	if err := WriteBytesDict(&want, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("SGD-momentum checkpoint no longer byte-identical to the AMC2 layout")
+	}
+}

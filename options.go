@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"amalgam/internal/tensor"
+	"amalgam/internal/optim"
 )
 
 // Options configures obfuscation (dataset + model augmentation) for both
@@ -31,10 +31,61 @@ type Options struct {
 	ModelName string
 }
 
-// TrainConfig holds training hyper-parameters.
+// OptimizerSpec selects and parameterises the optimiser a job trains
+// under. Specs are plain serialisable values: the same spec rebuilds the
+// same optimiser locally and on a remote service, which is what keeps
+// local and remote runs bit-identical. Zero-valued Adam fields fall back
+// to the standard defaults (β₁ 0.9, β₂ 0.999, ε 1e-8). Use the Adam and
+// AdamW constructors for the common cases.
+type OptimizerSpec = optim.OptimSpec
+
+// LRScheduleSpec selects and parameterises a learning-rate schedule.
+// Schedules are reconstructable from (spec, epoch) alone — resuming a run
+// at epoch k re-derives the same LR the uninterrupted run used, with no
+// schedule state in the checkpoint. Use the StepDecay and CosineDecay
+// constructors for the common cases.
+type LRScheduleSpec = optim.ScheduleSpec
+
+// Adam returns a spec for the Adam optimiser with standard defaults
+// (β₁ 0.9, β₂ 0.999, ε 1e-8) at the given learning rate.
+func Adam(lr float64) *OptimizerSpec {
+	return &OptimizerSpec{Kind: optim.KindAdam, LR: lr}
+}
+
+// AdamW returns an Adam spec with decoupled weight decay: the decay is
+// applied directly to the weights each step, outside the adaptive moment
+// update.
+func AdamW(lr, weightDecay float64) *OptimizerSpec {
+	return &OptimizerSpec{Kind: optim.KindAdam, LR: lr, WeightDecay: weightDecay}
+}
+
+// StepDecay returns a schedule spec that multiplies the LR by gamma every
+// stepSize epochs.
+func StepDecay(stepSize int, gamma float64) *LRScheduleSpec {
+	return &LRScheduleSpec{Kind: optim.SchedStep, StepSize: stepSize, Gamma: gamma}
+}
+
+// CosineDecay returns a schedule spec that anneals the LR from its base
+// value to minLR along a half cosine over period epochs, holding minLR
+// afterwards.
+func CosineDecay(period int, minLR float64) *LRScheduleSpec {
+	return &LRScheduleSpec{Kind: optim.SchedCosine, Period: period, MinLR: minLR}
+}
+
+// TrainConfig holds training hyper-parameters. With a nil Optimizer the
+// job trains under SGD built from LR/Momentum/WeightDecay — the historic
+// behaviour, byte-for-byte. A non-nil Optimizer spec takes over (its LR
+// defaults to TrainConfig.LR when zero) and Momentum/WeightDecay are
+// ignored in its favour.
 type TrainConfig struct {
 	Epochs, BatchSize         int
 	LR, Momentum, WeightDecay float64
+	// Optimizer selects a pluggable optimiser; nil means legacy SGD.
+	// WithOptimizer overrides it per run.
+	Optimizer *OptimizerSpec
+	// LRSchedule decays the LR across epochs; nil means constant LR.
+	// WithLRSchedule overrides it per run.
+	LRSchedule *LRScheduleSpec
 }
 
 // EpochStats reports per-epoch original-sub-network loss and accuracy.
@@ -53,6 +104,10 @@ type EpochStats struct {
 	// Perplexity is exp(Loss), reported for LM jobs (whose Loss is the
 	// mean per-token cross-entropy). Zero for other modalities.
 	Perplexity float64
+	// LR is the learning rate the epoch trained under. It is reported
+	// only for runs with an optimiser or schedule spec configured; legacy
+	// SGD runs leave it zero (their LR is constant and already known).
+	LR float64
 	// Err terminates a stream: context.Canceled / DeadlineExceeded for
 	// cancelled runs, or the underlying failure. No further elements
 	// follow an element with Err set.
@@ -74,10 +129,15 @@ type runOptions struct {
 	checkpointPath  string
 	checkpointEvery int
 	resumePath      string
-	// resumeOptState holds the momentum buffers recovered from the resume
-	// checkpoint; trainers seed the optimiser with it so a resumed run is
+	// optimizer/schedule are the WithOptimizer/WithLRSchedule overrides;
+	// nil falls back to the TrainConfig fields.
+	optimizer *OptimizerSpec
+	schedule  *LRScheduleSpec
+	// resumeOptState holds the optimiser state (kind, step counter, and
+	// moment/momentum buffers) recovered from the resume checkpoint;
+	// trainers seed the optimiser with it so a resumed run is
 	// bit-identical to an uninterrupted one, not merely convergent.
-	resumeOptState map[string]*tensor.Tensor
+	resumeOptState *optim.State
 	// resumeRNG holds the dropout-stream cursors recovered from the
 	// resume checkpoint, so a resumed Dropout > 0 run replays masks from
 	// the interruption point.
@@ -164,6 +224,22 @@ func WithCheckpoint(path string, everyN int) TrainOption {
 // so the same option list works for the first run and every retry.
 func WithResume(path string) TrainOption {
 	return func(o *runOptions) { o.resumePath = path }
+}
+
+// WithOptimizer overrides the run's optimiser. The spec travels with the
+// job — a remote service rebuilds the identical optimiser from it — and
+// its full state (step counter and moment buffers) rides checkpoints, so
+// resumed runs stay bit-identical to uninterrupted ones. A spec with a
+// zero LR inherits TrainConfig.LR.
+func WithOptimizer(spec *OptimizerSpec) TrainOption {
+	return func(o *runOptions) { o.optimizer = spec }
+}
+
+// WithLRSchedule overrides the run's learning-rate schedule. Schedules
+// are pure functions of (spec, epoch), so resume re-derives the right LR
+// from the checkpointed epoch alone.
+func WithLRSchedule(spec *LRScheduleSpec) TrainOption {
+	return func(o *runOptions) { o.schedule = spec }
 }
 
 // WithEvalSet scores a held-out split after every epoch. The split is

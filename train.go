@@ -292,12 +292,26 @@ func prepareRun(cfg TrainConfig, o *jobOps, opts []TrainOption) (*runOptions, in
 // Shuffling is always on, seeded per epoch (data.ShuffleRNG) so local,
 // remote, and resumed runs visit batches in the same order.
 func hyperFor(cfg TrainConfig, ro *runOptions, start int) cloudsim.Hyper {
-	return cloudsim.Hyper{
+	h := cloudsim.Hyper{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
 		LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
 		Shuffle: true, ShuffleSeed: ro.shuffleSeed,
 		StartEpoch: start, CheckpointEvery: ro.checkpointEvery,
 	}
+	h.Optimizer = cfg.Optimizer
+	if ro.optimizer != nil {
+		h.Optimizer = ro.optimizer
+	}
+	h.Schedule = cfg.LRSchedule
+	if ro.schedule != nil {
+		h.Schedule = ro.schedule
+	}
+	// Declaring the OptimSpec capability here keeps local and remote
+	// Hyper values identical; the remote client would set it anyway.
+	if h.Optimizer != nil || h.Schedule != nil {
+		h.OptimSpec = true
+	}
+	return h
 }
 
 // emitTo adapts a wire/loop metric into an EpochStats emitter and the
@@ -307,7 +321,7 @@ func (ro *runOptions) emitTo(emit func(EpochStats)) func(cloudsim.EpochMetric) e
 		st := EpochStats{
 			Epoch: m.Epoch, Loss: m.Loss, Accuracy: m.Accuracy,
 			EvalAccuracy: m.EvalAccuracy, HasEval: m.HasEval,
-			Perplexity: m.Perplexity,
+			Perplexity: m.Perplexity, LR: m.LR,
 		}
 		emit(st)
 		if ro.progress != nil {

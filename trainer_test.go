@@ -234,7 +234,7 @@ func TestLocalCancellationLeavesResumableCheckpoint(t *testing.T) {
 	if ck.Kind != "augmented-text" {
 		t.Fatalf("checkpoint records kind %q, want augmented-text", ck.Kind)
 	}
-	if len(ck.OptState) == 0 {
+	if ck.OptState.Empty() {
 		t.Fatal("momentum run left no optimiser state in the checkpoint")
 	}
 
@@ -292,7 +292,7 @@ func TestRemoteCancellationLeavesResumableCheckpoint(t *testing.T) {
 	if len(ck.State) == 0 {
 		t.Fatal("empty checkpoint state")
 	}
-	if len(ck.OptState) == 0 {
+	if ck.OptState.Empty() {
 		t.Fatal("momentum run streamed no optimiser state into the checkpoint")
 	}
 
