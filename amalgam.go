@@ -35,6 +35,7 @@ import (
 	"amalgam/internal/core"
 	"amalgam/internal/data"
 	"amalgam/internal/models"
+	"amalgam/internal/nn"
 	"amalgam/internal/tensor"
 )
 
@@ -82,13 +83,23 @@ type Classifier interface {
 }
 
 // Predict runs the extracted (or any) model over a dataset, returning
-// accuracy — a convenience for examples and smoke tests.
+// accuracy — a convenience for examples and smoke tests. The model is
+// scored in eval mode and its prior train/eval mode is restored
+// afterwards, so back-to-back Predict calls (and any direct Forward calls
+// that follow) are bit-identical. An empty dataset scores 0.
 func Predict(m Classifier, ds *ImageDataset, batch int) float64 {
+	prev := nn.TrainingMode(m)
 	m.SetTraining(false)
+	defer m.SetTraining(prev)
+	if ds.N() == 0 {
+		return 0
+	}
 	correct := 0
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		x, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(m.Forward(autodiff.Constant(x)).Val)
+		out := m.Forward(autodiff.Constant(x))
+		pred := tensor.ArgmaxRows(out.Val)
+		autodiff.Release(out)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++

@@ -273,3 +273,61 @@ func ExampleRemoteTrainer_Submit() {
 	// epoch stats replayed: 2
 	// extraction verified bit-for-bit
 }
+
+// ExamplePredictServer serves an obfuscated text classifier and its
+// bit-identically extracted original side by side: concurrent single
+// predictions coalesce into shared batched forward passes under a
+// latency budget, and the split-inference path ships only locally-pooled
+// embeddings — raw tokens never reach the server.
+func ExamplePredictServer() {
+	const vocab, classes = 500, 4
+	train := amalgam.GenerateClassifiedText(amalgam.ClassTextConfig{
+		Name: "agnews-mini", N: 32, SeqLen: 24, Vocab: vocab, Classes: classes, Seed: 1})
+	model := amalgam.BuildTextClassifier(3, vocab, 16, classes)
+	job, err := amalgam.ObfuscateText(model, train, amalgam.Options{Amount: 0.5, SubNets: 2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	extracted, err := job.ExtractText(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := amalgam.NewPredictServer(amalgam.PredictServerConfig{
+		MaxBatch: 16,                   // flush at 16 coalesced calls...
+		MaxDelay: 2 * time.Millisecond, // ...or when the latency budget expires
+	})
+	defer srv.Close()
+	// The augmented model serves augmented windows without ever being
+	// extracted; the original serves plain samples.
+	if err := srv.RegisterText("augmented", job.Augmented, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.RegisterText("original", extracted, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := srv.PredictText(amalgam.PredictTextRequest{Model: "original", Tokens: train.Samples[0]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	obfuscated, err := srv.PredictText(amalgam.PredictTextRequest{
+		Model: "augmented", Tokens: job.AugmentedDataset.Samples[0]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same prediction through the obfuscated model: %v\n", full.Class == obfuscated.Class)
+
+	// Split inference: pool the embedding locally and ship only the dense
+	// activations.
+	pooled := extracted.Embed.LookupMean([][]int{train.Samples[0]})
+	acts := append([]float32(nil), pooled.Val.Data...)
+	split, err := srv.PredictText(amalgam.PredictTextRequest{Model: "original", Pooled: acts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split-inference class matches: %v\n", split.Class == full.Class)
+	// Output:
+	// same prediction through the obfuscated model: true
+	// split-inference class matches: true
+}

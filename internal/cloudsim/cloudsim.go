@@ -127,6 +127,12 @@ type Hyper struct {
 	// refuses Optimizer/Schedule specs from clients that did not declare
 	// it (they could not decode the resulting state frames).
 	OptimSpec bool `json:"optim_spec,omitempty"`
+	// Infer declares that the client understands the inference-serving
+	// extension and will send msgInfer frames (batched predictions against
+	// models registered on the server, full-input or split). Negotiated
+	// like the other capability flags — no version bump; pre-extension
+	// clients never set it and their byte streams are served unchanged.
+	Infer bool `json:"infer,omitempty"`
 }
 
 // TrainRequest is a complete job: spec, hyper-parameters, and the
@@ -510,8 +516,9 @@ func LMStep(am *core.AugmentedTransformerLM, ws *data.WindowSet) func(optim.Opti
 // (unlike the per-modality accuracy helpers below) because the amalgam
 // package reuses it for local training and eval-set scoring.
 func LMAccuracy(am *core.AugmentedTransformerLM, ws *data.WindowSet, batch int) float64 {
+	prev := am.Training()
 	am.SetTraining(false)
-	defer am.SetTraining(true)
+	defer am.SetTraining(prev)
 	correct, total := 0, 0
 	for _, idx := range data.BatchIter(ws.N(), batch, nil) {
 		gathered := am.OrigGather.Apply(ws.Batch(idx))
@@ -523,6 +530,7 @@ func LMAccuracy(am *core.AugmentedTransformerLM, ws *data.WindowSet, batch int) 
 		}
 		logits := am.Orig.ForwardIDs(inputs)
 		pred := tensor.ArgmaxRows(logits.Val)
+		autodiff.Release(logits)
 		flat := models.FlattenTargets(targets)
 		for i, p := range pred {
 			if p == flat[i] {
@@ -727,15 +735,18 @@ func TrainLoop(ctx context.Context, eng *Engine, hyper Hyper,
 
 func imageAccuracy(model Trainable, ds *data.ImageDataset, batch int) float64 {
 	fw, ok := model.(forwarder)
-	if !ok {
+	if !ok || ds.N() == 0 {
 		return 0
 	}
+	prev := nn.TrainingMode(model)
 	model.SetTraining(false)
-	defer model.SetTraining(true)
+	defer model.SetTraining(prev)
 	correct := 0
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		x, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(fw.Forward(autodiff.Constant(x)).Val)
+		out := fw.Forward(autodiff.Constant(x))
+		pred := tensor.ArgmaxRows(out.Val)
+		autodiff.Release(out)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++
@@ -747,15 +758,18 @@ func imageAccuracy(model Trainable, ds *data.ImageDataset, batch int) float64 {
 
 func textAccuracy(model Trainable, ds *data.TextDataset, batch int) float64 {
 	fw, ok := model.(idForwarder)
-	if !ok {
+	if !ok || ds.N() == 0 {
 		return 0
 	}
+	prev := nn.TrainingMode(model)
 	model.SetTraining(false)
-	defer model.SetTraining(true)
+	defer model.SetTraining(prev)
 	correct := 0
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		ids, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(fw.ForwardIDs(ids).Val)
+		out := fw.ForwardIDs(ids)
+		pred := tensor.ArgmaxRows(out.Val)
+		autodiff.Release(out)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++

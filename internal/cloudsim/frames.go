@@ -29,29 +29,31 @@ import (
 // and are served byte-for-byte as before — internally an implicit
 // submit+attach on one connection.
 const (
-	msgSpec       byte = 1
-	msgHyper      byte = 2
-	msgLabels     byte = 3
-	msgImages     byte = 4
-	msgInit       byte = 5
-	msgDone       byte = 6 // end of request
-	msgResult     byte = 7
-	msgState      byte = 8
-	msgError      byte = 9
-	msgProgress   byte = 10 // server→client: per-epoch EpochMetric JSON
-	msgCancel     byte = 11 // client→server: stop at the next epoch boundary
-	msgCheckpoint byte = 12 // server→client: uint32 epoch + state dict
-	msgTokens     byte = 13 // client→server: flattened text samples
-	msgEvalImages byte = 14
-	msgEvalLabels byte = 15
-	msgEvalTokens byte = 16
-	msgOptState   byte = 17 // both directions: optimiser momentum state dict
-	msgRNGState   byte = 18 // both directions: dropout-stream cursors (bytes dict)
-	msgSubmit     byte = 19 // end of request, async: enqueue and ack instead of blocking
-	msgSubmitAck  byte = 20 // server→client: submitAck JSON with the job ID
-	msgPoll       byte = 21 // client→server: jobRef JSON, answered by msgJobStatus
-	msgJobStatus  byte = 22 // server→client: JobStatus JSON
-	msgAttach     byte = 23 // client→server: AttachRequest JSON, answered by a result stream
+	msgSpec        byte = 1
+	msgHyper       byte = 2
+	msgLabels      byte = 3
+	msgImages      byte = 4
+	msgInit        byte = 5
+	msgDone        byte = 6 // end of request
+	msgResult      byte = 7
+	msgState       byte = 8
+	msgError       byte = 9
+	msgProgress    byte = 10 // server→client: per-epoch EpochMetric JSON
+	msgCancel      byte = 11 // client→server: stop at the next epoch boundary
+	msgCheckpoint  byte = 12 // server→client: uint32 epoch + state dict
+	msgTokens      byte = 13 // client→server: flattened text samples
+	msgEvalImages  byte = 14
+	msgEvalLabels  byte = 15
+	msgEvalTokens  byte = 16
+	msgOptState    byte = 17 // both directions: optimiser momentum state dict
+	msgRNGState    byte = 18 // both directions: dropout-stream cursors (bytes dict)
+	msgSubmit      byte = 19 // end of request, async: enqueue and ack instead of blocking
+	msgSubmitAck   byte = 20 // server→client: submitAck JSON with the job ID
+	msgPoll        byte = 21 // client→server: jobRef JSON, answered by msgJobStatus
+	msgJobStatus   byte = 22 // server→client: JobStatus JSON
+	msgAttach      byte = 23 // client→server: AttachRequest JSON, answered by a result stream
+	msgInfer       byte = 24 // client→server: inferHeader JSON + body, answered by msgInferResult
+	msgInferResult byte = 25 // server→client: inferResult JSON
 )
 
 // protocolVersion is the version this binary speaks. Servers accept v1

@@ -1,0 +1,533 @@
+package cloudsim
+
+// The inference-serving extension (Hyper.Infer): msgInfer frames carry
+// batched prediction requests against models registered on the server's
+// serve.Server backend, answered by msgInferResult. Two body shapes per
+// modality: full inputs (images or token ids) and split-inference
+// activations — the client runs the embedding half locally and ships only
+// dense obfuscated activations, never raw inputs (Leroux-style
+// offloading). A frame's samples fan out as concurrent predictions so the
+// backend batcher coalesces them — one wire frame becomes (at most) one
+// forward pass per shape, and predictions from unrelated connections
+// share batches too.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"amalgam/internal/serialize"
+	"amalgam/internal/serve"
+	"amalgam/internal/tensor"
+)
+
+// inferHeader is the JSON half of a msgInfer payload; the binary body
+// that follows carries the inputs (a serialized tensor for images and
+// activations, a flattened int slice for token ids).
+type inferHeader struct {
+	Model string `json:"model"`
+	// Modality selects the prediction kind: "cv", "text", or "lm".
+	Modality string `json:"modality"`
+	// Split marks the body as locally-computed activations for the
+	// model's registered split tail rather than raw inputs.
+	Split bool `json:"split,omitempty"`
+	// Lens gives each sample's token count (text/lm) or activation row
+	// count (lm split); token bodies are flattened row-major.
+	Lens []int `json:"lens,omitempty"`
+	// Dim is the per-row activation width of an lm split body, set by the
+	// client that produced the activations.
+	Dim int `json:"dim,omitempty"`
+	// TopK asks for the K most probable next tokens (lm only).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// inferResult is the msgInferResult JSON body, indexed like the request's
+// samples. Classification fills Classes/Logits; LM scoring fills
+// Tokens/LogProbs.
+type inferResult struct {
+	Classes  []int       `json:"classes,omitempty"`
+	Logits   [][]float32 `json:"logits,omitempty"`
+	Tokens   [][]int     `json:"tokens,omitempty"`
+	LogProbs [][]float32 `json:"log_probs,omitempty"`
+}
+
+// encodeInferFrame lays out a msgInfer payload: uint32 header length, the
+// header JSON, then the binary body.
+func encodeInferFrame(h inferHeader, body []byte) ([]byte, error) {
+	js, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 4, 4+len(js)+len(body))
+	binary.LittleEndian.PutUint32(payload, uint32(len(js)))
+	payload = append(payload, js...)
+	return append(payload, body...), nil
+}
+
+func decodeInferFrame(payload []byte) (inferHeader, []byte, error) {
+	var h inferHeader
+	if len(payload) < 4 {
+		return h, nil, fmt.Errorf("cloudsim: truncated infer frame: %w", ErrBadRequest)
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if uint64(n) > uint64(len(payload)-4) {
+		return h, nil, fmt.Errorf("cloudsim: infer header length %d exceeds frame: %w", n, ErrBadRequest)
+	}
+	if err := json.Unmarshal(payload[4:4+n], &h); err != nil {
+		return h, nil, fmt.Errorf("cloudsim: bad infer header: %v: %w", err, ErrBadRequest)
+	}
+	return h, payload[4+n:], nil
+}
+
+// inferWireErr maps the serve backend's typed failures onto the wire's
+// sentinel taxonomy, preserving the transient/fatal split: backpressure
+// and shutdown are retryable, a bad request never is.
+func inferWireErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, serve.ErrOverloaded):
+		return fmt.Errorf("cloudsim: inference backpressure: %v: %w", err, ErrQueueFull)
+	case errors.Is(err, serve.ErrClosed):
+		return fmt.Errorf("cloudsim: inference backend closed: %v: %w", err, ErrServerShutdown)
+	case errors.Is(err, serve.ErrModelPanic):
+		return fmt.Errorf("cloudsim: %v: %w", err, ErrJobPanic)
+	case errors.Is(err, serve.ErrUnknownModel), errors.Is(err, serve.ErrBadInput):
+		return fmt.Errorf("cloudsim: %v: %w", err, ErrBadRequest)
+	default:
+		return err
+	}
+}
+
+// fanOut runs one backend call per sample concurrently, so the batcher
+// coalesces a frame's samples into shared forward passes. The lowest-
+// indexed failure wins, keeping the reported error deterministic.
+func fanOut(n int, call func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = call(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return inferWireErr(err)
+		}
+	}
+	return nil
+}
+
+// unflatten splits row-major flattened ids back into per-sample slices.
+func unflatten(flat []int, lens []int) ([][]int, error) {
+	total := 0
+	for _, l := range lens {
+		if l <= 0 {
+			return nil, fmt.Errorf("cloudsim: infer sample length %d: %w", l, ErrBadRequest)
+		}
+		total += l
+	}
+	if total != len(flat) {
+		return nil, fmt.Errorf("cloudsim: infer lens sum %d but body has %d tokens: %w", total, len(flat), ErrBadRequest)
+	}
+	out := make([][]int, len(lens))
+	off := 0
+	for i, l := range lens {
+		out[i] = flat[off : off+l]
+		off += l
+	}
+	return out, nil
+}
+
+// infer answers one msgInfer frame against the configured backend.
+// Request-level failures (bad input, unknown model, backpressure) are
+// answered in-band with a coded error frame and the connection keeps
+// serving — a rejected prediction must not cost the client its dial. Only
+// transport failures close the connection.
+func (s *Server) infer(conn *deadlineConn, payload []byte) error {
+	res, err := s.inferAnswer(payload)
+	if err != nil {
+		return writeFrame(conn, msgError, append([]byte{errCodeOf(err)}, err.Error()...))
+	}
+	js, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, msgInferResult, js)
+}
+
+func (s *Server) inferAnswer(payload []byte) (inferResult, error) {
+	if s.cfg.Infer == nil {
+		return inferResult{}, fmt.Errorf("cloudsim: this server does not serve inference: %w", ErrBadRequest)
+	}
+	h, body, err := decodeInferFrame(payload)
+	if err != nil {
+		return inferResult{}, err
+	}
+	switch h.Modality {
+	case "cv":
+		return s.inferCV(h, body)
+	case "text":
+		return s.inferText(h, body)
+	case "lm":
+		return s.inferLM(h, body)
+	default:
+		return inferResult{}, fmt.Errorf("cloudsim: unknown infer modality %q: %w", h.Modality, ErrBadRequest)
+	}
+}
+
+// readInferTensor decodes a [N, per] body tensor.
+func readInferTensor(body []byte) (*tensor.Tensor, error) {
+	t, err := serialize.ReadTensor(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cloudsim: bad infer body: %v: %w", err, ErrBadRequest)
+	}
+	if t.Dims() != 2 || t.Dim(0) == 0 {
+		return nil, fmt.Errorf("cloudsim: infer body wants a non-empty [N, width] tensor: %w", ErrBadRequest)
+	}
+	return t, nil
+}
+
+func (s *Server) inferCV(h inferHeader, body []byte) (inferResult, error) {
+	t, err := readInferTensor(body)
+	if err != nil {
+		return inferResult{}, err
+	}
+	n, per := t.Dim(0), t.Dim(1)
+	res := inferResult{Classes: make([]int, n), Logits: make([][]float32, n)}
+	err = fanOut(n, func(i int) error {
+		r, err := s.cfg.Infer.PredictCV(h.Model, t.Data[i*per:(i+1)*per])
+		if err != nil {
+			return err
+		}
+		res.Classes[i], res.Logits[i] = r.Class, r.Logits
+		return nil
+	})
+	return res, err
+}
+
+func (s *Server) inferText(h inferHeader, body []byte) (inferResult, error) {
+	if h.Split {
+		t, err := readInferTensor(body)
+		if err != nil {
+			return inferResult{}, err
+		}
+		n, d := t.Dim(0), t.Dim(1)
+		res := inferResult{Classes: make([]int, n), Logits: make([][]float32, n)}
+		err = fanOut(n, func(i int) error {
+			r, err := s.cfg.Infer.PredictTextSplit(h.Model, t.Data[i*d:(i+1)*d])
+			if err != nil {
+				return err
+			}
+			res.Classes[i], res.Logits[i] = r.Class, r.Logits
+			return nil
+		})
+		return res, err
+	}
+	flat, err := serialize.ReadIntSlice(bytes.NewReader(body))
+	if err != nil {
+		return inferResult{}, fmt.Errorf("cloudsim: bad infer body: %v: %w", err, ErrBadRequest)
+	}
+	samples, err := unflatten(flat, h.Lens)
+	if err != nil {
+		return inferResult{}, err
+	}
+	n := len(samples)
+	res := inferResult{Classes: make([]int, n), Logits: make([][]float32, n)}
+	err = fanOut(n, func(i int) error {
+		r, err := s.cfg.Infer.PredictText(h.Model, samples[i])
+		if err != nil {
+			return err
+		}
+		res.Classes[i], res.Logits[i] = r.Class, r.Logits
+		return nil
+	})
+	return res, err
+}
+
+func (s *Server) inferLM(h inferHeader, body []byte) (inferResult, error) {
+	if h.Split {
+		if h.Dim <= 0 {
+			return inferResult{}, fmt.Errorf("cloudsim: lm split body needs a positive dim, got %d: %w", h.Dim, ErrBadRequest)
+		}
+		t, err := serialize.ReadTensor(bytes.NewReader(body))
+		if err != nil {
+			return inferResult{}, fmt.Errorf("cloudsim: bad infer body: %v: %w", err, ErrBadRequest)
+		}
+		rows := 0
+		for _, l := range h.Lens {
+			if l <= 0 {
+				return inferResult{}, fmt.Errorf("cloudsim: infer sample length %d: %w", l, ErrBadRequest)
+			}
+			rows += l
+		}
+		if rows*h.Dim != len(t.Data) {
+			return inferResult{}, fmt.Errorf("cloudsim: lm split body has %d floats, lens×dim wants %d: %w",
+				len(t.Data), rows*h.Dim, ErrBadRequest)
+		}
+		n := len(h.Lens)
+		res := inferResult{Tokens: make([][]int, n), LogProbs: make([][]float32, n)}
+		offs := make([]int, n)
+		off := 0
+		for i, l := range h.Lens {
+			offs[i], off = off, off+l*h.Dim
+		}
+		err = fanOut(n, func(i int) error {
+			r, err := s.cfg.Infer.PredictLMSplit(h.Model, t.Data[offs[i]:offs[i]+h.Lens[i]*h.Dim], h.Lens[i], h.TopK)
+			if err != nil {
+				return err
+			}
+			res.Tokens[i], res.LogProbs[i] = r.Tokens, r.LogProbs
+			return nil
+		})
+		return res, err
+	}
+	flat, err := serialize.ReadIntSlice(bytes.NewReader(body))
+	if err != nil {
+		return inferResult{}, fmt.Errorf("cloudsim: bad infer body: %v: %w", err, ErrBadRequest)
+	}
+	ctxs, err := unflatten(flat, h.Lens)
+	if err != nil {
+		return inferResult{}, err
+	}
+	n := len(ctxs)
+	res := inferResult{Tokens: make([][]int, n), LogProbs: make([][]float32, n)}
+	err = fanOut(n, func(i int) error {
+		r, err := s.cfg.Infer.PredictLM(h.Model, ctxs[i], h.TopK)
+		if err != nil {
+			return err
+		}
+		res.Tokens[i], res.LogProbs[i] = r.Tokens, r.LogProbs
+		return nil
+	})
+	return res, err
+}
+
+// InferConn is a client connection speaking the inference extension: one
+// dial, then any number of prediction exchanges. Calls from concurrent
+// goroutines serialize on the connection (the wire is strictly
+// request/response); for client-side parallelism open several conns.
+type InferConn struct {
+	sem  chan struct{} // capacity 1: one in-flight exchange
+	conn *deadlineConn
+}
+
+// DialInfer connects to a service and declares the Infer capability. The
+// returned conn is ready for Predict calls and must be Closed.
+func DialInfer(ctx context.Context, addr string, net_ NetConfig) (*InferConn, error) {
+	conn, err := dialFrames(ctx, addr, net_)
+	if err != nil {
+		return nil, err
+	}
+	js, err := json.Marshal(Hyper{Infer: true})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, msgHyper, js); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &InferConn{sem: make(chan struct{}, 1), conn: conn}, nil
+}
+
+// Close releases the connection.
+func (c *InferConn) Close() error { return c.conn.Close() }
+
+// roundTrip sends one msgInfer frame and decodes its answer.
+func (c *InferConn) roundTrip(h inferHeader, body []byte) (inferResult, error) {
+	payload, err := encodeInferFrame(h, body)
+	if err != nil {
+		return inferResult{}, err
+	}
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	if err := writeFrame(c.conn, msgInfer, payload); err != nil {
+		return inferResult{}, err
+	}
+	kind, resp, err := readFrame(c.conn)
+	if err != nil {
+		return inferResult{}, err
+	}
+	switch kind {
+	case msgInferResult:
+		var res inferResult
+		if err := json.Unmarshal(resp, &res); err != nil {
+			return inferResult{}, fmt.Errorf("cloudsim: bad infer result: %v: %w", err, ErrUnknownFrame)
+		}
+		return res, nil
+	case msgError:
+		return inferResult{}, decodeErrorFrame(resp)
+	default:
+		return inferResult{}, fmt.Errorf("cloudsim: unexpected response type %d: %w", kind, ErrUnknownFrame)
+	}
+}
+
+// tensorBody serializes a [n, per] float32 body.
+func tensorBody(rows [][]float32, per int) ([]byte, error) {
+	t := tensor.New(len(rows), per)
+	for i, r := range rows {
+		if len(r) != per {
+			return nil, fmt.Errorf("cloudsim: sample %d has %d values, want %d: %w", i, len(r), per, ErrBadRequest)
+		}
+		copy(t.Data[i*per:(i+1)*per], r)
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteTensor(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func intBody(samples [][]int) ([]byte, []int, error) {
+	lens := make([]int, len(samples))
+	for i, s := range samples {
+		lens[i] = len(s)
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteIntSlice(&buf, flattenSamples(samples)); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), lens, nil
+}
+
+func classResults(res inferResult, n int) ([]serve.CVResult, error) {
+	if len(res.Classes) != n || len(res.Logits) != n {
+		return nil, fmt.Errorf("cloudsim: infer result carries %d answers for %d samples: %w", len(res.Classes), n, ErrUnknownFrame)
+	}
+	out := make([]serve.CVResult, n)
+	for i := range out {
+		out[i] = serve.CVResult{Class: res.Classes[i], Logits: res.Logits[i]}
+	}
+	return out, nil
+}
+
+func textResults(res inferResult, n int) ([]serve.TextResult, error) {
+	if len(res.Classes) != n || len(res.Logits) != n {
+		return nil, fmt.Errorf("cloudsim: infer result carries %d answers for %d samples: %w", len(res.Classes), n, ErrUnknownFrame)
+	}
+	out := make([]serve.TextResult, n)
+	for i := range out {
+		out[i] = serve.TextResult{Class: res.Classes[i], Logits: res.Logits[i]}
+	}
+	return out, nil
+}
+
+func lmResults(res inferResult, n int) ([]serve.LMResult, error) {
+	if len(res.Tokens) != n || len(res.LogProbs) != n {
+		return nil, fmt.Errorf("cloudsim: infer result carries %d answers for %d samples: %w", len(res.Tokens), n, ErrUnknownFrame)
+	}
+	out := make([]serve.LMResult, n)
+	for i := range out {
+		out[i] = serve.LMResult{Tokens: res.Tokens[i], LogProbs: res.LogProbs[i]}
+	}
+	return out, nil
+}
+
+// PredictCV classifies a batch of flattened images (all the same
+// registered geometry) in one wire exchange.
+func (c *InferConn) PredictCV(model string, images [][]float32) ([]serve.CVResult, error) {
+	if len(images) == 0 {
+		return nil, nil
+	}
+	body, err := tensorBody(images, len(images[0]))
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.roundTrip(inferHeader{Model: model, Modality: "cv"}, body)
+	if err != nil {
+		return nil, err
+	}
+	return classResults(res, len(images))
+}
+
+// PredictText classifies a batch of token sequences (ragged lengths are
+// fine) in one wire exchange.
+func (c *InferConn) PredictText(model string, samples [][]int) ([]serve.TextResult, error) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	body, lens, err := intBody(samples)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.roundTrip(inferHeader{Model: model, Modality: "text", Lens: lens}, body)
+	if err != nil {
+		return nil, err
+	}
+	return textResults(res, len(samples))
+}
+
+// PredictTextSplit classifies a batch of locally-pooled embeddings — the
+// split-inference path: raw tokens never leave the client.
+func (c *InferConn) PredictTextSplit(model string, pooled [][]float32) ([]serve.TextResult, error) {
+	if len(pooled) == 0 {
+		return nil, nil
+	}
+	body, err := tensorBody(pooled, len(pooled[0]))
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.roundTrip(inferHeader{Model: model, Modality: "text", Split: true}, body)
+	if err != nil {
+		return nil, err
+	}
+	return textResults(res, len(pooled))
+}
+
+// PredictLM scores the next token after each context, returning each
+// context's topK most probable tokens with log probabilities.
+func (c *InferConn) PredictLM(model string, contexts [][]int, topK int) ([]serve.LMResult, error) {
+	if len(contexts) == 0 {
+		return nil, nil
+	}
+	body, lens, err := intBody(contexts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.roundTrip(inferHeader{Model: model, Modality: "lm", Lens: lens, TopK: topK}, body)
+	if err != nil {
+		return nil, err
+	}
+	return lmResults(res, len(contexts))
+}
+
+// PredictLMSplit scores next tokens from locally-embedded activations
+// (sample i is seqLens[i]×dim floats, row-major) — the LM split path.
+func (c *InferConn) PredictLMSplit(model string, acts [][]float32, seqLens []int, dim, topK int) ([]serve.LMResult, error) {
+	if len(acts) == 0 {
+		return nil, nil
+	}
+	if len(seqLens) != len(acts) {
+		return nil, fmt.Errorf("cloudsim: %d activation samples but %d lengths: %w", len(acts), len(seqLens), ErrBadRequest)
+	}
+	total := 0
+	for _, l := range seqLens {
+		total += l
+	}
+	flat := tensor.New(total * dim)
+	off := 0
+	for i, a := range acts {
+		if len(a) != seqLens[i]*dim {
+			return nil, fmt.Errorf("cloudsim: sample %d has %d floats, want %d×%d: %w", i, len(a), seqLens[i], dim, ErrBadRequest)
+		}
+		copy(flat.Data[off:off+len(a)], a)
+		off += len(a)
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteTensor(&buf, flat); err != nil {
+		return nil, err
+	}
+	res, err := c.roundTrip(inferHeader{Model: model, Modality: "lm", Split: true, Lens: seqLens, Dim: dim, TopK: topK}, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return lmResults(res, len(acts))
+}

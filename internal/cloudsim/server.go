@@ -15,6 +15,7 @@ import (
 
 	"amalgam/internal/optim"
 	"amalgam/internal/serialize"
+	"amalgam/internal/serve"
 )
 
 // ServerConfig tunes the hardened server.
@@ -39,6 +40,11 @@ type ServerConfig struct {
 	// TenantQuota bounds one tenant's queued jobs; submissions beyond it
 	// get ErrTenantQuota. 0 means no per-tenant bound beyond QueueDepth.
 	TenantQuota int
+	// Infer is the prediction backend for the inference-serving extension:
+	// msgInfer frames are answered against models registered on it. Nil
+	// (the default) refuses infer frames with ErrBadRequest — a pure
+	// training server.
+	Infer *serve.Server
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -354,6 +360,18 @@ func (s *Server) handle(conn *deadlineConn) (byte, error) {
 			// Status query — valid any time, repeatable on one connection.
 			ver = protocolVersion
 			if err := s.poll(conn, payload); err != nil {
+				return ver, err
+			}
+			continue
+		case msgInfer:
+			// Prediction request — repeatable, so one connection amortises
+			// its dial across many predictions. Mirrors the async admission
+			// check: the capability must be declared before use.
+			ver = protocolVersion
+			if !req.Hyper.Infer {
+				return ver, fmt.Errorf("cloudsim: infer frame without the Hyper.Infer capability: %w", ErrBadRequest)
+			}
+			if err := s.infer(conn, payload); err != nil {
 				return ver, err
 			}
 			continue

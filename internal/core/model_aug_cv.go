@@ -293,6 +293,10 @@ func (m *AugmentedCVModel) SetTraining(t bool) {
 	m.Orig.SetTraining(t)
 }
 
+// Training reports the original sub-network's current mode (decoys carry
+// no mode state).
+func (m *AugmentedCVModel) Training() bool { return nn.TrainingMode(m.Orig) }
+
 // GatherSets returns every sub-network's input gather set (original
 // sub-network first, then decoys). These sets are visible inside the
 // shipped graph (the real prototype bakes them into TorchScript); the

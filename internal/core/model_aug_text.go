@@ -140,6 +140,9 @@ func (m *AugmentedTextClassifier) Params() []nn.Param {
 // SetTraining toggles training mode.
 func (m *AugmentedTextClassifier) SetTraining(t bool) { m.Orig.SetTraining(t) }
 
+// Training reports the original sub-network's current mode.
+func (m *AugmentedTextClassifier) Training() bool { return nn.TrainingMode(m.Orig) }
+
 // GatherSets returns every sub-network's token gather set (original
 // sub-network first, then decoys) — the text counterpart of
 // AugmentedCVModel.GatherSets, consumed by the cloud simulator's provider
@@ -245,6 +248,18 @@ func (m *AugmentedTransformerLM) ValidateLoss(windows [][]int) *autodiff.Node {
 	return lmWindowLoss(func(ids [][]int) *autodiff.Node { return m.Orig.ForwardIDs(ids) }, m.OrigGather.Apply(windows))
 }
 
+// ForwardIDs scores a batch of still-augmented windows — each exactly
+// key.AugLen tokens — with the original sub-network: the secret gather
+// selects the hidden original subsequence and the original LM maps it to
+// next-token logits [N*OrigLen, Vocab]; the last row of each window's
+// block is the distribution over the token following the context. This
+// is the serving path for obfuscated LM deployments: the
+// provider-visible input stays augmented, the key stays inside the
+// model.
+func (m *AugmentedTransformerLM) ForwardIDs(windows [][]int) *autodiff.Node {
+	return m.Orig.ForwardIDs(m.OrigGather.Apply(windows))
+}
+
 // lmWindowLoss slices windows into (input, shifted-target) pairs and
 // returns the mean next-token cross-entropy.
 func lmWindowLoss(forward func([][]int) *autodiff.Node, windows [][]int) *autodiff.Node {
@@ -276,6 +291,9 @@ func (m *AugmentedTransformerLM) Params() []nn.Param {
 
 // SetTraining toggles training mode.
 func (m *AugmentedTransformerLM) SetTraining(t bool) { m.Orig.SetTraining(t) }
+
+// Training reports the original sub-network's current mode.
+func (m *AugmentedTransformerLM) Training() bool { return m.Orig.Training() }
 
 // RNGStates captures the dropout-stream cursors of every stochastic layer
 // (only the original LM has dropout; decoys are embedding+head stacks)

@@ -164,4 +164,8 @@ func (m *DenseNetLite) SetTraining(t bool) {
 	m.finalBN.SetTraining(t)
 }
 
+// Training reports the current mode (SetTraining keeps every BN in sync,
+// so the final BN speaks for the whole model).
+func (m *DenseNetLite) Training() bool { return m.finalBN.Training() }
+
 var _ CVModel = (*DenseNetLite)(nil)

@@ -160,4 +160,8 @@ func (m *MobileNetV2) SetTraining(t bool) {
 	m.headBN.SetTraining(t)
 }
 
+// Training reports the current mode (SetTraining keeps every BN in sync,
+// so the stem BN speaks for the whole model).
+func (m *MobileNetV2) Training() bool { return m.stemBN.Training() }
+
 var _ CVModel = (*MobileNetV2)(nil)

@@ -143,4 +143,8 @@ func (m *ResNet18) SetTraining(t bool) {
 	}
 }
 
+// Training reports the current mode (SetTraining keeps every BN in sync,
+// so the stem BN speaks for the whole model).
+func (m *ResNet18) Training() bool { return m.stemBN.Training() }
+
 var _ CVModel = (*ResNet18)(nil)

@@ -37,7 +37,15 @@ func (m *TextClassifier) ForwardIDs(ids [][]int) *autodiff.Node {
 // point for decoy sub-networks).
 func (m *TextClassifier) ForwardIDsFeatures(ids [][]int) (*autodiff.Node, *autodiff.Node) {
 	pooled := m.Embed.LookupMean(ids)
-	return m.FC.Forward(pooled), pooled
+	return m.ForwardPooled(pooled), pooled
+}
+
+// ForwardPooled maps already-pooled embeddings [N, EmbedDim] to class
+// logits — the server half of split inference. A client that runs
+// Embed.LookupMean locally ships only the dense pooled activations; the
+// token ids never cross the wire.
+func (m *TextClassifier) ForwardPooled(pooled *autodiff.Node) *autodiff.Node {
+	return m.FC.Forward(pooled)
 }
 
 // Params returns embedding and classifier parameters.
@@ -111,8 +119,18 @@ func NewTransformerLM(rng *tensor.RNG, cfg TransformerLMConfig) *TransformerLM {
 }
 
 // ForwardIDs maps token batches [N][T] to next-token logits [N*T, Vocab],
-// applying a causal mask.
+// applying a causal mask. It composes the split-inference halves, so the
+// full path and EmbedIDs→ForwardEmbedded are bit-identical by
+// construction.
 func (m *TransformerLM) ForwardIDs(ids [][]int) *autodiff.Node {
+	return m.ForwardEmbedded(m.EmbedIDs(ids))
+}
+
+// EmbedIDs runs the client half of split inference: token embedding, √D
+// scaling, positional encodings, and the embedding-path dropout,
+// producing the [N, T, D] activations that cross the wire. Token ids
+// never leave this half.
+func (m *TransformerLM) EmbedIDs(ids [][]int) *autodiff.Node {
 	n := len(ids)
 	t := len(ids[0])
 	if t > m.maxT {
@@ -125,7 +143,15 @@ func (m *TransformerLM) ForwardIDs(ids [][]int) *autodiff.Node {
 	for b := 0; b < n; b++ {
 		copy(peBatch.Data[b*t*m.D:(b+1)*t*m.D], m.pe.Data[:t*m.D])
 	}
-	h = m.Drop.Forward(autodiff.AddConst(h, peBatch))
+	return m.Drop.Forward(autodiff.AddConst(h, peBatch))
+}
+
+// ForwardEmbedded runs the server half of split inference: the encoder
+// blocks under a causal mask and the decoder projection, over activations
+// [N, T, D] produced by EmbedIDs, returning next-token logits
+// [N*T, Vocab].
+func (m *TransformerLM) ForwardEmbedded(h *autodiff.Node) *autodiff.Node {
+	n, t := h.Val.Dim(0), h.Val.Dim(1)
 	mask := nn.CausalMask(t)
 	for _, blk := range m.Blocks {
 		h = blk.ForwardSeq(h, mask)
@@ -152,6 +178,10 @@ func (m *TransformerLM) SetTraining(t bool) {
 		blk.SetTraining(t)
 	}
 }
+
+// Training reports the current mode (SetTraining keeps every dropout in
+// sync, so the embedding-path dropout speaks for the whole model).
+func (m *TransformerLM) Training() bool { return m.Drop.Training() }
 
 // DropoutStates captures every dropout layer's RNG cursor under stable
 // names ("drop" for the embedding path, "block<i>.drop" per encoder

@@ -156,6 +156,10 @@ func (m *VGG16) SetTraining(t bool) {
 	m.drop.SetTraining(t)
 }
 
+// Training reports the current mode (SetTraining keeps every BN and the
+// classifier dropout in sync, so the dropout speaks for the whole model).
+func (m *VGG16) Training() bool { return m.drop.Training() }
+
 // FeatureStageParams returns the parameters of the convolutional stages
 // only (no CBAM, no head) — the "pre-trained" portion in the paper's
 // transfer-learning experiment.

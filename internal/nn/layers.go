@@ -163,6 +163,10 @@ func (b *BatchNorm2d) Params() []Param {
 // SetTraining switches between batch and running statistics.
 func (b *BatchNorm2d) SetTraining(training bool) { b.training = training }
 
+// Training reports the layer's current mode, so eval helpers can restore
+// it instead of assuming the model came from a training loop.
+func (b *BatchNorm2d) Training() bool { return b.training }
+
 var _ Module = (*BatchNorm2d)(nil)
 
 // ReLU applies the rectifier.
@@ -251,6 +255,9 @@ func (d *Dropout) Params() []Param { return nil }
 
 // SetTraining toggles dropout on/off.
 func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Training reports whether the layer currently applies dropout.
+func (d *Dropout) Training() bool { return d.training }
 
 // RNGState captures the layer's dropout-stream cursor so a checkpointed
 // run can resume the mask sequence from the interruption point.

@@ -31,6 +31,21 @@ type Module interface {
 	SetTraining(training bool)
 }
 
+// TrainingMode reports a module's current train/eval mode for
+// save-and-restore around forward-only passes (eval helpers, prediction
+// servers): capture the mode, SetTraining(false), and restore the
+// captured value afterwards, so an inference-only model is never left in
+// training mode by a scoring call. Modules expose the mode via a
+// Training() bool method; mode-less modules (no batch norm, no dropout)
+// report true — the mode every layer is built in — which makes the
+// restore a no-op for them.
+func TrainingMode(m any) bool {
+	if t, ok := m.(interface{ Training() bool }); ok {
+		return t.Training()
+	}
+	return true
+}
+
 // PrefixParams returns params with prefix+"." prepended to every name.
 func PrefixParams(prefix string, params []Param) []Param {
 	out := make([]Param, len(params))

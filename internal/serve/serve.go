@@ -1,0 +1,487 @@
+// Package serve is the inference half of the obfuscation story: a
+// high-throughput prediction server over extracted (or still-augmented)
+// models. Single predictions are coalesced by a dynamic batcher — flush
+// on size or on a configurable latency budget, whichever comes first —
+// and executed by a pool of inference workers whose forward passes reuse
+// the tensor scratch pool and release every graph root, so steady-state
+// serving allocates nothing per request beyond the result copies.
+//
+// Because every forward kernel is row-independent (matmul rows, eval-mode
+// batch norm, per-image convolution, per-row embedding pooling), batching
+// N single requests is bit-identical to N sequential calls: the batcher
+// changes throughput, never numerics. That invariant is test-pinned under
+// the race detector.
+//
+// Split inference (Leroux et al.'s privacy-aware offloading) is served
+// through the same batcher: the client runs the gather/embedding layers
+// locally and ships only dense activations, so raw pixels and token ids
+// never reach the server. Registrations expose it by attaching a tail —
+// the server half of the model — alongside the full-input path.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amalgam/internal/autodiff"
+)
+
+// Typed serving errors. ErrOverloaded and ErrClosed are the transient
+// ones: the caller can retry against the same (or another) server.
+var (
+	// ErrUnknownModel rejects a prediction for a name never registered.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrBadInput rejects a request whose payload does not fit the
+	// registered model (wrong image size, empty token list, out-of-range
+	// ids, wrong activation shape, no split tail registered, …).
+	ErrBadInput = errors.New("serve: invalid request")
+	// ErrOverloaded rejects a request when QueueDepth requests are already
+	// pending — admission control instead of unbounded queueing.
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrClosed rejects requests on (or interrupted by) Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrModelPanic reports a forward pass that panicked; every request in
+	// the affected batch fails with it.
+	ErrModelPanic = errors.New("serve: model panicked")
+	// ErrDuplicateModel rejects registering a name twice.
+	ErrDuplicateModel = errors.New("serve: model already registered")
+)
+
+// Config tunes the batcher and the worker pool. The zero value of any
+// field falls back to its default.
+type Config struct {
+	// MaxBatch flushes a queue as soon as this many requests are waiting
+	// (default 32). 1 disables coalescing — every request runs alone.
+	MaxBatch int
+	// MaxDelay is the latency budget: the longest a request waits for
+	// co-batchable traffic before its queue is flushed anyway (default
+	// 2ms). The budget starts at the first request of a batch.
+	MaxDelay time.Duration
+	// Workers is the number of inference workers draining flushed batches
+	// (default 2).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unfinished requests
+	// (default 1024); beyond it, requests fail fast with ErrOverloaded.
+	QueueDepth int
+}
+
+// CVForwarder is the forward surface of an image model — zoo models and
+// augmented models alike.
+type CVForwarder interface {
+	Forward(x *autodiff.Node) *autodiff.Node
+	SetTraining(training bool)
+}
+
+// IDForwarder is the forward surface of a token model (text classifiers
+// and LMs, plain or augmented).
+type IDForwarder interface {
+	ForwardIDs(ids [][]int) *autodiff.Node
+	SetTraining(training bool)
+}
+
+// CVConfig describes a registered image model's fixed input geometry.
+type CVConfig struct {
+	C, H, W int
+}
+
+// TextConfig describes a registered text classifier.
+type TextConfig struct {
+	// FixedLen > 0 requires every request to carry exactly that many
+	// tokens — augmented classifiers gather fixed positions out of
+	// AugLen-token sequences. 0 accepts any non-empty length (the
+	// mean-pooled embedding handles ragged batches).
+	FixedLen int
+	// Vocab > 0 validates token ids at admission, so one bad request
+	// cannot poison the batch it would have been coalesced into.
+	Vocab int
+	// SplitTail, when non-nil, additionally serves split inference: it
+	// receives pooled activations [N, SplitDim] and returns class logits.
+	SplitTail func(pooled *autodiff.Node) *autodiff.Node
+	// SplitDim is the per-request activation width (required with
+	// SplitTail).
+	SplitDim int
+}
+
+// LMConfig describes a registered language model.
+type LMConfig struct {
+	// MaxContext bounds the request context length (required; plain
+	// models are bounded by their positional table).
+	MaxContext int
+	// FixedContext > 0 requires exactly that many context tokens —
+	// augmented LMs gather fixed positions out of AugLen-token windows.
+	FixedContext int
+	// Vocab > 0 validates token ids at admission.
+	Vocab int
+	// SplitTail, when non-nil, additionally serves split inference: it
+	// receives embedded activations [N, T, SplitDim] and returns
+	// next-token logits [N*rows, vocab].
+	SplitTail func(h *autodiff.Node) *autodiff.Node
+	// SplitDim is the activation width per position (required with
+	// SplitTail).
+	SplitDim int
+}
+
+// CVResult is one image prediction.
+type CVResult struct {
+	// Class is the argmax class.
+	Class int
+	// Logits are the raw class logits, copied out of the pooled graph.
+	Logits []float32
+}
+
+// TextResult is one text-classification prediction.
+type TextResult struct {
+	Class  int
+	Logits []float32
+}
+
+// LMResult is one next-token prediction.
+type LMResult struct {
+	// Tokens are the top-K next-token ids, most probable first (ties
+	// break toward the lower id, deterministically).
+	Tokens []int
+	// LogProbs are the matching natural-log probabilities under a
+	// log-softmax of the final position's logits.
+	LogProbs []float32
+}
+
+// Server batches and executes predictions. Construct with New, register
+// models, predict from any number of goroutines, Close when done.
+type Server struct {
+	cfg     Config
+	mu      sync.Mutex
+	regs    map[string]*registration
+	work    chan batchJob
+	closed  chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup
+	pending atomic.Int64
+}
+
+// registration is one served model: at most one modality, with per-shape
+// batch queues created on demand.
+type registration struct {
+	name string
+	cv   *cvReg
+	text *textReg
+	lm   *lmReg
+
+	mu     sync.Mutex
+	queues map[string]*queue
+}
+
+type cvReg struct {
+	m   CVForwarder
+	cfg CVConfig
+}
+
+type textReg struct {
+	m   IDForwarder
+	cfg TextConfig
+}
+
+type lmReg struct {
+	m   IDForwarder
+	cfg LMConfig
+}
+
+// call is one in-flight prediction. Exactly one of image/ids/acts is the
+// payload; res/err are written by the worker before done is closed.
+type call struct {
+	image  []float32
+	ids    []int
+	acts   []float32
+	seqLen int
+	topK   int
+
+	res  any
+	err  error
+	done chan struct{}
+}
+
+type batchJob struct {
+	name  string
+	run   func(calls []*call)
+	calls []*call
+}
+
+// New starts a server with Config defaults applied.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s := &Server{
+		cfg:    cfg,
+		regs:   make(map[string]*registration),
+		work:   make(chan batchJob, cfg.Workers),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers and fails every waiting request with ErrClosed.
+// It is idempotent.
+func (s *Server) Close() {
+	s.closing.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+// register adds a named model, switching it to eval mode permanently:
+// workers may run batches of the same model concurrently, which is safe
+// only while forward passes are read-only (eval-mode batch norm reads
+// running statistics, eval-mode dropout is the identity).
+func (s *Server) register(name string, reg *registration, m interface{ SetTraining(bool) }) error {
+	m.SetTraining(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.regs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	s.regs[name] = reg
+	return nil
+}
+
+func (s *Server) lookup(name string) (*registration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.regs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return reg, nil
+}
+
+// RegisterCV serves an image model with the given input geometry. The
+// model is switched to eval mode and must not be trained while serving.
+func (s *Server) RegisterCV(name string, m CVForwarder, cfg CVConfig) error {
+	if cfg.C <= 0 || cfg.H <= 0 || cfg.W <= 0 {
+		return fmt.Errorf("%w: CV geometry %dx%dx%d", ErrBadInput, cfg.C, cfg.H, cfg.W)
+	}
+	reg := &registration{name: name, cv: &cvReg{m: m, cfg: cfg}, queues: make(map[string]*queue)}
+	return s.register(name, reg, m)
+}
+
+// RegisterText serves a text classifier. The model is switched to eval
+// mode and must not be trained while serving.
+func (s *Server) RegisterText(name string, m IDForwarder, cfg TextConfig) error {
+	if cfg.SplitTail != nil && cfg.SplitDim <= 0 {
+		return fmt.Errorf("%w: text split tail needs SplitDim", ErrBadInput)
+	}
+	reg := &registration{name: name, text: &textReg{m: m, cfg: cfg}, queues: make(map[string]*queue)}
+	return s.register(name, reg, m)
+}
+
+// RegisterLM serves a language model for next-token scoring. The model is
+// switched to eval mode and must not be trained while serving.
+func (s *Server) RegisterLM(name string, m IDForwarder, cfg LMConfig) error {
+	if cfg.MaxContext <= 0 {
+		return fmt.Errorf("%w: LM registration needs MaxContext", ErrBadInput)
+	}
+	if cfg.SplitTail != nil && cfg.SplitDim <= 0 {
+		return fmt.Errorf("%w: LM split tail needs SplitDim", ErrBadInput)
+	}
+	reg := &registration{name: name, lm: &lmReg{m: m, cfg: cfg}, queues: make(map[string]*queue)}
+	return s.register(name, reg, m)
+}
+
+// PredictCV classifies one image (flat [C*H*W] row-major pixels). The
+// slice must stay untouched until the call returns.
+func (s *Server) PredictCV(model string, image []float32) (CVResult, error) {
+	reg, err := s.lookup(model)
+	if err != nil {
+		return CVResult{}, err
+	}
+	if reg.cv == nil {
+		return CVResult{}, fmt.Errorf("%w: %q is not a CV model", ErrBadInput, model)
+	}
+	r := reg.cv
+	if want := r.cfg.C * r.cfg.H * r.cfg.W; len(image) != want {
+		return CVResult{}, fmt.Errorf("%w: image has %d values, model %q wants %d", ErrBadInput, len(image), model, want)
+	}
+	cl := &call{image: image, done: make(chan struct{})}
+	res, err := s.dispatch(reg, "cv", func(calls []*call) { runCVBatch(r, calls) }, cl)
+	if err != nil {
+		return CVResult{}, err
+	}
+	return res.(CVResult), nil
+}
+
+// PredictText classifies one token sequence. The slice must stay
+// untouched until the call returns.
+func (s *Server) PredictText(model string, tokens []int) (TextResult, error) {
+	reg, err := s.lookup(model)
+	if err != nil {
+		return TextResult{}, err
+	}
+	if reg.text == nil {
+		return TextResult{}, fmt.Errorf("%w: %q is not a text model", ErrBadInput, model)
+	}
+	r := reg.text
+	if len(tokens) == 0 {
+		return TextResult{}, fmt.Errorf("%w: empty token sequence", ErrBadInput)
+	}
+	if r.cfg.FixedLen > 0 && len(tokens) != r.cfg.FixedLen {
+		return TextResult{}, fmt.Errorf("%w: model %q wants exactly %d tokens, got %d", ErrBadInput, model, r.cfg.FixedLen, len(tokens))
+	}
+	if err := checkTokens(tokens, r.cfg.Vocab); err != nil {
+		return TextResult{}, err
+	}
+	cl := &call{ids: tokens, done: make(chan struct{})}
+	res, err := s.dispatch(reg, "text", func(calls []*call) { runTextBatch(r, calls) }, cl)
+	if err != nil {
+		return TextResult{}, err
+	}
+	return res.(TextResult), nil
+}
+
+// PredictTextSplit classifies from client-side pooled activations
+// [SplitDim] — split inference: the token ids never reached this server.
+func (s *Server) PredictTextSplit(model string, pooled []float32) (TextResult, error) {
+	reg, err := s.lookup(model)
+	if err != nil {
+		return TextResult{}, err
+	}
+	if reg.text == nil || reg.text.cfg.SplitTail == nil {
+		return TextResult{}, fmt.Errorf("%w: %q serves no text split tail", ErrBadInput, model)
+	}
+	r := reg.text
+	if len(pooled) != r.cfg.SplitDim {
+		return TextResult{}, fmt.Errorf("%w: pooled activations have %d values, model %q wants %d", ErrBadInput, len(pooled), model, r.cfg.SplitDim)
+	}
+	cl := &call{acts: pooled, done: make(chan struct{})}
+	res, err := s.dispatch(reg, "text/split", func(calls []*call) { runTextSplitBatch(r, calls) }, cl)
+	if err != nil {
+		return TextResult{}, err
+	}
+	return res.(TextResult), nil
+}
+
+// PredictLM scores the next token after context, returning the top-K
+// candidates (topK <= 0 means 1). Context length keys the batch queue:
+// the transformer requires a uniform sequence length per batch.
+func (s *Server) PredictLM(model string, context []int, topK int) (LMResult, error) {
+	reg, err := s.lookup(model)
+	if err != nil {
+		return LMResult{}, err
+	}
+	if reg.lm == nil {
+		return LMResult{}, fmt.Errorf("%w: %q is not an LM", ErrBadInput, model)
+	}
+	r := reg.lm
+	if len(context) == 0 {
+		return LMResult{}, fmt.Errorf("%w: empty context", ErrBadInput)
+	}
+	if len(context) > r.cfg.MaxContext {
+		return LMResult{}, fmt.Errorf("%w: context of %d tokens exceeds model %q's max %d", ErrBadInput, len(context), model, r.cfg.MaxContext)
+	}
+	if r.cfg.FixedContext > 0 && len(context) != r.cfg.FixedContext {
+		return LMResult{}, fmt.Errorf("%w: model %q wants exactly %d context tokens, got %d", ErrBadInput, model, r.cfg.FixedContext, len(context))
+	}
+	if err := checkTokens(context, r.cfg.Vocab); err != nil {
+		return LMResult{}, err
+	}
+	cl := &call{ids: context, topK: topK, done: make(chan struct{})}
+	key := "lm/" + strconv.Itoa(len(context))
+	res, err := s.dispatch(reg, key, func(calls []*call) { runLMBatch(r, calls) }, cl)
+	if err != nil {
+		return LMResult{}, err
+	}
+	return res.(LMResult), nil
+}
+
+// PredictLMSplit scores the next token from client-side embedded
+// activations (flat [seqLen*SplitDim]) — split inference for LMs.
+func (s *Server) PredictLMSplit(model string, acts []float32, seqLen, topK int) (LMResult, error) {
+	reg, err := s.lookup(model)
+	if err != nil {
+		return LMResult{}, err
+	}
+	if reg.lm == nil || reg.lm.cfg.SplitTail == nil {
+		return LMResult{}, fmt.Errorf("%w: %q serves no LM split tail", ErrBadInput, model)
+	}
+	r := reg.lm
+	if seqLen <= 0 || seqLen > r.cfg.MaxContext {
+		return LMResult{}, fmt.Errorf("%w: sequence length %d out of (0,%d]", ErrBadInput, seqLen, r.cfg.MaxContext)
+	}
+	if len(acts) != seqLen*r.cfg.SplitDim {
+		return LMResult{}, fmt.Errorf("%w: activations have %d values, want %d×%d", ErrBadInput, len(acts), seqLen, r.cfg.SplitDim)
+	}
+	cl := &call{acts: acts, seqLen: seqLen, topK: topK, done: make(chan struct{})}
+	key := "lm/split/" + strconv.Itoa(seqLen)
+	res, err := s.dispatch(reg, key, func(calls []*call) { runLMSplitBatch(r, calls) }, cl)
+	if err != nil {
+		return LMResult{}, err
+	}
+	return res.(LMResult), nil
+}
+
+// checkTokens validates ids against a vocabulary size (0 skips), so one
+// out-of-range id fails its own request instead of panicking the batch
+// it would have been coalesced into.
+func checkTokens(ids []int, vocab int) error {
+	if vocab <= 0 {
+		return nil
+	}
+	for _, id := range ids {
+		if id < 0 || id >= vocab {
+			return fmt.Errorf("%w: token id %d out of vocabulary [0,%d)", ErrBadInput, id, vocab)
+		}
+	}
+	return nil
+}
+
+// dispatch admits, enqueues, and waits out one call.
+func (s *Server) dispatch(reg *registration, key string, run func([]*call), cl *call) (any, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	s.enqueue(reg, key, run, cl)
+	select {
+	case <-cl.done:
+		return cl.res, cl.err
+	case <-s.closed:
+		// The result may have been racing the shutdown; prefer it.
+		select {
+		case <-cl.done:
+			return cl.res, cl.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// admit enforces QueueDepth; every admitted call is released by finish.
+func (s *Server) admit() error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	if s.pending.Add(1) > int64(s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+func (cl *call) finish(s *Server) {
+	s.pending.Add(-1)
+	close(cl.done)
+}

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/data"
+	"amalgam/internal/models"
+	"amalgam/internal/tensor"
+)
+
+func buildTestModels(t *testing.T) (models.CVModel, *models.TextClassifier, *models.TransformerLM) {
+	t.Helper()
+	cv, err := models.BuildCV("lenet", tensor.NewRNG(7), models.CVConfig{InC: 1, InH: 28, InW: 28, Classes: 10})
+	if err != nil {
+		t.Fatalf("BuildCV: %v", err)
+	}
+	txt := models.NewTextClassifier(tensor.NewRNG(11), 80, 16, 4)
+	lm := models.NewTransformerLM(tensor.NewRNG(13), models.TransformerLMConfig{
+		Vocab: 60, D: 16, Heads: 2, FF: 32, Layers: 1, MaxT: 12, Dropout: 0.1,
+	})
+	return cv, txt, lm
+}
+
+func imageRow(ds *data.ImageDataset, i int) []float32 {
+	per := ds.Images.Dim(1) * ds.Images.Dim(2) * ds.Images.Dim(3)
+	return ds.Images.Data[i*per : (i+1)*per]
+}
+
+// forwardCVOne is the sequential single-call baseline: one image, one
+// forward, straight through the model.
+func forwardCVOne(m CVForwarder, img []float32, c, h, w int) CVResult {
+	x := tensor.New(1, c, h, w)
+	copy(x.Data, img)
+	out := m.Forward(autodiff.Constant(x))
+	res := CVResult{Class: tensor.ArgmaxRows(out.Val)[0], Logits: copyRow(out.Val.Data, 0, out.Val.Dim(1))}
+	autodiff.Release(out)
+	return res
+}
+
+func forwardTextOne(m IDForwarder, toks []int) TextResult {
+	out := m.ForwardIDs([][]int{toks})
+	res := TextResult{Class: tensor.ArgmaxRows(out.Val)[0], Logits: copyRow(out.Val.Data, 0, out.Val.Dim(1))}
+	autodiff.Release(out)
+	return res
+}
+
+func forwardLMOne(m IDForwarder, ctx []int, topK int) LMResult {
+	out := m.ForwardIDs([][]int{ctx})
+	vocab := out.Val.Dim(1)
+	rows := out.Val.Dim(0)
+	toks, lps := topKLogProbs(out.Val.Data[(rows-1)*vocab:rows*vocab], topK)
+	autodiff.Release(out)
+	return LMResult{Tokens: toks, LogProbs: lps}
+}
+
+func float32sEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchedMatchesSequential hammers one server with mixed modalities
+// from many goroutines and requires every coalesced result to be
+// bit-identical to a sequential single call straight through the model:
+// batching changes throughput, never numerics. Run under -race in CI
+// ("race test (inference serving)").
+func TestBatchedMatchesSequential(t *testing.T) {
+	cv, txt, lm := buildTestModels(t)
+	s := New(Config{MaxBatch: 8, MaxDelay: 2 * time.Millisecond, Workers: 4, QueueDepth: 512})
+	defer s.Close()
+	if err := s.RegisterCV("cv", cv, CVConfig{C: 1, H: 28, W: 28}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterText("txt", txt, TextConfig{Vocab: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterLM("lm", lm, LMConfig{MaxContext: 12, Vocab: 60}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	imgs := data.SyntheticMNIST(n, 3)
+	txtDS := data.GenerateClassifiedText(data.ClassTextConfig{Name: "t", N: n, SeqLen: 9, Vocab: 80, Classes: 4, Seed: 5})
+	rng := tensor.NewRNG(17)
+	ctxs := make([][]int, n)
+	for i := range ctxs {
+		ctx := make([]int, 4+i%3) // mixed context lengths exercise per-length queues
+		for j := range ctx {
+			ctx[j] = rng.IntN(60)
+		}
+		ctxs[i] = ctx
+	}
+
+	wantCV := make([]CVResult, n)
+	wantTxt := make([]TextResult, n)
+	wantLM := make([]LMResult, n)
+	for i := 0; i < n; i++ {
+		wantCV[i] = forwardCVOne(cv, imageRow(imgs, i), 1, 28, 28)
+		wantTxt[i] = forwardTextOne(txt, txtDS.Samples[i])
+		wantLM[i] = forwardLMOne(lm, ctxs[i], 3)
+	}
+
+	const rounds = 4
+	errs := make(chan error, 3*n*rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			wg.Add(3)
+			go func(i int) {
+				defer wg.Done()
+				got, err := s.PredictCV("cv", imageRow(imgs, i))
+				if err != nil {
+					errs <- fmt.Errorf("PredictCV(%d): %v", i, err)
+				} else if got.Class != wantCV[i].Class || !float32sEqual(got.Logits, wantCV[i].Logits) {
+					errs <- fmt.Errorf("PredictCV(%d): batched result differs from sequential", i)
+				}
+			}(i)
+			go func(i int) {
+				defer wg.Done()
+				got, err := s.PredictText("txt", txtDS.Samples[i])
+				if err != nil {
+					errs <- fmt.Errorf("PredictText(%d): %v", i, err)
+				} else if got.Class != wantTxt[i].Class || !float32sEqual(got.Logits, wantTxt[i].Logits) {
+					errs <- fmt.Errorf("PredictText(%d): batched result differs from sequential", i)
+				}
+			}(i)
+			go func(i int) {
+				defer wg.Done()
+				got, err := s.PredictLM("lm", ctxs[i], 3)
+				if err != nil {
+					errs <- fmt.Errorf("PredictLM(%d): %v", i, err)
+				} else if !intsEqual(got.Tokens, wantLM[i].Tokens) || !float32sEqual(got.LogProbs, wantLM[i].LogProbs) {
+					errs <- fmt.Errorf("PredictLM(%d): batched result differs from sequential", i)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSplitMatchesFull proves the offloading split: a client that runs
+// the embedding half locally and ships only activations gets bit-exactly
+// the prediction the full-input path produces.
+func TestSplitMatchesFull(t *testing.T) {
+	_, txt, lm := buildTestModels(t)
+	s := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond, Workers: 2})
+	defer s.Close()
+	if err := s.RegisterText("txt", txt, TextConfig{Vocab: 80, SplitTail: txt.ForwardPooled, SplitDim: txt.EmbedDim}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterLM("lm", lm, LMConfig{MaxContext: 12, Vocab: 60, SplitTail: lm.ForwardEmbedded, SplitDim: lm.D}); err != nil {
+		t.Fatal(err)
+	}
+
+	toks := []int{5, 17, 3, 42, 9, 77}
+	full, err := s.PredictText("txt", toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledNode := txt.Embed.LookupMean([][]int{toks})
+	pooled := copyRow(pooledNode.Val.Data, 0, txt.EmbedDim)
+	autodiff.Release(pooledNode)
+	split, err := s.PredictTextSplit("txt", pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Class != full.Class || !float32sEqual(split.Logits, full.Logits) {
+		t.Error("text split result differs from full-input result")
+	}
+
+	ctx := []int{1, 8, 30, 55, 2, 2, 47}
+	fullLM, err := s.PredictLM("lm", ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := lm.EmbedIDs([][]int{ctx})
+	acts := make([]float32, len(ctx)*lm.D)
+	copy(acts, h.Val.Data)
+	autodiff.Release(h)
+	splitLM, err := s.PredictLMSplit("lm", acts, len(ctx), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intsEqual(splitLM.Tokens, fullLM.Tokens) || !float32sEqual(splitLM.LogProbs, fullLM.LogProbs) {
+		t.Error("LM split result differs from full-input result")
+	}
+}
+
+// TestSteadyStatePoolStable pins the release discipline: after warmup,
+// serving draws every forward buffer from the tensor pool — zero fresh
+// pool allocations per prediction.
+func TestSteadyStatePoolStable(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts at random; miss counts are meaningless")
+	}
+	_, txt, _ := buildTestModels(t)
+	s := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond, Workers: 1})
+	defer s.Close()
+	if err := s.RegisterText("txt", txt, TextConfig{Vocab: 80}); err != nil {
+		t.Fatal(err)
+	}
+	toks := []int{3, 14, 15, 9, 26, 5}
+	for i := 0; i < 10; i++ {
+		if _, err := s.PredictText("txt", toks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, miss0 := tensor.PoolStats()
+	for i := 0; i < 50; i++ {
+		if _, err := s.PredictText("txt", toks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, miss1 := tensor.PoolStats()
+	if miss1 != miss0 {
+		t.Errorf("steady-state serving allocated %d fresh pool buffers over 50 predictions; want 0", miss1-miss0)
+	}
+}
+
+// blockingCV parks every forward until released — a stand-in for a slow
+// model, used to fill the admission queue deterministically.
+type blockingCV struct{ release chan struct{} }
+
+func (b *blockingCV) Forward(x *autodiff.Node) *autodiff.Node {
+	<-b.release
+	return autodiff.Constant(tensor.New(x.Val.Dim(0), 2))
+}
+func (b *blockingCV) SetTraining(bool) {}
+
+func TestOverloadAndClose(t *testing.T) {
+	s := New(Config{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 1, QueueDepth: 2})
+	bm := &blockingCV{release: make(chan struct{})}
+	if err := s.RegisterCV("b", bm, CVConfig{C: 1, H: 1, W: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := s.PredictCV("b", []float32{0})
+			done <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pending.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted calls never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.PredictCV("b", []float32{0}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-depth request: got %v, want ErrOverloaded", err)
+	}
+	close(bm.release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("released call failed: %v", err)
+		}
+	}
+	s.Close()
+	if _, err := s.PredictCV("b", []float32{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close request: got %v, want ErrClosed", err)
+	}
+}
+
+// panickyCV blows up in Forward; the batch must fail typed, not crash the
+// worker pool.
+type panickyCV struct{}
+
+func (panickyCV) Forward(*autodiff.Node) *autodiff.Node { panic("synthetic model bug") }
+func (panickyCV) SetTraining(bool)                      {}
+
+func TestModelPanicFailsBatchTyped(t *testing.T) {
+	s := New(Config{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 1})
+	defer s.Close()
+	if err := s.RegisterCV("p", panickyCV{}, CVConfig{C: 1, H: 1, W: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PredictCV("p", []float32{0}); !errors.Is(err, ErrModelPanic) {
+		t.Fatalf("got %v, want ErrModelPanic", err)
+	}
+	// The worker survived; the server still serves.
+	if _, err := s.PredictCV("p", []float32{1}); !errors.Is(err, ErrModelPanic) {
+		t.Fatalf("second call: got %v, want ErrModelPanic", err)
+	}
+}
+
+func TestAdmissionValidation(t *testing.T) {
+	cv, txt, lm := buildTestModels(t)
+	s := New(Config{MaxBatch: 2, MaxDelay: time.Millisecond, Workers: 1})
+	defer s.Close()
+	if err := s.RegisterCV("cv", cv, CVConfig{C: 1, H: 28, W: 28}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterText("txt", txt, TextConfig{FixedLen: 6, Vocab: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterLM("lm", lm, LMConfig{MaxContext: 12, FixedContext: 8, Vocab: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterCV("cv", cv, CVConfig{C: 1, H: 28, W: 28}); !errors.Is(err, ErrDuplicateModel) {
+		t.Errorf("duplicate register: got %v, want ErrDuplicateModel", err)
+	}
+
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"unknown model", func() error { _, err := s.PredictCV("nope", make([]float32, 784)); return err }, ErrUnknownModel},
+		{"wrong modality", func() error { _, err := s.PredictText("cv", []int{1}); return err }, ErrBadInput},
+		{"bad image size", func() error { _, err := s.PredictCV("cv", make([]float32, 10)); return err }, ErrBadInput},
+		{"empty tokens", func() error { _, err := s.PredictText("txt", nil); return err }, ErrBadInput},
+		{"fixed-length violation", func() error { _, err := s.PredictText("txt", []int{1, 2, 3}); return err }, ErrBadInput},
+		{"token out of vocab", func() error { _, err := s.PredictText("txt", []int{1, 2, 3, 4, 5, 99}); return err }, ErrBadInput},
+		{"context too long", func() error { _, err := s.PredictLM("lm", make([]int, 20), 1); return err }, ErrBadInput},
+		{"fixed-context violation", func() error { _, err := s.PredictLM("lm", make([]int, 5), 1); return err }, ErrBadInput},
+		{"no split tail", func() error { _, err := s.PredictTextSplit("txt", make([]float32, 16)); return err }, ErrBadInput},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+// The inference workers: each drains flushed batches, assembles the batch
+// input in one pooled tensor, runs a single eval-mode forward pass,
+// copies every request's result out, and releases the graph root — so a
+// steady-state prediction touches only pooled storage plus the per-result
+// copies. Determinism-contracted: batch execution is a pure function of
+// the coalesced inputs.
+
+import (
+	"fmt"
+	"math"
+
+	"amalgam/internal/autodiff"
+	"amalgam/internal/tensor"
+)
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case b := <-s.work:
+			s.runBatch(b)
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// runBatch executes one coalesced batch and completes every call in it —
+// with results, or with ErrModelPanic if the forward pass blew up (a
+// poisoned request fails its whole batch; admission-time validation keeps
+// that to genuine model bugs).
+func (s *Server) runBatch(b batchJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("%w: model %q: %v", ErrModelPanic, b.name, r)
+			for _, cl := range b.calls {
+				cl.err = err
+			}
+		}
+		for _, cl := range b.calls {
+			cl.finish(s)
+		}
+	}()
+	b.run(b.calls)
+}
+
+// runCVBatch packs [N, C, H, W] from the coalesced images, forwards once,
+// and fans the argmax rows and logit copies back out.
+func runCVBatch(r *cvReg, calls []*call) {
+	n := len(calls)
+	per := r.cfg.C * r.cfg.H * r.cfg.W
+	x := tensor.Get(n, r.cfg.C, r.cfg.H, r.cfg.W)
+	defer tensor.Put(x)
+	for i, cl := range calls {
+		copy(x.Data[i*per:(i+1)*per], cl.image)
+	}
+	out := r.m.Forward(autodiff.Constant(x))
+	pred := tensor.ArgmaxRows(out.Val)
+	classes := out.Val.Dim(1)
+	for i, cl := range calls {
+		cl.res = CVResult{Class: pred[i], Logits: copyRow(out.Val.Data, i, classes)}
+	}
+	autodiff.Release(out)
+}
+
+// runTextBatch forwards the coalesced token sequences (ragged batches are
+// fine — the pooled embedding averages per row) and fans results out.
+func runTextBatch(r *textReg, calls []*call) {
+	ids := make([][]int, len(calls))
+	for i, cl := range calls {
+		ids[i] = cl.ids
+	}
+	out := r.m.ForwardIDs(ids)
+	pred := tensor.ArgmaxRows(out.Val)
+	classes := out.Val.Dim(1)
+	for i, cl := range calls {
+		cl.res = TextResult{Class: pred[i], Logits: copyRow(out.Val.Data, i, classes)}
+	}
+	autodiff.Release(out)
+}
+
+// runTextSplitBatch packs pooled activations [N, SplitDim] and runs only
+// the registered tail.
+func runTextSplitBatch(r *textReg, calls []*call) {
+	n := len(calls)
+	d := r.cfg.SplitDim
+	pooled := tensor.Get(n, d)
+	defer tensor.Put(pooled)
+	for i, cl := range calls {
+		copy(pooled.Data[i*d:(i+1)*d], cl.acts)
+	}
+	out := r.cfg.SplitTail(autodiff.Constant(pooled))
+	pred := tensor.ArgmaxRows(out.Val)
+	classes := out.Val.Dim(1)
+	for i, cl := range calls {
+		cl.res = TextResult{Class: pred[i], Logits: copyRow(out.Val.Data, i, classes)}
+	}
+	autodiff.Release(out)
+}
+
+// runLMBatch forwards the coalesced contexts (uniform length — the queue
+// key guarantees it) and scores each call's final position. The rows per
+// sample come from the logits themselves, so augmented models — whose
+// secret gather shrinks the visible window — need no extra geometry.
+func runLMBatch(r *lmReg, calls []*call) {
+	ids := make([][]int, len(calls))
+	for i, cl := range calls {
+		ids[i] = cl.ids
+	}
+	out := r.m.ForwardIDs(ids)
+	fanOutNextToken(out, calls)
+	autodiff.Release(out)
+}
+
+// runLMSplitBatch packs embedded activations [N, T, SplitDim] and runs
+// only the registered tail.
+func runLMSplitBatch(r *lmReg, calls []*call) {
+	n := len(calls)
+	t := calls[0].seqLen
+	d := r.cfg.SplitDim
+	h := tensor.Get(n, t, d)
+	defer tensor.Put(h)
+	for i, cl := range calls {
+		copy(h.Data[i*t*d:(i+1)*t*d], cl.acts)
+	}
+	out := r.cfg.SplitTail(autodiff.Constant(h))
+	fanOutNextToken(out, calls)
+	autodiff.Release(out)
+}
+
+// fanOutNextToken reads [N*rows, vocab] logits and writes each call's
+// top-K next-token result from its final row.
+func fanOutNextToken(out *autodiff.Node, calls []*call) {
+	vocab := out.Val.Dim(1)
+	rows := out.Val.Dim(0) / len(calls)
+	for i, cl := range calls {
+		last := out.Val.Data[((i+1)*rows-1)*vocab : (i+1)*rows*vocab]
+		toks, lps := topKLogProbs(last, cl.topK)
+		cl.res = LMResult{Tokens: toks, LogProbs: lps}
+	}
+}
+
+// topKLogProbs returns the k most probable token ids (ties toward the
+// lower id) with their log-softmax values, accumulated in float64 for a
+// stable log-sum-exp.
+func topKLogProbs(logits []float32, k int) ([]int, []float32) {
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(logits) {
+		k = len(logits)
+	}
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxv))
+	}
+	lse := float64(maxv) + math.Log(sum)
+	toks := make([]int, 0, k)
+	lps := make([]float32, 0, k)
+	taken := make([]bool, len(logits))
+	for len(toks) < k {
+		best := -1
+		for i, v := range logits {
+			if !taken[i] && (best < 0 || v > logits[best]) {
+				best = i
+			}
+		}
+		taken[best] = true
+		toks = append(toks, best)
+		lps = append(lps, float32(float64(logits[best])-lse))
+	}
+	return toks, lps
+}
+
+// copyRow copies row i of a [*, width] data slab into a fresh slice, so
+// results survive the graph release.
+func copyRow(data []float32, i, width int) []float32 {
+	out := make([]float32, width)
+	copy(out, data[i*width:(i+1)*width])
+	return out
+}

@@ -163,13 +163,23 @@ func (j *Job) ops() *jobOps {
 	}
 }
 
+// evalAccuracy scores the augmented model in eval mode, restoring the
+// prior train/eval mode afterwards and releasing every forward graph back
+// to the tensor pool. An empty dataset scores 0 (not NaN); WithEvalSet
+// rejects empty splits up front with ErrEmptyEvalSet.
 func (j *Job) evalAccuracy(ds *ImageDataset, batch int) float64 {
+	prev := j.Augmented.Training()
 	j.Augmented.SetTraining(false)
-	defer j.Augmented.SetTraining(true)
+	defer j.Augmented.SetTraining(prev)
+	if ds.N() == 0 {
+		return 0
+	}
 	correct := 0
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		x, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(j.Augmented.Forward(autodiff.Constant(x)).Val)
+		out := j.Augmented.Forward(autodiff.Constant(x))
+		pred := tensor.ArgmaxRows(out.Val)
+		autodiff.Release(out)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++

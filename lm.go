@@ -225,8 +225,9 @@ func (j *LMJob) Perplexity(ds *TokenStream, batch int) (float64, error) {
 		batch = 1
 	}
 	am := j.Augmented
+	prev := am.Training()
 	am.SetTraining(false)
-	defer am.SetTraining(true)
+	defer am.SetTraining(prev)
 	perWindow := j.Key.OrigLen - 1
 	var sum float64
 	tokens := 0

@@ -1,11 +1,18 @@
 package amalgam
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"amalgam/internal/optim"
 )
+
+// ErrEmptyEvalSet rejects a WithEvalSet split with no samples at
+// option-resolution time: an empty split can only ever score 0 and
+// historically produced NaN accuracies deep inside the epoch loop, so
+// the misconfiguration is surfaced up front where it happened.
+var ErrEmptyEvalSet = errors.New("amalgam: eval set is empty")
 
 // Options configures obfuscation (dataset + model augmentation) for both
 // modalities: Obfuscate (images) and ObfuscateText (token sequences).
@@ -245,7 +252,8 @@ func WithLRSchedule(spec *LRScheduleSpec) TrainOption {
 // WithEvalSet scores a held-out split after every epoch. The split is
 // obfuscated with the job's key (ObfuscateTestSet) before scoring and, for
 // remote runs, shipped alongside the training data so the service reports
-// EvalAccuracy per epoch.
+// EvalAccuracy per epoch. A split with no samples fails the run up front
+// with ErrEmptyEvalSet.
 func WithEvalSet(ds EvalDataset) TrainOption {
 	return func(o *runOptions) { o.evalSet = ds }
 }
@@ -272,6 +280,9 @@ func resolveRunOptions(cfg TrainConfig, defaultSeed uint64, opts []TrainOption) 
 	}
 	if !o.shuffleSeedSet {
 		o.shuffleSeed = defaultSeed
+	}
+	if o.evalSet != nil && o.evalSet.N() == 0 {
+		return nil, fmt.Errorf("amalgam: WithEvalSet split has no samples: %w", ErrEmptyEvalSet)
 	}
 	return o, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package amalgam_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package amalgam_test
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// where sync.Pool deliberately drops puts at random and pool-miss counts
+// become meaningless.
+const raceEnabled = true

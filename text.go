@@ -192,13 +192,23 @@ func PredictText(m TextPredictor, ds *TextDataset, batch int) float64 {
 	return textAccuracy(m, ds, batch)
 }
 
+// textAccuracy scores m in eval mode, restoring the prior train/eval mode
+// afterwards and releasing every forward graph back to the tensor pool.
+// An empty dataset scores 0 (not NaN); WithEvalSet rejects empty splits
+// up front with ErrEmptyEvalSet.
 func textAccuracy(m TextPredictor, ds *TextDataset, batch int) float64 {
+	prev := nn.TrainingMode(m)
 	m.SetTraining(false)
-	defer m.SetTraining(true)
+	defer m.SetTraining(prev)
+	if ds.N() == 0 {
+		return 0
+	}
 	correct := 0
 	for _, idx := range data.BatchIter(ds.N(), batch, nil) {
 		ids, labels := ds.Batch(idx)
-		pred := tensor.ArgmaxRows(m.ForwardIDs(ids).Val)
+		out := m.ForwardIDs(ids)
+		pred := tensor.ArgmaxRows(out.Val)
+		autodiff.Release(out)
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++
